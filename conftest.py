@@ -1,0 +1,13 @@
+"""Pytest bootstrap.
+
+Ensures the ``src`` layout is importable even when the package has not
+been installed (e.g. running ``pytest`` straight from a fresh checkout,
+or on machines without network access for ``pip install -e .``).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Inspecting the Theorem-3 decoder round by round.
+
+The ``(O(1), O(log n))`` scheme runs in fixed phase windows: inside each
+window every fragment convergecasts its unconsumed advice bits to its
+root, the root broadcasts the fragment advice back down, and the
+choosing node attaches the fragment across its selected MST edge; a
+final collection wave then tells each remaining fragment root its own
+parent.  This example attaches a :class:`repro.simulator.Tracer` to a
+run and prints that story: per round, how many messages were exchanged
+and how many nodes learned their final output, annotated with the phase
+windows of the schedule.
+
+Run with:  python examples/decoder_trace.py
+"""
+
+from repro import ShortAdviceScheme, random_connected_graph
+from repro.analysis import format_table
+from repro.core.scheme_main import num_boruvka_phases, phase_window_rounds
+from repro.core.verification import check_outputs
+from repro.simulator import Tracer, run_sync
+
+
+def segment_labels(n: int, total_rounds: int):
+    """Label every round with its place in the decoder's fixed schedule."""
+    labels = {}
+    round_number = 1
+    for phase in range(1, num_boruvka_phases(n) + 1):
+        for _ in range(phase_window_rounds(phase)):
+            labels[round_number] = f"phase {phase}"
+            round_number += 1
+    while round_number <= total_rounds:
+        labels[round_number] = "final collection"
+        round_number += 1
+    return labels
+
+
+def main() -> None:
+    graph = random_connected_graph(64, extra_edge_prob=0.06, seed=11)
+    root = 0
+    scheme = ShortAdviceScheme()
+    advice = scheme.compute_advice(graph, root=root)
+
+    tracer = Tracer()
+    result = run_sync(graph, scheme.program_factory(), advice=advice.as_payloads(), tracer=tracer)
+    check = check_outputs(graph, result.outputs, expected_root=root)
+
+    print(f"n={graph.n}, m={graph.m}, root={root}")
+    print(f"decoded a correct rooted MST: {check.ok}")
+    print(f"rounds used: {result.metrics.rounds}  "
+          f"(budget 9*ceil(log2 n) = {9 * (graph.n - 1).bit_length()})\n")
+
+    labels = segment_labels(graph.n, result.metrics.rounds)
+    rows = []
+    for record in tracer.rounds:
+        if record.round == 0:
+            continue
+        rows.append(
+            {
+                "round": record.round,
+                "schedule": labels.get(record.round, "?"),
+                "messages": record.message_count,
+                "bits": record.total_bits,
+                "nodes halted": len(record.halted),
+            }
+        )
+    print(format_table(rows, title="round-by-round activity of the Theorem-3 decoder"))
+    print(
+        "\nReading: bursts of messages mark the convergecast/broadcast of each phase\n"
+        "window (quiet rounds are the slack of the worst-case schedule); almost all\n"
+        "nodes learn their output during the phases, and the remaining fragment roots\n"
+        "finish during the final collection wave."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Scenario: building a communication backbone in a wireless sensor field.
+
+A classic motivation for *local* MST computation: a field of sensors
+(random geometric graph, link weight = radio distance ≈ energy cost)
+must agree on a minimum-energy spanning backbone.  Each sensor only
+talks to its radio neighbours, and the deployment tool (the "oracle", which
+knows the survey map) can preload a tiny amount of configuration into
+each sensor before the network boots.
+
+This example compares three deployment strategies on the same field:
+
+1. preload nothing and let the network run a GHS-style protocol
+   (no advice — many communication rounds, i.e. slow, energy-hungry
+   boot);
+2. preload the full parent port in every sensor (the trivial scheme —
+   instant boot, but the preload grows with the network size and must be
+   recomputed for every root change);
+3. preload the constant-size Theorem-3 advice (a handful of bits per
+   sensor) and let the network boot in ``O(log n)`` rounds.
+
+Run with:  python examples/sensor_network.py
+"""
+
+from repro import (
+    AverageConstantScheme,
+    ShortAdviceScheme,
+    TrivialRankScheme,
+    random_geometric_graph,
+    run_scheme,
+)
+from repro.analysis import format_table
+from repro.distributed import SynchronizedBoruvkaMST, run_baseline
+
+
+def main() -> None:
+    field = random_geometric_graph(180, seed=42)  # 180 sensors on the unit square
+    sink = 0  # the data sink is the root of the backbone
+    print(
+        f"sensor field: {field.n} sensors, {field.m} radio links, "
+        f"sink node {sink}\n"
+    )
+
+    rows = []
+
+    for scheme in (TrivialRankScheme(), AverageConstantScheme(), ShortAdviceScheme()):
+        report = run_scheme(scheme, field, root=sink)
+        rows.append(
+            {
+                "strategy": f"preload: {scheme.name}",
+                "preload bits/sensor (max)": report.advice.max_bits,
+                "preload bits/sensor (avg)": round(report.advice.average_bits, 2),
+                "boot rounds": report.rounds,
+                "max bits on a link/round": report.metrics.max_edge_bits_per_round,
+                "backbone ok": report.correct,
+            }
+        )
+
+    baseline = run_baseline(SynchronizedBoruvkaMST(), field)
+    rows.append(
+        {
+            "strategy": "no preload (GHS-style)",
+            "preload bits/sensor (max)": 0,
+            "preload bits/sensor (avg)": 0.0,
+            "boot rounds": baseline.rounds,
+            "max bits on a link/round": baseline.metrics.max_edge_bits_per_round,
+            "backbone ok": baseline.correct,
+        }
+    )
+
+    print(format_table(rows, title="deployment strategies for the backbone"))
+    print(
+        "\nReading: with a constant-size preload per sensor (Theorem 3) the network\n"
+        "boots its minimum-energy backbone exponentially faster than without any\n"
+        "preload, while avoiding the log(n)-bit per-sensor preload of the naive\n"
+        "strategy."
+    )
+
+
+if __name__ == "__main__":
+    main()

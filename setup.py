@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that the package can also be installed in environments whose
+tooling predates PEP 660 editable installs (``pip install -e .`` falls
+back to ``setup.py develop`` there).
+"""
+
+from setuptools import setup
+
+setup()

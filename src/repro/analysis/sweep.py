@@ -1,0 +1,141 @@
+"""Parameter sweeps over instance sizes.
+
+A sweep runs one advising scheme (or no-advice baseline) on a family of
+instances of growing size and collects, per size, the quantities the
+paper's theorems bound: maximum / average advice bits, rounds, and the
+per-edge message size.  Multiple seeds per size are aggregated by mean
+(for averages) and maximum (for worst-case quantities), which is the
+conservative choice when checking upper bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.oracle import AdvisingScheme, run_scheme
+from repro.distributed.base import DistributedMSTBaseline, run_baseline
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+__all__ = [
+    "GraphFactory",
+    "SweepResult",
+    "default_graph_factory",
+    "run_scheme_sweep",
+    "run_baseline_sweep",
+]
+
+#: ``factory(n, seed) -> PortNumberedGraph``
+GraphFactory = Callable[[int, int], PortNumberedGraph]
+
+
+def default_graph_factory(extra_edge_prob: float = 0.05) -> GraphFactory:
+    """The default workload: random connected graphs with the given density."""
+
+    def factory(n: int, seed: int) -> PortNumberedGraph:
+        return random_connected_graph(n, extra_edge_prob, seed=seed)
+
+    return factory
+
+
+@dataclass
+class SweepResult:
+    """Rows of one sweep (one row per instance size)."""
+
+    name: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def series(self, column: str) -> List[Any]:
+        """The values of one column, in row order."""
+        return [row[column] for row in self.rows]
+
+    def to_text(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Aligned text rendering of the sweep."""
+        return format_table(self.rows, columns=columns, title=self.name)
+
+
+def run_scheme_sweep(
+    scheme: AdvisingScheme,
+    sizes: Sequence[int],
+    graph_factory: Optional[GraphFactory] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    root: int = 0,
+) -> SweepResult:
+    """Run ``scheme`` on every size in ``sizes`` and aggregate per size."""
+    factory = graph_factory or default_graph_factory()
+    result = SweepResult(name=scheme.name)
+    for n in sizes:
+        max_advice = 0
+        avg_advice = 0.0
+        rounds = 0
+        max_edge_bits = 0
+        all_correct = True
+        for seed in seeds:
+            graph = factory(n, seed)
+            report = run_scheme(scheme, graph, root=root % graph.n)
+            max_advice = max(max_advice, report.advice.max_bits)
+            avg_advice += report.advice.average_bits
+            rounds = max(rounds, report.rounds)
+            max_edge_bits = max(max_edge_bits, report.metrics.max_edge_bits_per_round)
+            all_correct = all_correct and report.correct
+        log_n = math.log2(max(n, 2))
+        result.rows.append(
+            {
+                "scheme": scheme.name,
+                "n": n,
+                "log2_n": round(log_n, 2),
+                "max_advice_bits": max_advice,
+                "avg_advice_bits": round(avg_advice / len(seeds), 3),
+                "rounds": rounds,
+                "rounds_per_log_n": round(rounds / log_n, 2),
+                "max_edge_bits": max_edge_bits,
+                "congest_factor": round(max_edge_bits / log_n, 2),
+                "correct": all_correct,
+                "advice_bound": scheme.advice_bound_bits(n),
+                "round_bound": scheme.round_bound(n),
+            }
+        )
+    return result
+
+
+def run_baseline_sweep(
+    baseline: DistributedMSTBaseline,
+    sizes: Sequence[int],
+    graph_factory: Optional[GraphFactory] = None,
+    seeds: Sequence[int] = (0, 1),
+) -> SweepResult:
+    """Run a no-advice baseline on every size in ``sizes``."""
+    factory = graph_factory or default_graph_factory()
+    result = SweepResult(name=baseline.name)
+    for n in sizes:
+        rounds = 0
+        max_edge_bits = 0
+        all_correct = True
+        bound: Optional[float] = None
+        for seed in seeds:
+            graph = factory(n, seed)
+            report = run_baseline(baseline, graph)
+            rounds = max(rounds, report.rounds)
+            max_edge_bits = max(max_edge_bits, report.metrics.max_edge_bits_per_round)
+            all_correct = all_correct and report.correct
+            bound = report.round_bound
+        log_n = math.log2(max(n, 2))
+        result.rows.append(
+            {
+                "scheme": baseline.name,
+                "n": n,
+                "log2_n": round(log_n, 2),
+                "max_advice_bits": 0,
+                "avg_advice_bits": 0.0,
+                "rounds": rounds,
+                "rounds_per_log_n": round(rounds / log_n, 2),
+                "max_edge_bits": max_edge_bits,
+                "congest_factor": round(max_edge_bits / log_n, 2),
+                "correct": all_correct,
+                "round_bound": bound,
+            }
+        )
+    return result

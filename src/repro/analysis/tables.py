@@ -1,0 +1,62 @@
+"""Plain-text and Markdown rendering of result rows.
+
+Benchmarks print the same "table" a paper would show: one row per
+parameter setting, one column per measured quantity.  Rows are plain
+dictionaries so they can also be dumped to JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` as an aligned fixed-width text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(header[k]), max((len(r[k]) for r in body), default=0))
+        for k in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``rows`` as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(row.get(c)) for c in columns) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""The advice-size / round-complexity trade-off (experiment E6).
+
+The paper's results form a trade-off curve for the MST problem:
+
+===========================  =====================  ==================
+scheme                        max advice             rounds
+===========================  =====================  ==================
+no advice (CONGEST)           0                      ``Ω̃(√n)`` [18]
+no advice (LOCAL)             0                      ``D + 1``
+trivial (Section 1)           ``⌈log n⌉``            0
+Theorem 2                     ``O(log² n)``          1
+Theorem 3                     ``O(1)``               ``O(log n)``
+===========================  =====================  ==================
+
+:func:`tradeoff_rows` measures the achievable side of this table on a
+concrete instance (all schemes plus both baselines), and
+:func:`theoretical_tradeoff_rows` states the claimed bounds for the same
+``n`` so the benchmark can print them side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.core.oracle import run_scheme
+from repro.core.scheme_average import AverageConstantScheme
+from repro.core.scheme_level import LevelAdviceScheme
+from repro.core.scheme_main import ShortAdviceScheme
+from repro.core.scheme_trivial import TrivialRankScheme
+from repro.distributed.base import run_baseline
+from repro.distributed.boruvka_sync import SynchronizedBoruvkaMST
+from repro.distributed.full_info import FullInformationMST
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+__all__ = ["tradeoff_rows", "theoretical_tradeoff_rows"]
+
+
+def tradeoff_rows(
+    graph: PortNumberedGraph,
+    root: int = 0,
+    include_baselines: bool = True,
+    include_level_variant: bool = True,
+) -> List[Dict[str, Any]]:
+    """Measured trade-off table for one instance: one row per scheme/baseline."""
+    rows: List[Dict[str, Any]] = []
+    schemes = [TrivialRankScheme(), AverageConstantScheme(), ShortAdviceScheme()]
+    if include_level_variant:
+        schemes.append(LevelAdviceScheme())
+    for scheme in schemes:
+        report = run_scheme(scheme, graph, root=root)
+        rows.append(report.as_row())
+    if include_baselines:
+        for baseline in (FullInformationMST(), SynchronizedBoruvkaMST()):
+            rows.append(run_baseline(baseline, graph).as_row())
+    return rows
+
+
+def theoretical_tradeoff_rows(n: int) -> List[Dict[str, Any]]:
+    """The paper's claimed bounds, instantiated for a given ``n``."""
+    log_n = math.ceil(math.log2(max(n, 2)))
+    return [
+        {
+            "scheme": "no advice (CONGEST) [18]",
+            "max_advice_bits": 0,
+            "rounds": f"Omega~(sqrt(n)) ~ {int(math.sqrt(n))}",
+        },
+        {
+            "scheme": "no advice (LOCAL)",
+            "max_advice_bits": 0,
+            "rounds": "D + 1",
+        },
+        {
+            "scheme": "trivial (Section 1)",
+            "max_advice_bits": log_n,
+            "rounds": 0,
+        },
+        {
+            "scheme": "Theorem 2",
+            "max_advice_bits": f"O(log^2 n) ~ {log_n * (log_n + 3)}",
+            "rounds": 1,
+        },
+        {
+            "scheme": "Theorem 3",
+            "max_advice_bits": "O(1) (paper: 12)",
+            "rounds": f"<= 9 log n = {9 * log_n}",
+        },
+    ]

@@ -1,0 +1,319 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI exposes the library's main workflows without writing any Python:
+
+``info``
+    Summary of the model, the schemes and their claimed bounds.
+``run``
+    Run one advising scheme (or no-advice baseline) on one generated
+    instance and print the measured report.
+``tradeoff``
+    The measured advice-size / round-complexity trade-off table on one
+    instance (experiment E6).
+``sweep``
+    Advice and round curves of one scheme over a range of sizes.
+``lowerbound``
+    The Theorem-1 fooling-family experiment and pigeonhole table.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.sweep import run_scheme_sweep
+from repro.analysis.tables import format_table
+from repro.analysis.tradeoff import theoretical_tradeoff_rows, tradeoff_rows
+from repro.core.lower_bound import (
+    average_advice_lower_bound,
+    run_fooling_experiment,
+    truncated_trivial_failures,
+)
+from repro.core.oracle import run_scheme
+from repro.core.scheme_average import AverageConstantScheme, paper_average_constant
+from repro.core.scheme_level import LevelAdviceScheme
+from repro.core.scheme_main import ShortAdviceScheme
+from repro.core.scheme_trivial import TrivialRankScheme
+from repro.distributed.base import run_baseline
+from repro.distributed.boruvka_sync import SynchronizedBoruvkaMST
+from repro.distributed.full_info import FullInformationMST
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+    random_geometric_graph,
+)
+from repro.graphs.lowerbound_family import build_gn
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+__all__ = ["main", "build_parser"]
+
+#: scheme name -> factory
+SCHEMES: Dict[str, Callable[[], object]] = {
+    "trivial": TrivialRankScheme,
+    "theorem2": AverageConstantScheme,
+    "theorem3": ShortAdviceScheme,
+    "theorem3-level": LevelAdviceScheme,
+}
+
+#: baseline name -> factory
+BASELINES: Dict[str, Callable[[], object]] = {
+    "ghs": SynchronizedBoruvkaMST,
+    "full-info": FullInformationMST,
+}
+
+
+def _make_graph(kind: str, n: int, seed: int, density: float) -> PortNumberedGraph:
+    """Build the instance requested on the command line."""
+    if kind == "random":
+        return random_connected_graph(n, min(1.0, density), seed=seed)
+    if kind == "complete":
+        return complete_graph(n, seed=seed)
+    if kind == "cycle":
+        return cycle_graph(n, seed=seed)
+    if kind == "grid":
+        side = max(2, int(math.isqrt(n)))
+        return grid_graph(side, side, seed=seed)
+    if kind == "geometric":
+        return random_geometric_graph(n, seed=seed)
+    if kind == "gn":
+        return build_gn(max(2, n // 2), seed=seed).graph
+    raise ValueError(f"unknown graph kind {kind!r}")
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--graph",
+        default="random",
+        choices=["random", "complete", "cycle", "grid", "geometric", "gn"],
+        help="instance family (default: random connected graph)",
+    )
+    parser.add_argument("--n", type=int, default=128, help="number of nodes (default 128)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    parser.add_argument(
+        "--density", type=float, default=0.05, help="extra-edge probability for random graphs"
+    )
+    parser.add_argument("--root", type=int, default=0, help="root node of the MST (default 0)")
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+
+# --------------------------------------------------------------------------- #
+# sub-commands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in SCHEMES.items():
+        scheme = factory()
+        rows.append(
+            {
+                "name": name,
+                "class": type(scheme).__name__,
+                "advice_bound_bits(n=1024)": scheme.advice_bound_bits(1024),
+                "round_bound(n=1024)": scheme.round_bound(1024),
+            }
+        )
+    print("Reproduction of 'Local MST computation with short advice' (SPAA 2007).")
+    print("Advising schemes:")
+    print(format_table(rows))
+    print("\nNo-advice baselines: " + ", ".join(sorted(BASELINES)))
+    print(f"Theorem 2 average-advice constant: c = {paper_average_constant():.1f} bits")
+    print("Paper bounds for Theorem 3: m = 12 bits, t <= 9*ceil(log2 n) rounds.")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = _make_graph(args.graph, args.n, args.seed, args.density)
+    root = args.root % graph.n
+    if args.scheme in SCHEMES:
+        report = run_scheme(SCHEMES[args.scheme](), graph, root=root)
+        row = report.as_row()
+    elif args.scheme in BASELINES:
+        baseline_report = run_baseline(BASELINES[args.scheme](), graph)
+        row = baseline_report.as_row()
+    else:  # pragma: no cover - argparse restricts the choices
+        raise ValueError(f"unknown scheme {args.scheme!r}")
+    if args.json:
+        print(json.dumps(row, indent=2, default=str))
+    else:
+        print(format_table([row], title=f"{args.scheme} on {args.graph}(n={graph.n}, m={graph.m})"))
+    return 0 if row["correct"] else 1
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    graph = _make_graph(args.graph, args.n, args.seed, args.density)
+    rows = tradeoff_rows(
+        graph,
+        root=args.root % graph.n,
+        include_baselines=not args.no_baselines,
+        include_level_variant=not args.no_level,
+    )
+    if args.json:
+        print(json.dumps(rows, indent=2, default=str))
+        return 0
+    columns = [
+        "scheme",
+        "max_advice_bits",
+        "avg_advice_bits",
+        "rounds",
+        "max_edge_bits_per_round",
+        "correct",
+    ]
+    print(
+        format_table(
+            rows, columns=columns, title=f"measured trade-off on {args.graph}(n={graph.n}, m={graph.m})"
+        )
+    )
+    print()
+    print(
+        format_table(
+            theoretical_tradeoff_rows(graph.n),
+            columns=["scheme", "max_advice_bits", "rounds"],
+            title="paper's claimed trade-off",
+        )
+    )
+    return 0 if all(r["correct"] for r in rows) else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sizes = [int(x) for x in args.sizes.split(",") if x.strip()]
+    if not sizes:
+        raise ValueError("--sizes must list at least one size")
+    scheme = SCHEMES[args.scheme]()
+    seeds = tuple(range(args.repeats))
+
+    def factory(n: int, seed: int) -> PortNumberedGraph:
+        return _make_graph(args.graph, n, seed, args.density)
+
+    result = run_scheme_sweep(scheme, sizes, graph_factory=factory, seeds=seeds)
+    if args.json:
+        print(json.dumps(result.rows, indent=2, default=str))
+        return 0
+    print(
+        result.to_text(
+            columns=[
+                "n",
+                "log2_n",
+                "max_advice_bits",
+                "avg_advice_bits",
+                "rounds",
+                "rounds_per_log_n",
+                "congest_factor",
+                "correct",
+            ]
+        )
+    )
+    return 0 if all(result.series("correct")) else 1
+
+
+def _cmd_lowerbound(args: argparse.Namespace) -> int:
+    h, i = args.h, args.i
+    if not 2 <= i <= h - 1:
+        raise ValueError("--i must satisfy 2 <= i <= h - 1")
+    experiment = run_fooling_experiment(h, i)
+    rows = []
+    for budget in range(0, math.ceil(math.log2(max(h - i, 2))) + 2):
+        result = truncated_trivial_failures(h, i, budget_bits=budget)
+        rows.append(
+            {
+                "advice_bits": budget,
+                "groups": result["num_groups"],
+                "guaranteed_failures": result["min_failures"],
+            }
+        )
+    payload = {
+        "h": h,
+        "i": i,
+        "variants": experiment.num_variants,
+        "views_identical": experiment.views_identical,
+        "distinct_correct_ports": experiment.distinct_correct_ports,
+        "required_bits": experiment.required_bits,
+        "average_lower_bound_bits": average_advice_lower_bound(h),
+        "pigeonhole": rows,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"Theorem 1 on G_n with h={h} (n={2*h} nodes), target node u_{i}:")
+    print(f"  fooling variants            : {experiment.num_variants}")
+    print(f"  identical local views       : {experiment.views_identical}")
+    print(f"  pairwise distinct answers   : {experiment.distinct_correct_ports == experiment.num_variants}")
+    print(f"  advice bits forced at u_{i}  : >= {experiment.required_bits:.2f}")
+    print(f"  average advice lower bound  : {average_advice_lower_bound(h):.2f} bits/node")
+    print()
+    print(format_table(rows, title="pigeonhole: guaranteed failures of any 0-round decoder"))
+    return 0 if experiment.premises_hold else 1
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Local MST computation with short advice (SPAA 2007) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="summary of the model, schemes and bounds")
+
+    run_parser = sub.add_parser("run", help="run one scheme or baseline on one instance")
+    run_parser.add_argument(
+        "--scheme",
+        default="theorem3",
+        choices=sorted(SCHEMES) + sorted(BASELINES),
+        help="advising scheme or no-advice baseline (default: theorem3)",
+    )
+    _add_graph_arguments(run_parser)
+
+    tradeoff_parser = sub.add_parser("tradeoff", help="measured advice/time trade-off table")
+    _add_graph_arguments(tradeoff_parser)
+    tradeoff_parser.add_argument("--no-baselines", action="store_true", help="skip the no-advice baselines")
+    tradeoff_parser.add_argument("--no-level", action="store_true", help="skip the level-coded variant")
+
+    sweep_parser = sub.add_parser("sweep", help="advice/round curves of one scheme over n")
+    sweep_parser.add_argument("--scheme", default="theorem3", choices=sorted(SCHEMES))
+    sweep_parser.add_argument("--sizes", default="32,64,128,256", help="comma-separated node counts")
+    sweep_parser.add_argument("--repeats", type=int, default=2, help="seeds per size (default 2)")
+    _add_graph_arguments(sweep_parser)
+
+    lb_parser = sub.add_parser("lowerbound", help="Theorem 1 fooling-family experiment")
+    lb_parser.add_argument("--h", type=int, default=12, help="nodes per clique of G_n (default 12)")
+    lb_parser.add_argument("--i", type=int, default=4, help="spine position of the target node")
+    lb_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "run": _cmd_run,
+    "tradeoff": _cmd_tradeoff,
+    "sweep": _cmd_sweep,
+    "lowerbound": _cmd_lowerbound,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

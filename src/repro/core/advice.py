@@ -1,0 +1,107 @@
+"""Advice assignments and their size accounting.
+
+An oracle looks at the whole instance and assigns a bit string to every
+node.  The two quantities the paper trades off against the number of
+rounds are the **maximum** and the **average** advice length; an
+``(m, t)``-advising scheme bounds the maximum by ``m`` and the running
+time by ``t`` rounds (Theorem 1 and Theorem 2 additionally discuss the
+average).  :class:`AdviceAssignment` stores the per-node strings and
+computes exactly these statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.bits import BitString
+
+__all__ = ["AdviceAssignment", "AdviceStats"]
+
+
+@dataclass(frozen=True)
+class AdviceStats:
+    """Size statistics of one advice assignment."""
+
+    n: int
+    max_bits: int
+    total_bits: int
+    average_bits: float
+    nodes_with_advice: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for tables and JSON reports."""
+        return {
+            "n": self.n,
+            "max_bits": self.max_bits,
+            "total_bits": self.total_bits,
+            "average_bits": self.average_bits,
+            "nodes_with_advice": self.nodes_with_advice,
+        }
+
+
+class AdviceAssignment:
+    """Per-node advice bit strings for one instance."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("advice assignments need at least one node")
+        self.n = n
+        self._advice: Dict[int, BitString] = {}
+
+    # ------------------------------------------------------------------ #
+    # mutation (oracle side)
+    # ------------------------------------------------------------------ #
+
+    def set(self, node: int, bits: BitString) -> None:
+        """Assign ``bits`` to ``node`` (replacing any previous string)."""
+        self._check_node(node)
+        self._advice[node] = bits
+
+    def append(self, node: int, bits: BitString) -> None:
+        """Concatenate ``bits`` to the advice of ``node``."""
+        self._check_node(node)
+        self._advice[node] = self.get(node) + bits
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def get(self, node: int) -> BitString:
+        """Advice of ``node`` (the empty string when nothing was assigned)."""
+        self._check_node(node)
+        return self._advice.get(node, BitString.empty())
+
+    def bits_of(self, node: int) -> int:
+        """Length of the advice of ``node``."""
+        return len(self.get(node))
+
+    def __iter__(self) -> Iterator[Tuple[int, BitString]]:
+        for node in range(self.n):
+            yield node, self.get(node)
+
+    def as_payloads(self) -> Dict[int, BitString]:
+        """A ``node -> BitString`` mapping suitable for the simulator."""
+        return {node: self.get(node) for node in range(self.n)}
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> AdviceStats:
+        """Maximum / total / average advice size of this assignment."""
+        sizes = [self.bits_of(node) for node in range(self.n)]
+        total = sum(sizes)
+        return AdviceStats(
+            n=self.n,
+            max_bits=max(sizes) if sizes else 0,
+            total_bits=total,
+            average_bits=total / self.n,
+            nodes_with_advice=sum(1 for s in sizes if s > 0),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise ValueError(f"node {node} out of range 0..{self.n - 1}")

@@ -1,0 +1,143 @@
+"""Theorem 1: 0-round advising schemes need ``Ω(log n)`` bits on average.
+
+The proof of Theorem 1 exhibits, inside the two-clique family ``G_n``
+(:mod:`repro.graphs.lowerbound_family`), a *fooling family* for every
+spine node ``u_i``: a set of ``h - i`` instances whose local view at
+``u_i`` is identical while the port ``u_i`` must output (the port of the
+unique MST edge ``{u_i, u_{i-1}}``) is different in every instance.  A
+0-round algorithm's output at ``u_i`` is a function of its local view
+and its advice only, so if the oracle hands ``u_i`` fewer than
+``log₂(h - i)`` bits there are two instances with the same advice — and
+the algorithm errs on at least one of them.  Summing over ``i`` gives
+average advice ``Ω(log n)``.
+
+This module turns the argument into executable experiments:
+
+* :func:`run_fooling_experiment` builds the family and *verifies its
+  premises* computationally (identical views, pairwise-distinct correct
+  ports, the spine really is the unique MST of every variant);
+* :func:`truncated_trivial_failures` carries out the pigeonhole
+  explicitly: any 0-round decoder whose advice at ``u_i`` is truncated
+  to ``b`` bits is guaranteed at least ``(h - i) - 2^b`` errors on the
+  family, regardless of what the decoder does;
+* :func:`average_advice_lower_bound` evaluates the paper's
+  ``(1/2h) Σ_i log₂(h - i) = Ω(log n)`` accounting, the curve the
+  benchmark compares against the (achievable) trivial scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bits import BitString
+from repro.core.scheme_trivial import TrivialRankScheme
+from repro.graphs.lowerbound_family import (
+    FoolingVariant,
+    average_advice_lower_bound_bits,
+    fooling_family,
+)
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.verify import unique_mst_edge_ids
+
+__all__ = [
+    "FoolingExperiment",
+    "average_advice_lower_bound",
+    "required_bits_at_node",
+    "run_fooling_experiment",
+    "truncated_trivial_failures",
+]
+
+
+def average_advice_lower_bound(h: int) -> float:
+    """The paper's lower bound on the average advice size on ``G_n`` (in bits)."""
+    return average_advice_lower_bound_bits(h)
+
+
+def required_bits_at_node(h: int, i: int) -> float:
+    """Minimum advice bits any correct 0-round scheme must give ``u_i``."""
+    return math.log2(max(h - i, 1))
+
+
+@dataclass(frozen=True)
+class FoolingExperiment:
+    """Verified premises of the Theorem-1 pigeonhole for one target node."""
+
+    h: int
+    i: int
+    num_variants: int
+    views_identical: bool
+    distinct_correct_ports: int
+    all_msts_are_spine: bool
+    required_bits: float
+
+    @property
+    def premises_hold(self) -> bool:
+        """``True`` iff the constructed family satisfies the proof's premises."""
+        return (
+            self.views_identical
+            and self.distinct_correct_ports == self.num_variants
+            and self.all_msts_are_spine
+        )
+
+
+def run_fooling_experiment(h: int, i: int, seed: int = 0) -> FoolingExperiment:
+    """Build the fooling family for ``u_i`` in ``G_n`` and verify its premises."""
+    variants = fooling_family(h, i, seed=seed)
+    views = {v.instance.graph.local_view(v.target_node) for v in variants}
+    ports = {v.correct_parent_port for v in variants}
+    all_spine = True
+    for v in variants:
+        unique, mst = unique_mst_edge_ids(v.instance.graph)
+        if not unique or sorted(mst) != v.instance.expected_mst_edge_ids():
+            all_spine = False
+            break
+    return FoolingExperiment(
+        h=h,
+        i=i,
+        num_variants=len(variants),
+        views_identical=len(views) == 1,
+        distinct_correct_ports=len(ports),
+        all_msts_are_spine=all_spine,
+        required_bits=required_bits_at_node(h, i),
+    )
+
+
+def truncated_trivial_failures(
+    h: int, i: int, budget_bits: int, seed: int = 0
+) -> Dict[str, int]:
+    """The pigeonhole, executed: truncate the advice at ``u_i`` to ``budget_bits``.
+
+    The trivial ``(⌈log n⌉, 0)`` scheme is correct on every variant of
+    the fooling family.  Truncating the advice it gives the target node
+    ``u_i`` to ``budget_bits`` bits partitions the variants into at most
+    ``2^budget_bits`` groups with identical (view, advice) pairs; *any*
+    deterministic 0-round decoder must answer identically within a
+    group, while the correct answers are pairwise distinct — so at least
+    ``num_variants - num_groups`` variants are answered incorrectly, no
+    matter how clever the decoder is.
+
+    Returns a dictionary with ``num_variants``, ``num_groups`` and the
+    guaranteed number of failures ``min_failures``.
+    """
+    if budget_bits < 0:
+        raise ValueError("budget_bits must be non-negative")
+    variants = fooling_family(h, i, seed=seed)
+    scheme = TrivialRankScheme()
+    groups: Dict[Tuple[BitString, object], int] = {}
+    for v in variants:
+        advice = scheme.compute_advice(v.instance.graph, root=v.instance.v(1))
+        full = advice.get(v.target_node)
+        truncated = full[: min(budget_bits, len(full))]
+        view = v.instance.graph.local_view(v.target_node)
+        key = (truncated, view)
+        groups[key] = groups.get(key, 0) + 1
+    num_groups = len(groups)
+    num_variants = len(variants)
+    return {
+        "num_variants": num_variants,
+        "num_groups": num_groups,
+        "min_failures": max(0, num_variants - num_groups),
+        "budget_bits": budget_bits,
+    }

@@ -1,0 +1,140 @@
+"""Advising-scheme abstractions and the end-to-end runner.
+
+An ``(m, t)``-advising scheme is a pair ``(O, A)``: an *oracle* ``O``
+that sees the whole instance and assigns each node at most ``m`` bits of
+advice, and a distributed algorithm ``A`` that, using only local views
+and the advice, solves the problem within ``t`` rounds.
+
+:class:`AdvisingScheme` captures the pair: :meth:`compute_advice` is the
+oracle and :meth:`program_factory` produces the node programs of the
+decoder.  :func:`run_scheme` glues everything together — oracle →
+simulator → output verification — and returns a :class:`SchemeReport`
+with the exact quantities the paper's theorems bound (max/average advice
+bits, rounds, per-edge message bits).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.core.advice import AdviceAssignment, AdviceStats
+from repro.core.verification import OutputCheck, check_outputs
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.simulator.algorithm import ProgramFactory
+from repro.simulator.engine import run_sync
+from repro.simulator.metrics import RunMetrics
+
+__all__ = ["AdvisingScheme", "SchemeReport", "run_scheme"]
+
+
+class AdvisingScheme(ABC):
+    """Base class of every advising scheme in the library."""
+
+    #: short human-readable identifier used in tables
+    name: str = "scheme"
+
+    @abstractmethod
+    def compute_advice(self, graph: PortNumberedGraph, root: int = 0) -> AdviceAssignment:
+        """The oracle: assign advice for ``graph`` with the MST rooted at ``root``."""
+
+    @abstractmethod
+    def program_factory(self) -> ProgramFactory:
+        """The decoder: a factory producing one node program per node."""
+
+    # -------- declared theoretical bounds (for reporting only) --------
+
+    def advice_bound_bits(self, n: int) -> Optional[float]:
+        """Claimed bound on the maximum advice size, or ``None``."""
+        return None
+
+    def round_bound(self, n: int) -> Optional[float]:
+        """Claimed bound on the number of rounds, or ``None``."""
+        return None
+
+
+@dataclass
+class SchemeReport:
+    """Everything measured while running one scheme on one instance."""
+
+    scheme: str
+    n: int
+    m: int
+    root: int
+    advice: AdviceStats
+    rounds: int
+    metrics: RunMetrics
+    check: OutputCheck
+    advice_bound: Optional[float] = None
+    round_bound: Optional[float] = None
+
+    @property
+    def correct(self) -> bool:
+        """``True`` iff the decoder produced a valid rooted MST."""
+        return self.check.ok
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat dictionary used by the benchmark tables."""
+        return {
+            "scheme": self.scheme,
+            "n": self.n,
+            "m": self.m,
+            "max_advice_bits": self.advice.max_bits,
+            "avg_advice_bits": round(self.advice.average_bits, 3),
+            "total_advice_bits": self.advice.total_bits,
+            "rounds": self.rounds,
+            "max_edge_bits_per_round": self.metrics.max_edge_bits_per_round,
+            "congest_factor": round(self.metrics.congest_factor(), 2),
+            "correct": self.correct,
+            "advice_bound": self.advice_bound,
+            "round_bound": self.round_bound,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.scheme}: n={self.n} max_advice={self.advice.max_bits}b "
+            f"avg_advice={self.advice.average_bits:.2f}b rounds={self.rounds} "
+            f"correct={self.correct}"
+        )
+
+
+def run_scheme(
+    scheme: AdvisingScheme,
+    graph: PortNumberedGraph,
+    root: int = 0,
+    max_rounds: Optional[int] = None,
+) -> SchemeReport:
+    """Run ``scheme`` end to end on ``graph`` and verify the output.
+
+    The oracle is given the instance and the designated root; the
+    decoder is run in the simulator with the resulting advice; the
+    outputs are then checked to describe a rooted MST whose root is the
+    designated one.
+    """
+    advice = scheme.compute_advice(graph, root=root)
+    result = run_sync(
+        graph,
+        scheme.program_factory(),
+        advice=advice.as_payloads(),
+        max_rounds=max_rounds,
+    )
+    if not result.completed:
+        check = OutputCheck(False, "the decoder did not terminate within the round limit")
+    else:
+        check = check_outputs(graph, result.outputs, expected_root=root)
+    n = graph.n
+    return SchemeReport(
+        scheme=scheme.name,
+        n=n,
+        m=graph.m,
+        root=root,
+        advice=advice.stats(),
+        rounds=result.metrics.rounds,
+        metrics=result.metrics,
+        check=check,
+        advice_bound=scheme.advice_bound_bits(n),
+        round_bound=scheme.round_bound(n),
+    )

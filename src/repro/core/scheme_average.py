@@ -1,0 +1,155 @@
+"""Theorem 2: an ``(O(log² n), 1)``-advising scheme with constant *average* advice.
+
+The oracle runs the paper's Borůvka variant.  Whenever a node ``u`` is
+the choosing node of an active fragment at some phase ``i`` it stores
+two items about the selected edge ``e``:
+
+* ``index_u(e)`` — encoded as the rank of ``e`` in the weight/port order
+  at ``u``, which by Lemma 2 is smaller than ``2^i`` and therefore fits
+  in ``i`` bits; and
+* a boolean saying whether ``e`` is *up* at ``u`` (leads towards the
+  root of the MST).
+
+Advice received at different phases is concatenated, and a bitmap
+marking where each record starts is interleaved with the data so the
+decoder can split the records — exactly the paper's construction, which
+doubles the advice length.  Per phase ``i`` there is one choosing node
+per active fragment and at most ``n / 2^{i-1}`` active fragments
+(Lemma 1), so the total advice is at most
+``2 Σ_i (i + 1) n / 2^{i-1} = O(n)`` bits: a constant number of bits per
+node *on average* (the paper's constant is
+``c = Σ_{i≥1} (i+1) / 2^{i-2} = 12``).  A single node can be choosing at
+every phase, so the maximum is ``Θ(log² n)`` bits.
+
+The decoder needs exactly one round: a choosing node whose record says
+*up* learns its own parent port directly; a record saying *down* makes
+it send "I am your parent" across the selected edge, and the receiving
+node learns its parent port from the arrival port.  Every non-root node
+obtains its parent one of these two ways, because every MST edge is
+selected at exactly one phase and its lower endpoint (with respect to
+the root) sees it as *down* at the choosing side or *up* at itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.advice import AdviceAssignment
+from repro.core.bits import BitReader, BitString, BitWriter
+from repro.core.oracle import AdvisingScheme
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.boruvka import boruvka_trace
+from repro.mst.rooted_tree import ROOT_OUTPUT
+from repro.simulator.algorithm import NodeProgram, ProgramFactory
+from repro.simulator.node import NodeContext
+
+__all__ = ["AverageConstantScheme", "paper_average_constant"]
+
+#: message payload announcing "I am your parent" across a selected edge
+_PARENT_CLAIM = 1
+
+
+def paper_average_constant(max_terms: int = 64) -> float:
+    """The paper's average-advice constant ``c = Σ_{i>=1} (i+1)/2^{i-2}``."""
+    return sum((i + 1) / 2 ** (i - 2) for i in range(1, max_terms + 1))
+
+
+class _AverageProgram(NodeProgram):
+    """One-round decoder of the Theorem-2 scheme."""
+
+    def __init__(self) -> None:
+        self.parent_port: Optional[int] = None
+
+    def init(self, ctx: NodeContext) -> None:
+        advice: BitString = ctx.advice if ctx.advice is not None else BitString.empty()
+        for is_up, rank in _parse_records(advice):
+            port = ctx.view.port_of_rank(rank)
+            if is_up:
+                self.parent_port = port
+            else:
+                ctx.send(port, _PARENT_CLAIM)
+        # Every node waits one round: a parent claim may still arrive.
+
+    def on_round(self, ctx: NodeContext, inbox: Dict[int, object]) -> None:
+        for port, payload in inbox.items():
+            if payload == _PARENT_CLAIM:
+                self.parent_port = port
+        ctx.halt(self.parent_port if self.parent_port is not None else ROOT_OUTPUT)
+
+
+def _parse_records(advice: BitString) -> List[Tuple[bool, int]]:
+    """Split the interleaved (bitmap, data) advice into (is_up, rank) records."""
+    if len(advice) % 2 != 0:
+        raise ValueError("malformed Theorem-2 advice: odd length")
+    bitmap: List[int] = []
+    data: List[int] = []
+    for k in range(0, len(advice), 2):
+        bitmap.append(advice[k])
+        data.append(advice[k + 1])
+    # record boundaries are the positions where the bitmap is 1
+    starts = [k for k, b in enumerate(bitmap) if b == 1]
+    if data and (not starts or starts[0] != 0):
+        raise ValueError("malformed Theorem-2 advice: data does not start a record")
+    records: List[Tuple[bool, int]] = []
+    for idx, start in enumerate(starts):
+        end = starts[idx + 1] if idx + 1 < len(starts) else len(data)
+        chunk = data[start:end]
+        is_up = bool(chunk[0])
+        rank_bits = BitString(chunk[1:])
+        rank = rank_bits.to_uint() + 1 if len(rank_bits) > 0 else 1
+        records.append((is_up, rank))
+    return records
+
+
+class AverageConstantScheme(AdvisingScheme):
+    """Theorem 2's ``(O(log² n), 1)``-advising scheme (constant average advice)."""
+
+    name = "theorem2-average"
+
+    def compute_advice(self, graph: PortNumberedGraph, root: int = 0) -> AdviceAssignment:
+        trace = boruvka_trace(graph, root=root)
+        # per node, the (phase-ordered) list of records to encode
+        data: Dict[int, BitWriter] = {}
+        bitmap: Dict[int, List[int]] = {}
+        for phase in trace.phases:
+            for sel in phase.selections:
+                u = sel.choosing_node
+                writer = data.setdefault(u, BitWriter())
+                marks = bitmap.setdefault(u, [])
+                start = len(writer)
+                writer.write_bit(1 if sel.is_up else 0)
+                # Lemma 2: with pairwise-distinct weights the rank is < 2^i and
+                # fits in `phase.index` bits; with duplicated weights the rank
+                # can exceed that, in which case we simply widen the field (the
+                # decoder reads "the rest of the record" and never assumes a
+                # width).
+                width = max(phase.index, (sel.rank_at_choosing - 1).bit_length())
+                writer.write_uint(sel.rank_at_choosing - 1, width)
+                marks.extend([1] + [0] * (len(writer) - start - 1))
+
+        advice = AdviceAssignment(graph.n)
+        for u, writer in data.items():
+            bits = writer.getvalue()
+            marks = bitmap[u]
+            interleaved = BitWriter()
+            for mark, bit in zip(marks, bits):
+                interleaved.write_bit(mark)
+                interleaved.write_bit(bit)
+            advice.set(u, interleaved.getvalue())
+        return advice
+
+    def program_factory(self) -> ProgramFactory:
+        return lambda ctx: _AverageProgram()
+
+    def advice_bound_bits(self, n: int) -> float:
+        # a node can be choosing at every phase: 2 Σ_{i=1}^{⌈log n⌉} (i + 1)
+        phases = max(1, math.ceil(math.log2(max(n, 2))))
+        return 2 * sum(i + 1 for i in range(1, phases + 1))
+
+    def round_bound(self, n: int) -> float:
+        return 1.0
+
+    def average_advice_bound_bits(self, n: int) -> float:
+        """The paper's bound on the *average* advice size (a constant)."""
+        return paper_average_constant()

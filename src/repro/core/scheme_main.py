@@ -1,0 +1,660 @@
+"""Theorem 3: the ``(O(1), O(log n))``-advising scheme for MST.
+
+This is the paper's main result: a constant number of advice bits per
+node suffices to compute a rooted MST in ``O(log n)`` rounds, an
+exponential improvement over the ``Ω̃(√n)`` rounds needed without any
+advice.
+
+Structure of the scheme
+-----------------------
+
+The oracle follows the Borůvka phases of Section 2.2 for
+``P - 1 = ⌈log₂ log₂ n⌉`` phases.  For every phase ``i`` and every
+*active* fragment ``F`` it writes a short fragment advice string
+
+    ``A(F) = [ b_up | γ(rank) | γ(j) ]``
+
+where ``b_up`` says whether the selected edge points towards the MST
+root at the choosing node, ``rank`` identifies the selected edge at the
+choosing node (its position in the weight/port order — by Lemma 2 it is
+smaller than ``|F| ≤ 2^i`` when edge weights are distinct), ``j`` is the
+position of the choosing node in the DFS preorder of the fragment
+subtree ``T_F``, and ``γ`` is the self-delimiting Elias-γ code.  The
+bits of ``A(F)`` are spread over the nodes of ``F`` in DFS-preorder
+order, never exceeding a fixed per-node capacity; since active fragments
+at phase ``i`` have at least ``2^{i-1}`` nodes, the per-node total over
+all phases is bounded by a geometric series — a constant (Claim 1 of
+the paper).
+
+After the last Borůvka phase every fragment has at least
+``2^{⌈log log n⌉} ≥ ⌈log₂ n⌉`` nodes, so the ``⌈log₂(deg(r_F)+1)⌉``-bit
+rank of the edge connecting the fragment root ``r_F`` to its MST parent
+can be distributed one bit per node over the first nodes of the
+fragment's DFS preorder.
+
+The decoder replays the same phases: inside every fragment the
+unconsumed advice bits are convergecast to ``r_F`` (together with
+subtree sizes), ``r_F`` parses ``A(F)`` and broadcasts it back down with
+enough prefix-sum information for every node to learn how many of *its*
+bits were consumed and what its DFS index is; the choosing node then
+attaches the fragment across the selected edge.  Each phase fits in a
+fixed window of ``2^{i+1}`` rounds, and the final collection costs
+``O(log n)`` more, for a total of ``O(log n)`` rounds with messages of
+``O(log n)`` bits (measured, not assumed — see the benchmarks).
+
+Deviations from the paper (documented in DESIGN.md):
+
+* D1 — ``A(F)`` carries the selected edge's rank instead of the
+  fragment-level bit (whose decoding the paper leaves unspecified for
+  passive neighbours); the level-based variant is provided separately in
+  :mod:`repro.core.scheme_level` as an ablation.
+* D5 — every node receives a 4-bit field with the number of Borůvka
+  phases (the paper implicitly assumes nodes know ``⌈log log n⌉``), plus
+  a 1-bit flag marking participation in the final collection region.
+* D6 — fragment advice is distributed in DFS preorder rather than BFS
+  order; the ``j``-th preorder node is at depth at most ``j - 1``, so
+  every round bound is unchanged while the prefix-sum bookkeeping the
+  paper leaves implicit becomes purely subtree-local.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.advice import AdviceAssignment
+from repro.core.bits import BitReader, BitString, BitWriter
+from repro.core.oracle import AdvisingScheme
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.boruvka import BoruvkaTrace, boruvka_trace
+from repro.mst.rooted_tree import ROOT_OUTPUT
+from repro.simulator.algorithm import NodeProgram, ProgramFactory
+from repro.simulator.node import NodeContext
+
+__all__ = [
+    "ShortAdviceScheme",
+    "num_boruvka_phases",
+    "phase_window_rounds",
+    "schedule_prefix_rounds",
+]
+
+# ----------------------------------------------------------------------- #
+# message type tags (small integers to keep CONGEST estimates tight)
+# ----------------------------------------------------------------------- #
+
+MSG_CONV = 1
+MSG_BCAST = 2
+MSG_ATTACH_PARENT = 3
+MSG_ATTACH_CHILD = 4
+MSG_COLLECT = 5
+MSG_REPLY = 6
+
+#: candidate per-node data-bit capacities tried by the oracle, smallest first
+_CAP_CANDIDATES = (10, 12, 14, 16, 20, 24, 32, 48, 64, 128)
+
+#: width of the per-node "number of Borůvka phases" header field
+_PHASE_FIELD_BITS = 4
+
+
+class CapacityError(RuntimeError):
+    """Raised internally when a per-node capacity is too small to pack all advice."""
+
+
+# ----------------------------------------------------------------------- #
+# schedule helpers (shared by oracle, decoder, tests and benchmarks)
+# ----------------------------------------------------------------------- #
+
+
+def num_boruvka_phases(n: int) -> int:
+    """``⌈log₂ log₂ n⌉`` — the number of Borůvka phases the scheme replays."""
+    if n <= 2:
+        return 0
+    log_n = math.ceil(math.log2(n))
+    return max(0, math.ceil(math.log2(log_n)))
+
+
+def phase_window_rounds(i: int) -> int:
+    """Length (in rounds) of the fixed window reserved for phase ``i``.
+
+    An active fragment at phase ``i`` has fewer than ``2^i`` nodes, hence
+    depth at most ``2^i - 2``; one convergecast plus one broadcast plus
+    the attachment round fit in ``2^{i+1} - 2`` rounds, and the window is
+    rounded up to ``2^{i+1}``.
+    """
+    return 1 << (i + 1)
+
+
+def schedule_prefix_rounds(num_phases: int) -> int:
+    """Total number of rounds reserved for Borůvka phases ``1 .. num_phases``."""
+    return sum(phase_window_rounds(i) for i in range(1, num_phases + 1))
+
+
+def _final_field_width(degree: int) -> int:
+    """Bits needed for the final-phase value ``0 .. degree`` (0 = "I am the root")."""
+    return max(1, int(degree).bit_length())
+
+
+# ----------------------------------------------------------------------- #
+# the oracle
+# ----------------------------------------------------------------------- #
+
+
+class ShortAdviceScheme(AdvisingScheme):
+    """Theorem 3's ``(O(1), O(log n))``-advising scheme (rank-coded variant)."""
+
+    name = "theorem3-main"
+
+    def __init__(self, capacity_candidates: Tuple[int, ...] = _CAP_CANDIDATES) -> None:
+        self._capacity_candidates = capacity_candidates
+        #: per-node data capacity actually used by the last ``compute_advice`` call
+        self.last_capacity: Optional[int] = None
+
+    # ------------------------------ oracle ------------------------------ #
+
+    def compute_advice(self, graph: PortNumberedGraph, root: int = 0) -> AdviceAssignment:
+        n = graph.n
+        phases = num_boruvka_phases(n)
+        trace = boruvka_trace(graph, root=root)
+
+        data_bits: Dict[int, BitString] = {u: BitString.empty() for u in range(n)}
+        capacity_used: Optional[int] = None
+        for cap in self._capacity_candidates:
+            try:
+                data_bits = self._pack_phase_advice(graph, trace, phases, cap)
+                capacity_used = cap
+                break
+            except CapacityError:
+                continue
+        if capacity_used is None:  # pragma: no cover - the largest cap always fits
+            raise CapacityError("no candidate capacity could hold the fragment advice")
+        self.last_capacity = capacity_used
+
+        final_bit, collect_flag = self._assign_final_bits(graph, trace, phases)
+
+        advice = AdviceAssignment(n)
+        for u in range(n):
+            writer = BitWriter()
+            writer.write_uint(phases, _PHASE_FIELD_BITS)
+            writer.write_bit(1 if collect_flag.get(u, False) else 0)
+            if u in final_bit:
+                writer.write_bit(1)
+                writer.write_bit(final_bit[u])
+            else:
+                writer.write_bit(0)
+            writer.write_bits(data_bits[u])
+            advice.set(u, writer.getvalue())
+        return advice
+
+    def _pack_phase_advice(
+        self,
+        graph: PortNumberedGraph,
+        trace: BoruvkaTrace,
+        phases: int,
+        cap: int,
+    ) -> Dict[int, BitString]:
+        """Distribute every fragment advice ``A(F)`` of phases ``1..phases``.
+
+        Bits are written to the fragment's nodes in DFS-preorder order,
+        filling each node up to ``cap`` data bits before moving on.  A
+        node that receives only part of an ``A(F)`` (other than its tail)
+        is therefore full and can never receive bits of a later phase,
+        which guarantees that at decode time the unconsumed bits of a
+        fragment, concatenated in DFS order, always start with the
+        current phase's ``A(F)``.
+        """
+        used = [0] * graph.n
+        writers: Dict[int, BitWriter] = {u: BitWriter() for u in range(graph.n)}
+        for phase in trace.phases[:phases]:
+            partition = phase.partition
+            for sel in phase.selections:
+                a_writer = BitWriter()
+                a_writer.write_bit(1 if sel.is_up else 0)
+                a_writer.write_gamma(sel.rank_at_choosing)
+                a_writer.write_gamma(sel.choosing_dfs_index)
+                a_bits = a_writer.getvalue()
+
+                preorder = partition.dfs_preorder(sel.fragment)
+                pos = 0
+                for u in preorder:
+                    if pos >= len(a_bits):
+                        break
+                    free = cap - used[u]
+                    if free <= 0:
+                        continue
+                    take = min(free, len(a_bits) - pos)
+                    writers[u].write_bits(a_bits[pos : pos + take])
+                    used[u] += take
+                    pos += take
+                if pos < len(a_bits):
+                    raise CapacityError(
+                        f"capacity {cap} too small for fragment advice at phase {phase.index}"
+                    )
+        return {u: writers[u].getvalue() for u in range(graph.n)}
+
+    def _assign_final_bits(
+        self,
+        graph: PortNumberedGraph,
+        trace: BoruvkaTrace,
+        phases: int,
+    ) -> Tuple[Dict[int, int], Dict[int, bool]]:
+        """One bit per node: the parent rank of each remaining fragment root.
+
+        Also computes the per-node "collection region" flag (depth in the
+        final fragment smaller than the number of bits to collect).
+        """
+        partition = trace.partition_before_phase(phases + 1)
+        tree = trace.tree
+        final_bit: Dict[int, int] = {}
+        collect_flag: Dict[int, bool] = {}
+        for f in range(partition.num_fragments):
+            r_f = partition.root_of(f)
+            degree = graph.degree(r_f)
+            if degree == 0:
+                continue  # single isolated node: it outputs ROOT with no advice
+            width = _final_field_width(degree)
+            if tree.parent_edge[r_f] < 0:
+                value = 0  # the global root
+            else:
+                value = graph.rank_of_port(r_f, tree.parent_port[r_f])
+            bits = BitString.from_uint(value, width)
+            preorder = partition.dfs_preorder(f)
+            if len(preorder) < width:  # pragma: no cover - excluded by Lemma 1
+                raise CapacityError(
+                    f"fragment of size {len(preorder)} cannot hold {width} final bits"
+                )
+            for idx in range(width):
+                final_bit[preorder[idx]] = bits[idx]
+            for u in partition.members[f]:
+                if partition.depth_in_fragment(u) <= width - 1:
+                    collect_flag[u] = True
+        return final_bit, collect_flag
+
+    # ----------------------------- decoder ------------------------------ #
+
+    def program_factory(self) -> ProgramFactory:
+        return lambda ctx: _MainProgram()
+
+    # ------------------------- declared bounds --------------------------- #
+
+    def advice_bound_bits(self, n: int) -> float:
+        """Declared constant bound on the maximum advice size.
+
+        Header (4 + 1 + 2) bits plus the geometric-series bound on the
+        packed fragment advice with γ-coded fields (≈ 14 bits); see
+        DESIGN.md §5 (D1) for why the constant is larger than the paper's
+        12 while remaining independent of ``n``.
+        """
+        return 7 + 14
+
+    def round_bound(self, n: int) -> float:
+        """Declared round bound: the fixed schedule plus the final collection."""
+        phases = num_boruvka_phases(n)
+        log_n = math.ceil(math.log2(max(n, 2)))
+        return schedule_prefix_rounds(phases) + 2 * log_n + 2
+
+    @staticmethod
+    def paper_round_bound(n: int) -> float:
+        """The paper's stated bound ``9 ⌈log₂ n⌉`` (Theorem 3), for comparison."""
+        return 9 * math.ceil(math.log2(max(n, 2)))
+
+    @staticmethod
+    def paper_advice_bound() -> float:
+        """The paper's stated maximum advice size ``m = 12``, for comparison."""
+        return 12.0
+
+
+# ----------------------------------------------------------------------- #
+# the decoder node program
+# ----------------------------------------------------------------------- #
+
+
+class _MainProgram(NodeProgram):
+    """Per-node state machine of the Theorem-3 decoder."""
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def __init__(self) -> None:
+        # fragment-tree structure maintained across phases
+        self.parent_port: Optional[int] = None
+        self.child_ports: List[int] = []
+        # structural changes decided during the current phase window; fragments
+        # merge only *between* phases, so they are applied at window boundaries
+        self.pending_structure: List[Tuple[str, int]] = []
+        # advice fields
+        self.num_phases = 0
+        self.collect_flag = False
+        self.final_bit: Optional[int] = None
+        self.data: List[int] = []
+        self.cons = 0
+        # per-phase scratch
+        self.current_segment: Optional[Tuple[str, int]] = None
+        self._reset_scratch()
+        # final phase
+        self.final_done = False
+
+    def _reset_scratch(self) -> None:
+        self.conv_received: Dict[int, Tuple[int, BitString]] = {}
+        self.conv_sent = False
+        self.bcast_handled = False
+        self.reply_received: Dict[int, BitString] = {}
+        self.collect_forwarded = False
+        self.collect_ttl: Optional[int] = None
+        self.collect_children: List[int] = []
+
+    # ------------------------------------------------------------------ #
+
+    def init(self, ctx: NodeContext) -> None:
+        advice: BitString = ctx.advice if ctx.advice is not None else BitString.empty()
+        reader = BitReader(advice)
+        if reader.remaining >= _PHASE_FIELD_BITS + 2:
+            self.num_phases = reader.read_uint(_PHASE_FIELD_BITS)
+            self.collect_flag = bool(reader.read_bit())
+            if reader.read_bit() == 1:
+                self.final_bit = reader.read_bit()
+            self.data = list(reader.read_bits(reader.remaining))
+        if ctx.degree == 0:
+            ctx.halt(ROOT_OUTPUT)
+            return
+        # precompute the (weight, port) order of the ports: children are
+        # always processed in this order, matching the oracle's DFS order.
+        self._port_order = {p: k for k, p in enumerate(ctx.view.ports_by_weight_then_port())}
+
+    # ------------------------------------------------------------------ #
+    # round dispatch
+    # ------------------------------------------------------------------ #
+
+    def on_round(self, ctx: NodeContext, inbox: Dict[int, object]) -> None:
+        segment = self._segment_of_round(ctx.round)
+        if segment != self.current_segment:
+            # fragments merge only between phases: apply the attachments that
+            # were decided during the previous window before starting this one
+            self._apply_pending_structure()
+            self.current_segment = segment
+            self._reset_scratch()
+
+        # structural notifications are buffered until the end of the window
+        self._process_attachments(inbox)
+
+        kind, index = segment
+        if kind == "phase":
+            self._phase_round(ctx, inbox, index)
+        else:
+            self._apply_pending_structure()
+            self._final_round(ctx, inbox)
+
+    def _window(self, phase: int) -> int:
+        """Round budget of one phase window (overridden by the level variant)."""
+        return phase_window_rounds(phase)
+
+    def _segment_of_round(self, round_number: int) -> Tuple[str, int]:
+        t = round_number
+        for i in range(1, self.num_phases + 1):
+            w = self._window(i)
+            if t <= w:
+                return ("phase", i)
+            t -= w
+        # the final segment is a single scratch scope: per-round state must
+        # survive across its rounds, so the tuple stays constant
+        return ("final", 0)
+
+    def _relative_round(self, round_number: int) -> int:
+        t = round_number
+        for i in range(1, self.num_phases + 1):
+            w = self._window(i)
+            if t <= w:
+                return t
+            t -= w
+        return t
+
+    # ------------------------------------------------------------------ #
+    # structure maintenance
+    # ------------------------------------------------------------------ #
+
+    def _process_attachments(self, inbox: Dict[int, object]) -> None:
+        for port, payload in inbox.items():
+            if not isinstance(payload, tuple) or not payload:
+                continue
+            if payload[0] == MSG_ATTACH_PARENT:
+                self.pending_structure.append(("parent", port))
+            elif payload[0] == MSG_ATTACH_CHILD:
+                self.pending_structure.append(("child", port))
+
+    def _apply_pending_structure(self) -> None:
+        for kind, port in self.pending_structure:
+            if kind == "parent":
+                self.parent_port = port
+            elif kind == "child" and port not in self.child_ports:
+                self.child_ports.append(port)
+        self.pending_structure = []
+
+    def _ordered_children(self) -> List[int]:
+        return sorted(self.child_ports, key=lambda p: self._port_order[p])
+
+    # ------------------------------------------------------------------ #
+    # Borůvka phase windows
+    # ------------------------------------------------------------------ #
+
+    def _phase_round(self, ctx: NodeContext, inbox: Dict[int, object], phase: int) -> None:
+        relative = self._relative_round(ctx.round)
+        self._phase_prelude(ctx, inbox, phase, relative)
+
+        # collect convergecast chunks and broadcasts addressed to this phase
+        for port, payload in inbox.items():
+            if not isinstance(payload, tuple) or not payload:
+                continue
+            tag = payload[0]
+            if tag == MSG_CONV and payload[1] == phase:
+                _, _, subtree_size, stream = payload
+                self.conv_received[port] = (subtree_size, stream)
+            elif tag == MSG_BCAST and payload[1] == phase and not self.bcast_handled:
+                (_, _, j, record, consumed_total, my_offset, my_dfs_index) = payload
+                self._handle_broadcast(
+                    ctx, phase, j, record, consumed_total, my_offset, my_dfs_index
+                )
+
+        if self.conv_sent or not self._convergecast_allowed(relative):
+            return
+        children = self._ordered_children()
+        if any(p not in self.conv_received for p in children):
+            return  # still waiting for some child
+
+        # all children reported: aggregate this subtree's unconsumed bits
+        my_stream = BitString(self.data[self.cons :])
+        stream = my_stream
+        subtree_size = 1
+        for p in children:
+            size, child_stream = self.conv_received[p]
+            stream = stream + child_stream
+            subtree_size += size
+        self.conv_sent = True
+
+        if self.parent_port is not None:
+            ctx.send(self.parent_port, (MSG_CONV, phase, subtree_size, stream))
+            return
+
+        # this node is the fragment root r_F
+        if subtree_size >= (1 << phase):
+            return  # passive fragment: nothing to decode at this phase
+        if len(stream) == 0:
+            return  # active but isolated (single remaining fragment): no selection
+        parsed = self._parse_fragment_advice(stream)
+        if parsed is None:
+            return
+        j, record, consumed_total = parsed
+        self._handle_broadcast(ctx, phase, j, record, consumed_total, 0, 1)
+
+    # ----- hooks overridden by the level-based ablation variant ----- #
+
+    def _phase_prelude(
+        self, ctx: NodeContext, inbox: Dict[int, object], phase: int, relative: int
+    ) -> None:
+        """Extra per-phase behaviour before the convergecast (none by default)."""
+
+    def _convergecast_allowed(self, relative: int) -> bool:
+        """Whether the convergecast may start at this relative round."""
+        return True
+
+    def _parse_fragment_advice(
+        self, stream: BitString
+    ) -> Optional[Tuple[int, Tuple, int]]:
+        """Parse ``A(F)`` from the front of the unconsumed-bit stream.
+
+        Returns ``(j, record, consumed_bits)`` where ``j`` is the DFS
+        index of the choosing node, ``record`` is whatever the choosing
+        node needs to identify the selected edge, and ``consumed_bits``
+        is the number of stream bits ``A(F)`` occupied.
+        """
+        try:
+            reader = BitReader(stream)
+            bup = bool(reader.read_bit())
+            rank = reader.read_gamma()
+            j = reader.read_gamma()
+            return j, (bup, rank), reader.position
+        except EOFError:
+            return None
+
+    def _choosing_action(self, ctx: NodeContext, phase: int, record: Tuple) -> None:
+        """Act as the choosing node ``v_j``: attach across the selected edge."""
+        bup, rank = record
+        port = ctx.view.port_of_rank(rank)
+        self._attach_across(ctx, phase, port, bup)
+
+    def _attach_across(self, ctx: NodeContext, phase: int, port: int, bup: bool) -> None:
+        # the structural change takes effect at the end of the phase window,
+        # exactly like the attachments received from other fragments
+        if bup:
+            # the selected edge leads to this node's MST parent
+            self.pending_structure.append(("parent", port))
+            ctx.send(port, (MSG_ATTACH_CHILD, phase))
+        else:
+            self.pending_structure.append(("child", port))
+            ctx.send(port, (MSG_ATTACH_PARENT, phase))
+
+    # ----------------------------------------------------------------- #
+
+    def _handle_broadcast(
+        self,
+        ctx: NodeContext,
+        phase: int,
+        j: int,
+        record: Tuple,
+        consumed_total: int,
+        my_offset: int,
+        my_dfs_index: int,
+    ) -> None:
+        """Process ``A(F)`` at this node and forward it down the fragment."""
+        self.bcast_handled = True
+        unconsumed = len(self.data) - self.cons
+        consumed_here = min(max(consumed_total - my_offset, 0), unconsumed)
+        self.cons += consumed_here
+
+        # forward to children with subtree-local prefix sums
+        running_offset = my_offset + unconsumed
+        running_dfs = my_dfs_index + 1
+        for p in self._ordered_children():
+            size, child_stream = self.conv_received.get(p, (1, BitString.empty()))
+            ctx.send(
+                p,
+                (
+                    MSG_BCAST,
+                    phase,
+                    j,
+                    record,
+                    consumed_total,
+                    running_offset,
+                    running_dfs,
+                ),
+            )
+            running_offset += len(child_stream)
+            running_dfs += size
+
+        if my_dfs_index == j:
+            self._choosing_action(ctx, phase, record)
+
+    # ------------------------------------------------------------------ #
+    # the final phase: collect the fragment root's parent rank
+    # ------------------------------------------------------------------ #
+
+    def _final_round(self, ctx: NodeContext, inbox: Dict[int, object]) -> None:
+        if self.final_done:
+            return
+        # gather collection traffic
+        collect_msg: Optional[int] = None
+        for port, payload in inbox.items():
+            if not isinstance(payload, tuple) or not payload:
+                continue
+            if payload[0] == MSG_COLLECT:
+                collect_msg = payload[1]
+            elif payload[0] == MSG_REPLY:
+                self.reply_received[port] = payload[1]
+
+        if self.parent_port is None:
+            self._final_root_round(ctx)
+            return
+
+        # non-root node
+        if not self.collect_flag:
+            ctx.halt(self.parent_port)
+            self.final_done = True
+            return
+        if collect_msg is not None and self.collect_ttl is None:
+            self.collect_ttl = collect_msg
+            children = self._ordered_children()
+            if self.collect_ttl > 0 and children:
+                self.collect_children = children
+                for p in children:
+                    ctx.send(p, (MSG_COLLECT, self.collect_ttl - 1))
+                self.collect_forwarded = True
+            else:
+                self._send_reply(ctx)
+                return
+        if self.collect_forwarded and all(
+            p in self.reply_received for p in self.collect_children
+        ):
+            self._send_reply(ctx)
+
+    def _send_reply(self, ctx: NodeContext) -> None:
+        stream = BitString([self.final_bit]) if self.final_bit is not None else BitString.empty()
+        for p in self.collect_children:
+            stream = stream + self.reply_received.get(p, BitString.empty())
+        ctx.send(self.parent_port, (MSG_REPLY, stream))
+        ctx.halt(self.parent_port)
+        self.final_done = True
+
+    def _final_root_round(self, ctx: NodeContext) -> None:
+        width = _final_field_width(ctx.degree)
+        children = self._ordered_children()
+        if self.collect_ttl is None:
+            # start the collection exactly once
+            self.collect_ttl = width - 1
+            if self.collect_ttl > 0 and children:
+                self.collect_children = children
+                for p in children:
+                    ctx.send(p, (MSG_COLLECT, self.collect_ttl - 1))
+                self.collect_forwarded = True
+                return
+            # the root alone holds every bit it needs
+            self._finish_root(ctx, width)
+            return
+        if self.collect_forwarded and all(
+            p in self.reply_received for p in self.collect_children
+        ):
+            self._finish_root(ctx, width)
+
+    def _finish_root(self, ctx: NodeContext, width: int) -> None:
+        stream = BitString([self.final_bit]) if self.final_bit is not None else BitString.empty()
+        for p in self.collect_children:
+            stream = stream + self.reply_received.get(p, BitString.empty())
+        if len(stream) < width:
+            # defensive: malformed advice; report failure by not outputting
+            ctx.halt()
+            self.final_done = True
+            return
+        value = stream[:width].to_uint()
+        if value == 0:
+            ctx.halt(ROOT_OUTPUT)
+        else:
+            ctx.halt(ctx.view.port_of_rank(value))
+        self.final_done = True

@@ -1,0 +1,84 @@
+"""The trivial ``(⌈log n⌉, 0)``-advising scheme (Section 1 of the paper).
+
+The oracle picks a rooted MST ``T`` and tells every non-root node the
+*rank* of its parent edge among its incident edges, where incident edges
+are ordered by ``index_u(e)`` — first by weight, then by port number.
+Since a node of degree ``d`` needs ``⌈log₂ d⌉ ≤ ⌈log₂ n⌉`` bits for the
+rank, the maximum advice size is ``⌈log₂ n⌉`` bits (plus the one-bit
+"I am the root" flag, deviation D2 in DESIGN.md), and the decoder needs
+zero communication rounds: each node just sorts its incident edges
+locally and outputs the port with the advised rank.
+
+Theorem 1 shows this is essentially optimal for 0-round schemes, even on
+average.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.core.advice import AdviceAssignment
+from repro.core.bits import BitReader, BitString, BitWriter
+from repro.core.oracle import AdvisingScheme
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.rooted_tree import ROOT_OUTPUT, build_rooted_tree
+from repro.simulator.algorithm import NodeProgram, ProgramFactory
+from repro.simulator.node import NodeContext
+
+__all__ = ["TrivialRankScheme"]
+
+
+class _TrivialProgram(NodeProgram):
+    """Zero-round decoder: output the port whose rank the advice names."""
+
+    def init(self, ctx: NodeContext) -> None:
+        advice: BitString = ctx.advice if ctx.advice is not None else BitString.empty()
+        reader = BitReader(advice)
+        if reader.at_end():
+            # a node with no advice can only be a degree-0 singleton graph root
+            ctx.halt(ROOT_OUTPUT)
+            return
+        if reader.read_bit() == 1:
+            ctx.halt(ROOT_OUTPUT)
+            return
+        width = reader.remaining
+        rank = reader.read_uint(width) + 1 if width > 0 else 1
+        port = ctx.view.port_of_rank(rank)
+        ctx.halt(port)
+
+    def on_round(self, ctx: NodeContext, inbox: Dict[int, object]) -> None:
+        # a 0-round algorithm never reaches this point
+        ctx.halt()
+
+
+class TrivialRankScheme(AdvisingScheme):
+    """The straightforward ``(⌈log n⌉ + 1, 0)``-advising scheme for MST."""
+
+    name = "trivial-rank"
+
+    def compute_advice(self, graph: PortNumberedGraph, root: int = 0) -> AdviceAssignment:
+        tree = build_rooted_tree(graph, kruskal_mst(graph), root=root)
+        advice = AdviceAssignment(graph.n)
+        for u in range(graph.n):
+            writer = BitWriter()
+            if u == root:
+                writer.write_bit(1)
+            else:
+                writer.write_bit(0)
+                rank = graph.rank_of_port(u, tree.parent_port[u])
+                width = (graph.degree(u) - 1).bit_length()
+                writer.write_uint(rank - 1, width)
+            advice.set(u, writer.getvalue())
+        return advice
+
+    def program_factory(self) -> ProgramFactory:
+        return lambda ctx: _TrivialProgram()
+
+    def advice_bound_bits(self, n: int) -> float:
+        # ⌈log₂(n-1)⌉ rank bits (degree is at most n-1) plus the root flag
+        return math.ceil(math.log2(max(n - 1, 2))) + 1
+
+    def round_bound(self, n: int) -> float:
+        return 0.0

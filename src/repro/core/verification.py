@@ -1,0 +1,126 @@
+"""Checking the outputs of a distributed MST run.
+
+The MST problem of the paper requires every node to output the port of
+the edge leading to its parent in some rooted MST, and the root to
+output that it is the root (:data:`repro.mst.rooted_tree.ROOT_OUTPUT`).
+:func:`check_outputs` validates a full output map:
+
+1. exactly one node declares itself the root;
+2. every other node names a valid port;
+3. following parent pointers from every node reaches the root (no
+   cycles, no second component);
+4. the set of parent edges is a spanning tree of minimum total weight.
+
+The function returns a structured :class:`OutputCheck` so that tests and
+benchmarks can report *why* an output was rejected, not just that it
+was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.rooted_tree import ROOT_OUTPUT
+
+__all__ = ["OutputCheck", "check_outputs"]
+
+
+@dataclass(frozen=True)
+class OutputCheck:
+    """Result of validating one distributed output map."""
+
+    ok: bool
+    reason: str = "ok"
+    root: Optional[int] = None
+    tree_edge_ids: tuple = ()
+    tree_weight: float = 0.0
+    mst_weight: float = 0.0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_outputs(
+    graph: PortNumberedGraph,
+    outputs: Dict[int, Any],
+    expected_root: Optional[int] = None,
+    tolerance: float = 1e-9,
+) -> OutputCheck:
+    """Validate per-node outputs against the MST problem specification.
+
+    Parameters
+    ----------
+    graph:
+        The instance the outputs were produced on.
+    outputs:
+        Mapping ``node -> port`` (or :data:`ROOT_OUTPUT` for the root).
+    expected_root:
+        If given, additionally require the declared root to be this node.
+    """
+    # -------- shape checks --------
+    missing = [u for u in range(graph.n) if u not in outputs or outputs[u] is None]
+    if missing:
+        return OutputCheck(False, f"{len(missing)} node(s) produced no output")
+
+    roots = [u for u in range(graph.n) if outputs[u] == ROOT_OUTPUT]
+    if len(roots) != 1:
+        return OutputCheck(False, f"expected exactly one root, found {len(roots)}")
+    root = roots[0]
+    if expected_root is not None and root != expected_root:
+        return OutputCheck(False, f"root is {root}, expected {expected_root}")
+
+    parent: Dict[int, int] = {}
+    parent_edge: Dict[int, int] = {}
+    for u in range(graph.n):
+        if u == root:
+            continue
+        port = outputs[u]
+        if not isinstance(port, int) or not 0 <= port < graph.degree(u):
+            return OutputCheck(False, f"node {u} output an invalid port {port!r}")
+        parent[u] = graph.neighbor(u, port)
+        parent_edge[u] = graph.edge_id(u, port)
+
+    # -------- every node reaches the root (acyclicity + connectivity) --------
+    status: Dict[int, int] = {root: 1}  # 1 = reaches root
+    for start in range(graph.n):
+        path: List[int] = []
+        u = start
+        while u not in status:
+            status[u] = 0  # on the current path
+            path.append(u)
+            u = parent[u]
+            if status.get(u) == 0:
+                return OutputCheck(False, f"parent pointers contain a cycle through node {u}")
+        if status[u] == 1:
+            for v in path:
+                status[v] = 1
+
+    # -------- the parent edges form a minimum spanning tree --------
+    tree_edges: Set[int] = set(parent_edge.values())
+    if len(tree_edges) != graph.n - 1:
+        return OutputCheck(
+            False,
+            f"parent edges form {len(tree_edges)} distinct edges, expected {graph.n - 1}",
+        )
+    tree_weight = graph.total_weight(tree_edges)
+    mst_weight = graph.total_weight(kruskal_mst(graph))
+    if abs(tree_weight - mst_weight) > tolerance:
+        return OutputCheck(
+            False,
+            f"tree weight {tree_weight} differs from MST weight {mst_weight}",
+            root=root,
+            tree_edge_ids=tuple(sorted(tree_edges)),
+            tree_weight=tree_weight,
+            mst_weight=mst_weight,
+        )
+    return OutputCheck(
+        True,
+        "ok",
+        root=root,
+        tree_edge_ids=tuple(sorted(tree_edges)),
+        tree_weight=tree_weight,
+        mst_weight=mst_weight,
+    )

@@ -1,0 +1,110 @@
+"""Common interface of the no-advice distributed MST baselines.
+
+A baseline is a distributed algorithm that receives *no oracle advice*;
+the only inputs of a node are its local view (and, where documented, the
+number of nodes ``n``).  Baselines therefore cannot promise which node
+ends up as the root of the output tree — :func:`run_baseline` checks the
+output against the MST problem specification without pinning the root.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.core.verification import OutputCheck, check_outputs
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.simulator.algorithm import ProgramFactory
+from repro.simulator.engine import run_sync
+from repro.simulator.metrics import RunMetrics
+
+__all__ = ["DistributedMSTBaseline", "BaselineReport", "run_baseline"]
+
+
+class DistributedMSTBaseline(ABC):
+    """A distributed MST algorithm that uses no advice."""
+
+    #: short identifier used in benchmark tables
+    name: str = "baseline"
+    #: whether the algorithm assumes every node knows ``n`` (documented deviation)
+    requires_n: bool = False
+
+    @abstractmethod
+    def program_factory(self, graph: PortNumberedGraph) -> ProgramFactory:
+        """Node-program factory.
+
+        The graph argument is used *only* to pass global constants the
+        baseline is documented to assume (``n`` for the synchronised
+        Borůvka baseline); node programs still never see the graph
+        object itself.
+        """
+
+    def round_bound(self, graph: PortNumberedGraph) -> Optional[float]:
+        """Claimed bound on the number of rounds, or ``None``."""
+        return None
+
+
+@dataclass
+class BaselineReport:
+    """Measured behaviour of one baseline on one instance."""
+
+    baseline: str
+    n: int
+    m: int
+    rounds: int
+    metrics: RunMetrics
+    check: OutputCheck
+    round_bound: Optional[float] = None
+
+    @property
+    def correct(self) -> bool:
+        """``True`` iff the output is a valid rooted MST."""
+        return self.check.ok
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat dictionary used by the benchmark tables."""
+        return {
+            "scheme": self.baseline,
+            "n": self.n,
+            "m": self.m,
+            "max_advice_bits": 0,
+            "avg_advice_bits": 0.0,
+            "total_advice_bits": 0,
+            "rounds": self.rounds,
+            "max_edge_bits_per_round": self.metrics.max_edge_bits_per_round,
+            "congest_factor": round(self.metrics.congest_factor(), 2),
+            "correct": self.correct,
+            "round_bound": self.round_bound,
+        }
+
+
+def run_baseline(
+    baseline: DistributedMSTBaseline,
+    graph: PortNumberedGraph,
+    max_rounds: Optional[int] = None,
+) -> BaselineReport:
+    """Run a no-advice baseline end to end and verify its output."""
+    if max_rounds is None:
+        bound = baseline.round_bound(graph)
+        if bound is not None:
+            max_rounds = int(bound) + 50
+    result = run_sync(
+        graph,
+        baseline.program_factory(graph),
+        advice=None,
+        max_rounds=max_rounds,
+    )
+    if not result.completed:
+        check = OutputCheck(False, "the baseline did not terminate within the round limit")
+    else:
+        check = check_outputs(graph, result.outputs, expected_root=None)
+    return BaselineReport(
+        baseline=baseline.name,
+        n=graph.n,
+        m=graph.m,
+        rounds=result.metrics.rounds,
+        metrics=result.metrics,
+        check=check,
+        round_bound=baseline.round_bound(graph),
+    )

@@ -1,0 +1,155 @@
+"""The LOCAL-model baseline: gather everything, compute locally.
+
+In the LOCAL model there is a trivial ``(0, D+1)``-advising scheme for
+every graph of diameter ``D`` with distinct node identifiers (footnote 2
+of the paper): after ``D + 1`` rounds of full-information flooding every
+node knows the entire weighted graph and can compute the same rooted MST
+locally.  This baseline makes that concrete:
+
+* round 1: every node announces its identifier to its neighbours (so
+  that ports can be associated with identifiers);
+* every subsequent round: every node sends its whole knowledge base —
+  the set of per-node records ``id -> [(weight, neighbour id), ...]`` —
+  to all neighbours and merges what it receives;
+* when a node's knowledge stops growing and is *closed* (every
+  identifier mentioned anywhere also has its own record), the node
+  reconstructs the graph, computes the reference MST with the shared
+  canonical tie-breaking, roots it at the smallest identifier, and
+  outputs the port of its parent edge.
+
+The number of rounds is ``D + O(1)``; the price is paid in bandwidth:
+messages grow to ``Θ(m log n)`` bits, which the simulator measures and
+the benchmarks report as a violently non-CONGEST ``congest_factor``.
+Node identifiers must be distinct (as the paper requires for this
+algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.distributed.base import DistributedMSTBaseline
+from repro.graphs.properties import diameter
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.rooted_tree import ROOT_OUTPUT
+from repro.simulator.algorithm import NodeProgram, ProgramFactory
+from repro.simulator.node import NodeContext
+
+__all__ = ["FullInformationMST"]
+
+#: record announcing the sender's identifier (round 1)
+_MSG_HELLO = 11
+#: knowledge-base gossip: a tuple of per-node records
+_MSG_KNOWLEDGE = 12
+
+
+class _FullInfoProgram(NodeProgram):
+    """Flood local knowledge until the whole graph is known, then solve locally."""
+
+    def __init__(self) -> None:
+        # id -> tuple of (weight, neighbour id) indexed by that node's ports
+        self.records: Dict[int, Tuple[Tuple[float, int], ...]] = {}
+        self.neighbor_ids: Dict[int, int] = {}
+        self.prev_size = -1
+
+    def init(self, ctx: NodeContext) -> None:
+        if ctx.degree == 0:
+            ctx.halt(ROOT_OUTPUT)
+            return
+        for port in ctx.ports():
+            ctx.send(port, (_MSG_HELLO, ctx.node_id))
+
+    def on_round(self, ctx: NodeContext, inbox: Dict[int, object]) -> None:
+        for port, payload in inbox.items():
+            if not isinstance(payload, tuple) or not payload:
+                continue
+            if payload[0] == _MSG_HELLO:
+                self.neighbor_ids[port] = payload[1]
+            elif payload[0] == _MSG_KNOWLEDGE:
+                for node_id, record in payload[1]:
+                    self.records.setdefault(node_id, tuple(tuple(x) for x in record))
+
+        if len(self.neighbor_ids) == ctx.degree and ctx.node_id not in self.records:
+            # own record becomes available once every neighbour identified itself
+            self.records[ctx.node_id] = tuple(
+                (ctx.weight(p), self.neighbor_ids[p]) for p in ctx.ports()
+            )
+
+        if self._knowledge_closed() and len(self.records) == self.prev_size:
+            self._finish(ctx)
+            return
+        self.prev_size = len(self.records)
+
+        payload = (_MSG_KNOWLEDGE, tuple(sorted(self.records.items())))
+        for port in ctx.ports():
+            ctx.send(port, payload)
+
+    # ------------------------------------------------------------------ #
+
+    def _knowledge_closed(self) -> bool:
+        if not self.records:
+            return False
+        mentioned = set(self.records)
+        for record in self.records.values():
+            mentioned.update(nid for _, nid in record)
+        return mentioned == set(self.records)
+
+    def _finish(self, ctx: NodeContext) -> None:
+        # reconstruct edges with the canonical (weight, sorted id pair) order
+        edges: Dict[Tuple[int, int], float] = {}
+        for node_id, record in self.records.items():
+            for weight, other in record:
+                key = (min(node_id, other), max(node_id, other))
+                edges[key] = weight
+        ordered = sorted(edges.items(), key=lambda kv: (kv[1], kv[0]))
+
+        ids = sorted(self.records)
+        index_of = {node_id: k for k, node_id in enumerate(ids)}
+        parent = list(range(len(ids)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        tree_adj: Dict[int, List[int]] = {node_id: [] for node_id in ids}
+        for (a, b), _w in ordered:
+            ra, rb = find(index_of[a]), find(index_of[b])
+            if ra != rb:
+                parent[ra] = rb
+                tree_adj[a].append(b)
+                tree_adj[b].append(a)
+
+        # root the tree at the smallest identifier and find this node's parent
+        root_id = ids[0]
+        if ctx.node_id == root_id:
+            ctx.halt(ROOT_OUTPUT)
+            return
+        parent_of: Dict[int, Optional[int]] = {root_id: None}
+        stack = [root_id]
+        while stack:
+            x = stack.pop()
+            for y in tree_adj[x]:
+                if y not in parent_of:
+                    parent_of[y] = x
+                    stack.append(y)
+        my_parent = parent_of[ctx.node_id]
+        for port, nid in self.neighbor_ids.items():
+            if nid == my_parent:
+                ctx.halt(port)
+                return
+        ctx.halt()  # pragma: no cover - inconsistent knowledge
+
+
+class FullInformationMST(DistributedMSTBaseline):
+    """The ``(0, D + O(1))`` LOCAL-model baseline (huge messages, few rounds)."""
+
+    name = "local-full-info"
+    requires_n = False
+
+    def program_factory(self, graph: PortNumberedGraph) -> ProgramFactory:
+        return lambda ctx: _FullInfoProgram()
+
+    def round_bound(self, graph: PortNumberedGraph) -> float:
+        return diameter(graph) + 3

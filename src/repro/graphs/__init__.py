@@ -1,0 +1,89 @@
+"""Port-labelled, edge-weighted graph substrate.
+
+This subpackage provides the network model of the paper (Section 1):
+connected simple graphs with no self-loops, whose nodes carry
+(not necessarily distinct) identifiers and whose incident edges are
+locally identified by *port numbers*.  Every algorithm and every oracle
+in :mod:`repro` operates on :class:`~repro.graphs.weighted_graph.PortNumberedGraph`.
+
+Contents
+--------
+
+``weighted_graph``
+    The :class:`PortNumberedGraph` structure-of-arrays representation,
+    local views, and the ``index_u(e) = (x_u, y_u)`` edge order of the
+    paper.
+``generators``
+    Deterministic and random instance generators (rings, grids, trees,
+    complete graphs, random connected graphs, geometric graphs, ...).
+``lowerbound_family``
+    The two-clique family ``G_n`` used in the proof of Theorem 1,
+    together with its cyclic weight settings ``S_k`` and the
+    port-relabelling fooling family.
+``properties``
+    Structural queries (BFS, diameter, connectivity, degree statistics).
+``io``
+    Plain-text / JSON serialisation round-trips.
+"""
+
+from repro.graphs.weighted_graph import (
+    EdgeRef,
+    LocalView,
+    PortNumberedGraph,
+    canonical_edge_key,
+)
+from repro.graphs.generators import (
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    random_spanning_tree_graph,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.lowerbound_family import (
+    LowerBoundInstance,
+    build_gn,
+    fooling_family,
+    spine_edges,
+    weight_class_bounds,
+)
+from repro.graphs.properties import (
+    bfs_layers,
+    connected_components,
+    diameter,
+    eccentricity,
+    is_connected,
+)
+from repro.graphs import io  # noqa: F401  (re-exported as a module)
+
+__all__ = [
+    "EdgeRef",
+    "LocalView",
+    "PortNumberedGraph",
+    "canonical_edge_key",
+    "caterpillar_graph",
+    "complete_graph",
+    "cycle_graph",
+    "grid_graph",
+    "path_graph",
+    "random_connected_graph",
+    "random_geometric_graph",
+    "random_spanning_tree_graph",
+    "star_graph",
+    "torus_graph",
+    "LowerBoundInstance",
+    "build_gn",
+    "fooling_family",
+    "spine_edges",
+    "weight_class_bounds",
+    "bfs_layers",
+    "connected_components",
+    "diameter",
+    "eccentricity",
+    "is_connected",
+    "io",
+]

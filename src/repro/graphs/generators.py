@@ -1,0 +1,366 @@
+"""Instance generators.
+
+Every generator returns a connected :class:`~repro.graphs.weighted_graph.PortNumberedGraph`
+and is fully deterministic given its ``seed``: all randomness flows
+through a ``numpy.random.Generator`` created from the seed, following
+the reproducibility idiom of the HPC guides.
+
+Weight modes
+------------
+
+``"distinct"``
+    Weights are a random permutation of ``1 .. m`` — pairwise distinct,
+    so the MST is unique.  This is the standard assumption of the
+    distributed-MST literature (and of GHS) and the default.
+``"integer"``
+    Independent uniform integers in ``[1, weight_range]`` — duplicates
+    are likely, exercising the tie-breaking paths.
+``"uniform"``
+    Independent uniform floats in ``(0, 1)`` — distinct with
+    probability 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+__all__ = [
+    "assign_weights",
+    "caterpillar_graph",
+    "complete_graph",
+    "cycle_graph",
+    "grid_graph",
+    "path_graph",
+    "random_connected_graph",
+    "random_geometric_graph",
+    "random_spanning_tree_graph",
+    "star_graph",
+    "torus_graph",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def assign_weights(
+    num_edges: int,
+    rng: np.random.Generator,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+) -> np.ndarray:
+    """Draw ``num_edges`` edge weights according to ``weight_mode``."""
+    if weight_mode == "distinct":
+        return rng.permutation(np.arange(1, num_edges + 1)).astype(np.float64)
+    if weight_mode == "integer":
+        return rng.integers(1, weight_range + 1, size=num_edges).astype(np.float64)
+    if weight_mode == "uniform":
+        return rng.random(num_edges)
+    raise ValueError(f"unknown weight mode {weight_mode!r}")
+
+
+def _build(
+    n: int,
+    pairs: Sequence[Tuple[int, int]],
+    rng: np.random.Generator,
+    weight_mode: str,
+    weight_range: int,
+    shuffle_ports: bool,
+    weights: Optional[Sequence[float]] = None,
+) -> PortNumberedGraph:
+    """Assemble a graph from node count + edge pairs + weight policy."""
+    if weights is None:
+        w = assign_weights(len(pairs), rng, weight_mode, weight_range)
+    else:
+        if len(weights) != len(pairs):
+            raise ValueError("weights must have one entry per edge")
+        w = np.asarray(weights, dtype=np.float64)
+    edges = [(u, v, float(w[k])) for k, (u, v) in enumerate(pairs)]
+
+    port_perms: Optional[Dict[int, List[int]]] = None
+    if shuffle_ports:
+        degree = np.zeros(n, dtype=np.int64)
+        for u, v in pairs:
+            degree[u] += 1
+            degree[v] += 1
+        port_perms = {
+            u: [int(p) for p in rng.permutation(int(degree[u]))]
+            for u in range(n)
+            if degree[u] > 0
+        }
+    return PortNumberedGraph(n, edges, port_permutations=port_perms)
+
+
+# ---------------------------------------------------------------------- #
+# deterministic topologies
+# ---------------------------------------------------------------------- #
+
+
+def path_graph(
+    n: int,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = False,
+    weights: Optional[Sequence[float]] = None,
+) -> PortNumberedGraph:
+    """Simple path ``0 - 1 - ... - (n-1)``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    pairs = [(i, i + 1) for i in range(n - 1)]
+    return _build(n, pairs, _rng(seed), weight_mode, weight_range, shuffle_ports, weights)
+
+
+def cycle_graph(
+    n: int,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = False,
+) -> PortNumberedGraph:
+    """Cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    pairs = [(i, (i + 1) % n) for i in range(n)]
+    return _build(n, pairs, _rng(seed), weight_mode, weight_range, shuffle_ports)
+
+
+def star_graph(
+    n: int,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = False,
+) -> PortNumberedGraph:
+    """Star with centre ``0`` and ``n - 1`` leaves."""
+    if n < 2:
+        raise ValueError("a star needs at least 2 nodes")
+    pairs = [(0, i) for i in range(1, n)]
+    return _build(n, pairs, _rng(seed), weight_mode, weight_range, shuffle_ports)
+
+
+def complete_graph(
+    n: int,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = False,
+) -> PortNumberedGraph:
+    """Complete graph ``K_n``."""
+    if n < 2:
+        raise ValueError("a complete graph needs at least 2 nodes")
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return _build(n, pairs, _rng(seed), weight_mode, weight_range, shuffle_ports)
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = False,
+) -> PortNumberedGraph:
+    """``rows x cols`` grid (4-neighbourhood)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    n = rows * cols
+
+    def idx(r: int, c: int) -> int:
+        return r * cols + c
+
+    pairs: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                pairs.append((idx(r, c), idx(r, c + 1)))
+            if r + 1 < rows:
+                pairs.append((idx(r, c), idx(r + 1, c)))
+    return _build(n, pairs, _rng(seed), weight_mode, weight_range, shuffle_ports)
+
+
+def torus_graph(
+    rows: int,
+    cols: int,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = False,
+) -> PortNumberedGraph:
+    """``rows x cols`` torus (grid with wrap-around links)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("a torus needs at least 3 rows and 3 columns")
+    n = rows * cols
+
+    def idx(r: int, c: int) -> int:
+        return r * cols + c
+
+    pairs: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            pairs.append((idx(r, c), idx(r, (c + 1) % cols)))
+            pairs.append((idx(r, c), idx((r + 1) % rows, c)))
+    # deduplicate (wrap-around can duplicate on 2xK shapes, excluded above)
+    pairs = sorted({(min(a, b), max(a, b)) for a, b in pairs})
+    return _build(n, pairs, _rng(seed), weight_mode, weight_range, shuffle_ports)
+
+
+def caterpillar_graph(
+    spine: int,
+    legs_per_node: int = 2,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = False,
+) -> PortNumberedGraph:
+    """A caterpillar: a spine path with ``legs_per_node`` leaves per spine node.
+
+    Caterpillars give trees of large diameter with many degree-1 nodes,
+    a stress shape for the fragment machinery (deep ``T_F`` subtrees).
+    """
+    if spine < 1 or legs_per_node < 0:
+        raise ValueError("invalid caterpillar parameters")
+    pairs: List[Tuple[int, int]] = []
+    n = spine
+    for i in range(spine - 1):
+        pairs.append((i, i + 1))
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            pairs.append((i, n))
+            n += 1
+    return _build(n, pairs, _rng(seed), weight_mode, weight_range, shuffle_ports)
+
+
+# ---------------------------------------------------------------------- #
+# random topologies
+# ---------------------------------------------------------------------- #
+
+
+def random_spanning_tree_graph(
+    n: int,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = True,
+) -> PortNumberedGraph:
+    """A uniformly random labelled tree (random attachment) on ``n`` nodes."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = _rng(seed)
+    pairs: List[Tuple[int, int]] = []
+    for v in range(1, n):
+        u = int(rng.integers(0, v))
+        pairs.append((u, v))
+    return _build(n, pairs, rng, weight_mode, weight_range, shuffle_ports)
+
+
+def random_connected_graph(
+    n: int,
+    extra_edge_prob: float = 0.05,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = True,
+) -> PortNumberedGraph:
+    """A random connected graph: a random spanning tree plus G(n, p) extras.
+
+    This is the workhorse workload of the benchmark sweeps: connectivity
+    is guaranteed by construction (no rejection sampling), and the extra
+    edge probability controls the density.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 <= extra_edge_prob <= 1.0:
+        raise ValueError("extra_edge_prob must be a probability")
+    rng = _rng(seed)
+    tree_pairs = set()
+    for v in range(1, n):
+        u = int(rng.integers(0, v))
+        tree_pairs.add((min(u, v), max(u, v)))
+
+    pairs = set(tree_pairs)
+    if extra_edge_prob > 0.0 and n > 2:
+        # vectorised G(n, p) over the upper triangle
+        iu, iv = np.triu_indices(n, k=1)
+        mask = rng.random(iu.size) < extra_edge_prob
+        for u, v in zip(iu[mask], iv[mask]):
+            pairs.add((int(u), int(v)))
+    ordered = sorted(pairs)
+    return _build(n, ordered, rng, weight_mode, weight_range, shuffle_ports)
+
+
+def random_geometric_graph(
+    n: int,
+    radius: Optional[float] = None,
+    seed: Optional[int] = 0,
+    weight_mode: str = "euclidean",
+    weight_range: int = 100,
+    shuffle_ports: bool = True,
+) -> PortNumberedGraph:
+    """Random geometric graph on the unit square, made connected.
+
+    Nodes are dropped uniformly at random in ``[0, 1]^2``; two nodes are
+    joined when their Euclidean distance is below ``radius`` (default
+    ``sqrt(2 log n / n)``, the usual connectivity threshold).  Any
+    residual disconnection is repaired by joining each component to its
+    nearest neighbour outside the component.  With
+    ``weight_mode="euclidean"`` the edge weight is the distance — the
+    natural "sensor network" workload from the paper's motivation of
+    local computation.
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    rng = _rng(seed)
+    pts = rng.random((n, 2))
+    if radius is None:
+        radius = float(np.sqrt(2.0 * np.log(max(n, 2)) / n))
+
+    diff = pts[:, None, :] - pts[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    iu, iv = np.triu_indices(n, k=1)
+    close = dist[iu, iv] <= radius
+    pairs = {(int(u), int(v)) for u, v in zip(iu[close], iv[close])}
+
+    # repair connectivity: repeatedly join the first component to its
+    # geometrically nearest outside node.
+    def components(edge_pairs: set) -> List[List[int]]:
+        parent = list(range(n))
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for a, b in edge_pairs:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+        groups: Dict[int, List[int]] = {}
+        for v in range(n):
+            groups.setdefault(find(v), []).append(v)
+        return list(groups.values())
+
+    comps = components(pairs)
+    while len(comps) > 1:
+        comp = comps[0]
+        inside = np.zeros(n, dtype=bool)
+        inside[comp] = True
+        # nearest pair between comp and the rest
+        outside = np.nonzero(~inside)[0]
+        block = dist[np.ix_(comp, outside)]
+        k = int(np.argmin(block))
+        a = comp[k // len(outside)]
+        b = int(outside[k % len(outside)])
+        pairs.add((min(a, b), max(a, b)))
+        comps = components(pairs)
+
+    ordered = sorted(pairs)
+    if weight_mode == "euclidean":
+        weights = [float(dist[u, v]) for u, v in ordered]
+        return _build(n, ordered, rng, "distinct", weight_range, shuffle_ports, weights)
+    return _build(n, ordered, rng, weight_mode, weight_range, shuffle_ports)

@@ -1,0 +1,99 @@
+"""Serialisation of port-numbered graphs.
+
+Two formats are supported:
+
+* a JSON document that round-trips the full structure (node ids, edges,
+  weights and the exact port wiring), used to archive benchmark
+  instances; and
+* a plain weighted edge-list text format (``u v w`` per line) that loses
+  the port wiring (ports are re-assigned in input order on load), handy
+  for interoperability with external tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+__all__ = [
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+    "to_edge_list_text",
+    "from_edge_list_text",
+]
+
+PathLike = Union[str, Path]
+
+
+def to_json(graph: PortNumberedGraph) -> str:
+    """Serialise ``graph`` (including port wiring) to a JSON string."""
+    doc = {
+        "format": "repro.port_numbered_graph",
+        "version": 1,
+        "n": graph.n,
+        "node_ids": [int(x) for x in graph.node_ids],
+        "edges": [
+            {
+                "u": int(graph.edge_u[e]),
+                "v": int(graph.edge_v[e]),
+                "w": float(graph.edge_w[e]),
+                "port_u": int(graph.edge_port_u[e]),
+                "port_v": int(graph.edge_port_v[e]),
+            }
+            for e in range(graph.m)
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def from_json(text: str) -> PortNumberedGraph:
+    """Inverse of :func:`to_json`."""
+    doc = json.loads(text)
+    if doc.get("format") != "repro.port_numbered_graph":
+        raise ValueError("not a repro graph JSON document")
+    n = int(doc["n"])
+    edges = [(e["u"], e["v"], e["w"]) for e in doc["edges"]]
+
+    # rebuild the port permutation per node from the stored ports
+    positions: Dict[int, List[int]] = {u: [] for u in range(n)}
+    for e in doc["edges"]:
+        positions[e["u"]].append(int(e["port_u"]))
+        positions[e["v"]].append(int(e["port_v"]))
+    port_perms = {u: perm for u, perm in positions.items() if perm}
+    return PortNumberedGraph(
+        n, edges, node_ids=doc.get("node_ids"), port_permutations=port_perms
+    )
+
+
+def save_json(graph: PortNumberedGraph, path: PathLike) -> None:
+    """Write :func:`to_json` output to ``path``."""
+    Path(path).write_text(to_json(graph))
+
+
+def load_json(path: PathLike) -> PortNumberedGraph:
+    """Read a graph previously written by :func:`save_json`."""
+    return from_json(Path(path).read_text())
+
+
+def to_edge_list_text(graph: PortNumberedGraph) -> str:
+    """Plain ``u v w`` edge-list text (port wiring is not preserved)."""
+    lines = [f"{graph.n}"]
+    for u, v, w in graph.edge_list():
+        lines.append(f"{u} {v} {w!r}")
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list_text(text: str) -> PortNumberedGraph:
+    """Inverse of :func:`to_edge_list_text` (ports assigned in input order)."""
+    lines = [ln for ln in text.strip().splitlines() if ln.strip()]
+    n = int(lines[0])
+    edges = []
+    for ln in lines[1:]:
+        a, b, w = ln.split()
+        edges.append((int(a), int(b), float(w)))
+    return PortNumberedGraph(n, edges)

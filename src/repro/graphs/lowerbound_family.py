@@ -1,0 +1,352 @@
+"""The Theorem-1 lower-bound family ``G_n`` (Figure 1 of the paper).
+
+``G_n`` consists of two copies ``A_h`` and ``B_h`` of the complete graph
+``K_h`` (the paper writes ``n`` for what we call ``h`` here; the graph
+has ``2h`` nodes), with distinguished Hamiltonian paths — the *spines*
+``u_1, ..., u_h`` and ``v_1, ..., v_h`` — joined by the bridge edge
+``{u_1, v_1}`` of weight 0.
+
+Weights are organised in *classes*: for a positive integer ``omega`` the
+class-``i`` range is ``[a_i, b_i]`` with ``a_i = omega^2 - (i+1) omega + 1``
+and ``b_i = omega^2 - i omega`` (so higher classes hold strictly smaller
+weights).  The spine edge ``{u_i, u_{i-1}}`` and the chords
+``{u_i, u_j}`` with ``j >= i + 2`` draw their weight from class ``i``'s
+range.  For every admissible assignment the unique MST of ``G_n`` is the
+spine path ``u_h, ..., u_1, v_1, ..., v_h`` — this is what makes the
+family a fooling family for 0-round advising schemes: node ``u_i`` must
+point at ``u_{i-1}`` among its ``h - i`` locally indistinguishable
+class-``i`` ports.
+
+Besides the plain construction, this module builds the *fooling
+variants* used by :mod:`repro.core.lower_bound`: for a chosen node
+``u_i`` it produces ``h - i`` instances whose local view at ``u_i`` is
+bit-for-bit identical while the correct parent port differs (deviation
+D4 in DESIGN.md — the paper permutes weights cyclically; we permute the
+adversarially-chosen port wiring, which is the formalisation that makes
+the pigeonhole argument airtight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+__all__ = [
+    "LowerBoundInstance",
+    "FoolingVariant",
+    "build_gn",
+    "fooling_family",
+    "spine_edges",
+    "weight_class_bounds",
+    "edge_class",
+    "average_advice_lower_bound_bits",
+]
+
+
+def weight_class_bounds(i: int, omega: int) -> Tuple[int, int]:
+    """The class-``i`` weight range ``[a_i, b_i]`` of the paper."""
+    if i < 1:
+        raise ValueError("classes are indexed from 1")
+    if omega < 2:
+        raise ValueError("omega must be at least 2")
+    a_i = omega * omega - (i + 1) * omega + 1
+    b_i = omega * omega - i * omega
+    return a_i, b_i
+
+
+def edge_class(i: int, j: int) -> int:
+    """Weight class of the clique edge ``{u_i, u_j}`` (1-based spine positions).
+
+    The spine edge ``{u_{c-1}, u_c}`` belongs to class ``c``; a chord
+    ``{u_i, u_j}`` with ``j >= i + 2`` belongs to class ``i`` (the lower
+    endpoint).
+    """
+    if i == j:
+        raise ValueError("no self loops in G_n")
+    lo, hi = min(i, j), max(i, j)
+    return hi if hi == lo + 1 else lo
+
+
+def spine_edges(h: int) -> List[Tuple[int, int]]:
+    """Node-index pairs of the unique MST of ``G_n`` (the spine path + bridge).
+
+    Node indexing convention: ``u_i -> i - 1`` and ``v_i -> h + i - 1``
+    for ``i = 1 .. h``.
+    """
+    edges: List[Tuple[int, int]] = [(0, h)]  # the bridge {u_1, v_1}
+    for i in range(1, h):
+        edges.append((i - 1, i))          # {u_i, u_{i+1}}
+        edges.append((h + i - 1, h + i))  # {v_i, v_{i+1}}
+    return edges
+
+
+def average_advice_lower_bound_bits(h: int) -> float:
+    """The paper's Theorem-1 accounting: ``(1 / 2h) * sum_{i=2}^{h-1} log2(h - i)``.
+
+    Any correct ``(m, 0)``-advising scheme must give node ``u_i`` at
+    least ``log2(h - i)`` bits, hence this value lower-bounds the
+    achievable *average* advice length on ``G_n`` (which has ``2h``
+    nodes).  It grows as ``Theta(log h)``.
+    """
+    if h < 3:
+        return 0.0
+    total = sum(np.log2(h - i) for i in range(2, h) if h - i >= 1)
+    return float(total) / (2.0 * h)
+
+
+@dataclass(frozen=True)
+class LowerBoundInstance:
+    """A concrete weighted/port-numbered instance of the family ``G_n``."""
+
+    graph: PortNumberedGraph
+    h: int
+    omega: int
+    policy: str
+    #: node index of ``u_i`` for ``i = 1..h``
+    u_nodes: Tuple[int, ...] = field(repr=False, default=())
+    #: node index of ``v_i`` for ``i = 1..h``
+    v_nodes: Tuple[int, ...] = field(repr=False, default=())
+
+    def u(self, i: int) -> int:
+        """Node index of spine node ``u_i`` (1-based)."""
+        return self.u_nodes[i - 1]
+
+    def v(self, i: int) -> int:
+        """Node index of spine node ``v_i`` (1-based)."""
+        return self.v_nodes[i - 1]
+
+    def expected_mst_edge_ids(self) -> List[int]:
+        """Edge ids of the unique MST (the spine path plus the bridge)."""
+        ids = []
+        for a, b in spine_edges(self.h):
+            ref = self.graph.edge_between(a, b)
+            assert ref is not None
+            ids.append(ref.edge_id)
+        return sorted(ids)
+
+
+@dataclass(frozen=True)
+class FoolingVariant:
+    """One member of the Theorem-1 fooling family for a target node ``u_i``.
+
+    All variants produced by :func:`fooling_family` share the *same*
+    local view at ``target_node`` but have a *different*
+    ``correct_parent_port`` — the port of the unique MST edge
+    ``{u_i, u_{i-1}}``.
+    """
+
+    instance: LowerBoundInstance
+    target_node: int
+    correct_parent_port: int
+    shift: int
+
+
+def _gn_edge_pairs(h: int) -> List[Tuple[int, int]]:
+    """All edges of ``G_n`` in a fixed canonical input order."""
+    pairs: List[Tuple[int, int]] = [(0, h)]  # bridge first
+    # clique A on u_1..u_h (indices 0..h-1)
+    for i in range(1, h + 1):
+        for j in range(i + 1, h + 1):
+            pairs.append((i - 1, j - 1))
+    # clique B on v_1..v_h (indices h..2h-1)
+    for i in range(1, h + 1):
+        for j in range(i + 1, h + 1):
+            pairs.append((h + i - 1, h + j - 1))
+    return pairs
+
+
+def _default_weights(
+    h: int,
+    omega: int,
+    policy: str,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Weights for the canonical edge order of :func:`_gn_edge_pairs`."""
+    pairs = _gn_edge_pairs(h)
+    weights: List[float] = []
+    # counters so that the "distinct" policy never reuses a value in a class
+    next_in_class: Dict[int, int] = {}
+    for k, (a, b) in enumerate(pairs):
+        if k == 0:
+            weights.append(0.0)  # the bridge
+            continue
+        # recover 1-based spine positions of the endpoints within their clique
+        if a < h:
+            i, j = a + 1, b + 1
+        else:
+            i, j = a - h + 1, b - h + 1
+        cls = edge_class(i, j)
+        lo, hi = weight_class_bounds(cls, omega)
+        if policy == "low":
+            weights.append(float(lo))
+        elif policy == "random":
+            weights.append(float(rng.integers(lo, hi + 1)))
+        elif policy == "distinct":
+            offset = next_in_class.get(cls, 0)
+            if lo + offset > hi:
+                raise ValueError(
+                    f"omega={omega} too small for distinct weights in class {cls}"
+                )
+            weights.append(float(lo + offset))
+            next_in_class[cls] = offset + 1
+        else:
+            raise ValueError(f"unknown weight policy {policy!r}")
+    return weights
+
+
+def build_gn(
+    h: int,
+    omega: Optional[int] = None,
+    policy: str = "distinct",
+    seed: Optional[int] = 0,
+) -> LowerBoundInstance:
+    """Build one instance of the family ``G_n`` on ``2h`` nodes.
+
+    Parameters
+    ----------
+    h:
+        Number of nodes per clique (the paper's ``n``); the graph has
+        ``2h`` nodes.
+    omega:
+        Width parameter of the weight classes.  Defaults to ``2h + 2``,
+        which is large enough for the ``"distinct"`` policy.
+    policy:
+        ``"distinct"`` (pairwise distinct weights, default), ``"low"``
+        (every class-``i`` edge gets ``a_i``; duplicates on purpose) or
+        ``"random"`` (random integer in the class range).
+    """
+    if h < 2:
+        raise ValueError("G_n needs at least 2 nodes per clique")
+    if omega is None:
+        omega = 2 * h + 2
+    a_last, _ = weight_class_bounds(h, omega)
+    if a_last <= 0:
+        raise ValueError("omega too small: class ranges must stay positive")
+    rng = np.random.default_rng(seed)
+    pairs = _gn_edge_pairs(h)
+    weights = _default_weights(h, omega, policy, rng)
+    edges = [(a, b, w) for (a, b), w in zip(pairs, weights)]
+    graph = PortNumberedGraph(2 * h, edges)
+    return LowerBoundInstance(
+        graph=graph,
+        h=h,
+        omega=omega,
+        policy=policy,
+        u_nodes=tuple(range(h)),
+        v_nodes=tuple(range(h, 2 * h)),
+    )
+
+
+def fooling_family(
+    h: int,
+    i: int,
+    omega: Optional[int] = None,
+    seed: Optional[int] = 0,
+) -> List[FoolingVariant]:
+    """The Theorem-1 fooling family for spine node ``u_i``.
+
+    Returns ``h - i`` instances of ``G_n`` such that
+
+    * the local view of ``u_i`` (degree and weight behind every port) is
+      identical in all of them, and
+    * the port of the unique MST edge ``{u_i, u_{i-1}}`` — the output
+      ``u_i`` must produce — is different in every instance.
+
+    Consequently no 0-round algorithm can be correct on the whole family
+    unless the oracle hands ``u_i`` at least ``log2(h - i)`` bits of
+    advice, which is the pigeonhole step of Theorem 1.
+
+    Parameters
+    ----------
+    h, omega, seed:
+        As in :func:`build_gn`.
+    i:
+        Spine position of the target node, ``2 <= i <= h - 1``.
+    """
+    if not 2 <= i <= h - 1:
+        raise ValueError("the fooling argument targets u_i with 2 <= i <= h - 1")
+    if omega is None:
+        omega = 2 * h + 2
+    base = build_gn(h, omega=omega, policy="distinct", seed=seed)
+    graph = base.graph
+    target = base.u(i)
+
+    # class-i edges incident to u_i: the spine edge to u_{i-1} and the
+    # chords to u_j for j >= i + 2.
+    class_i_neighbors: List[int] = [base.u(i - 1)]
+    class_i_neighbors.extend(base.u(j) for j in range(i + 2, h + 1))
+    s = len(class_i_neighbors)
+    assert s == h - i
+
+    # fixed, distinct class-i weights (the port -> weight map of u_i that
+    # stays constant across variants)
+    lo, hi = weight_class_bounds(i, omega)
+    if hi - lo + 1 < s:
+        raise ValueError("omega too small for the fooling family")
+    fixed_weights = [float(lo + t) for t in range(s)]
+
+    # incident-input-order positions of the class-i edges at u_i, and the
+    # neighbour each position is wired to under the default assignment.
+    positions: List[int] = []
+    neighbors_at_position: List[int] = []
+    pos = 0
+    for eid in range(graph.m):
+        a, b = int(graph.edge_u[eid]), int(graph.edge_v[eid])
+        if target not in (a, b):
+            continue
+        other = b if a == target else a
+        if other in class_i_neighbors:
+            positions.append(pos)
+            neighbors_at_position.append(other)
+        pos += 1
+    assert len(positions) == s
+
+    pairs = _gn_edge_pairs(h)
+    base_weights = _default_weights(h, omega, "distinct", np.random.default_rng(seed))
+
+    variants: List[FoolingVariant] = []
+    for k in range(s):
+        # In variant k, the class-i edge at input position positions[t]
+        # (wired to neighbour neighbors_at_position[t]) is assigned the
+        # port positions[(t + k) % s] and the weight
+        # fixed_weights[(t + k) % s], so that port positions[r] always
+        # carries weight fixed_weights[r]: the view at u_i is constant.
+        weights = list(base_weights)
+        perm = list(range(graph.degree(target)))
+        eid_of_position: Dict[int, int] = {}
+        pos = 0
+        for eid in range(graph.m):
+            a, b = int(graph.edge_u[eid]), int(graph.edge_v[eid])
+            if target not in (a, b):
+                continue
+            eid_of_position[pos] = eid
+            pos += 1
+        for t in range(s):
+            r = (t + k) % s
+            perm[positions[t]] = positions[r]
+            weights[eid_of_position[positions[t]]] = fixed_weights[r]
+        edges = [(a, b, w) for (a, b), w in zip(pairs, weights)]
+        g = PortNumberedGraph(2 * h, edges, port_permutations={target: perm})
+        inst = LowerBoundInstance(
+            graph=g,
+            h=h,
+            omega=omega,
+            policy="fooling",
+            u_nodes=tuple(range(h)),
+            v_nodes=tuple(range(h, 2 * h)),
+        )
+        ref = g.edge_between(target, base.u(i - 1))
+        assert ref is not None
+        variants.append(
+            FoolingVariant(
+                instance=inst,
+                target_node=target,
+                correct_parent_port=ref.endpoint_port(target),
+                shift=k,
+            )
+        )
+    return variants

@@ -1,0 +1,542 @@
+"""Port-numbered, edge-weighted graphs.
+
+This module implements the network model of Section 1 of the paper:
+
+* graphs are connected, simple (no self-loops, no parallel edges) and
+  edge-weighted;
+* every node ``u`` carries an identifier ``ID(u)`` (identifiers need not
+  be distinct);
+* the ``deg(u)`` edges incident to ``u`` are locally labelled by
+  ``deg(u)`` distinct *port numbers*; a node refers to an incident edge
+  only through its port number;
+* node ``u`` initially knows its identifier and the weight of each of
+  its incident edges, identified by its port number.  This initial
+  knowledge is captured by :class:`LocalView`.
+
+The representation is a structure of arrays (CSR adjacency backed by
+NumPy) so that the per-node rank computations used by the advising
+schemes — the ``index_u(e) = (x_u(e), y_u(e))`` order of the paper — are
+vectorised rather than per-edge Python loops.
+
+Port numbers are 0-based internally (``0 .. deg(u) - 1``); the paper
+uses 1-based ports, which only shifts reported numbers by one and never
+changes any bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "EdgeRef",
+    "LocalView",
+    "PortNumberedGraph",
+    "canonical_edge_key",
+]
+
+
+def canonical_edge_key(weight: float, edge_id: int) -> Tuple[float, int]:
+    """Globally consistent total order on edges.
+
+    Ties between equal-weight edges are broken by the canonical edge
+    identifier.  Using one single total order everywhere (Kruskal,
+    Borůvka, the oracles) guarantees that all components of the library
+    agree on *one* reference MST ``T*`` even when edge weights are not
+    pairwise distinct, and that fragment merges never create cycles.
+    """
+
+    return (float(weight), int(edge_id))
+
+
+@dataclass(frozen=True)
+class EdgeRef:
+    """A fully resolved reference to one edge of a :class:`PortNumberedGraph`."""
+
+    edge_id: int
+    u: int
+    v: int
+    weight: float
+    port_u: int
+    port_v: int
+
+    def endpoint_port(self, node: int) -> int:
+        """Port number of this edge at ``node`` (which must be an endpoint)."""
+        if node == self.u:
+            return self.port_u
+        if node == self.v:
+            return self.port_v
+        raise ValueError(f"node {node} is not an endpoint of edge {self.edge_id}")
+
+    def other_endpoint(self, node: int) -> int:
+        """The endpoint different from ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"node {node} is not an endpoint of edge {self.edge_id}")
+
+
+@dataclass(frozen=True)
+class LocalView:
+    """Everything a node knows about the network before any communication.
+
+    This is the *only* graph information a distributed algorithm (a
+    scheme decoder or a baseline) may read about a node: its identifier,
+    its degree, and the weight of the edge behind each port.  The
+    simulator hands a :class:`LocalView` to each node program; node
+    programs never see the :class:`PortNumberedGraph` itself.
+    """
+
+    node_id: int
+    degree: int
+    port_weights: Tuple[float, ...]
+
+    def weight(self, port: int) -> float:
+        """Weight of the incident edge behind ``port``."""
+        return self.port_weights[port]
+
+    def ports_by_weight_then_port(self) -> Tuple[int, ...]:
+        """Ports sorted by ``(weight, port)`` — the paper's ``index_u`` order."""
+        return tuple(sorted(range(self.degree), key=lambda p: (self.port_weights[p], p)))
+
+    def rank_of_port(self, port: int) -> int:
+        """1-based rank of ``port`` in the ``(weight, port)`` order."""
+        return self.ports_by_weight_then_port().index(port) + 1
+
+    def port_of_rank(self, rank: int) -> int:
+        """Inverse of :meth:`rank_of_port` (``rank`` is 1-based)."""
+        order = self.ports_by_weight_then_port()
+        if not 1 <= rank <= len(order):
+            raise ValueError(f"rank {rank} out of range 1..{len(order)}")
+        return order[rank - 1]
+
+    def index_pair_of_port(self, port: int) -> Tuple[int, int]:
+        """The paper's ``index_u(e) = (x_u(e), y_u(e))`` for the edge behind ``port``.
+
+        ``x_u(e)`` is 1 plus the number of incident edges of strictly
+        smaller weight; ``y_u(e)`` is 1 plus the number of incident edges
+        of equal weight and smaller port.
+        """
+        w = self.port_weights[port]
+        x = 1 + sum(1 for q in range(self.degree) if self.port_weights[q] < w)
+        y = 1 + sum(
+            1 for q in range(self.degree) if self.port_weights[q] == w and q < port
+        )
+        return (x, y)
+
+    def port_of_index_pair(self, x: int, y: int) -> int:
+        """Inverse of :meth:`index_pair_of_port`."""
+        for p in range(self.degree):
+            if self.index_pair_of_port(p) == (x, y):
+                return p
+        raise ValueError(f"no incident edge has index pair ({x}, {y})")
+
+
+class PortNumberedGraph:
+    """A connected, simple, port-numbered, edge-weighted graph.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Nodes are indexed ``0 .. n-1``; indices are a
+        *simulation-level* handle only — distributed algorithms never see
+        them, they only see :class:`LocalView` objects and port numbers.
+    edges:
+        Sequence of ``(u, v, w)`` triples.  Each unordered pair may
+        appear at most once, and ``u != v``.
+    node_ids:
+        Optional identifiers; default ``ID(u) = u``.  Identifiers need
+        not be distinct (the model allows duplicates).
+    port_permutations:
+        Optional explicit port assignment: a mapping ``node -> sequence``
+        where the ``k``-th incident edge of the node *in input edge
+        order* is wired to port ``sequence[k]``.  By default the ``k``-th
+        incident edge (in input order) gets port ``k``.
+    """
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def __init__(
+        self,
+        n: int,
+        edges: Sequence[Tuple[int, int, float]],
+        node_ids: Optional[Sequence[int]] = None,
+        port_permutations: Optional[Dict[int, Sequence[int]]] = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("graph must have at least one node")
+        self.n = int(n)
+        self.m = len(edges)
+
+        if node_ids is None:
+            self.node_ids = np.arange(self.n, dtype=np.int64)
+        else:
+            if len(node_ids) != self.n:
+                raise ValueError("node_ids must have length n")
+            self.node_ids = np.asarray(node_ids, dtype=np.int64)
+
+        edge_u = np.empty(self.m, dtype=np.int64)
+        edge_v = np.empty(self.m, dtype=np.int64)
+        edge_w = np.empty(self.m, dtype=np.float64)
+        seen: set = set()
+        for eid, (u, v, w) in enumerate(edges):
+            u = int(u)
+            v = int(v)
+            if u == v:
+                raise ValueError(f"self-loop at node {u} is not allowed")
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise ValueError(f"edge ({u}, {v}) references a node out of range")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise ValueError(f"parallel edge {key} is not allowed")
+            seen.add(key)
+            edge_u[eid] = u
+            edge_v[eid] = v
+            edge_w[eid] = float(w)
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self.edge_w = edge_w
+
+        # degree and CSR offsets
+        degrees = np.zeros(self.n, dtype=np.int64)
+        np.add.at(degrees, edge_u, 1)
+        np.add.at(degrees, edge_v, 1)
+        self._degrees = degrees
+        offsets = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
+        self._offsets = offsets
+
+        # port assignment: default is input-edge order per node
+        twice_m = 2 * self.m
+        adj_neighbor = np.full(twice_m, -1, dtype=np.int64)
+        adj_weight = np.zeros(twice_m, dtype=np.float64)
+        adj_edge = np.full(twice_m, -1, dtype=np.int64)
+        adj_rev_port = np.full(twice_m, -1, dtype=np.int64)
+        edge_port_u = np.full(self.m, -1, dtype=np.int64)
+        edge_port_v = np.full(self.m, -1, dtype=np.int64)
+
+        next_slot = np.zeros(self.n, dtype=np.int64)
+
+        def _next_port(node: int) -> int:
+            k = int(next_slot[node])
+            next_slot[node] += 1
+            if port_permutations is not None and node in port_permutations:
+                perm = port_permutations[node]
+                return int(perm[k])
+            return k
+
+        for eid in range(self.m):
+            u = int(edge_u[eid])
+            v = int(edge_v[eid])
+            pu = _next_port(u)
+            pv = _next_port(v)
+            if not (0 <= pu < degrees[u]) or not (0 <= pv < degrees[v]):
+                raise ValueError("port permutation assigns an out-of-range port")
+            su = int(offsets[u]) + pu
+            sv = int(offsets[v]) + pv
+            if adj_edge[su] != -1 or adj_edge[sv] != -1:
+                raise ValueError("port permutation assigns the same port twice")
+            adj_neighbor[su] = v
+            adj_neighbor[sv] = u
+            adj_weight[su] = edge_w[eid]
+            adj_weight[sv] = edge_w[eid]
+            adj_edge[su] = eid
+            adj_edge[sv] = eid
+            adj_rev_port[su] = pv
+            adj_rev_port[sv] = pu
+            edge_port_u[eid] = pu
+            edge_port_v[eid] = pv
+
+        self._adj_neighbor = adj_neighbor
+        self._adj_weight = adj_weight
+        self._adj_edge = adj_edge
+        self._adj_rev_port = adj_rev_port
+        self.edge_port_u = edge_port_u
+        self.edge_port_v = edge_port_v
+
+        # lazily computed caches
+        self._rank_cache: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    def degree(self, u: int) -> int:
+        """Number of incident edges (= number of ports) of node ``u``."""
+        return int(self._degrees[u])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all node degrees."""
+        return self._degrees.copy()
+
+    def node_id(self, u: int) -> int:
+        """Identifier of node ``u``."""
+        return int(self.node_ids[u])
+
+    def ports(self, u: int) -> range:
+        """Iterable of the port numbers of node ``u``."""
+        return range(self.degree(u))
+
+    def _slot(self, u: int, port: int) -> int:
+        if not 0 <= port < self.degree(u):
+            raise ValueError(f"node {u} has no port {port}")
+        return int(self._offsets[u]) + port
+
+    def neighbor(self, u: int, port: int) -> int:
+        """Node index at the far end of the edge behind ``(u, port)``."""
+        return int(self._adj_neighbor[self._slot(u, port)])
+
+    def weight(self, u: int, port: int) -> float:
+        """Weight of the edge behind ``(u, port)``."""
+        return float(self._adj_weight[self._slot(u, port)])
+
+    def edge_id(self, u: int, port: int) -> int:
+        """Canonical edge identifier of the edge behind ``(u, port)``."""
+        return int(self._adj_edge[self._slot(u, port)])
+
+    def reverse_port(self, u: int, port: int) -> int:
+        """Port number of the same edge at the far endpoint."""
+        return int(self._adj_rev_port[self._slot(u, port)])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Array of neighbours of ``u``, indexed by port."""
+        lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
+        return self._adj_neighbor[lo:hi].copy()
+
+    def incident_weights(self, u: int) -> np.ndarray:
+        """Array of incident edge weights of ``u``, indexed by port."""
+        lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
+        return self._adj_weight[lo:hi].copy()
+
+    def incident_edge_ids(self, u: int) -> np.ndarray:
+        """Array of incident edge identifiers of ``u``, indexed by port."""
+        lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
+        return self._adj_edge[lo:hi].copy()
+
+    # ------------------------------------------------------------------ #
+    # edge-level queries
+    # ------------------------------------------------------------------ #
+
+    def edge(self, edge_id: int) -> EdgeRef:
+        """Fully resolved reference to edge ``edge_id``."""
+        if not 0 <= edge_id < self.m:
+            raise ValueError(f"edge id {edge_id} out of range")
+        return EdgeRef(
+            edge_id=edge_id,
+            u=int(self.edge_u[edge_id]),
+            v=int(self.edge_v[edge_id]),
+            weight=float(self.edge_w[edge_id]),
+            port_u=int(self.edge_port_u[edge_id]),
+            port_v=int(self.edge_port_v[edge_id]),
+        )
+
+    def edges(self) -> Iterator[EdgeRef]:
+        """Iterate over all edges as :class:`EdgeRef` objects."""
+        for eid in range(self.m):
+            yield self.edge(eid)
+
+    def edge_between(self, u: int, v: int) -> Optional[EdgeRef]:
+        """The edge joining ``u`` and ``v``, or ``None`` if there is none."""
+        if self.degree(u) > self.degree(v):
+            u, v = v, u
+        lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
+        hits = np.nonzero(self._adj_neighbor[lo:hi] == v)[0]
+        if hits.size == 0:
+            return None
+        return self.edge(int(self._adj_edge[lo + hits[0]]))
+
+    def port_of_edge(self, edge_id: int, node: int) -> int:
+        """Port number of edge ``edge_id`` at endpoint ``node``."""
+        return self.edge(edge_id).endpoint_port(node)
+
+    def edge_key(self, edge_id: int) -> Tuple[float, int]:
+        """Canonical ``(weight, edge_id)`` total-order key of an edge."""
+        return canonical_edge_key(self.edge_w[edge_id], edge_id)
+
+    def total_weight(self, edge_ids: Optional[Iterable[int]] = None) -> float:
+        """Sum of weights over ``edge_ids`` (all edges by default)."""
+        if edge_ids is None:
+            return float(self.edge_w.sum())
+        idx = np.fromiter((int(e) for e in edge_ids), dtype=np.int64)
+        if idx.size == 0:
+            return 0.0
+        return float(self.edge_w[idx].sum())
+
+    def has_distinct_weights(self) -> bool:
+        """``True`` iff all edge weights are pairwise distinct."""
+        return len(np.unique(self.edge_w)) == self.m
+
+    # ------------------------------------------------------------------ #
+    # the paper's index order at a node
+    # ------------------------------------------------------------------ #
+
+    def ports_by_index(self, u: int) -> Tuple[int, ...]:
+        """Ports of ``u`` sorted by ``(weight, port)`` — the ``index_u`` order.
+
+        This is the order in which the paper ranks the incident edges of
+        a node: primarily by increasing weight, secondarily by
+        increasing port number.  The result is cached.
+        """
+        cached = self._rank_cache.get(u)
+        if cached is not None:
+            return cached
+        lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
+        weights = self._adj_weight[lo:hi]
+        ports = np.arange(hi - lo)
+        order = np.lexsort((ports, weights))
+        result = tuple(int(p) for p in order)
+        self._rank_cache[u] = result
+        return result
+
+    def rank_of_port(self, u: int, port: int) -> int:
+        """1-based rank of ``(u, port)`` in the ``index_u`` order."""
+        return self.ports_by_index(u).index(port) + 1
+
+    def port_of_rank(self, u: int, rank: int) -> int:
+        """Inverse of :meth:`rank_of_port` (``rank`` is 1-based)."""
+        order = self.ports_by_index(u)
+        if not 1 <= rank <= len(order):
+            raise ValueError(f"rank {rank} out of range 1..{len(order)} at node {u}")
+        return order[rank - 1]
+
+    def index_pair(self, u: int, port: int) -> Tuple[int, int]:
+        """The paper's ``index_u(e) = (x_u(e), y_u(e))`` for the edge at ``(u, port)``."""
+        lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
+        weights = self._adj_weight[lo:hi]
+        w = weights[port]
+        x = 1 + int(np.count_nonzero(weights < w))
+        y = 1 + int(np.count_nonzero(weights[:port] == w))
+        return (x, y)
+
+    def port_of_index_pair(self, u: int, x: int, y: int) -> int:
+        """Inverse of :meth:`index_pair`."""
+        for p in self.ports(u):
+            if self.index_pair(u, p) == (x, y):
+                return p
+        raise ValueError(f"node {u} has no incident edge with index pair ({x}, {y})")
+
+    # ------------------------------------------------------------------ #
+    # local views and structural checks
+    # ------------------------------------------------------------------ #
+
+    def local_view(self, u: int) -> LocalView:
+        """The initial knowledge of node ``u`` (identifier, degree, port weights)."""
+        return LocalView(
+            node_id=self.node_id(u),
+            degree=self.degree(u),
+            port_weights=tuple(float(w) for w in self.incident_weights(u)),
+        )
+
+    def local_views(self) -> List[LocalView]:
+        """Local views of all nodes, indexed by node index."""
+        return [self.local_view(u) for u in range(self.n)]
+
+    def is_connected(self) -> bool:
+        """``True`` iff the graph is connected."""
+        if self.n == 1:
+            return True
+        seen = np.zeros(self.n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
+            for v in self._adj_neighbor[lo:hi]:
+                v = int(v)
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == self.n
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any structural invariant is violated."""
+        for u in range(self.n):
+            for p in self.ports(u):
+                v = self.neighbor(u, p)
+                q = self.reverse_port(u, p)
+                if self.neighbor(v, q) != u:
+                    raise ValueError(f"port wiring mismatch at ({u}, {p})")
+                if self.edge_id(u, p) != self.edge_id(v, q):
+                    raise ValueError(f"edge id mismatch at ({u}, {p})")
+                if self.weight(u, p) != self.weight(v, q):
+                    raise ValueError(f"weight mismatch at ({u}, {p})")
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+
+    def edge_list(self) -> List[Tuple[int, int, float]]:
+        """The ``(u, v, w)`` triples this graph was built from (canonical order)."""
+        return [
+            (int(self.edge_u[e]), int(self.edge_v[e]), float(self.edge_w[e]))
+            for e in range(self.m)
+        ]
+
+    def relabel_ports(self, port_permutations: Dict[int, Sequence[int]]) -> "PortNumberedGraph":
+        """Return a copy of this graph with different port assignments.
+
+        ``port_permutations[u][k]`` is the port given to the ``k``-th
+        incident edge of ``u`` in input-edge order.  Nodes not present in
+        the mapping keep the default assignment.  Used by the Theorem-1
+        fooling family, where the adversary controls the port labelling.
+        """
+        return PortNumberedGraph(
+            self.n,
+            self.edge_list(),
+            node_ids=self.node_ids,
+            port_permutations=port_permutations,
+        )
+
+    def reweight(self, new_weights: Sequence[float]) -> "PortNumberedGraph":
+        """Return a copy of this graph with edge ``e`` reweighted to ``new_weights[e]``.
+
+        The topology, node identifiers and port wiring are preserved,
+        which is exactly the kind of instance perturbation used in the
+        proof of Theorem 1.
+        """
+        if len(new_weights) != self.m:
+            raise ValueError("new_weights must have one entry per edge")
+        edges = [
+            (int(self.edge_u[e]), int(self.edge_v[e]), float(new_weights[e]))
+            for e in range(self.m)
+        ]
+        port_perms = {
+            u: self._port_permutation_of(u) for u in range(self.n)
+        }
+        return PortNumberedGraph(
+            self.n, edges, node_ids=self.node_ids, port_permutations=port_perms
+        )
+
+    def _port_permutation_of(self, u: int) -> List[int]:
+        """Recover the port permutation of ``u`` w.r.t. input edge order."""
+        perm = []
+        for eid in range(self.m):
+            if self.edge_u[eid] == u:
+                perm.append(int(self.edge_port_u[eid]))
+            elif self.edge_v[eid] == u:
+                perm.append(int(self.edge_port_v[eid]))
+        return perm
+
+    def to_networkx(self):  # pragma: no cover - convenience for interactive use
+        """Convert to a ``networkx.Graph`` (requires networkx)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        for e in self.edges():
+            g.add_edge(e.u, e.v, weight=e.weight, edge_id=e.edge_id)
+        return g
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PortNumberedGraph(n={self.n}, m={self.m})"

@@ -1,0 +1,309 @@
+"""The paper's Borůvka variant (Section 2.2) with full per-phase tracing.
+
+The construction proceeds in phases.  Before phase 1 every node is a
+singleton fragment.  At phase ``i`` only the fragments of size smaller
+than ``2^i`` are *active*; every active fragment selects its minimum
+outgoing edge (under the canonical ``(weight, edge_id)`` order, which
+subsumes the paper's "ties are broken using the port numbers, remaining
+ties arbitrarily" rule with one globally consistent choice), and all
+fragments connected by selected edges merge into one fragment for phase
+``i + 1``.  Lemma 1 of the paper: after phase ``i`` every fragment has
+at least ``2^i`` nodes, hence at most ``⌈log₂ n⌉`` phases are ever
+needed.
+
+Two entry points are provided:
+
+:func:`boruvka_mst`
+    Just the MST edge ids — an independent reference implementation used
+    to cross-check Kruskal and Prim.
+
+:func:`boruvka_trace`
+    The full :class:`BoruvkaTrace`: for every phase, the fragment
+    partition, the contracted fragment tree with its levels, and one
+    :class:`FragmentSelection` record per active fragment (choosing
+    node, selected edge, orientation, DFS position, ...).  The oracles
+    of ``repro.core`` are written directly against this trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.fragments import FragmentPartition, FragmentTree
+from repro.mst.rooted_tree import RootedSpanningTree, build_rooted_tree
+from repro.mst.union_find import UnionFind
+
+__all__ = [
+    "FragmentSelection",
+    "BoruvkaPhase",
+    "BoruvkaTrace",
+    "boruvka_mst",
+    "boruvka_trace",
+]
+
+
+@dataclass(frozen=True)
+class FragmentSelection:
+    """The edge selected by one active fragment at one phase."""
+
+    phase: int
+    fragment: int
+    fragment_size: int
+    choosing_node: int
+    selected_edge: int
+    port_at_choosing: int
+    weight: float
+    #: 1-based rank of the selected edge in the ``index`` order at the choosing node
+    rank_at_choosing: int
+    #: the paper's ``index_u(e) = (x_u, y_u)`` at the choosing node
+    index_pair: Tuple[int, int]
+    #: ``True`` iff the selected edge leads towards the global root at the choosing node
+    is_up: bool
+    target_node: int
+    target_fragment: int
+    level_of_fragment: int
+    level_of_target_fragment: int
+    #: 1-based position of the choosing node in the DFS preorder of ``T_F``
+    choosing_dfs_index: int
+
+
+@dataclass(frozen=True)
+class BoruvkaPhase:
+    """Everything that happened at one phase of the construction."""
+
+    index: int
+    partition: FragmentPartition
+    fragment_tree: FragmentTree
+    active: Tuple[int, ...]
+    selections: Tuple[FragmentSelection, ...]
+    #: de-duplicated edge ids selected at this phase
+    selected_edge_ids: Tuple[int, ...]
+
+    def selection_for_fragment(self, f: int) -> Optional[FragmentSelection]:
+        """The selection made by fragment ``f`` at this phase, if any."""
+        for sel in self.selections:
+            if sel.fragment == f:
+                return sel
+        return None
+
+
+@dataclass
+class BoruvkaTrace:
+    """The complete run of the paper's Borůvka variant on one instance."""
+
+    graph: PortNumberedGraph
+    root: int
+    tree: RootedSpanningTree
+    phases: List[BoruvkaPhase]
+
+    @property
+    def num_phases(self) -> int:
+        """Number of phases until a single fragment remained."""
+        return len(self.phases)
+
+    def phase(self, i: int) -> BoruvkaPhase:
+        """Phase ``i`` (1-based)."""
+        return self.phases[i - 1]
+
+    def selected_before_phase(self, i: int) -> List[int]:
+        """All edge ids selected strictly before phase ``i`` (1-based)."""
+        out: Set[int] = set()
+        for ph in self.phases[: i - 1]:
+            out.update(ph.selected_edge_ids)
+        return sorted(out)
+
+    def partition_before_phase(self, i: int) -> FragmentPartition:
+        """The fragment partition at the beginning of phase ``i`` (1-based).
+
+        For ``i`` beyond the last recorded phase this returns the
+        partition obtained after the final phase (which may still have
+        several fragments if the trace was truncated with
+        ``max_phases``).
+        """
+        if 1 <= i <= len(self.phases):
+            return self.phases[i - 1].partition
+        return FragmentPartition.from_selected_edges(
+            self.tree, self.selected_before_phase(len(self.phases) + 1)
+        )
+
+    def mst_edge_ids(self) -> List[int]:
+        """Edge ids of the MST produced by the run (the reference tree's edges)."""
+        return sorted(self.tree.edge_ids)
+
+
+# ---------------------------------------------------------------------- #
+# plain Borůvka (independent MST reference)
+# ---------------------------------------------------------------------- #
+
+
+def boruvka_mst(graph: PortNumberedGraph) -> List[int]:
+    """Edge ids of the reference MST computed by classic Borůvka.
+
+    All fragments (no active/passive distinction) select their minimum
+    outgoing edge under the canonical ``(weight, edge_id)`` order each
+    phase.  Because the order is a single global total order, the union
+    of the selections never contains a cycle and the result equals the
+    reference MST ``T*`` of Kruskal and Prim.
+    """
+    if not graph.is_connected():
+        raise ValueError("MST is undefined on a disconnected graph")
+    uf = UnionFind(graph.n)
+    tree: Set[int] = set()
+    order = np.lexsort((np.arange(graph.m), graph.edge_w))
+    while uf.component_count > 1:
+        best: Dict[int, int] = {}
+        for eid in order:
+            eid = int(eid)
+            ru = uf.find(int(graph.edge_u[eid]))
+            rv = uf.find(int(graph.edge_v[eid]))
+            if ru == rv:
+                continue
+            if ru not in best:
+                best[ru] = eid
+            if rv not in best:
+                best[rv] = eid
+        if not best:  # pragma: no cover - cannot happen on a connected graph
+            break
+        for eid in best.values():
+            # the same edge can be the minimum of both of its fragments; the
+            # second union is then a no-op and the edge is already in the tree
+            if uf.union(int(graph.edge_u[eid]), int(graph.edge_v[eid])):
+                tree.add(eid)
+    return sorted(tree)
+
+
+# ---------------------------------------------------------------------- #
+# the paper's variant, with tracing
+# ---------------------------------------------------------------------- #
+
+
+def boruvka_trace(
+    graph: PortNumberedGraph,
+    root: int = 0,
+    max_phases: Optional[int] = None,
+) -> BoruvkaTrace:
+    """Run the paper's active/passive Borůvka variant and record everything.
+
+    Parameters
+    ----------
+    graph:
+        The instance (must be connected).
+    root:
+        The node chosen as the root ``r`` of the resulting MST; the
+        up/down orientation of selected edges and the fragment levels are
+        defined relative to ``r``.
+    max_phases:
+        If given, stop recording after this many phases even if several
+        fragments remain (the Theorem-3 oracle only needs
+        ``⌈log₂ log₂ n⌉`` phases).  The reference MST and the rooted tree
+        are always computed from a full run.
+    """
+    if not graph.is_connected():
+        raise ValueError("MST is undefined on a disconnected graph")
+    if not 0 <= root < graph.n:
+        raise ValueError("root out of range")
+
+    order = np.lexsort((np.arange(graph.m), graph.edge_w))
+
+    # ---------- raw phase loop (membership + selections only) ----------
+    uf = UnionFind(graph.n)
+    raw_phases: List[Dict] = []
+    all_selected: Set[int] = set()
+    phase_index = 0
+    while uf.component_count > 1:
+        phase_index += 1
+        threshold = 1 << phase_index
+        reps = [uf.find(u) for u in range(graph.n)]
+        sizes: Dict[int, int] = {}
+        for rep in reps:
+            sizes[rep] = sizes.get(rep, 0) + 1
+        active_reps = {rep for rep, s in sizes.items() if s < threshold}
+
+        # first outgoing edge in canonical order, per active fragment
+        chosen: Dict[int, Tuple[int, int]] = {}  # rep -> (edge id, choosing node)
+        remaining = set(active_reps)
+        if remaining:
+            for eid in order:
+                if not remaining:
+                    break
+                eid = int(eid)
+                u, v = int(graph.edge_u[eid]), int(graph.edge_v[eid])
+                ru, rv = reps[u], reps[v]
+                if ru == rv:
+                    continue
+                if ru in remaining:
+                    chosen[ru] = (eid, u)
+                    remaining.discard(ru)
+                if rv in remaining:
+                    chosen[rv] = (eid, v)
+                    remaining.discard(rv)
+
+        new_edges = sorted({eid for eid, _ in chosen.values()})
+        raw_phases.append(
+            {
+                "index": phase_index,
+                "selected_before": sorted(all_selected),
+                "selections": dict(chosen),
+                "new_edges": new_edges,
+            }
+        )
+        for eid in new_edges:
+            uf.union(int(graph.edge_u[eid]), int(graph.edge_v[eid]))
+            all_selected.add(eid)
+        if phase_index > graph.n:  # pragma: no cover - safety net
+            raise RuntimeError("Borůvka did not converge")
+
+    mst_edges = sorted(all_selected)
+    if len(mst_edges) != graph.n - 1:  # pragma: no cover - internal invariant
+        raise RuntimeError("Borůvka produced a non-spanning edge set")
+    tree = build_rooted_tree(graph, mst_edges, root=root)
+
+    # ---------- annotate phases ----------
+    phases: List[BoruvkaPhase] = []
+    limit = len(raw_phases) if max_phases is None else min(max_phases, len(raw_phases))
+    for raw in raw_phases[:limit]:
+        i = raw["index"]
+        partition = FragmentPartition.from_selected_edges(tree, raw["selected_before"])
+        ftree = partition.fragment_tree()
+        active = tuple(partition.active_fragments(i))
+        selections: List[FragmentSelection] = []
+        for _rep, (eid, choosing) in sorted(raw["selections"].items()):
+            f = partition.fragment_of[choosing]
+            ref = graph.edge(eid)
+            target = ref.other_endpoint(choosing)
+            port = ref.endpoint_port(choosing)
+            selections.append(
+                FragmentSelection(
+                    phase=i,
+                    fragment=f,
+                    fragment_size=partition.size(f),
+                    choosing_node=choosing,
+                    selected_edge=eid,
+                    port_at_choosing=port,
+                    weight=ref.weight,
+                    rank_at_choosing=graph.rank_of_port(choosing, port),
+                    index_pair=graph.index_pair(choosing, port),
+                    is_up=tree.parent_edge[choosing] == eid,
+                    target_node=target,
+                    target_fragment=partition.fragment_of[target],
+                    level_of_fragment=ftree.level(f),
+                    level_of_target_fragment=ftree.level(partition.fragment_of[target]),
+                    choosing_dfs_index=partition.dfs_preorder(f).index(choosing) + 1,
+                )
+            )
+        phases.append(
+            BoruvkaPhase(
+                index=i,
+                partition=partition,
+                fragment_tree=ftree,
+                active=active,
+                selections=tuple(selections),
+                selected_edge_ids=tuple(raw["new_edges"]),
+            )
+        )
+
+    return BoruvkaTrace(graph=graph, root=root, tree=tree, phases=phases)

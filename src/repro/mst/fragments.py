@@ -1,0 +1,237 @@
+"""Fragment partitions and the contracted fragment tree of Section 2.2.
+
+During Borůvka's algorithm the node set is partitioned into *fragments*;
+each fragment ``F`` induces a subtree ``T_F`` of the reference MST ``T``
+(rooted at ``r_F``, the node of ``F`` closest to the global root ``r``),
+and contracting every fragment yields the *tree of fragments* ``T_i``
+whose root is the fragment containing ``r``.  The paper assigns every
+fragment a *level*: the parity of the depth of its contracted node in
+``T_i``.
+
+:class:`FragmentPartition` captures one such partition (derived from the
+set of MST edges selected so far), and :class:`FragmentTree` captures
+the contracted rooted tree with its levels.  Both are *oracle-side*
+objects: the advising schemes use them to decide what advice to write,
+and the test-suite uses them to check the structural lemmas of the paper
+(Lemma 1, Lemma 2, the level parity of selected edges, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.rooted_tree import RootedSpanningTree
+from repro.mst.union_find import UnionFind
+
+__all__ = ["FragmentPartition", "FragmentTree"]
+
+
+@dataclass(frozen=True)
+class FragmentPartition:
+    """A partition of the nodes into fragments, relative to a rooted MST.
+
+    Fragments are the connected components of the *selected* MST edges;
+    every fragment is therefore a connected subtree of the reference
+    tree.  Fragment indices are assigned in increasing order of the
+    smallest member node, which makes them deterministic.
+    """
+
+    tree: RootedSpanningTree
+    #: fragment index of every node
+    fragment_of: Tuple[int, ...]
+    #: members of every fragment, sorted
+    members: Tuple[Tuple[int, ...], ...]
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def from_selected_edges(
+        tree: RootedSpanningTree, selected_edge_ids: Iterable[int]
+    ) -> "FragmentPartition":
+        """Partition induced by the connected components of ``selected_edge_ids``.
+
+        Every selected edge must be an edge of ``tree`` (fragments are
+        always unions of MST subtrees).
+        """
+        graph = tree.graph
+        tree_edges = set(tree.edge_ids)
+        uf = UnionFind(graph.n)
+        for eid in selected_edge_ids:
+            eid = int(eid)
+            if eid not in tree_edges:
+                raise ValueError(f"edge {eid} is not an edge of the reference MST")
+            ref = graph.edge(eid)
+            uf.union(ref.u, ref.v)
+
+        groups = uf.components()
+        groups.sort(key=lambda g: g[0])
+        fragment_of = [0] * graph.n
+        for f, group in enumerate(groups):
+            for u in group:
+                fragment_of[u] = f
+        return FragmentPartition(
+            tree=tree,
+            fragment_of=tuple(fragment_of),
+            members=tuple(tuple(g) for g in groups),
+        )
+
+    @staticmethod
+    def singletons(tree: RootedSpanningTree) -> "FragmentPartition":
+        """The initial partition: every node is its own fragment."""
+        return FragmentPartition.from_selected_edges(tree, [])
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_fragments(self) -> int:
+        """Number of fragments."""
+        return len(self.members)
+
+    def fragment_of_node(self, u: int) -> int:
+        """Fragment index of node ``u``."""
+        return self.fragment_of[u]
+
+    def size(self, f: int) -> int:
+        """Number of nodes of fragment ``f``."""
+        return len(self.members[f])
+
+    def sizes(self) -> List[int]:
+        """Sizes of all fragments."""
+        return [len(m) for m in self.members]
+
+    def root_of(self, f: int) -> int:
+        """``r_F``: the node of fragment ``f`` closest (in the MST) to the global root."""
+        return min(self.members[f], key=lambda u: (self.tree.depth[u], u))
+
+    def active_fragments(self, phase: int) -> List[int]:
+        """Fragments that are *active* at ``phase`` (``|F| < 2^phase``)."""
+        threshold = 1 << phase
+        return [f for f in range(self.num_fragments) if self.size(f) < threshold]
+
+    def internal_edge_ids(self, f: int) -> List[int]:
+        """MST edges with both endpoints inside fragment ``f`` (the edges of ``T_F``)."""
+        member_set = set(self.members[f])
+        graph = self.tree.graph
+        out = []
+        for eid in self.tree.edge_ids:
+            ref = graph.edge(eid)
+            if ref.u in member_set and ref.v in member_set:
+                out.append(eid)
+        return sorted(out)
+
+    def parent_in_fragment(self, u: int) -> Optional[int]:
+        """Parent of ``u`` inside its fragment subtree ``T_F`` (``None`` for ``r_F``)."""
+        p = self.tree.parent[u]
+        if p < 0 or self.fragment_of[p] != self.fragment_of[u]:
+            return None
+        return p
+
+    def children_in_fragment(self, u: int) -> List[int]:
+        """Children of ``u`` inside ``T_F``, ordered by edge index at ``u``."""
+        f = self.fragment_of[u]
+        return [v for v in self.tree.children(u) if self.fragment_of[v] == f]
+
+    def depth_in_fragment(self, u: int) -> int:
+        """Depth of ``u`` within its fragment subtree ``T_F``."""
+        r = self.root_of(self.fragment_of[u])
+        return self.tree.depth[u] - self.tree.depth[r]
+
+    def dfs_preorder(self, f: int) -> List[int]:
+        """DFS preorder of ``T_F`` from ``r_F``, children in edge-index order.
+
+        This is the canonical ordering along which the Theorem-3 oracle
+        distributes the fragment advice ``A(F)`` over the nodes of ``F``
+        (deviation D6 in DESIGN.md: DFS preorder instead of BFS; the
+        ``j``-th node in preorder is at depth at most ``j - 1``, so every
+        round bound of the paper is preserved).
+        """
+        order: List[int] = []
+        stack = [self.root_of(f)]
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            stack.extend(reversed(self.children_in_fragment(u)))
+        return order
+
+    def fragment_diameter_bound(self, f: int) -> int:
+        """Maximum depth of ``T_F`` — an upper bound used for round budgeting."""
+        return max(self.depth_in_fragment(u) for u in self.members[f])
+
+    # ------------------------------------------------------------------ #
+    # contraction
+    # ------------------------------------------------------------------ #
+
+    def fragment_tree(self) -> "FragmentTree":
+        """Contract every fragment and root the result at the root's fragment."""
+        tree = self.tree
+        graph = tree.graph
+        k = self.num_fragments
+        parent_fragment = [-1] * k
+        connecting_edge = [-1] * k
+        for f in range(k):
+            r_f = self.root_of(f)
+            p = tree.parent[r_f]
+            if p < 0:
+                continue  # the fragment containing the global root
+            parent_fragment[f] = self.fragment_of[p]
+            connecting_edge[f] = tree.parent_edge[r_f]
+
+        # depths in the contracted tree
+        depth = [-1] * k
+        root_fragment = self.fragment_of[tree.root]
+        depth[root_fragment] = 0
+        # fragments ordered by the MST depth of their root are topologically
+        # sorted w.r.t. the contracted parent relation
+        order = sorted(range(k), key=lambda f: tree.depth[self.root_of(f)])
+        for f in order:
+            if f == root_fragment:
+                continue
+            depth[f] = depth[parent_fragment[f]] + 1
+        return FragmentTree(
+            partition=self,
+            root_fragment=root_fragment,
+            parent_fragment=tuple(parent_fragment),
+            connecting_edge=tuple(connecting_edge),
+            depth=tuple(depth),
+        )
+
+
+@dataclass(frozen=True)
+class FragmentTree:
+    """The contracted, rooted "tree of fragments" ``T_i`` with its levels."""
+
+    partition: FragmentPartition
+    root_fragment: int
+    #: parent fragment of every fragment (``-1`` for the root fragment)
+    parent_fragment: Tuple[int, ...]
+    #: MST edge id connecting a fragment's root ``r_F`` to its parent fragment
+    connecting_edge: Tuple[int, ...]
+    #: depth of every fragment in the contracted tree
+    depth: Tuple[int, ...]
+
+    @property
+    def num_fragments(self) -> int:
+        """Number of fragments (nodes of the contracted tree)."""
+        return len(self.parent_fragment)
+
+    def level(self, f: int) -> int:
+        """The paper's fragment level: parity of the contracted depth (0 or 1)."""
+        return self.depth[f] % 2
+
+    def level_of_node(self, u: int) -> int:
+        """Level of the fragment containing node ``u``."""
+        return self.level(self.partition.fragment_of[u])
+
+    def children_fragments(self, f: int) -> List[int]:
+        """Fragments whose parent is ``f``."""
+        return [g for g in range(self.num_fragments) if self.parent_fragment[g] == f]
+
+    def are_adjacent(self, f: int, g: int) -> bool:
+        """``True`` iff ``f`` and ``g`` are joined by an MST edge (parent/child)."""
+        return self.parent_fragment[f] == g or self.parent_fragment[g] == f

@@ -1,0 +1,38 @@
+"""Kruskal's algorithm under the canonical ``(weight, edge_id)`` order.
+
+The returned edge set is the library's reference MST ``T*``: because all
+edges are compared under one global total order, the result is unique
+even when edge weights are duplicated, and it coincides with the output
+of :func:`repro.mst.boruvka.boruvka_mst` and :func:`repro.mst.prim.prim_mst`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.union_find import UnionFind
+
+__all__ = ["kruskal_mst"]
+
+
+def kruskal_mst(graph: PortNumberedGraph) -> List[int]:
+    """Edge ids of the reference MST ``T*`` of ``graph``.
+
+    Raises ``ValueError`` if the graph is not connected (the paper's
+    model only considers connected networks).
+    """
+    if not graph.is_connected():
+        raise ValueError("MST is undefined on a disconnected graph")
+    order = np.lexsort((np.arange(graph.m), graph.edge_w))
+    uf = UnionFind(graph.n)
+    tree: List[int] = []
+    for eid in order:
+        eid = int(eid)
+        if uf.union(int(graph.edge_u[eid]), int(graph.edge_v[eid])):
+            tree.append(eid)
+            if len(tree) == graph.n - 1:
+                break
+    return sorted(tree)

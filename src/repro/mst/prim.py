@@ -1,0 +1,44 @@
+"""Prim's algorithm under the canonical ``(weight, edge_id)`` order.
+
+Provided as an independent sequential reference: the test suite checks
+that Prim, Kruskal and Borůvka all return exactly the same edge set (the
+reference MST ``T*``) on every instance, which is a strong cross-check
+of the canonical tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+__all__ = ["prim_mst"]
+
+
+def prim_mst(graph: PortNumberedGraph, start: int = 0) -> List[int]:
+    """Edge ids of the reference MST ``T*`` of ``graph`` (grown from ``start``)."""
+    if not graph.is_connected():
+        raise ValueError("MST is undefined on a disconnected graph")
+    n = graph.n
+    in_tree = [False] * n
+    in_tree[start] = True
+    tree: List[int] = []
+
+    heap: List[tuple] = []
+    for p in graph.ports(start):
+        eid = graph.edge_id(start, p)
+        heapq.heappush(heap, (graph.edge_w[eid], eid, graph.neighbor(start, p)))
+
+    while heap and len(tree) < n - 1:
+        _, eid, v = heapq.heappop(heap)
+        if in_tree[v]:
+            continue
+        in_tree[v] = True
+        tree.append(int(eid))
+        for p in graph.ports(v):
+            nxt = graph.neighbor(v, p)
+            if not in_tree[nxt]:
+                ne = graph.edge_id(v, p)
+                heapq.heappush(heap, (graph.edge_w[ne], ne, nxt))
+    return sorted(tree)

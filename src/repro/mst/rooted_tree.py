@@ -1,0 +1,185 @@
+"""Rooted spanning trees and the up/down edge orientation of the paper.
+
+The MST problem of the paper asks every node to output the *port number*
+of the edge leading to its parent in some rooted MST ``T`` (the root
+outputs that it is the root).  :class:`RootedSpanningTree` is the
+simulation-level object representing such a rooted tree: it knows parent
+pointers, parent ports, depths and subtree structure, and can produce
+the expected per-node outputs that the distributed decoders are checked
+against.
+
+Section 2.2 of the paper orients every tree edge from the point of view
+of a node ``v``: the edge is *up at v* when it is the first edge on the
+path from ``v`` to the root, and *down at v* otherwise.  This is exactly
+``edge == parent_edge(v)`` here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+__all__ = ["ROOT_OUTPUT", "RootedSpanningTree", "build_rooted_tree"]
+
+#: Sentinel output value produced by the root node ("I am the root").
+ROOT_OUTPUT = -1
+
+
+@dataclass(frozen=True)
+class RootedSpanningTree:
+    """A spanning tree of a port-numbered graph, rooted at ``root``."""
+
+    graph: PortNumberedGraph
+    root: int
+    #: parent node index per node (``-1`` for the root)
+    parent: Tuple[int, ...]
+    #: edge id of the parent edge per node (``-1`` for the root)
+    parent_edge: Tuple[int, ...]
+    #: port (at the child) of the parent edge per node (``-1`` for the root)
+    parent_port: Tuple[int, ...]
+    #: hop depth per node (0 for the root)
+    depth: Tuple[int, ...]
+    #: sorted edge ids of the tree
+    edge_ids: Tuple[int, ...]
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.graph.n
+
+    def is_root(self, u: int) -> bool:
+        """``True`` iff ``u`` is the root."""
+        return u == self.root
+
+    def children(self, u: int) -> List[int]:
+        """Children of ``u``, ordered by the ``index_u`` order of the child edges.
+
+        The order matters: the paper's fragment machinery walks subtrees
+        "guided by the indexes of the edges ... lower index first".
+        """
+        kids = []
+        for p in self.graph.ports_by_index(u):
+            v = self.graph.neighbor(u, p)
+            if self.parent[v] == u and self.graph.edge_id(u, p) == self.parent_edge[v]:
+                kids.append(v)
+        return kids
+
+    def subtree_nodes(self, u: int) -> List[int]:
+        """All nodes of the subtree rooted at ``u`` (preorder)."""
+        out: List[int] = []
+        stack = [u]
+        while stack:
+            x = stack.pop()
+            out.append(x)
+            stack.extend(reversed(self.children(x)))
+        return out
+
+    def subtree_size(self, u: int) -> int:
+        """Number of nodes in the subtree rooted at ``u``."""
+        return len(self.subtree_nodes(u))
+
+    def path_to_root(self, u: int) -> List[int]:
+        """Nodes on the path from ``u`` to the root, inclusive."""
+        path = [u]
+        while path[-1] != self.root:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def is_up_edge_at(self, node: int, edge_id: int) -> bool:
+        """``True`` iff ``edge_id`` is *up at* ``node`` (leads towards the root)."""
+        return self.parent_edge[node] == edge_id
+
+    def contains_edge(self, edge_id: int) -> bool:
+        """``True`` iff ``edge_id`` is a tree edge."""
+        return edge_id in set(self.edge_ids)
+
+    # ------------------------------------------------------------------ #
+    # outputs
+    # ------------------------------------------------------------------ #
+
+    def expected_outputs(self) -> Dict[int, int]:
+        """The per-node outputs the MST problem requires for this rooted tree.
+
+        Every non-root node maps to the port of its parent edge; the root
+        maps to :data:`ROOT_OUTPUT`.
+        """
+        out: Dict[int, int] = {}
+        for u in range(self.n):
+            out[u] = ROOT_OUTPUT if u == self.root else int(self.parent_port[u])
+        return out
+
+    def total_weight(self) -> float:
+        """Sum of the tree edge weights."""
+        return self.graph.total_weight(self.edge_ids)
+
+    def nodes_by_depth(self) -> List[List[int]]:
+        """Nodes grouped by depth (index 0 = the root)."""
+        buckets: List[List[int]] = [[] for _ in range(max(self.depth) + 1)]
+        for u in range(self.n):
+            buckets[self.depth[u]].append(u)
+        return buckets
+
+
+def build_rooted_tree(
+    graph: PortNumberedGraph,
+    tree_edge_ids: Iterable[int],
+    root: int = 0,
+) -> RootedSpanningTree:
+    """Root the spanning tree given by ``tree_edge_ids`` at ``root``.
+
+    Raises ``ValueError`` if the edge set is not a spanning tree of
+    ``graph``.
+    """
+    edge_ids = sorted(int(e) for e in tree_edge_ids)
+    if len(edge_ids) != graph.n - 1:
+        raise ValueError(
+            f"a spanning tree of {graph.n} nodes needs {graph.n - 1} edges, "
+            f"got {len(edge_ids)}"
+        )
+    if len(set(edge_ids)) != len(edge_ids):
+        raise ValueError("duplicate edge ids in the tree edge set")
+
+    # adjacency restricted to the tree
+    adjacency: Dict[int, List[Tuple[int, int, int]]] = {u: [] for u in range(graph.n)}
+    for eid in edge_ids:
+        ref = graph.edge(eid)
+        adjacency[ref.u].append((ref.v, eid, ref.port_u))
+        adjacency[ref.v].append((ref.u, eid, ref.port_v))
+
+    parent = [-1] * graph.n
+    parent_edge = [-1] * graph.n
+    parent_port = [-1] * graph.n
+    depth = [-1] * graph.n
+    depth[root] = 0
+    queue = deque([root])
+    visited = 1
+    while queue:
+        u = queue.popleft()
+        for v, eid, _port_u in adjacency[u]:
+            if depth[v] >= 0 or v == root:
+                continue
+            depth[v] = depth[u] + 1
+            parent[v] = u
+            parent_edge[v] = eid
+            parent_port[v] = graph.port_of_edge(eid, v)
+            visited += 1
+            queue.append(v)
+    if visited != graph.n:
+        raise ValueError("the given edge set does not span the graph")
+
+    return RootedSpanningTree(
+        graph=graph,
+        root=root,
+        parent=tuple(parent),
+        parent_edge=tuple(parent_edge),
+        parent_port=tuple(parent_port),
+        depth=tuple(depth),
+        edge_ids=tuple(edge_ids),
+    )

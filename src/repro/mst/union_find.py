@@ -1,0 +1,91 @@
+"""Disjoint-set forest (union by rank, path compression).
+
+Used by Kruskal, by the Borůvka phase machinery, and by several
+verifiers.  The implementation also tracks component sizes, which the
+Borůvka variant of the paper needs to decide which fragments are
+*active* at a phase (``|F| < 2^i``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint sets over the integers ``0 .. n - 1``."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("UnionFind needs at least one element")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._size = [1] * n
+        self._count = n
+
+    @property
+    def n(self) -> int:
+        """Number of elements."""
+        return len(self._parent)
+
+    @property
+    def component_count(self) -> int:
+        """Current number of disjoint sets."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Representative of the set containing ``x`` (with path compression)."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; return ``True`` if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """``True`` iff ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def size(self, x: int) -> int:
+        """Size of the set containing ``x``."""
+        return self._size[self.find(x)]
+
+    def components(self) -> List[List[int]]:
+        """All sets, as sorted lists of elements, sorted by representative."""
+        groups: Dict[int, List[int]] = {}
+        for x in range(self.n):
+            groups.setdefault(self.find(x), []).append(x)
+        return [sorted(members) for _, members in sorted(groups.items())]
+
+    def representatives(self) -> List[int]:
+        """The representative of every element, indexed by element."""
+        return [self.find(x) for x in range(self.n)]
+
+    @classmethod
+    def from_groups(cls, n: int, groups: Iterable[Iterable[int]]) -> "UnionFind":
+        """Build a union-find already merged according to ``groups``."""
+        uf = cls(n)
+        for group in groups:
+            it = iter(group)
+            try:
+                first = next(it)
+            except StopIteration:
+                continue
+            for member in it:
+                uf.union(first, member)
+        return uf

@@ -1,0 +1,181 @@
+"""MST and spanning-tree verification.
+
+The distributed decoders output one port per node; the schemes are only
+considered correct when these outputs describe a rooted spanning tree of
+minimum total weight.  This module provides the checks:
+
+* :func:`is_spanning_tree` — structural check of an edge set;
+* :func:`is_minimum_spanning_tree` — weight-optimality via comparison
+  with the reference MST (sound because MST weight is unique even when
+  the MST itself is not);
+* :func:`verify_cut_property` / :func:`verify_cycle_property` — the two
+  classical exchange arguments, checked explicitly; they are used by the
+  property-based tests and by the ``G_n`` uniqueness check of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.union_find import UnionFind
+
+__all__ = [
+    "is_spanning_tree",
+    "is_minimum_spanning_tree",
+    "verify_cut_property",
+    "verify_cycle_property",
+    "unique_mst_edge_ids",
+]
+
+
+def is_spanning_tree(graph: PortNumberedGraph, edge_ids: Iterable[int]) -> bool:
+    """``True`` iff ``edge_ids`` form a spanning tree of ``graph``."""
+    ids = list(dict.fromkeys(int(e) for e in edge_ids))
+    if len(ids) != graph.n - 1:
+        return False
+    uf = UnionFind(graph.n)
+    for eid in ids:
+        if not 0 <= eid < graph.m:
+            return False
+        if not uf.union(int(graph.edge_u[eid]), int(graph.edge_v[eid])):
+            return False  # cycle
+    return uf.component_count == 1
+
+
+def is_minimum_spanning_tree(
+    graph: PortNumberedGraph, edge_ids: Iterable[int], tolerance: float = 1e-9
+) -> bool:
+    """``True`` iff ``edge_ids`` form a spanning tree of minimum total weight."""
+    ids = list(int(e) for e in edge_ids)
+    if not is_spanning_tree(graph, ids):
+        return False
+    reference = kruskal_mst(graph)
+    return abs(graph.total_weight(ids) - graph.total_weight(reference)) <= tolerance
+
+
+def verify_cut_property(graph: PortNumberedGraph, edge_ids: Iterable[int]) -> bool:
+    """Check the cut property of a spanning tree.
+
+    For every tree edge ``e``: removing ``e`` splits the tree into two
+    components, and ``e`` must be a minimum-weight edge crossing that
+    cut.  Every MST satisfies this, and any spanning tree satisfying it
+    is an MST.
+    """
+    ids = sorted(int(e) for e in edge_ids)
+    if not is_spanning_tree(graph, ids):
+        return False
+    id_set = set(ids)
+    for eid in ids:
+        uf = UnionFind(graph.n)
+        for other in ids:
+            if other != eid:
+                uf.union(int(graph.edge_u[other]), int(graph.edge_v[other]))
+        w = float(graph.edge_w[eid])
+        side = uf.find(int(graph.edge_u[eid]))
+        for cand in range(graph.m):
+            cu = uf.find(int(graph.edge_u[cand]))
+            cv = uf.find(int(graph.edge_v[cand]))
+            if cu == cv:
+                continue
+            if float(graph.edge_w[cand]) < w - 1e-12:
+                return False
+        _ = side
+    return True
+
+
+def verify_cycle_property(graph: PortNumberedGraph, edge_ids: Iterable[int]) -> bool:
+    """Check the cycle property of a spanning tree.
+
+    For every non-tree edge ``e``: ``e`` must be a maximum-weight edge on
+    the cycle it closes with the tree.  Every MST satisfies this, and any
+    spanning tree satisfying it is an MST.
+    """
+    ids = set(int(e) for e in edge_ids)
+    if not is_spanning_tree(graph, ids):
+        return False
+
+    # build tree adjacency for path queries
+    adjacency: Dict[int, List[Tuple[int, int]]] = {u: [] for u in range(graph.n)}
+    for eid in ids:
+        u, v = int(graph.edge_u[eid]), int(graph.edge_v[eid])
+        adjacency[u].append((v, eid))
+        adjacency[v].append((u, eid))
+
+    def tree_path_edges(a: int, b: int) -> List[int]:
+        # BFS from a to b over the tree
+        prev: Dict[int, Tuple[int, int]] = {a: (-1, -1)}
+        stack = [a]
+        while stack:
+            x = stack.pop()
+            if x == b:
+                break
+            for y, eid in adjacency[x]:
+                if y not in prev:
+                    prev[y] = (x, eid)
+                    stack.append(y)
+        path = []
+        cur = b
+        while prev[cur][0] != -1:
+            path.append(prev[cur][1])
+            cur = prev[cur][0]
+        return path
+
+    for eid in range(graph.m):
+        if eid in ids:
+            continue
+        u, v, w = int(graph.edge_u[eid]), int(graph.edge_v[eid]), float(graph.edge_w[eid])
+        for path_edge in tree_path_edges(u, v):
+            if float(graph.edge_w[path_edge]) > w + 1e-12:
+                return False
+    return True
+
+
+def unique_mst_edge_ids(graph: PortNumberedGraph) -> Tuple[bool, List[int]]:
+    """Return ``(is_unique, mst_edge_ids)`` for the MST of ``graph``.
+
+    The MST is unique iff every non-tree edge is the *strict* maximum on
+    the cycle it closes with the reference MST and every tree edge is a
+    *strict* minimum across its cut.  We test the equivalent condition
+    that swapping any equal-weight non-tree edge for a tree edge on its
+    cycle is impossible, which reduces to: for every non-tree edge ``e``
+    the cycle it closes contains no tree edge of equal weight.
+
+    Used by the Theorem-1 experiments to certify that ``G_n`` has the
+    spine path as its one and only MST.
+    """
+    tree = kruskal_mst(graph)
+    id_set = set(tree)
+    adjacency: Dict[int, List[Tuple[int, int]]] = {u: [] for u in range(graph.n)}
+    for eid in tree:
+        u, v = int(graph.edge_u[eid]), int(graph.edge_v[eid])
+        adjacency[u].append((v, eid))
+        adjacency[v].append((u, eid))
+
+    def tree_path_edges(a: int, b: int) -> List[int]:
+        prev: Dict[int, Tuple[int, int]] = {a: (-1, -1)}
+        stack = [a]
+        while stack:
+            x = stack.pop()
+            if x == b:
+                break
+            for y, eid in adjacency[x]:
+                if y not in prev:
+                    prev[y] = (x, eid)
+                    stack.append(y)
+        path = []
+        cur = b
+        while prev[cur][0] != -1:
+            path.append(prev[cur][1])
+            cur = prev[cur][0]
+        return path
+
+    for eid in range(graph.m):
+        if eid in id_set:
+            continue
+        u, v, w = int(graph.edge_u[eid]), int(graph.edge_v[eid]), float(graph.edge_w[eid])
+        for path_edge in tree_path_edges(u, v):
+            if abs(float(graph.edge_w[path_edge]) - w) <= 1e-12:
+                return False, sorted(tree)
+    return True, sorted(tree)

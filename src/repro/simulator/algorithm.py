@@ -1,0 +1,83 @@
+"""Node-program abstractions.
+
+A distributed algorithm is described by a *program factory*: a callable
+that, given a node's :class:`~repro.simulator.node.NodeContext`, returns
+a :class:`NodeProgram` instance holding that node's private state.  The
+engine then drives every program through :meth:`NodeProgram.init`
+(before any communication) and :meth:`NodeProgram.on_round` (once per
+round, with the messages that arrived on each port).
+
+This mirrors the message-passing idiom of the MPI tutorial in the HPC
+guides: explicit communication, no shared state between ranks, and a
+communicator (here the engine) that owns delivery.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Optional
+
+from repro.simulator.node import NodeContext
+
+__all__ = ["NodeProgram", "FunctionalProgram", "ProgramFactory"]
+
+
+class NodeProgram(ABC):
+    """Behaviour of a single node.  Subclasses keep their state as attributes."""
+
+    @abstractmethod
+    def init(self, ctx: NodeContext) -> None:
+        """Round 0: runs before any communication.
+
+        A 0-round algorithm sets its output and halts here; algorithms
+        that communicate use this hook to send their first messages.
+        """
+
+    @abstractmethod
+    def on_round(self, ctx: NodeContext, inbox: Dict[int, Any]) -> None:
+        """One synchronous round.
+
+        ``inbox`` maps *port number* to the payload received on that port
+        this round (ports with no incoming message are absent).  Any
+        :meth:`NodeContext.send` performed here is delivered next round.
+        """
+
+
+#: Type of the callable the engine expects: ``factory(ctx) -> NodeProgram``.
+ProgramFactory = Callable[[NodeContext], NodeProgram]
+
+
+class FunctionalProgram(NodeProgram):
+    """Adapter turning two plain functions into a :class:`NodeProgram`.
+
+    Convenient for small algorithms and for tests::
+
+        def init(ctx):
+            ctx.send(0, "hello")
+
+        def on_round(ctx, inbox, state):
+            ...
+
+    ``state`` is a per-node dictionary shared between the two callbacks.
+    """
+
+    def __init__(
+        self,
+        init_fn: Optional[Callable[[NodeContext, Dict[str, Any]], None]] = None,
+        round_fn: Optional[
+            Callable[[NodeContext, Dict[int, Any], Dict[str, Any]], None]
+        ] = None,
+    ) -> None:
+        self._init_fn = init_fn
+        self._round_fn = round_fn
+        self.state: Dict[str, Any] = {}
+
+    def init(self, ctx: NodeContext) -> None:
+        if self._init_fn is not None:
+            self._init_fn(ctx, self.state)
+
+    def on_round(self, ctx: NodeContext, inbox: Dict[int, Any]) -> None:
+        if self._round_fn is not None:
+            self._round_fn(ctx, inbox, self.state)
+        else:  # pragma: no cover - degenerate usage
+            ctx.halt()

@@ -1,0 +1,209 @@
+"""The synchronous round engine.
+
+Execution proceeds exactly as in the paper's model:
+
+1. every node program runs :meth:`~repro.simulator.algorithm.NodeProgram.init`
+   (round 0, before any communication); a 0-round algorithm terminates
+   here;
+2. while at least one node is still running and at least one message is
+   in flight (or a node explicitly asked to keep the clock running), a
+   new round starts: all messages sent in the previous round are
+   delivered simultaneously, and every non-halted node's ``on_round`` is
+   invoked with its inbox;
+3. the run ends when every node has halted (or ``max_rounds`` is hit,
+   which is reported as a failure).
+
+The number of *rounds* reported is the number of iterations of step 2 —
+so an algorithm that never sends anything uses 0 rounds, matching the
+``(⌈log n⌉, 0)`` accounting of the trivial scheme.
+
+Determinism: nodes are processed in index order and delivery is a pure
+function of the outboxes, so a run is a deterministic function of
+(graph, programs, advice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.simulator.algorithm import NodeProgram, ProgramFactory
+from repro.simulator.message import estimate_bits
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.network import Network
+from repro.simulator.node import NodeContext
+from repro.simulator.trace import Tracer
+
+__all__ = ["AlgorithmError", "RunResult", "SyncEngine", "run_sync"]
+
+
+class AlgorithmError(RuntimeError):
+    """An exception raised inside a node program, annotated with its context.
+
+    The engine wraps any exception escaping ``init`` or ``on_round`` so
+    that the failing node and round are visible in the report — without
+    this, a bug deep inside a decoder state machine surfaces as an
+    anonymous stack trace with no way to tell which of the ``n``
+    simulated nodes misbehaved.
+    """
+
+    def __init__(self, node: int, round_number: int, original: BaseException) -> None:
+        super().__init__(
+            f"node {node} failed in round {round_number}: "
+            f"{type(original).__name__}: {original}"
+        )
+        self.node = node
+        self.round_number = round_number
+        self.original = original
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated execution."""
+
+    #: per-node outputs (node index -> output value)
+    outputs: Dict[int, Any]
+    #: communication metrics
+    metrics: RunMetrics
+    #: whether every node halted before ``max_rounds``
+    completed: bool
+    #: number of nodes that never produced an output
+    missing_outputs: int = 0
+
+
+class SyncEngine:
+    """Drives a set of node programs over a :class:`Network` synchronously."""
+
+    def __init__(
+        self,
+        graph: PortNumberedGraph,
+        program_factory: ProgramFactory,
+        advice: Optional[Dict[int, Any]] = None,
+        max_rounds: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.network = Network(graph)
+        self.graph = graph
+        self.advice = advice or {}
+        self.max_rounds = max_rounds if max_rounds is not None else 20 * graph.n + 100
+        self.tracer = tracer
+
+        self.contexts: List[NodeContext] = []
+        self.programs: List[NodeProgram] = []
+        for u in range(graph.n):
+            ctx = NodeContext(graph.local_view(u), self.advice.get(u))
+            self.contexts.append(ctx)
+            self.programs.append(program_factory(ctx))
+
+        self.metrics = RunMetrics(n=graph.n)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> RunResult:
+        """Execute the algorithm to completion and return the results."""
+        # round 0: initialisation, no communication
+        for u in range(self.graph.n):
+            ctx = self.contexts[u]
+            ctx._advance_round(0)
+            self._invoke(u, 0, lambda: self.programs[u].init(ctx))
+            if ctx.halted and self.tracer is not None:
+                self.tracer.begin_round(0)
+                self.tracer.record_halt(0, u, ctx.output)
+
+        pending = self._collect_outboxes()
+        round_number = 0
+        while True:
+            all_halted = all(ctx.halted for ctx in self.contexts)
+            if all_halted:
+                break
+            if not pending and all_halted:
+                break
+            if not pending and self._no_progress_possible():
+                # nothing in flight and nobody halted-pending: the
+                # algorithm is stuck; stop rather than loop forever.
+                break
+            if round_number >= self.max_rounds:
+                break
+
+            round_number += 1
+            self.metrics.record_round()
+            if self.tracer is not None:
+                self.tracer.begin_round(round_number)
+
+            inboxes: Dict[int, Dict[int, Any]] = {}
+            for sender, ports in pending.items():
+                for port, payload in ports.items():
+                    receiver, receiver_port = self.network.endpoint(sender, port)
+                    inboxes.setdefault(receiver, {})[receiver_port] = payload
+                    bits = estimate_bits(payload)
+                    self.metrics.record_message(bits)
+                    if self.tracer is not None:
+                        self.tracer.record_message(
+                            round_number, sender, port, receiver, receiver_port, bits, payload
+                        )
+
+            for u in range(self.graph.n):
+                ctx = self.contexts[u]
+                if ctx.halted:
+                    continue
+                ctx._advance_round(round_number)
+                self._invoke(u, round_number, lambda: self.programs[u].on_round(ctx, inboxes.get(u, {})))
+                if ctx.halted and self.tracer is not None:
+                    self.tracer.record_halt(round_number, u, ctx.output)
+
+            pending = self._collect_outboxes()
+
+        outputs = {u: self.contexts[u].output for u in range(self.graph.n)}
+        missing = sum(1 for ctx in self.contexts if not ctx.has_output)
+        completed = all(ctx.halted for ctx in self.contexts)
+        return RunResult(
+            outputs=outputs,
+            metrics=self.metrics,
+            completed=completed,
+            missing_outputs=missing,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _invoke(self, node: int, round_number: int, call) -> None:
+        """Run one node-program callback, wrapping failures with their context."""
+        try:
+            call()
+        except AlgorithmError:
+            raise
+        except Exception as exc:
+            raise AlgorithmError(node, round_number, exc) from exc
+
+    def _collect_outboxes(self) -> Dict[int, Dict[int, Any]]:
+        out: Dict[int, Dict[int, Any]] = {}
+        for u in range(self.graph.n):
+            box = self.contexts[u]._drain_outbox()
+            if box:
+                out[u] = box
+        return out
+
+    def _no_progress_possible(self) -> bool:
+        """True when no message is in flight and no node will ever act again.
+
+        In the synchronous model a non-halted node is still scheduled
+        every round even with an empty inbox (algorithms with a fixed
+        round schedule rely on this), so progress is always possible as
+        long as some node has not halted.  The engine therefore only
+        stops early when *every* node is halted — this hook exists so the
+        behaviour is explicit and testable.
+        """
+        return False
+
+
+def run_sync(
+    graph: PortNumberedGraph,
+    program_factory: ProgramFactory,
+    advice: Optional[Dict[int, Any]] = None,
+    max_rounds: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+) -> RunResult:
+    """Convenience wrapper: build a :class:`SyncEngine` and run it."""
+    return SyncEngine(
+        graph, program_factory, advice=advice, max_rounds=max_rounds, tracer=tracer
+    ).run()

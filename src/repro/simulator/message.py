@@ -1,0 +1,84 @@
+"""Messages and message-size accounting.
+
+The CONGEST model bounds the number of bits a single edge may carry per
+round.  The engine therefore estimates the size of every payload with
+:func:`estimate_bits` and aggregates the estimates in
+:class:`~repro.simulator.metrics.RunMetrics`.  The estimate is a
+*communication-model* size (how many bits a reasonable wire encoding
+would need), not the Python object size:
+
+==============  =======================================================
+payload type    estimated size
+==============  =======================================================
+``None``        0 bits
+``bool``        1 bit
+``int``         ``bit_length`` of the magnitude plus one sign bit
+``float``       32 bits
+``str``         8 bits per character
+``bytes``       8 bits per byte
+``BitString``   its exact length in bits
+sequence        sum of element sizes plus 2 framing bits per element
+mapping         treated as a sequence of key/value pairs
+==============  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "estimate_bits"]
+
+
+def estimate_bits(payload: Any) -> int:
+    """Estimated wire size of ``payload`` in bits (see module docstring)."""
+    if payload is None:
+        return 0
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, int(payload).bit_length()) + 1
+    if isinstance(payload, float):
+        return 32
+    if isinstance(payload, str):
+        return 8 * len(payload)
+    if isinstance(payload, (bytes, bytearray)):
+        return 8 * len(payload)
+    # BitString from repro.core.bits quacks like a sized bit container
+    bit_len = getattr(payload, "bit_length_exact", None)
+    if callable(bit_len):
+        return int(bit_len())
+    if isinstance(payload, dict):
+        total = 0
+        for key, value in payload.items():
+            total += 2 + estimate_bits(key) + estimate_bits(value)
+        return total
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        total = 0
+        for item in payload:
+            total += 2 + estimate_bits(item)
+        return total
+    raise TypeError(
+        f"cannot estimate the wire size of a payload of type {type(payload).__name__}; "
+        "send tuples of ints / bools / BitStrings instead"
+    )
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight on one edge, in one direction, for one round."""
+
+    #: node index of the sender (simulation-level bookkeeping only)
+    sender: int
+    #: port at the sender over which the message was sent
+    sender_port: int
+    #: node index of the receiver
+    receiver: int
+    #: port at the receiver on which the message arrives
+    receiver_port: int
+    #: round at which the message is delivered
+    round: int
+    #: the payload handed to the receiving node program
+    payload: Any = None
+    #: estimated wire size (filled in by the engine)
+    bits: int = field(default=0)

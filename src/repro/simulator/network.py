@@ -1,0 +1,55 @@
+"""The simulated network: wiring tables and message delivery.
+
+:class:`Network` owns the mapping from ``(node, port)`` to
+``(neighbour, neighbour_port)`` derived from a
+:class:`~repro.graphs.weighted_graph.PortNumberedGraph`.  It plays the
+role of the MPI communicator: node programs only name local ports, and
+the network resolves where a payload physically goes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Static wiring of a port-numbered graph, used by the engine for delivery."""
+
+    def __init__(self, graph: PortNumberedGraph) -> None:
+        self.graph = graph
+        self.n = graph.n
+        # (node, port) -> (neighbour, neighbour port)
+        self._wiring: List[List[Tuple[int, int]]] = []
+        for u in range(graph.n):
+            row = []
+            for p in graph.ports(u):
+                row.append((graph.neighbor(u, p), graph.reverse_port(u, p)))
+            self._wiring.append(row)
+
+    def endpoint(self, node: int, port: int) -> Tuple[int, int]:
+        """``(neighbour, neighbour_port)`` behind ``(node, port)``."""
+        return self._wiring[node][port]
+
+    def degree(self, node: int) -> int:
+        """Number of ports of ``node``."""
+        return len(self._wiring[node])
+
+    def deliver(
+        self, outboxes: Dict[int, Dict[int, object]]
+    ) -> Dict[int, Dict[int, object]]:
+        """Resolve a batch of outboxes into per-receiver inboxes.
+
+        ``outboxes[u][p]`` is the payload node ``u`` sent on its port
+        ``p``; the result maps every receiver to a dict
+        ``{receiver_port: payload}``.
+        """
+        inboxes: Dict[int, Dict[int, object]] = {}
+        for sender, ports in outboxes.items():
+            for port, payload in ports.items():
+                receiver, receiver_port = self.endpoint(sender, port)
+                inboxes.setdefault(receiver, {})[receiver_port] = payload
+        return inboxes

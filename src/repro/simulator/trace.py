@@ -1,0 +1,169 @@
+"""Execution traces: a round-by-round record of a simulated run.
+
+A :class:`Tracer` can be handed to :class:`~repro.simulator.engine.SyncEngine`
+(or :func:`~repro.simulator.engine.run_sync`) to record, for every round,
+which messages were delivered and which nodes halted or produced outputs.
+Traces serve three purposes:
+
+* debugging decoders (the Theorem-3 state machine in particular),
+* teaching / visualisation (the examples can print a phase-by-phase
+  story of a run), and
+* white-box tests that assert *when* something happened, not only the
+  final outputs (e.g. "no fragment communicates after its phase window").
+
+Recording is off by default and costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["MessageEvent", "RoundRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One delivered message."""
+
+    round: int
+    sender: int
+    sender_port: int
+    receiver: int
+    receiver_port: int
+    bits: int
+    payload_repr: str
+
+
+@dataclass
+class RoundRecord:
+    """Everything that happened in one round."""
+
+    round: int
+    messages: List[MessageEvent] = field(default_factory=list)
+    halted: List[int] = field(default_factory=list)
+    outputs: Dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def message_count(self) -> int:
+        """Number of messages delivered this round."""
+        return len(self.messages)
+
+    @property
+    def total_bits(self) -> int:
+        """Total estimated bits delivered this round."""
+        return sum(m.bits for m in self.messages)
+
+
+class Tracer:
+    """Collects :class:`RoundRecord` objects during a run.
+
+    Parameters
+    ----------
+    record_payloads:
+        When ``False`` (default) only message sizes are kept; when
+        ``True`` a ``repr`` of every payload is stored as well (useful
+        for debugging, expensive for large runs).
+    max_rounds:
+        Stop recording after this many rounds (the run itself is not
+        affected); ``None`` records everything.
+    """
+
+    def __init__(self, record_payloads: bool = False, max_rounds: Optional[int] = None) -> None:
+        self.record_payloads = record_payloads
+        self.max_rounds = max_rounds
+        self.rounds: List[RoundRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # hooks called by the engine
+    # ------------------------------------------------------------------ #
+
+    def begin_round(self, round_number: int) -> None:
+        """Open the record of a new round."""
+        if self._recording(round_number):
+            self.rounds.append(RoundRecord(round=round_number))
+
+    def record_message(
+        self,
+        round_number: int,
+        sender: int,
+        sender_port: int,
+        receiver: int,
+        receiver_port: int,
+        bits: int,
+        payload: Any,
+    ) -> None:
+        """Record one delivered message."""
+        if not self._recording(round_number) or not self.rounds:
+            return
+        self.rounds[-1].messages.append(
+            MessageEvent(
+                round=round_number,
+                sender=sender,
+                sender_port=sender_port,
+                receiver=receiver,
+                receiver_port=receiver_port,
+                bits=bits,
+                payload_repr=repr(payload) if self.record_payloads else "",
+            )
+        )
+
+    def record_halt(self, round_number: int, node: int, output: Any) -> None:
+        """Record that ``node`` halted this round with ``output``."""
+        if not self._recording(round_number) or not self.rounds:
+            return
+        self.rounds[-1].halted.append(node)
+        self.rounds[-1].outputs[node] = output
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def num_rounds(self) -> int:
+        """Number of recorded rounds."""
+        return len(self.rounds)
+
+    def messages_per_round(self) -> List[int]:
+        """Message count per recorded round."""
+        return [r.message_count for r in self.rounds]
+
+    def bits_per_round(self) -> List[int]:
+        """Total delivered bits per recorded round."""
+        return [r.total_bits for r in self.rounds]
+
+    def quiet_rounds(self) -> List[int]:
+        """Rounds in which no message was delivered."""
+        return [r.round for r in self.rounds if r.message_count == 0]
+
+    def halt_round_of(self, node: int) -> Optional[int]:
+        """The round in which ``node`` halted, or ``None`` if not recorded."""
+        for record in self.rounds:
+            if node in record.halted:
+                return record.round
+        return None
+
+    def messages_between(self, a: int, b: int) -> List[MessageEvent]:
+        """All recorded messages exchanged between nodes ``a`` and ``b``."""
+        out = []
+        for record in self.rounds:
+            for event in record.messages:
+                if {event.sender, event.receiver} == {a, b}:
+                    out.append(event)
+        return out
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view used by examples and tests."""
+        return {
+            "rounds": self.num_rounds(),
+            "total_messages": sum(self.messages_per_round()),
+            "total_bits": sum(self.bits_per_round()),
+            "quiet_rounds": len(self.quiet_rounds()),
+            "busiest_round": (
+                max(self.rounds, key=lambda r: r.message_count).round if self.rounds else 0
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def _recording(self, round_number: int) -> bool:
+        return self.max_rounds is None or round_number <= self.max_rounds

@@ -1,0 +1,60 @@
+"""Shared fixtures: a zoo of small instances exercising varied topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    build_gn,
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    star_graph,
+    torus_graph,
+)
+
+
+def _zoo():
+    """(name, graph, root) triples covering the topologies used throughout."""
+    return [
+        ("path8", path_graph(8, seed=11), 0),
+        ("path8-mid-root", path_graph(8, seed=11), 4),
+        ("cycle9", cycle_graph(9, seed=12), 2),
+        ("star10", star_graph(10, seed=13), 0),
+        ("star10-leaf-root", star_graph(10, seed=13), 3),
+        ("complete12", complete_graph(12, seed=14), 5),
+        ("grid4x5", grid_graph(4, 5, seed=15), 7),
+        ("torus4x4", torus_graph(4, 4, seed=16), 0),
+        ("caterpillar", caterpillar_graph(6, 2, seed=17), 1),
+        ("rand32", random_connected_graph(32, 0.08, seed=18), 9),
+        ("rand75", random_connected_graph(75, 0.05, seed=19), 74),
+        ("geometric40", random_geometric_graph(40, seed=20), 3),
+        ("gn-h6", build_gn(6).graph, 0),
+        ("duplicates", random_connected_graph(30, 0.1, seed=21, weight_mode="integer", weight_range=5), 0),
+    ]
+
+
+@pytest.fixture(scope="session")
+def graph_zoo():
+    """All zoo instances."""
+    return _zoo()
+
+
+@pytest.fixture(scope="session")
+def distinct_weight_zoo():
+    """Zoo instances whose edge weights are pairwise distinct."""
+    return [(name, g, r) for name, g, r in _zoo() if g.has_distinct_weights()]
+
+
+@pytest.fixture(scope="session")
+def small_random_graphs():
+    """A list of small random connected graphs with varied density and seeds."""
+    graphs = []
+    for n in (5, 9, 16, 27, 41):
+        for seed in (0, 1):
+            graphs.append(random_connected_graph(n, 0.12, seed=seed))
+    return graphs

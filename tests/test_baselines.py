@@ -1,0 +1,104 @@
+"""Tests of the no-advice distributed MST baselines."""
+
+import math
+
+import pytest
+
+from repro.distributed.base import run_baseline
+from repro.distributed.boruvka_sync import SynchronizedBoruvkaMST
+from repro.distributed.full_info import FullInformationMST
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.graphs.properties import diameter
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+
+BASELINE_GRAPHS = [
+    ("path10", path_graph(10, seed=1)),
+    ("cycle12", cycle_graph(12, seed=2)),
+    ("star9", star_graph(9, seed=3)),
+    ("complete10", complete_graph(10, seed=4)),
+    ("grid3x4", grid_graph(3, 4, seed=5)),
+    ("rand24", random_connected_graph(24, 0.12, seed=6)),
+    ("rand36", random_connected_graph(36, 0.08, seed=7)),
+]
+
+
+class TestFullInformation:
+    @pytest.mark.parametrize("name,graph", BASELINE_GRAPHS, ids=[g[0] for g in BASELINE_GRAPHS])
+    def test_correct(self, name, graph):
+        report = run_baseline(FullInformationMST(), graph)
+        assert report.correct, f"{name}: {report.check.reason}"
+
+    def test_rounds_close_to_diameter(self):
+        for _, graph in BASELINE_GRAPHS:
+            report = run_baseline(FullInformationMST(), graph)
+            assert report.rounds <= diameter(graph) + 3
+
+    def test_messages_are_not_congest(self):
+        """The LOCAL baseline pays in bandwidth: messages far exceed O(log n) bits."""
+        graph = random_connected_graph(40, 0.2, seed=8)
+        report = run_baseline(FullInformationMST(), graph)
+        assert report.correct
+        assert report.metrics.congest_factor() > 50
+
+    def test_single_node(self):
+        report = run_baseline(FullInformationMST(), PortNumberedGraph(1, []))
+        assert report.correct
+        assert report.rounds == 0
+
+
+class TestSynchronizedBoruvka:
+    @pytest.mark.parametrize("name,graph", BASELINE_GRAPHS, ids=[g[0] for g in BASELINE_GRAPHS])
+    def test_correct(self, name, graph):
+        report = run_baseline(SynchronizedBoruvkaMST(), graph)
+        assert report.correct, f"{name}: {report.check.reason}"
+
+    def test_round_cost_matches_the_fixed_schedule(self):
+        graph = random_connected_graph(20, 0.15, seed=9)
+        baseline = SynchronizedBoruvkaMST()
+        report = run_baseline(baseline, graph)
+        assert report.correct
+        assert report.rounds == baseline.round_bound(graph)
+        # Theta(n log n): vastly more rounds than the diameter
+        assert report.rounds > 10 * diameter(graph)
+
+    def test_messages_are_congest_sized(self):
+        graph = random_connected_graph(30, 0.1, seed=10)
+        report = run_baseline(SynchronizedBoruvkaMST(), graph)
+        assert report.correct
+        assert report.metrics.congest_factor() < 25
+
+    def test_requires_distinct_weights(self):
+        graph = random_connected_graph(20, 0.2, seed=11, weight_mode="integer", weight_range=2)
+        with pytest.raises(ValueError):
+            SynchronizedBoruvkaMST().program_factory(graph)
+
+    def test_requires_distinct_ids(self):
+        graph = PortNumberedGraph(3, [(0, 1, 1.0), (1, 2, 2.0)], node_ids=[5, 5, 6])
+        with pytest.raises(ValueError):
+            SynchronizedBoruvkaMST().program_factory(graph)
+
+    def test_reports_round_bound(self):
+        graph = random_connected_graph(16, 0.1, seed=12)
+        bound = SynchronizedBoruvkaMST().round_bound(graph)
+        assert bound == (4 * (16 + 2) + 8) * math.ceil(math.log2(16))
+
+
+class TestComparisonShape:
+    def test_advised_scheme_beats_no_advice_baselines_in_rounds(self):
+        """The qualitative claim of the paper: advice buys an exponential speed-up."""
+        from repro.core.oracle import run_scheme
+        from repro.core.scheme_main import ShortAdviceScheme
+
+        graph = random_connected_graph(48, 0.08, seed=13)
+        advised = run_scheme(ShortAdviceScheme(), graph, root=0)
+        no_advice = run_baseline(SynchronizedBoruvkaMST(), graph)
+        assert advised.correct and no_advice.correct
+        assert advised.rounds * 5 < no_advice.rounds

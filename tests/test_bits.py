@@ -1,0 +1,126 @@
+"""Unit and property-based tests of bit strings and prefix-free codes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bits import BitReader, BitString, BitWriter
+
+
+class TestBitString:
+    def test_empty(self):
+        empty = BitString.empty()
+        assert len(empty) == 0
+        assert empty.to_uint() == 0
+        assert empty.to01() == ""
+
+    def test_from_uint_round_trip(self):
+        bits = BitString.from_uint(0b1011, 4)
+        assert bits.to01() == "1011"
+        assert bits.to_uint() == 11
+
+    def test_from_uint_width_zero(self):
+        assert len(BitString.from_uint(0, 0)) == 0
+        with pytest.raises(ValueError):
+            BitString.from_uint(1, 0)
+
+    def test_from_uint_overflow(self):
+        with pytest.raises(ValueError):
+            BitString.from_uint(8, 3)
+
+    def test_from_uint_negative(self):
+        with pytest.raises(ValueError):
+            BitString.from_uint(-1, 4)
+
+    def test_from_string(self):
+        assert BitString.from_string("0101").to_uint() == 5
+        with pytest.raises(ValueError):
+            BitString.from_string("012")
+
+    def test_concatenation_and_slicing(self):
+        a = BitString([1, 0])
+        b = BitString([1, 1, 1])
+        c = a + b
+        assert c.to01() == "10111"
+        assert c[:2] == a
+        assert c[2:] == b
+        assert c[0] == 1 and c[1] == 0
+
+    def test_equality_and_hash(self):
+        assert BitString([1, 0]) == BitString([1, 0])
+        assert BitString([1, 0]) != BitString([0, 1])
+        assert len({BitString([1, 0]), BitString([1, 0]), BitString([0])}) == 2
+
+    def test_bit_length_exact_matches_len(self):
+        bits = BitString([1, 0, 1])
+        assert bits.bit_length_exact() == len(bits) == 3
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1), st.integers(min_value=20, max_value=40))
+    def test_uint_round_trip_property(self, value, width):
+        assert BitString.from_uint(value, width).to_uint() == value
+
+    @given(st.lists(st.booleans(), max_size=64))
+    def test_iteration_round_trip(self, bits):
+        bs = BitString(bits)
+        assert [bool(b) for b in bs] == bits
+
+
+class TestWriterReader:
+    def test_write_read_mixed(self):
+        writer = BitWriter()
+        writer.write_bit(1).write_uint(5, 4).write_gamma(7).write_bits([0, 1])
+        bits = writer.getvalue()
+        reader = BitReader(bits)
+        assert reader.read_bit() == 1
+        assert reader.read_uint(4) == 5
+        assert reader.read_gamma() == 7
+        assert list(reader.read_bits(2)) == [0, 1]
+        assert reader.at_end()
+
+    def test_reader_eof(self):
+        reader = BitReader(BitString([1]))
+        reader.read_bit()
+        with pytest.raises(EOFError):
+            reader.read_bit()
+        with pytest.raises(EOFError):
+            BitReader(BitString([1])).read_bits(2)
+
+    def test_gamma_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_gamma(0)
+
+    def test_gamma_length(self):
+        # gamma(v) uses 2 floor(log2 v) + 1 bits
+        for value in (1, 2, 3, 4, 7, 8, 1023, 1024):
+            writer = BitWriter()
+            writer.write_gamma(value)
+            assert len(writer.getvalue()) == 2 * (value.bit_length() - 1) + 1
+
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=20))
+    def test_gamma_stream_round_trip(self, values):
+        writer = BitWriter()
+        for v in values:
+            writer.write_gamma(v)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_gamma() for _ in values] == values
+        assert reader.at_end()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=255), st.integers(min_value=8, max_value=12)),
+            max_size=16,
+        )
+    )
+    def test_uint_stream_round_trip(self, pairs):
+        writer = BitWriter()
+        for value, width in pairs:
+            writer.write_uint(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in pairs:
+            assert reader.read_uint(width) == value
+
+    def test_position_and_remaining(self):
+        reader = BitReader(BitString([1, 0, 1, 1]))
+        assert reader.remaining == 4
+        reader.read_bits(3)
+        assert reader.position == 3
+        assert reader.remaining == 1

@@ -1,0 +1,97 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import SCHEMES, BASELINES, build_parser, main, _make_graph
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("info", "run", "tradeoff", "sweep", "lowerbound"):
+            args = parser.parse_args([command] if command != "lowerbound" else [command, "--h", "8"])
+            assert args.command == command
+
+    def test_scheme_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--scheme", "theorem2"])
+        assert args.scheme == "theorem2"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--scheme", "not-a-scheme"])
+
+
+class TestGraphFactory:
+    @pytest.mark.parametrize("kind", ["random", "complete", "cycle", "grid", "geometric", "gn"])
+    def test_every_kind_builds_a_connected_graph(self, kind):
+        graph = _make_graph(kind, 24, seed=1, density=0.1)
+        graph.validate()
+        assert graph.is_connected()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            _make_graph("hypercube", 16, 0, 0.1)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "theorem3" in out and "trivial" in out
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_run_each_scheme(self, scheme, capsys):
+        code = main(["run", "--scheme", scheme, "--n", "32", "--seed", "1", "--graph", "random"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert scheme.split("-")[0] in out or "theorem3" in out
+
+    def test_run_baseline(self, capsys):
+        assert main(["run", "--scheme", "full-info", "--n", "20", "--graph", "cycle"]) == 0
+        assert "local-full-info" in capsys.readouterr().out
+
+    def test_run_json_output(self, capsys):
+        assert main(["run", "--scheme", "trivial", "--n", "24", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["correct"] is True
+        assert payload["rounds"] == 0
+
+    def test_tradeoff_without_baselines(self, capsys):
+        code = main(["tradeoff", "--n", "40", "--no-baselines", "--no-level"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trivial-rank" in out and "theorem3-main" in out
+        assert "sync-boruvka" not in out
+
+    def test_sweep_json(self, capsys):
+        code = main(
+            ["sweep", "--scheme", "trivial", "--sizes", "16,32", "--repeats", "1", "--json"]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["n"] for r in rows] == [16, 32]
+        assert all(r["correct"] for r in rows)
+
+    def test_sweep_rejects_empty_sizes(self, capsys):
+        assert main(["sweep", "--scheme", "trivial", "--sizes", ","]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_lowerbound(self, capsys):
+        assert main(["lowerbound", "--h", "10", "--i", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fooling variants" in out
+        assert "guaranteed_failures" in out
+
+    def test_lowerbound_json(self, capsys):
+        assert main(["lowerbound", "--h", "8", "--i", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["variants"] == 6
+        assert payload["views_identical"] is True
+
+    def test_lowerbound_invalid_target(self, capsys):
+        assert main(["lowerbound", "--h", "8", "--i", "1"]) == 2

@@ -1,0 +1,110 @@
+"""Tests of the instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    random_spanning_tree_graph,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.generators import assign_weights
+
+
+ALL_GENERATORS = [
+    ("path", lambda: path_graph(9, seed=1), 9, 8),
+    ("cycle", lambda: cycle_graph(9, seed=1), 9, 9),
+    ("star", lambda: star_graph(9, seed=1), 9, 8),
+    ("complete", lambda: complete_graph(9, seed=1), 9, 36),
+    ("grid", lambda: grid_graph(3, 4, seed=1), 12, 17),
+    ("torus", lambda: torus_graph(3, 4, seed=1), 12, 24),
+    ("caterpillar", lambda: caterpillar_graph(5, 2, seed=1), 15, 14),
+    ("tree", lambda: random_spanning_tree_graph(20, seed=1), 20, 19),
+]
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("name,factory,n,m", ALL_GENERATORS, ids=[g[0] for g in ALL_GENERATORS])
+    def test_shape_and_validity(self, name, factory, n, m):
+        g = factory()
+        g.validate()
+        assert g.n == n
+        assert g.m == m
+        assert g.is_connected()
+
+    def test_random_connected_graph_contains_spanning_tree(self):
+        g = random_connected_graph(50, 0.0, seed=3)
+        assert g.m == 49  # p=0 gives exactly the random spanning tree
+        g2 = random_connected_graph(50, 0.2, seed=3)
+        assert g2.m > 49
+        assert g2.is_connected()
+
+    def test_random_connected_graph_density_monotone(self):
+        sparse = random_connected_graph(60, 0.02, seed=5)
+        dense = random_connected_graph(60, 0.4, seed=5)
+        assert dense.m > sparse.m
+
+    def test_geometric_graph_connected_and_euclidean(self):
+        g = random_geometric_graph(60, seed=7)
+        g.validate()
+        assert g.is_connected()
+        # Euclidean weights live in (0, sqrt 2)
+        assert all(0.0 < w <= np.sqrt(2) + 1e-9 for w in g.edge_w)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+        with pytest.raises(ValueError):
+            star_graph(1)
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+        with pytest.raises(ValueError):
+            random_connected_graph(10, 1.5)
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestWeightsAndDeterminism:
+    def test_distinct_mode_gives_distinct_weights(self):
+        g = random_connected_graph(40, 0.1, seed=2, weight_mode="distinct")
+        assert g.has_distinct_weights()
+
+    def test_integer_mode_range(self):
+        rng = np.random.default_rng(0)
+        w = assign_weights(500, rng, "integer", weight_range=7)
+        assert w.min() >= 1 and w.max() <= 7
+
+    def test_uniform_mode(self):
+        rng = np.random.default_rng(0)
+        w = assign_weights(100, rng, "uniform")
+        assert ((0 <= w) & (w < 1)).all()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            assign_weights(5, np.random.default_rng(0), "bogus")
+
+    def test_same_seed_same_graph(self):
+        a = random_connected_graph(40, 0.1, seed=9)
+        b = random_connected_graph(40, 0.1, seed=9)
+        assert a.edge_list() == b.edge_list()
+
+    def test_different_seed_different_graph(self):
+        a = random_connected_graph(40, 0.1, seed=9)
+        b = random_connected_graph(40, 0.1, seed=10)
+        assert a.edge_list() != b.edge_list()
+
+    def test_shuffled_ports_preserve_structure(self):
+        g = random_connected_graph(25, 0.1, seed=4, shuffle_ports=True)
+        g.validate()
+        h = random_connected_graph(25, 0.1, seed=4, shuffle_ports=False)
+        # same edge multiset regardless of port shuffling
+        assert sorted((u, v) for u, v, _ in g.edge_list()) == sorted(
+            (u, v) for u, v, _ in h.edge_list()
+        )

@@ -1,0 +1,89 @@
+"""Cross-module integration tests: every scheme against every substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.oracle import run_scheme
+from repro.core.scheme_average import AverageConstantScheme
+from repro.core.scheme_level import LevelAdviceScheme
+from repro.core.scheme_main import ShortAdviceScheme
+from repro.core.scheme_trivial import TrivialRankScheme
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.lowerbound_family import build_gn
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.kruskal import kruskal_mst
+
+
+ALL_SCHEMES = [TrivialRankScheme, AverageConstantScheme, ShortAdviceScheme, LevelAdviceScheme]
+
+
+class TestAllSchemesAgree:
+    def test_all_schemes_output_the_same_reference_tree(self):
+        """Every scheme must decode exactly the reference MST, not just *an* MST."""
+        graph = random_connected_graph(60, 0.07, seed=21)
+        reference = tuple(kruskal_mst(graph))
+        for scheme_cls in ALL_SCHEMES:
+            report = run_scheme(scheme_cls(), graph, root=11)
+            assert report.correct, f"{scheme_cls.__name__}: {report.check.reason}"
+            assert report.check.tree_edge_ids == reference
+
+    def test_schemes_on_the_lower_bound_family(self):
+        """The Theorem-1 family is also a perfectly ordinary input for the schemes."""
+        inst = build_gn(12)
+        expected = tuple(inst.expected_mst_edge_ids())
+        for scheme_cls in ALL_SCHEMES:
+            report = run_scheme(scheme_cls(), inst.graph, root=inst.u(1))
+            assert report.correct
+            assert report.check.tree_edge_ids == expected
+
+    def test_tradeoff_ordering_on_one_instance(self):
+        """Rounds: trivial < average < main; advice growth behaves the opposite way."""
+        graph = random_connected_graph(256, 0.02, seed=22)
+        trivial = run_scheme(TrivialRankScheme(), graph, root=0)
+        average = run_scheme(AverageConstantScheme(), graph, root=0)
+        main = run_scheme(ShortAdviceScheme(), graph, root=0)
+        assert trivial.rounds == 0 < average.rounds == 1 < main.rounds
+        assert main.rounds <= 9 * math.ceil(math.log2(graph.n))
+        # Theorem 2's average advice and Theorem 3's max advice are both constants
+        assert average.advice.average_bits <= 12
+        assert main.advice.max_bits <= ShortAdviceScheme().advice_bound_bits(graph.n)
+
+
+@st.composite
+def connected_instance(draw):
+    n = draw(st.integers(min_value=2, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    distinct = draw(st.booleans())
+    mode = "distinct" if distinct else "integer"
+    prob = draw(st.sampled_from([0.0, 0.1, 0.3]))
+    graph = random_connected_graph(n, prob, seed=seed, weight_mode=mode, weight_range=6)
+    root = draw(st.integers(min_value=0, max_value=n - 1))
+    return graph, root
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(connected_instance())
+    def test_main_scheme_always_decodes_an_mst(self, instance):
+        graph, root = instance
+        report = run_scheme(ShortAdviceScheme(), graph, root=root)
+        assert report.correct, report.check.reason
+        assert report.check.tree_edge_ids == tuple(kruskal_mst(graph))
+
+    @settings(max_examples=25, deadline=None)
+    @given(connected_instance())
+    def test_average_scheme_always_decodes_an_mst_in_one_round(self, instance):
+        graph, root = instance
+        report = run_scheme(AverageConstantScheme(), graph, root=root)
+        assert report.correct, report.check.reason
+        assert report.rounds <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(connected_instance())
+    def test_trivial_scheme_always_decodes_an_mst_in_zero_rounds(self, instance):
+        graph, root = instance
+        report = run_scheme(TrivialRankScheme(), graph, root=root)
+        assert report.correct, report.check.reason
+        assert report.rounds == 0

@@ -1,0 +1,84 @@
+"""Tests of the Theorem-1 lower-bound machinery."""
+
+import math
+
+import pytest
+
+from repro.core.lower_bound import (
+    average_advice_lower_bound,
+    required_bits_at_node,
+    run_fooling_experiment,
+    truncated_trivial_failures,
+)
+from repro.core.oracle import run_scheme
+from repro.core.scheme_trivial import TrivialRankScheme
+from repro.graphs.lowerbound_family import build_gn, fooling_family
+
+
+class TestFoolingExperiment:
+    @pytest.mark.parametrize("h,i", [(6, 2), (8, 3), (10, 4), (12, 2)])
+    def test_premises_hold(self, h, i):
+        exp = run_fooling_experiment(h, i)
+        assert exp.premises_hold
+        assert exp.num_variants == h - i
+        assert exp.required_bits == pytest.approx(math.log2(h - i))
+
+    def test_required_bits_increase_with_family_size(self):
+        assert required_bits_at_node(20, 2) > required_bits_at_node(20, 10)
+
+
+class TestPigeonhole:
+    def test_zero_advice_forces_failures(self):
+        """With 0 advice bits every variant beyond the first must fail."""
+        result = truncated_trivial_failures(10, 3, budget_bits=0)
+        assert result["num_variants"] == 7
+        assert result["num_groups"] == 1
+        assert result["min_failures"] == 6
+
+    def test_insufficient_advice_forces_failures(self):
+        """Fewer than log2(h - i) bits cannot distinguish all variants."""
+        h, i = 12, 3  # 9 variants, needs ceil(log2 9) = 4 bits
+        for budget in (0, 1, 2, 3):
+            result = truncated_trivial_failures(h, i, budget_bits=budget)
+            assert result["min_failures"] >= result["num_variants"] - 2**budget
+            assert result["min_failures"] > 0
+
+    def test_sufficient_advice_can_distinguish(self):
+        """With the full ⌈log n⌉-bit advice the pigeonhole gives no guaranteed failure."""
+        h, i = 10, 5
+        full_budget = 16
+        result = truncated_trivial_failures(h, i, budget_bits=full_budget)
+        assert result["min_failures"] == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            truncated_trivial_failures(8, 3, budget_bits=-1)
+
+    def test_trivial_scheme_is_correct_on_the_whole_family(self):
+        """The achievable side: ⌈log n⌉ bits at 0 rounds do solve every variant."""
+        scheme = TrivialRankScheme()
+        for variant in fooling_family(8, 3):
+            graph = variant.instance.graph
+            root = variant.instance.v(1)
+            report = run_scheme(scheme, graph, root=root)
+            assert report.correct
+            # and the target node's output is exactly the correct parent port
+            advice = scheme.compute_advice(graph, root=root)
+            assert advice.bits_of(variant.target_node) >= 1
+
+
+class TestAverageBound:
+    def test_lower_bound_grows_like_log_n(self):
+        values = {h: average_advice_lower_bound(h) for h in (16, 64, 256, 1024)}
+        assert values[64] > values[16]
+        assert values[1024] > values[256]
+        # Theta(log h): ratio to log2 h converges to 1/2
+        assert 0.25 <= values[1024] / math.log2(1024) <= 0.75
+
+    def test_trivial_scheme_average_respects_the_lower_bound_shape(self):
+        """The measured average of the best 0-round scheme sits above the bound."""
+        scheme = TrivialRankScheme()
+        for h in (8, 16, 32):
+            inst = build_gn(h)
+            stats = scheme.compute_advice(inst.graph, root=inst.v(1)).stats()
+            assert stats.average_bits >= average_advice_lower_bound(h)

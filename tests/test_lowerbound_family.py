@@ -1,0 +1,129 @@
+"""Tests of the Theorem-1 graph family ``G_n`` and its fooling variants."""
+
+import math
+
+import pytest
+
+from repro.graphs.lowerbound_family import (
+    average_advice_lower_bound_bits,
+    build_gn,
+    edge_class,
+    fooling_family,
+    spine_edges,
+    weight_class_bounds,
+)
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.verify import unique_mst_edge_ids
+
+
+class TestConstruction:
+    def test_weight_classes_are_decreasing_and_disjoint(self):
+        omega = 12
+        previous_low = None
+        for i in range(1, 6):
+            a, b = weight_class_bounds(i, omega)
+            assert a <= b
+            assert b - a == omega - 1
+            if previous_low is not None:
+                assert b < previous_low  # class i+1 sits strictly below class i
+            previous_low = a
+
+    def test_weight_class_errors(self):
+        with pytest.raises(ValueError):
+            weight_class_bounds(0, 10)
+        with pytest.raises(ValueError):
+            weight_class_bounds(1, 1)
+
+    def test_edge_class(self):
+        assert edge_class(3, 4) == 4   # spine edge {u_3, u_4}
+        assert edge_class(3, 7) == 3   # chord
+        assert edge_class(7, 3) == 3
+        with pytest.raises(ValueError):
+            edge_class(2, 2)
+
+    @pytest.mark.parametrize("h", [2, 3, 5, 8, 12])
+    def test_shape(self, h):
+        inst = build_gn(h)
+        g = inst.graph
+        g.validate()
+        assert g.n == 2 * h
+        # two cliques plus the bridge
+        assert g.m == h * (h - 1) + 1
+        assert g.is_connected()
+        # the bridge has weight zero and joins u_1 with v_1
+        bridge = g.edge_between(inst.u(1), inst.v(1))
+        assert bridge is not None and bridge.weight == 0.0
+
+    def test_all_policies_respect_class_ranges(self):
+        for policy in ("distinct", "low", "random"):
+            inst = build_gn(7, policy=policy, seed=3)
+            g = inst.graph
+            for e in g.edges():
+                if {e.u, e.v} == {inst.u(1), inst.v(1)}:
+                    continue
+                if e.u < inst.h:
+                    i, j = e.u + 1, e.v + 1
+                else:
+                    i, j = e.u - inst.h + 1, e.v - inst.h + 1
+                lo, hi = weight_class_bounds(edge_class(i, j), inst.omega)
+                assert lo <= e.weight <= hi
+
+    def test_omega_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            build_gn(10, omega=3)
+
+
+class TestUniqueSpineMST:
+    @pytest.mark.parametrize("h", [3, 5, 8])
+    @pytest.mark.parametrize("policy", ["distinct", "low", "random"])
+    def test_mst_is_the_spine(self, h, policy):
+        inst = build_gn(h, policy=policy, seed=1)
+        mst = kruskal_mst(inst.graph)
+        assert sorted(mst) == inst.expected_mst_edge_ids()
+
+    @pytest.mark.parametrize("h", [3, 5, 8])
+    def test_mst_is_unique_even_with_duplicate_weights(self, h):
+        # the "low" policy duplicates weights inside every class on purpose
+        inst = build_gn(h, policy="low")
+        unique, mst = unique_mst_edge_ids(inst.graph)
+        assert unique
+        assert sorted(mst) == inst.expected_mst_edge_ids()
+
+    def test_spine_edges_count(self):
+        h = 6
+        edges = spine_edges(h)
+        assert len(edges) == 2 * h - 1  # (h-1) per clique plus the bridge
+
+
+class TestFoolingFamily:
+    @pytest.mark.parametrize("h,i", [(6, 2), (6, 4), (8, 3), (10, 5)])
+    def test_premises(self, h, i):
+        variants = fooling_family(h, i)
+        assert len(variants) == h - i
+        target_views = {v.instance.graph.local_view(v.target_node) for v in variants}
+        assert len(target_views) == 1, "the adversary must not change the target's view"
+        ports = [v.correct_parent_port for v in variants]
+        assert len(set(ports)) == len(ports), "every variant needs a different answer"
+
+    def test_every_variant_has_the_spine_mst(self):
+        for v in fooling_family(7, 3):
+            unique, mst = unique_mst_edge_ids(v.instance.graph)
+            assert unique
+            assert sorted(mst) == v.instance.expected_mst_edge_ids()
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            fooling_family(6, 1)
+        with pytest.raises(ValueError):
+            fooling_family(6, 6)
+
+
+class TestAccounting:
+    def test_lower_bound_grows_logarithmically(self):
+        values = [average_advice_lower_bound_bits(h) for h in (8, 32, 128, 512)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+        # Theta(log h): the value at 512 is within a constant factor of log2(512)/2
+        assert values[-1] > math.log2(512) / 4
+
+    def test_degenerate_sizes(self):
+        assert average_advice_lower_bound_bits(2) == 0.0

@@ -1,0 +1,90 @@
+"""Tests of Theorem 2: the ``(O(log² n), 1)`` scheme with constant average advice."""
+
+import math
+
+import pytest
+
+from repro.core.oracle import run_scheme
+from repro.core.scheme_average import (
+    AverageConstantScheme,
+    _parse_records,
+    paper_average_constant,
+)
+from repro.core.bits import BitString
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+
+class TestAverageScheme:
+    def test_correct_on_zoo(self, graph_zoo):
+        scheme = AverageConstantScheme()
+        for name, graph, root in graph_zoo:
+            report = run_scheme(scheme, graph, root=root)
+            assert report.correct, f"{name}: {report.check.reason}"
+            assert report.check.root == root
+
+    def test_exactly_one_round(self, graph_zoo):
+        scheme = AverageConstantScheme()
+        for name, graph, root in graph_zoo:
+            report = run_scheme(scheme, graph, root=root)
+            assert report.rounds == 1, name
+
+    def test_average_advice_is_bounded_by_the_paper_constant(self):
+        """Theorem 2: the average advice length is at most c = Σ (i+1)/2^(i-2) = 12."""
+        scheme = AverageConstantScheme()
+        constant = paper_average_constant()
+        assert abs(constant - 12.0) < 1e-6
+        for n in (16, 64, 256, 1024):
+            graph = random_connected_graph(n, 8 / n, seed=3)
+            stats = scheme.compute_advice(graph, root=0).stats()
+            assert stats.average_bits <= constant
+
+    def test_average_advice_stays_flat_while_max_grows(self):
+        """Average stays O(1); the maximum grows (it is Θ(log² n) in the worst case)."""
+        scheme = AverageConstantScheme()
+        averages, maxima = [], []
+        for n in (32, 128, 512, 2048):
+            graph = random_connected_graph(n, 6 / n, seed=7)
+            stats = scheme.compute_advice(graph, root=0).stats()
+            averages.append(stats.average_bits)
+            maxima.append(stats.max_bits)
+        assert max(averages) <= paper_average_constant()
+        assert maxima[-1] > maxima[0]
+        assert maxima[-1] <= scheme.advice_bound_bits(2048)
+
+    def test_advice_is_interleaved_bitmap_and_data(self):
+        graph = random_connected_graph(40, 0.1, seed=1)
+        advice = AverageConstantScheme().compute_advice(graph, root=0)
+        for u in range(graph.n):
+            bits = advice.get(u)
+            assert len(bits) % 2 == 0  # the bitmap doubles the data
+            if len(bits) > 0:
+                records = _parse_records(bits)
+                assert records, "non-empty advice must parse into records"
+                for is_up, rank in records:
+                    assert isinstance(is_up, bool)
+                    assert 1 <= rank <= graph.degree(u)
+
+    def test_parse_records_rejects_malformed_advice(self):
+        with pytest.raises(ValueError):
+            _parse_records(BitString([1, 0, 1]))  # odd length
+        with pytest.raises(ValueError):
+            _parse_records(BitString([0, 1, 0, 0]))  # data before the first record mark
+
+    def test_works_with_duplicate_weights(self):
+        graph = random_connected_graph(45, 0.1, seed=2, weight_mode="integer", weight_range=3)
+        report = run_scheme(AverageConstantScheme(), graph, root=4)
+        assert report.correct
+
+    def test_congest_messages(self):
+        """Decoder messages are O(log n) bits (they are single parent claims)."""
+        graph = random_connected_graph(300, 0.02, seed=6)
+        report = run_scheme(AverageConstantScheme(), graph, root=0)
+        assert report.correct
+        assert report.metrics.max_edge_bits_per_round <= 8
+
+    def test_declared_bounds(self):
+        scheme = AverageConstantScheme()
+        assert scheme.round_bound(4096) == 1
+        assert scheme.advice_bound_bits(4096) == 2 * sum(i + 1 for i in range(1, 13))
+        assert scheme.average_advice_bound_bits(4096) == paper_average_constant()

@@ -1,0 +1,61 @@
+"""Tests of the level-based Theorem-3 variant (the D1 ablation)."""
+
+import pytest
+
+from repro.core.oracle import run_scheme
+from repro.core.scheme_level import LevelAdviceScheme
+from repro.core.scheme_main import ShortAdviceScheme, num_boruvka_phases
+from repro.graphs.generators import complete_graph, cycle_graph, random_connected_graph
+
+
+class TestLevelScheme:
+    def test_correct_on_distinct_weight_zoo(self, distinct_weight_zoo):
+        scheme = LevelAdviceScheme()
+        for name, graph, root in distinct_weight_zoo:
+            report = run_scheme(scheme, graph, root=root)
+            assert report.correct, f"{name}: {report.check.reason}"
+            assert report.check.root == root
+
+    def test_rejects_duplicate_weights(self):
+        graph = random_connected_graph(30, 0.1, seed=1, weight_mode="integer", weight_range=3)
+        assert not graph.has_distinct_weights()
+        with pytest.raises(ValueError):
+            LevelAdviceScheme().compute_advice(graph, root=0)
+
+    def test_same_tree_as_primary_variant(self):
+        """Both Theorem-3 variants must decode the same rooted MST."""
+        for seed in range(3):
+            graph = random_connected_graph(70, 0.06, seed=seed)
+            main = run_scheme(ShortAdviceScheme(), graph, root=3)
+            level = run_scheme(LevelAdviceScheme(), graph, root=3)
+            assert main.correct and level.correct
+            assert main.check.tree_edge_ids == level.check.tree_edge_ids
+
+    def test_advice_contains_level_bitmap(self):
+        """The level variant pays ⌈log log n⌉ extra bits per node for the bitmap."""
+        graph = random_connected_graph(200, 0.03, seed=2)
+        phases = num_boruvka_phases(graph.n)
+        level_advice = LevelAdviceScheme().compute_advice(graph, root=0)
+        main_advice = ShortAdviceScheme().compute_advice(graph, root=0)
+        # every node carries at least the extra bitmap bits compared to the header floor
+        for u in range(graph.n):
+            assert level_advice.bits_of(u) >= 6 + phases
+        assert level_advice.stats().average_bits > main_advice.stats().average_bits
+
+    def test_rounds_slightly_larger_than_primary(self):
+        """The level exchange costs a constant number of extra rounds per phase."""
+        graph = random_connected_graph(150, 0.04, seed=3)
+        main = run_scheme(ShortAdviceScheme(), graph, root=0)
+        level = run_scheme(LevelAdviceScheme(), graph, root=0)
+        phases = num_boruvka_phases(graph.n)
+        assert main.rounds < level.rounds <= main.rounds + 2 * phases + 4
+
+    def test_structured_graphs(self):
+        for graph, root in [(complete_graph(24, seed=4), 0), (cycle_graph(60, seed=5), 30)]:
+            report = run_scheme(LevelAdviceScheme(), graph, root=root)
+            assert report.correct, report.check.reason
+
+    def test_declared_bounds_grow_with_log_log_n(self):
+        scheme = LevelAdviceScheme()
+        assert scheme.advice_bound_bits(2**16) > scheme.advice_bound_bits(16)
+        assert scheme.round_bound(1024) > ShortAdviceScheme().round_bound(1024)

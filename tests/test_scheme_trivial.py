@@ -1,0 +1,70 @@
+"""Tests of the trivial ``(⌈log n⌉, 0)``-advising scheme (Section 1)."""
+
+import math
+
+import pytest
+
+from repro.core.oracle import run_scheme
+from repro.core.scheme_trivial import TrivialRankScheme
+from repro.graphs.generators import random_connected_graph, star_graph
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+
+class TestTrivialScheme:
+    def test_correct_on_zoo(self, graph_zoo):
+        scheme = TrivialRankScheme()
+        for name, graph, root in graph_zoo:
+            report = run_scheme(scheme, graph, root=root)
+            assert report.correct, f"{name}: {report.check.reason}"
+            assert report.check.root == root
+
+    def test_zero_rounds_and_no_messages(self, graph_zoo):
+        scheme = TrivialRankScheme()
+        for name, graph, root in graph_zoo:
+            report = run_scheme(scheme, graph, root=root)
+            assert report.rounds == 0, name
+            assert report.metrics.total_messages == 0, name
+
+    def test_advice_size_bound(self, graph_zoo):
+        """Each node needs at most ⌈log₂ deg(u)⌉ + 1 bits ≤ ⌈log₂ n⌉ + 1."""
+        scheme = TrivialRankScheme()
+        for name, graph, root in graph_zoo:
+            advice = scheme.compute_advice(graph, root=root)
+            for u in range(graph.n):
+                expected = 1 + (graph.degree(u) - 1).bit_length() if u != root else 1
+                assert advice.bits_of(u) == expected, name
+            assert advice.stats().max_bits <= scheme.advice_bound_bits(graph.n)
+
+    def test_advice_scales_logarithmically(self):
+        scheme = TrivialRankScheme()
+        sizes = (8, 64, 512)
+        maxima = []
+        for n in sizes:
+            graph = random_connected_graph(n, min(1.0, 10 / n), seed=1)
+            maxima.append(scheme.compute_advice(graph, root=0).stats().max_bits)
+        assert maxima[0] <= maxima[1] <= maxima[2]
+        assert maxima[2] <= math.ceil(math.log2(512)) + 1
+
+    def test_star_leaf_gets_one_bit(self):
+        """A degree-1 node needs only the root flag (rank is forced)."""
+        graph = star_graph(8, seed=0)
+        advice = TrivialRankScheme().compute_advice(graph, root=0)
+        for leaf in range(1, 8):
+            assert advice.bits_of(leaf) == 1
+
+    def test_root_choice_respected(self):
+        graph = random_connected_graph(30, 0.1, seed=5)
+        for root in (0, 7, 29):
+            report = run_scheme(TrivialRankScheme(), graph, root=root)
+            assert report.correct and report.check.root == root
+
+    def test_single_node_graph(self):
+        graph = PortNumberedGraph(1, [])
+        report = run_scheme(TrivialRankScheme(), graph, root=0)
+        assert report.correct
+        assert report.rounds == 0
+
+    def test_declared_bounds(self):
+        scheme = TrivialRankScheme()
+        assert scheme.round_bound(1000) == 0
+        assert scheme.advice_bound_bits(1024) == math.ceil(math.log2(1023)) + 1

@@ -1,0 +1,188 @@
+"""Tests of the synchronous message-passing engine."""
+
+import pytest
+
+from repro.core.bits import BitString
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.simulator.algorithm import FunctionalProgram, NodeProgram
+from repro.simulator.engine import SyncEngine, run_sync
+from repro.simulator.message import estimate_bits
+from repro.simulator.network import Network
+from repro.simulator.node import NodeContext
+
+
+class _Silent(NodeProgram):
+    """Sets its output immediately and never communicates (a 0-round algorithm)."""
+
+    def init(self, ctx):
+        ctx.halt(ctx.degree)
+
+    def on_round(self, ctx, inbox):  # pragma: no cover - never reached
+        ctx.halt()
+
+
+class _PingPong(NodeProgram):
+    """Each node sends its id on every port, echoes what it receives once, then stops."""
+
+    def init(self, ctx):
+        for p in ctx.ports():
+            ctx.send(p, ctx.node_id)
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 1:
+            ctx.set_output(sorted(inbox.values()))
+            for p in inbox:
+                ctx.send(p, ("ack", ctx.node_id))
+        else:
+            ctx.halt()
+
+
+class _Forever(NodeProgram):
+    """Never halts (used to test the round limit)."""
+
+    def init(self, ctx):
+        ctx.send(0, 1)
+
+    def on_round(self, ctx, inbox):
+        ctx.send(0, 1)
+
+
+class TestEstimateBits:
+    def test_primitives(self):
+        assert estimate_bits(None) == 0
+        assert estimate_bits(True) == 1
+        assert estimate_bits(0) == 2
+        assert estimate_bits(7) == 4  # 3 magnitude bits + sign
+        assert estimate_bits(1.5) == 32
+        assert estimate_bits("ab") == 16
+        assert estimate_bits(b"ab") == 16
+        assert estimate_bits(BitString([1, 0, 1])) == 3
+
+    def test_containers(self):
+        assert estimate_bits((1, 2)) == (2 + 2) + (2 + 3)
+        assert estimate_bits([True]) == 3
+        assert estimate_bits({1: True}) == 2 + 2 + 1
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            estimate_bits(object())
+
+
+class TestNetwork:
+    def test_wiring_and_delivery(self):
+        g = path_graph(3, seed=0)
+        net = Network(g)
+        # node 1 is in the middle: its two ports reach nodes 0 and 2
+        endpoints = {net.endpoint(1, p)[0] for p in range(net.degree(1))}
+        assert endpoints == {0, 2}
+        inboxes = net.deliver({0: {0: "x"}})
+        ((receiver, ports),) = inboxes.items()
+        assert receiver == 1 and list(ports.values()) == ["x"]
+
+
+class TestNodeContext:
+    def test_send_validation(self):
+        ctx = NodeContext(path_graph(2, seed=0).local_view(0))
+        ctx.send(0, "hello")
+        with pytest.raises(RuntimeError):
+            ctx.send(0, "again")  # one message per port per round
+        with pytest.raises(ValueError):
+            ctx.send(5, "nope")
+        ctx.halt("done")
+        with pytest.raises(RuntimeError):
+            ctx.send(0, "after halt")
+
+    def test_halt_preserves_existing_output(self):
+        ctx = NodeContext(path_graph(2, seed=0).local_view(0))
+        ctx.set_output(42)
+        ctx.halt()
+        assert ctx.output == 42
+        ctx2 = NodeContext(path_graph(2, seed=0).local_view(0))
+        ctx2.halt(7)
+        assert ctx2.output == 7
+
+
+class TestEngine:
+    def test_zero_round_algorithm(self):
+        g = star_graph(6, seed=0)
+        result = run_sync(g, lambda ctx: _Silent())
+        assert result.completed
+        assert result.metrics.rounds == 0
+        assert result.metrics.total_messages == 0
+        assert result.outputs[0] == 5  # the hub's degree
+
+    def test_message_exchange_and_round_count(self):
+        g = cycle_graph(5, seed=0)
+        result = run_sync(g, lambda ctx: _PingPong())
+        assert result.completed
+        assert result.metrics.rounds == 2
+        # every node heard both neighbours' ids in round 1
+        for u in range(5):
+            assert len(result.outputs[u]) == 2
+        assert result.metrics.total_messages == 2 * 2 * 5  # two rounds of full exchange
+
+    def test_metrics_accounting(self):
+        g = path_graph(2, seed=0)
+        result = run_sync(g, lambda ctx: _PingPong())
+        m = result.metrics
+        assert m.total_message_bits > 0
+        assert m.max_message_bits <= m.total_message_bits
+        assert m.max_edge_bits_per_round >= m.max_message_bits
+        assert len(m.messages_per_round) == m.rounds
+        assert m.congest_factor() > 0
+        d = m.as_dict()
+        assert d["rounds"] == m.rounds and d["n"] == 2
+
+    def test_round_limit(self):
+        g = path_graph(2, seed=0)
+        result = run_sync(g, lambda ctx: _Forever(), max_rounds=10)
+        assert not result.completed
+        assert result.metrics.rounds == 10
+        assert result.missing_outputs == 2
+
+    def test_advice_reaches_nodes(self):
+        g = path_graph(3, seed=0)
+        advice = {u: BitString.from_uint(u, 4) for u in range(3)}
+
+        def factory(ctx):
+            return FunctionalProgram(init_fn=lambda c, s: c.halt(c.advice.to_uint()))
+
+        result = run_sync(g, factory, advice=advice)
+        assert result.outputs == {0: 0, 1: 1, 2: 2}
+
+    def test_functional_program_round_fn(self):
+        g = path_graph(2, seed=0)
+
+        def init(ctx, state):
+            ctx.send(0, ctx.node_id)
+
+        def round_fn(ctx, inbox, state):
+            ctx.halt(list(inbox.values())[0])
+
+        result = run_sync(g, lambda ctx: FunctionalProgram(init, round_fn))
+        assert result.outputs == {0: 1, 1: 0}
+
+    def test_determinism(self):
+        g = cycle_graph(7, seed=1)
+        r1 = run_sync(g, lambda ctx: _PingPong())
+        r2 = run_sync(g, lambda ctx: _PingPong())
+        assert r1.outputs == r2.outputs
+        assert r1.metrics.as_dict() == r2.metrics.as_dict()
+
+    def test_halted_nodes_do_not_act(self):
+        g = path_graph(2, seed=0)
+
+        class HaltEarly(NodeProgram):
+            def init(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.halt("early")
+                else:
+                    ctx.send(0, "to the halted node")
+
+            def on_round(self, ctx, inbox):
+                ctx.halt(("late", tuple(inbox.values())))
+
+        result = run_sync(g, lambda ctx: HaltEarly())
+        assert result.outputs[0] == "early"
+        assert result.outputs[1] == ("late", ())
