@@ -10,24 +10,23 @@ messages.  Run on random connected graphs and on the lower-bound family
 from conftest import publish
 
 from repro.analysis import format_table, run_scheme_sweep
-from repro.analysis.sweep import default_graph_factory
-from repro.core.scheme_average import AverageConstantScheme, paper_average_constant
-from repro.graphs.lowerbound_family import build_gn
+from repro.core.scheme_average import paper_average_constant
+from repro.runner import GraphSpec
 
 SIZES = (16, 32, 64, 128, 256, 512, 1024, 2048)
 
 
 def _run_experiment():
     sweep = run_scheme_sweep(
-        AverageConstantScheme(),
+        "theorem2",
         SIZES,
-        graph_factory=default_graph_factory(0.04),
+        graph_factory=GraphSpec("random", 0.04),
         seeds=(0, 1),
     )
     gn = run_scheme_sweep(
-        AverageConstantScheme(),
+        "theorem2",
         (16, 32, 64, 128),
-        graph_factory=lambda n, seed: build_gn(n // 2, seed=seed).graph,
+        graph_factory=GraphSpec("gn"),
         seeds=(0,),
     )
     return sweep, gn

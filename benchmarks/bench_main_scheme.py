@@ -7,39 +7,35 @@ number of rounds stays within ``9⌈log₂ n⌉`` and per-edge messages stay
 """
 
 import math
+import os
 
 from conftest import publish
 
 from repro.analysis import format_table, run_scheme_sweep
-from repro.analysis.sweep import default_graph_factory
 from repro.core.scheme_main import ShortAdviceScheme
-from repro.graphs.generators import complete_graph, cycle_graph, grid_graph
+from repro.runner import GraphSpec
 
 SIZES = (16, 32, 64, 128, 256, 512, 1024, 2048)
 
+#: worker processes for the sweep (the workload is declarative, so it can
+#: fan out; default stays serial for stable pytest-benchmark timings)
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 
 def _run_experiment():
-    scheme = ShortAdviceScheme()
+    # registry-name target + GraphSpec: the whole experiment routes through
+    # repro.runner and is picklable, so REPRO_BENCH_JOBS>1 parallelises it
     random_sweep = run_scheme_sweep(
-        scheme, SIZES, graph_factory=default_graph_factory(0.03), seeds=(0, 1)
+        "theorem3", SIZES, graph_factory=GraphSpec("random", 0.03), seeds=(0, 1), jobs=JOBS
     )
     grid_sweep = run_scheme_sweep(
-        scheme,
-        (64, 256, 1024),
-        graph_factory=lambda n, seed: grid_graph(int(math.isqrt(n)), int(math.isqrt(n)), seed=seed),
-        seeds=(0,),
+        "theorem3", (64, 256, 1024), graph_factory=GraphSpec("grid"), seeds=(0,), jobs=JOBS
     )
     cycle_sweep = run_scheme_sweep(
-        scheme,
-        (64, 256, 1024),
-        graph_factory=lambda n, seed: cycle_graph(n, seed=seed),
-        seeds=(0,),
+        "theorem3", (64, 256, 1024), graph_factory=GraphSpec("cycle"), seeds=(0,), jobs=JOBS
     )
     complete_sweep = run_scheme_sweep(
-        scheme,
-        (16, 64, 128),
-        graph_factory=lambda n, seed: complete_graph(n, seed=seed),
-        seeds=(0,),
+        "theorem3", (16, 64, 128), graph_factory=GraphSpec("complete"), seeds=(0,), jobs=JOBS
     )
     return random_sweep, grid_sweep, cycle_sweep, complete_sweep
 

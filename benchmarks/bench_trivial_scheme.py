@@ -12,20 +12,19 @@ from conftest import publish
 
 from repro.analysis import format_table, run_scheme_sweep
 from repro.analysis.sweep import default_graph_factory
-from repro.core.scheme_trivial import TrivialRankScheme
-from repro.graphs.generators import complete_graph
+from repro.runner import GraphSpec
 
 SIZES = (16, 32, 64, 128, 256, 512, 1024)
 
 
 def _run_experiment():
     sparse = run_scheme_sweep(
-        TrivialRankScheme(), SIZES, graph_factory=default_graph_factory(0.04), seeds=(0, 1)
+        "trivial", SIZES, graph_factory=default_graph_factory(0.04), seeds=(0, 1)
     )
     dense = run_scheme_sweep(
-        TrivialRankScheme(),
+        "trivial",
         (16, 32, 64, 128),
-        graph_factory=lambda n, seed: complete_graph(n, seed=seed),
+        graph_factory=GraphSpec("complete"),
         seeds=(0,),
     )
     return sparse, dense

@@ -11,13 +11,16 @@ results side by side:
 * Theorem 3 — *maximum* advice stays constant while the number of rounds
   grows like ``log n`` (within the paper's ``9⌈log n⌉`` budget).
 
-Run with:  python examples/advice_tradeoff_study.py [--quick]
+Run with:  python examples/advice_tradeoff_study.py [--quick] [--jobs N]
+
+The sweeps route through ``repro.runner``: pass ``--jobs N`` to fan the
+runs over worker processes and ``--cache-dir DIR`` to reuse results
+across invocations (the output is byte-identical either way).
 """
 
 import argparse
 
-from repro import AverageConstantScheme, ShortAdviceScheme, TrivialRankScheme
-from repro.analysis import default_graph_factory, format_table, run_scheme_sweep
+from repro.analysis import default_graph_factory, run_scheme_sweep
 from repro.core.scheme_average import paper_average_constant
 from repro.core.scheme_main import ShortAdviceScheme as Main
 
@@ -25,14 +28,23 @@ from repro.core.scheme_main import ShortAdviceScheme as Main
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smaller sweep for a fast demo")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    parser.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
     args = parser.parse_args()
 
     sizes = (16, 32, 64, 128, 256) if args.quick else (16, 32, 64, 128, 256, 512, 1024)
     factory = default_graph_factory(extra_edge_prob=0.04)
     seeds = (0, 1)
 
-    for scheme in (TrivialRankScheme(), AverageConstantScheme(), ShortAdviceScheme()):
-        sweep = run_scheme_sweep(scheme, sizes, graph_factory=factory, seeds=seeds)
+    for scheme in ("trivial", "theorem2", "theorem3"):
+        sweep = run_scheme_sweep(
+            scheme,
+            sizes,
+            graph_factory=factory,
+            seeds=seeds,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
         print(
             sweep.to_text(
                 columns=[

@@ -55,6 +55,7 @@ from repro.core import (
     run_scheme,
 )
 from repro.simulator import RunMetrics, run_sync
+from repro.runner import GraphSpec, SweepTask, run_tasks
 
 __version__ = "1.0.0"
 
@@ -95,4 +96,8 @@ __all__ = [
     # simulator
     "RunMetrics",
     "run_sync",
+    # runner
+    "GraphSpec",
+    "SweepTask",
+    "run_tasks",
 ]

@@ -6,19 +6,33 @@ paper's theorems bound: maximum / average advice bits, rounds, and the
 per-edge message size.  Multiple seeds per size are aggregated by mean
 (for averages) and maximum (for worst-case quantities), which is the
 conservative choice when checking upper bounds.
+
+Execution routes through :mod:`repro.runner`: every ``(size, seed)``
+pair becomes one :class:`~repro.runner.tasks.SweepTask`, so a sweep can
+run over a process pool (``jobs=N``) and/or against an on-disk result
+cache (``cache_dir=...``).  Workers return raw per-run rows and all
+aggregation happens here, in task order — the serial and parallel paths
+therefore produce byte-identical results.
+
+Schemes and baselines may be passed as instances (as before) or as
+registry names (``"theorem3"``, ``"ghs"``, ...); only name +
+:class:`~repro.runner.tasks.GraphSpec` workloads are cacheable, because
+ad-hoc instances and closures have no stable content hash.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.tables import format_table
-from repro.core.oracle import AdvisingScheme, run_scheme
-from repro.distributed.base import DistributedMSTBaseline, run_baseline
-from repro.graphs.generators import random_connected_graph
+from repro.core.oracle import AdvisingScheme
+from repro.distributed.base import DistributedMSTBaseline
 from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.runner.registry import resolve_baseline, resolve_scheme
+from repro.runner.runner import run_tasks
+from repro.runner.tasks import GraphSpec, SweepTask
 
 __all__ = [
     "GraphFactory",
@@ -32,13 +46,14 @@ __all__ = [
 GraphFactory = Callable[[int, int], PortNumberedGraph]
 
 
-def default_graph_factory(extra_edge_prob: float = 0.05) -> GraphFactory:
-    """The default workload: random connected graphs with the given density."""
+def default_graph_factory(extra_edge_prob: float = 0.05) -> GraphSpec:
+    """The default workload: random connected graphs with the given density.
 
-    def factory(n: int, seed: int) -> PortNumberedGraph:
-        return random_connected_graph(n, extra_edge_prob, seed=seed)
-
-    return factory
+    Returns a :class:`~repro.runner.tasks.GraphSpec` — callable like the
+    closure it used to be, but picklable (usable with ``jobs > 1``) and
+    hashable (usable with the result cache).
+    """
+    return GraphSpec("random", extra_edge_prob)
 
 
 @dataclass
@@ -58,33 +73,43 @@ class SweepResult:
 
 
 def run_scheme_sweep(
-    scheme: AdvisingScheme,
+    scheme: Union[str, AdvisingScheme],
     sizes: Sequence[int],
     graph_factory: Optional[GraphFactory] = None,
     seeds: Sequence[int] = (0, 1, 2),
     root: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> SweepResult:
     """Run ``scheme`` on every size in ``sizes`` and aggregate per size."""
-    factory = graph_factory or default_graph_factory()
-    result = SweepResult(name=scheme.name)
-    for n in sizes:
+    factory = graph_factory if graph_factory is not None else default_graph_factory()
+    scheme_obj = resolve_scheme(scheme)
+    tasks = [
+        SweepTask(kind="scheme", target=scheme, graph=factory, n=n, seed=seed, root=root)
+        for n in sizes
+        for seed in seeds
+    ]
+    raw = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir)
+
+    result = SweepResult(name=scheme_obj.name)
+    per_size = len(seeds)
+    for index, n in enumerate(sizes):
+        group = raw[index * per_size : (index + 1) * per_size]
         max_advice = 0
         avg_advice = 0.0
         rounds = 0
         max_edge_bits = 0
         all_correct = True
-        for seed in seeds:
-            graph = factory(n, seed)
-            report = run_scheme(scheme, graph, root=root % graph.n)
-            max_advice = max(max_advice, report.advice.max_bits)
-            avg_advice += report.advice.average_bits
-            rounds = max(rounds, report.rounds)
-            max_edge_bits = max(max_edge_bits, report.metrics.max_edge_bits_per_round)
-            all_correct = all_correct and report.correct
+        for row in group:
+            max_advice = max(max_advice, row["max_advice_bits"])
+            avg_advice += row["avg_advice_bits"]
+            rounds = max(rounds, row["rounds"])
+            max_edge_bits = max(max_edge_bits, row["max_edge_bits"])
+            all_correct = all_correct and row["correct"]
         log_n = math.log2(max(n, 2))
         result.rows.append(
             {
-                "scheme": scheme.name,
+                "scheme": scheme_obj.name,
                 "n": n,
                 "log2_n": round(log_n, 2),
                 "max_advice_bits": max_advice,
@@ -94,38 +119,48 @@ def run_scheme_sweep(
                 "max_edge_bits": max_edge_bits,
                 "congest_factor": round(max_edge_bits / log_n, 2),
                 "correct": all_correct,
-                "advice_bound": scheme.advice_bound_bits(n),
-                "round_bound": scheme.round_bound(n),
+                "advice_bound": scheme_obj.advice_bound_bits(n),
+                "round_bound": scheme_obj.round_bound(n),
             }
         )
     return result
 
 
 def run_baseline_sweep(
-    baseline: DistributedMSTBaseline,
+    baseline: Union[str, DistributedMSTBaseline],
     sizes: Sequence[int],
     graph_factory: Optional[GraphFactory] = None,
     seeds: Sequence[int] = (0, 1),
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> SweepResult:
     """Run a no-advice baseline on every size in ``sizes``."""
-    factory = graph_factory or default_graph_factory()
-    result = SweepResult(name=baseline.name)
-    for n in sizes:
+    factory = graph_factory if graph_factory is not None else default_graph_factory()
+    baseline_obj = resolve_baseline(baseline)
+    tasks = [
+        SweepTask(kind="baseline", target=baseline, graph=factory, n=n, seed=seed)
+        for n in sizes
+        for seed in seeds
+    ]
+    raw = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir)
+
+    result = SweepResult(name=baseline_obj.name)
+    per_size = len(seeds)
+    for index, n in enumerate(sizes):
+        group = raw[index * per_size : (index + 1) * per_size]
         rounds = 0
         max_edge_bits = 0
         all_correct = True
         bound: Optional[float] = None
-        for seed in seeds:
-            graph = factory(n, seed)
-            report = run_baseline(baseline, graph)
-            rounds = max(rounds, report.rounds)
-            max_edge_bits = max(max_edge_bits, report.metrics.max_edge_bits_per_round)
-            all_correct = all_correct and report.correct
-            bound = report.round_bound
+        for row in group:
+            rounds = max(rounds, row["rounds"])
+            max_edge_bits = max(max_edge_bits, row["max_edge_bits"])
+            all_correct = all_correct and row["correct"]
+            bound = row["round_bound"]
         log_n = math.log2(max(n, 2))
         result.rows.append(
             {
-                "scheme": baseline.name,
+                "scheme": baseline_obj.name,
                 "n": n,
                 "log2_n": round(log_n, 2),
                 "max_advice_bits": 0,

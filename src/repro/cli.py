@@ -11,11 +11,17 @@ The CLI exposes the library's main workflows without writing any Python:
     The measured advice-size / round-complexity trade-off table on one
     instance (experiment E6).
 ``sweep``
-    Advice and round curves of one scheme over a range of sizes.
+    Advice and round curves of one scheme over a range of sizes
+    (``--jobs N`` fans the runs over worker processes, ``--cache-dir``
+    reuses results across invocations).
+``bench``
+    Repeated runs of one scheme/baseline on one instance family, timed;
+    reports runs/second (the runner's micro-benchmark).
 ``lowerbound``
     The Theorem-1 fooling-family experiment and pigeonhole table.
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed``; ``sweep --jobs N``
+produces byte-identical output to the serial path.
 """
 
 from __future__ import annotations
@@ -24,7 +30,8 @@ import argparse
 import json
 import math
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+import time
+from typing import Optional, Sequence
 
 from repro.analysis.sweep import run_scheme_sweep
 from repro.analysis.tables import format_table
@@ -35,56 +42,20 @@ from repro.core.lower_bound import (
     truncated_trivial_failures,
 )
 from repro.core.oracle import run_scheme
-from repro.core.scheme_average import AverageConstantScheme, paper_average_constant
-from repro.core.scheme_level import LevelAdviceScheme
-from repro.core.scheme_main import ShortAdviceScheme
-from repro.core.scheme_trivial import TrivialRankScheme
+from repro.core.scheme_average import paper_average_constant
 from repro.distributed.base import run_baseline
-from repro.distributed.boruvka_sync import SynchronizedBoruvkaMST
-from repro.distributed.full_info import FullInformationMST
-from repro.graphs.generators import (
-    complete_graph,
-    cycle_graph,
-    grid_graph,
-    random_connected_graph,
-    random_geometric_graph,
-)
-from repro.graphs.lowerbound_family import build_gn
 from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.runner.cache import ResultCache
+from repro.runner.registry import BASELINES, SCHEMES, build_graph
+from repro.runner.runner import run_tasks
+from repro.runner.tasks import GraphSpec, SweepTask
 
-__all__ = ["main", "build_parser"]
-
-#: scheme name -> factory
-SCHEMES: Dict[str, Callable[[], object]] = {
-    "trivial": TrivialRankScheme,
-    "theorem2": AverageConstantScheme,
-    "theorem3": ShortAdviceScheme,
-    "theorem3-level": LevelAdviceScheme,
-}
-
-#: baseline name -> factory
-BASELINES: Dict[str, Callable[[], object]] = {
-    "ghs": SynchronizedBoruvkaMST,
-    "full-info": FullInformationMST,
-}
+__all__ = ["main", "build_parser", "SCHEMES", "BASELINES"]
 
 
 def _make_graph(kind: str, n: int, seed: int, density: float) -> PortNumberedGraph:
     """Build the instance requested on the command line."""
-    if kind == "random":
-        return random_connected_graph(n, min(1.0, density), seed=seed)
-    if kind == "complete":
-        return complete_graph(n, seed=seed)
-    if kind == "cycle":
-        return cycle_graph(n, seed=seed)
-    if kind == "grid":
-        side = max(2, int(math.isqrt(n)))
-        return grid_graph(side, side, seed=seed)
-    if kind == "geometric":
-        return random_geometric_graph(n, seed=seed)
-    if kind == "gn":
-        return build_gn(max(2, n // 2), seed=seed).graph
-    raise ValueError(f"unknown graph kind {kind!r}")
+    return build_graph(kind, n, seed, density)
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -101,6 +72,15 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--root", type=int, default=0, help="root node of the MST (default 0)")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1: run in-process)"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="directory for the on-disk JSON result cache"
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -186,13 +166,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sizes = [int(x) for x in args.sizes.split(",") if x.strip()]
     if not sizes:
         raise ValueError("--sizes must list at least one size")
-    scheme = SCHEMES[args.scheme]()
     seeds = tuple(range(args.repeats))
 
-    def factory(n: int, seed: int) -> PortNumberedGraph:
-        return _make_graph(args.graph, n, seed, args.density)
-
-    result = run_scheme_sweep(scheme, sizes, graph_factory=factory, seeds=seeds)
+    # the scheme is passed by registry name and the graph as a GraphSpec so
+    # the workload is picklable (--jobs) and content-hashable (--cache-dir)
+    result = run_scheme_sweep(
+        args.scheme,
+        sizes,
+        graph_factory=GraphSpec(args.graph, args.density),
+        seeds=seeds,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     if args.json:
         print(json.dumps(result.rows, indent=2, default=str))
         return 0
@@ -211,6 +196,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     return 0 if all(result.series("correct")) else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.repeats < 1:
+        raise ValueError("--repeats must be >= 1")
+    kind = "scheme" if args.scheme in SCHEMES else "baseline"
+    tasks = [
+        SweepTask(
+            kind=kind,
+            target=args.scheme,
+            graph=GraphSpec(args.graph, args.density),
+            n=args.n,
+            seed=args.seed + k,
+            root=args.root,
+        )
+        for k in range(args.repeats)
+    ]
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    start = time.perf_counter()
+    rows = run_tasks(tasks, jobs=args.jobs, cache_dir=cache)
+    elapsed = time.perf_counter() - start
+
+    all_correct = all(row["correct"] for row in rows)
+    summary = {
+        "scheme": args.scheme,
+        "graph": args.graph,
+        "n": args.n,
+        "runs": len(rows),
+        "jobs": args.jobs,
+        "wall_seconds": round(elapsed, 4),
+        "runs_per_second": round(len(rows) / elapsed, 3) if elapsed > 0 else float("inf"),
+        # rows served from --cache-dir were not simulated inside the timed
+        # window; a nonzero count means runs_per_second measures the cache
+        "cache_hits": cache.hits if cache is not None else 0,
+        "max_rounds": max(row["rounds"] for row in rows),
+        "max_edge_bits": max(row["max_edge_bits"] for row in rows),
+        "total_messages": sum(row["total_messages"] for row in rows),
+        "correct": all_correct,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            format_table(
+                [summary],
+                title=f"bench: {args.repeats} x {args.scheme} on {args.graph}(n={args.n})",
+            )
+        )
+    return 0 if all_correct else 1
 
 
 def _cmd_lowerbound(args: argparse.Namespace) -> int:
@@ -285,7 +319,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--scheme", default="theorem3", choices=sorted(SCHEMES))
     sweep_parser.add_argument("--sizes", default="32,64,128,256", help="comma-separated node counts")
     sweep_parser.add_argument("--repeats", type=int, default=2, help="seeds per size (default 2)")
+    _add_parallel_arguments(sweep_parser)
     _add_graph_arguments(sweep_parser)
+
+    bench_parser = sub.add_parser("bench", help="timed repeated runs (runs/second)")
+    bench_parser.add_argument(
+        "--scheme",
+        default="theorem3",
+        choices=sorted(SCHEMES) + sorted(BASELINES),
+        help="advising scheme or no-advice baseline (default: theorem3)",
+    )
+    bench_parser.add_argument("--repeats", type=int, default=10, help="number of runs (default 10)")
+    _add_parallel_arguments(bench_parser)
+    _add_graph_arguments(bench_parser)
 
     lb_parser = sub.add_parser("lowerbound", help="Theorem 1 fooling-family experiment")
     lb_parser.add_argument("--h", type=int, default=12, help="nodes per clique of G_n (default 12)")
@@ -300,6 +346,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "tradeoff": _cmd_tradeoff,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "lowerbound": _cmd_lowerbound,
 }
 

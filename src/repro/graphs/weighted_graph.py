@@ -433,8 +433,40 @@ class PortNumberedGraph:
         )
 
     def local_views(self) -> List[LocalView]:
-        """Local views of all nodes, indexed by node index."""
-        return [self.local_view(u) for u in range(self.n)]
+        """Local views of all nodes, indexed by node index.
+
+        Bulk variant of :meth:`local_view`: the adjacency arrays are
+        converted to plain Python lists once and sliced per node, instead
+        of paying one numpy scalar conversion per (node, port).  The
+        simulator builds every view of a run through this.
+        """
+        weights = self._adj_weight.tolist()
+        offsets = self._offsets.tolist()
+        ids = self.node_ids.tolist()
+        return [
+            LocalView(
+                node_id=ids[u],
+                degree=offsets[u + 1] - offsets[u],
+                port_weights=tuple(weights[offsets[u] : offsets[u + 1]]),
+            )
+            for u in range(self.n)
+        ]
+
+    def wiring_table(self) -> List[List[Tuple[int, int]]]:
+        """Per-node ``(neighbour, reverse_port)`` pairs, indexed by port.
+
+        One bulk conversion of the adjacency arrays — the simulator's
+        :class:`~repro.simulator.network.Network` resolves every message
+        through this table, so building it must not cost one numpy
+        round-trip per port.
+        """
+        neigh = self._adj_neighbor.tolist()
+        rev = self._adj_rev_port.tolist()
+        offsets = self._offsets.tolist()
+        return [
+            list(zip(neigh[offsets[u] : offsets[u + 1]], rev[offsets[u] : offsets[u + 1]]))
+            for u in range(self.n)
+        ]
 
     def is_connected(self) -> bool:
         """``True`` iff the graph is connected."""

@@ -1,0 +1,47 @@
+"""Process-parallel experiment runner.
+
+Reproducing the paper's trade-off curves takes thousands of simulated
+runs across sizes, seeds, schemes and graph families.  This subpackage
+amortises that workload:
+
+* :mod:`~repro.runner.registry` — names for every scheme, baseline and
+  graph family, so a unit of work can be described declaratively;
+* :mod:`~repro.runner.tasks` — :class:`GraphSpec` (a picklable,
+  hashable graph factory) and :class:`SweepTask` (one ``(target, graph,
+  n, seed)`` work unit with a stable content hash);
+* :mod:`~repro.runner.cache` — an on-disk JSON result cache keyed by
+  the task hash;
+* :mod:`~repro.runner.runner` — :func:`run_tasks`, which executes a
+  task list serially or over a ``multiprocessing`` pool (``jobs=N``)
+  with chunking and deterministic, task-order result merging.
+
+``analysis/sweep.py``, the ``sweep --jobs`` / ``bench`` CLI commands and
+the ``benchmarks/`` suite all route through :func:`run_tasks`, so the
+serial and parallel paths produce byte-identical aggregated results.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.registry import (
+    BASELINES,
+    GRAPH_FAMILIES,
+    SCHEMES,
+    build_graph,
+    resolve_baseline,
+    resolve_scheme,
+)
+from repro.runner.runner import execute_task, run_tasks
+from repro.runner.tasks import GraphSpec, SweepTask
+
+__all__ = [
+    "BASELINES",
+    "GRAPH_FAMILIES",
+    "SCHEMES",
+    "GraphSpec",
+    "ResultCache",
+    "SweepTask",
+    "build_graph",
+    "execute_task",
+    "resolve_baseline",
+    "resolve_scheme",
+    "run_tasks",
+]

@@ -1,0 +1,75 @@
+"""On-disk JSON cache of task results.
+
+Layout: one file per task under the cache directory, named
+``<sha256-of-task>.json``, each containing::
+
+    {
+      "version": 1,          # cache format version
+      "task":    {...},      # the canonical task content (for humans/debugging)
+      "result":  {...}       # the measured result row
+    }
+
+Entries are written atomically (temp file + ``os.replace``) so parallel
+workers and concurrent sweeps can share a directory; a corrupt,
+unreadable or version-mismatched file is treated as a miss and
+overwritten.  The cache stores exactly what the worker returned —
+unrounded floats survive the JSON round-trip bit-for-bit (``repr``
+round-tripping), which is what keeps cached and fresh sweeps
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["ResultCache", "CACHE_VERSION"]
+
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """A directory of ``<task-hash>.json`` result files."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ValueError(f"cannot use {self.directory!r} as a cache directory: {exc}") from exc
+        #: cache-hit / miss counters of this process (for reporting)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """The file a result for ``key`` lives in."""
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached result row for ``key``, or ``None`` on any miss."""
+        try:
+            payload = json.loads(self.path_for(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        result = payload.get("result")
+        if not isinstance(result, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, task_content: Dict[str, Any], result: Dict[str, Any]) -> None:
+        """Atomically persist one result row under ``key``."""
+        payload = {"version": CACHE_VERSION, "task": task_content, "result": result}
+        target = self.path_for(key)
+        tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+        # key order is preserved (no sort_keys): a row read back from the
+        # cache must serialise byte-identically to a freshly computed one
+        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        os.replace(tmp, target)

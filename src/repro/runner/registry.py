@@ -1,0 +1,99 @@
+"""Names for schemes, baselines and graph families.
+
+The runner describes work declaratively — ``("theorem3", GraphSpec
+("random", 0.05), n, seed)`` — so that a task can be pickled to a worker
+process and hashed into a stable cache key.  This module owns the name
+tables that resolution goes through; the CLI re-exports them so
+``--scheme`` choices and runner targets can never drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Union
+
+from repro.core.oracle import AdvisingScheme
+from repro.core.scheme_average import AverageConstantScheme
+from repro.core.scheme_level import LevelAdviceScheme
+from repro.core.scheme_main import ShortAdviceScheme
+from repro.core.scheme_trivial import TrivialRankScheme
+from repro.distributed.base import DistributedMSTBaseline
+from repro.distributed.boruvka_sync import SynchronizedBoruvkaMST
+from repro.distributed.full_info import FullInformationMST
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+    random_geometric_graph,
+)
+from repro.graphs.lowerbound_family import build_gn
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+__all__ = [
+    "SCHEMES",
+    "BASELINES",
+    "GRAPH_FAMILIES",
+    "resolve_scheme",
+    "resolve_baseline",
+    "build_graph",
+]
+
+#: scheme name -> factory
+SCHEMES: Dict[str, Callable[[], AdvisingScheme]] = {
+    "trivial": TrivialRankScheme,
+    "theorem2": AverageConstantScheme,
+    "theorem3": ShortAdviceScheme,
+    "theorem3-level": LevelAdviceScheme,
+}
+
+#: baseline name -> factory
+BASELINES: Dict[str, Callable[[], DistributedMSTBaseline]] = {
+    "ghs": SynchronizedBoruvkaMST,
+    "full-info": FullInformationMST,
+}
+
+#: graph family name -> builder(n, seed, density)
+GRAPH_FAMILIES = ("random", "complete", "cycle", "grid", "geometric", "gn")
+
+
+def resolve_scheme(scheme: Union[str, AdvisingScheme]) -> AdvisingScheme:
+    """Turn a registry name into a scheme instance (instances pass through)."""
+    if isinstance(scheme, str):
+        try:
+            return SCHEMES[scheme]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; known: {', '.join(sorted(SCHEMES))}"
+            ) from None
+    return scheme
+
+
+def resolve_baseline(baseline: Union[str, DistributedMSTBaseline]) -> DistributedMSTBaseline:
+    """Turn a registry name into a baseline instance (instances pass through)."""
+    if isinstance(baseline, str):
+        try:
+            return BASELINES[baseline]()
+        except KeyError:
+            raise ValueError(
+                f"unknown baseline {baseline!r}; known: {', '.join(sorted(BASELINES))}"
+            ) from None
+    return baseline
+
+
+def build_graph(family: str, n: int, seed: int, density: float = 0.05) -> PortNumberedGraph:
+    """Build one instance of a named graph family (shared with the CLI)."""
+    if family == "random":
+        return random_connected_graph(n, min(1.0, density), seed=seed)
+    if family == "complete":
+        return complete_graph(n, seed=seed)
+    if family == "cycle":
+        return cycle_graph(n, seed=seed)
+    if family == "grid":
+        side = max(2, int(math.isqrt(n)))
+        return grid_graph(side, side, seed=seed)
+    if family == "geometric":
+        return random_geometric_graph(n, seed=seed)
+    if family == "gn":
+        return build_gn(max(2, n // 2), seed=seed).graph
+    raise ValueError(f"unknown graph kind {family!r}")

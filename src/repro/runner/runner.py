@@ -1,0 +1,149 @@
+"""Task execution: serial, or process-parallel with ``--jobs N``.
+
+:func:`run_tasks` is the single entry point everything routes through —
+``analysis/sweep.py``, the CLI's ``sweep --jobs`` / ``bench`` commands
+and the benchmark suite.  Guarantees:
+
+* **Determinism** — results come back in task order regardless of
+  ``jobs``; workers return plain measured rows and all aggregation
+  happens in the parent, so the serial and parallel paths are
+  byte-identical.
+* **Chunking** — with ``jobs=N`` the miss list is split into ~``4*N``
+  contiguous chunks, so inter-process traffic is one pickle per chunk
+  instead of one per run.
+* **Caching** — with ``cache_dir`` set, cacheable tasks (registry-name
+  target + :class:`GraphSpec` graph) are looked up / stored by their
+  content hash; see :mod:`repro.runner.cache` for the file format.
+
+Workers rebuild schemes and graphs from the task description, so a task
+is a few hundred bytes on the wire even when the instance it describes
+has thousands of nodes.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.oracle import run_scheme
+from repro.distributed.base import run_baseline
+from repro.runner.cache import ResultCache
+from repro.runner.registry import resolve_baseline, resolve_scheme
+from repro.runner.tasks import SweepTask
+
+__all__ = ["execute_task", "run_tasks"]
+
+
+def execute_task(task: SweepTask) -> Dict[str, Any]:
+    """Run one task and return its measured row (plain JSON-able dict).
+
+    Rows carry unrounded measurements; presentation rounding happens in
+    the aggregation layer so cached and fresh results cannot diverge.
+    """
+    graph = task.build_graph()
+    if task.kind == "scheme":
+        scheme = resolve_scheme(task.target)
+        report = run_scheme(scheme, graph, root=task.root % graph.n)
+        return {
+            "kind": "scheme",
+            "scheme": report.scheme,
+            "n": task.n,
+            "seed": task.seed,
+            "max_advice_bits": report.advice.max_bits,
+            "avg_advice_bits": report.advice.average_bits,
+            "total_advice_bits": report.advice.total_bits,
+            "rounds": report.rounds,
+            "max_edge_bits": report.metrics.max_edge_bits_per_round,
+            "total_messages": report.metrics.total_messages,
+            "total_message_bits": report.metrics.total_message_bits,
+            "correct": report.correct,
+        }
+    baseline = resolve_baseline(task.target)
+    report = run_baseline(baseline, graph)
+    return {
+        "kind": "baseline",
+        "scheme": report.baseline,
+        "n": task.n,
+        "seed": task.seed,
+        "rounds": report.rounds,
+        "max_edge_bits": report.metrics.max_edge_bits_per_round,
+        "total_messages": report.metrics.total_messages,
+        "total_message_bits": report.metrics.total_message_bits,
+        "correct": report.correct,
+        "round_bound": report.round_bound,
+    }
+
+
+def _execute_chunk(chunk: Sequence[SweepTask]) -> List[Dict[str, Any]]:
+    """Worker entry point: run one contiguous slice of the task list."""
+    return [execute_task(task) for task in chunk]
+
+
+def _run_parallel(
+    tasks: Sequence[SweepTask], jobs: int, chunksize: Optional[int]
+) -> List[Dict[str, Any]]:
+    """Fan a task list over a process pool; results stay in task order."""
+    if chunksize is None:
+        chunksize = max(1, math.ceil(len(tasks) / (jobs * 4)))
+    chunks = [list(tasks[i : i + chunksize]) for i in range(0, len(tasks), chunksize)]
+    # fork shares the parent's sys.path (the repo may be run straight
+    # from a checkout, without installation); fall back to the platform
+    # default where fork does not exist
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    with ctx.Pool(processes=jobs) as pool:
+        nested = pool.map(_execute_chunk, chunks)
+    return [row for chunk_rows in nested for row in chunk_rows]
+
+
+def run_tasks(
+    tasks: Iterable[SweepTask],
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, "ResultCache"]] = None,
+    chunksize: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Execute every task and return their rows **in task order**.
+
+    ``jobs=1`` runs in-process (no pickling — closures and ad-hoc scheme
+    instances are fine); ``jobs>1`` distributes cache misses over a
+    process pool.  ``cache_dir`` may be a directory path or an existing
+    :class:`ResultCache`.
+    """
+    task_list = list(tasks)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cache: Optional[ResultCache] = None
+    if cache_dir is not None:
+        cache = cache_dir if isinstance(cache_dir, ResultCache) else ResultCache(cache_dir)
+
+    results: List[Optional[Dict[str, Any]]] = [None] * len(task_list)
+    miss_indices: List[int] = []
+    if cache is not None:
+        for index, task in enumerate(task_list):
+            key = task.task_hash()
+            row = cache.get(key) if key is not None else None
+            if row is not None:
+                results[index] = row
+            else:
+                miss_indices.append(index)
+    else:
+        miss_indices = list(range(len(task_list)))
+
+    misses = [task_list[i] for i in miss_indices]
+    if misses:
+        if jobs > 1 and len(misses) > 1:
+            computed = _run_parallel(misses, jobs, chunksize)
+        else:
+            computed = [execute_task(task) for task in misses]
+        for index, row in zip(miss_indices, computed):
+            results[index] = row
+            if cache is not None:
+                task = task_list[index]
+                key = task.task_hash()
+                if key is not None:
+                    cache.put(key, task.key_dict() or {}, row)
+
+    return results  # type: ignore[return-value]

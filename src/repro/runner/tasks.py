@@ -1,0 +1,134 @@
+"""Work units of the experiment runner.
+
+A :class:`SweepTask` is one simulated run: an advising scheme or
+baseline, a graph instance description, a size and a seed.  Tasks are
+plain frozen dataclasses so they can be
+
+* pickled to a ``multiprocessing`` worker,
+* hashed into a stable cache key (:meth:`SweepTask.task_hash`), and
+* compared for equality in tests.
+
+:class:`GraphSpec` is the declarative counterpart of the ad-hoc
+``factory(n, seed)`` closures the analysis layer historically used: it
+*is* callable with ``(n, seed)`` (so it is a drop-in ``GraphFactory``),
+but being a frozen dataclass of primitives it also pickles and hashes.
+Tasks built from registry names and ``GraphSpec`` objects are cacheable;
+tasks carrying arbitrary instances or closures still run (serially, or
+in parallel when picklable) but bypass the on-disk cache because their
+content has no stable identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.core.oracle import AdvisingScheme
+from repro.distributed.base import DistributedMSTBaseline
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.runner.registry import build_graph
+
+__all__ = ["GraphSpec", "SweepTask", "TASK_FORMAT_VERSION"]
+
+#: bump when the result-row or hashing format changes; stored inside the
+#: hash input so stale cache entries can never be mistaken for fresh ones
+TASK_FORMAT_VERSION = 1
+
+
+def _library_version() -> str:
+    """The installed ``repro`` version, mixed into every cache key.
+
+    A cached row is only as fresh as the code that produced it: a new
+    release may change simulation semantics (engine accounting, scheme
+    decoders, graph generators), so keys from older versions must never
+    be served.  Imported lazily to avoid a cycle with ``repro.__init__``.
+    """
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A picklable, hashable description of one graph family workload."""
+
+    #: family name understood by :func:`repro.runner.registry.build_graph`
+    family: str = "random"
+    #: extra-edge probability (only meaningful for ``random``)
+    density: float = 0.05
+
+    def build(self, n: int, seed: int) -> PortNumberedGraph:
+        """Materialise the instance of size ``n`` for ``seed``."""
+        return build_graph(self.family, n, seed, self.density)
+
+    # GraphFactory-compatible: a GraphSpec can be passed anywhere a
+    # ``factory(n, seed)`` callable was expected
+    __call__ = build
+
+    def key_dict(self) -> Dict[str, Any]:
+        """Canonical content for hashing.
+
+        ``density`` only shapes the ``random`` family (see
+        :func:`~repro.runner.registry.build_graph`), so it is normalised
+        away for every other family — otherwise identical workloads
+        would hash to different cache keys.
+        """
+        return {
+            "family": self.family,
+            # mirror build_graph's clamp so equivalent workloads share a key
+            "density": min(1.0, self.density) if self.family == "random" else None,
+        }
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One simulated run inside a sweep."""
+
+    #: ``"scheme"`` or ``"baseline"``
+    kind: str
+    #: registry name (cacheable) or a picklable instance (not cacheable)
+    target: Union[str, AdvisingScheme, DistributedMSTBaseline]
+    #: graph description: a :class:`GraphSpec` (cacheable) or any
+    #: ``factory(n, seed)`` callable (not cacheable)
+    graph: Union[GraphSpec, Callable[[int, int], PortNumberedGraph]]
+    n: int
+    seed: int
+    root: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("scheme", "baseline"):
+            raise ValueError(f"kind must be 'scheme' or 'baseline', got {self.kind!r}")
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether the task's content has a stable identity on disk."""
+        return isinstance(self.target, str) and isinstance(self.graph, GraphSpec)
+
+    def key_dict(self) -> Optional[Dict[str, Any]]:
+        """Canonical JSON-able content, or ``None`` when not cacheable."""
+        if not self.cacheable:
+            return None
+        return {
+            "format": TASK_FORMAT_VERSION,
+            "lib": _library_version(),
+            "kind": self.kind,
+            "target": self.target,
+            "graph": self.graph.key_dict(),
+            "n": self.n,
+            "seed": self.seed,
+            "root": self.root,
+        }
+
+    def task_hash(self) -> Optional[str]:
+        """Stable sha256 cache key, or ``None`` when not cacheable."""
+        content = self.key_dict()
+        if content is None:
+            return None
+        blob = json.dumps(content, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def build_graph(self) -> PortNumberedGraph:
+        """Materialise this task's graph instance."""
+        return self.graph(self.n, self.seed)

@@ -5,26 +5,41 @@ Execution proceeds exactly as in the paper's model:
 1. every node program runs :meth:`~repro.simulator.algorithm.NodeProgram.init`
    (round 0, before any communication); a 0-round algorithm terminates
    here;
-2. while at least one node is still running and at least one message is
-   in flight (or a node explicitly asked to keep the clock running), a
-   new round starts: all messages sent in the previous round are
-   delivered simultaneously, and every non-halted node's ``on_round`` is
-   invoked with its inbox;
-3. the run ends when every node has halted (or ``max_rounds`` is hit,
-   which is reported as a failure).
+2. while at least one node is still running *or at least one message is
+   in flight*, a new round starts: all messages sent in the previous
+   round are delivered simultaneously, and every non-halted node's
+   ``on_round`` is invoked with its inbox;
+3. the run ends when every node has halted and no message is in flight
+   (or ``max_rounds`` is hit, which is reported as a failure via
+   ``completed=False`` and ``stop_reason="max_rounds"``).
 
 The number of *rounds* reported is the number of iterations of step 2 —
 so an algorithm that never sends anything uses 0 rounds, matching the
 ``(⌈log n⌉, 0)`` accounting of the trivial scheme.
 
+Message accounting: every message is charged to :class:`RunMetrics` in
+the round it travels, *including* messages that were sent by nodes that
+then halted before anyone could receive them.  If every node halts while
+messages are still in flight, the engine runs one final "flush" round
+that counts those bits (CONGEST charges the wire, not the reader) and
+records them as ``undelivered_messages`` — they are never handed to a
+node program.  Without this flush, bits sent in the last round would
+silently vanish from the CONGEST totals.
+
 Determinism: nodes are processed in index order and delivery is a pure
 function of the outboxes, so a run is a deterministic function of
 (graph, programs, advice).
+
+Performance: the run loop only schedules non-halted nodes (the active
+list shrinks as nodes halt instead of being re-filtered over all ``n``
+every round), tracer checks are hoisted out of the per-message delivery
+loop, and :func:`~repro.simulator.message.estimate_bits` memoizes the
+common payload shapes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.graphs.weighted_graph import PortNumberedGraph
@@ -70,6 +85,11 @@ class RunResult:
     completed: bool
     #: number of nodes that never produced an output
     missing_outputs: int = 0
+    #: why the run stopped: ``"completed"`` (every node halted and no
+    #: message was left in flight) or ``"max_rounds"`` (the round limit
+    #: was hit — including non-halting programs that never send anything,
+    #: which previously spun to the limit with no distinguishable signal)
+    stop_reason: str = "completed"
 
 
 class SyncEngine:
@@ -91,8 +111,9 @@ class SyncEngine:
 
         self.contexts: List[NodeContext] = []
         self.programs: List[NodeProgram] = []
+        views = graph.local_views()  # one bulk conversion, not n numpy round-trips
         for u in range(graph.n):
-            ctx = NodeContext(graph.local_view(u), self.advice.get(u))
+            ctx = NodeContext(views[u], self.advice.get(u))
             self.contexts.append(ctx)
             self.programs.append(program_factory(ctx))
 
@@ -101,99 +122,163 @@ class SyncEngine:
     # ------------------------------------------------------------------ #
 
     def run(self) -> RunResult:
-        """Execute the algorithm to completion and return the results."""
-        # round 0: initialisation, no communication
-        for u in range(self.graph.n):
-            ctx = self.contexts[u]
-            ctx._advance_round(0)
-            self._invoke(u, 0, lambda: self.programs[u].init(ctx))
-            if ctx.halted and self.tracer is not None:
-                self.tracer.begin_round(0)
-                self.tracer.record_halt(0, u, ctx.output)
+        """Execute the algorithm to completion and return the results.
 
-        pending = self._collect_outboxes()
+        The loop keeps going while a node is still running *or* a message
+        is still in flight.  Messages left in flight after the last node
+        halts are flushed through one final accounting round (see the
+        module docstring); before this fix those bits silently vanished
+        from the CONGEST totals.
+
+        Note on stuck programs: a non-halted node is re-scheduled every
+        round even with an empty inbox — fixed round schedules rely on
+        this — so the engine cannot distinguish "waiting for round k"
+        from "stuck forever" and runs to ``max_rounds``, reporting
+        ``stop_reason="max_rounds"`` and ``completed=False``.
+        """
+        contexts = self.contexts
+        programs = self.programs
+        network = self.network
+        metrics = self.metrics
+        tracer = self.tracer
+        n = self.graph.n
+
+        # round 0: initialisation, no communication
+        round0_traced = False
+        for u in range(n):
+            ctx = contexts[u]
+            ctx._advance_round(0)
+            self._invoke(u, 0, programs[u].init, ctx)
+            if ctx.halted and tracer is not None:
+                if not round0_traced:
+                    # one round-0 record for the whole run, not one per
+                    # halting node
+                    tracer.begin_round(0)
+                    round0_traced = True
+                tracer.record_halt(0, u, ctx.output)
+
+        # nodes still running, in index order (determinism) — shrinks as
+        # nodes halt instead of re-scanning all n contexts every round
+        active = [u for u in range(n) if not contexts[u].halted]
+        on_round = [program.on_round for program in programs]
+        wiring = network.wiring
+        pending = self._collect_outboxes(range(n))
         round_number = 0
-        while True:
-            all_halted = all(ctx.halted for ctx in self.contexts)
-            if all_halted:
-                break
-            if not pending and all_halted:
-                break
-            if not pending and self._no_progress_possible():
-                # nothing in flight and nobody halted-pending: the
-                # algorithm is stuck; stop rather than loop forever.
-                break
-            if round_number >= self.max_rounds:
+        stop_reason = "completed"
+        while active or pending:
+            # the round budget only limits *computation* rounds: when every
+            # node has already halted, the remaining work is the final
+            # accounting flush, which must run even at the budget boundary
+            # (otherwise the last round's bits vanish and the run would
+            # report completed=True with stop_reason="max_rounds")
+            if active and round_number >= self.max_rounds:
+                stop_reason = "max_rounds"
                 break
 
             round_number += 1
-            self.metrics.record_round()
-            if self.tracer is not None:
-                self.tracer.begin_round(round_number)
+            metrics.record_round()
+            if tracer is not None:
+                tracer.begin_round(round_number)
 
             inboxes: Dict[int, Dict[int, Any]] = {}
-            for sender, ports in pending.items():
-                for port, payload in ports.items():
-                    receiver, receiver_port = self.network.endpoint(sender, port)
-                    inboxes.setdefault(receiver, {})[receiver_port] = payload
-                    bits = estimate_bits(payload)
-                    self.metrics.record_message(bits)
-                    if self.tracer is not None:
-                        self.tracer.record_message(
+            if tracer is None:
+                # hot path: endpoint table indexed directly, per-round
+                # metric counters kept in locals and flushed once
+                count = 0
+                bits_sum = 0
+                bits_max = 0
+                for sender, ports in pending.items():
+                    wiring_row = wiring[sender]
+                    for port, payload in ports.items():
+                        receiver, receiver_port = wiring_row[port]
+                        inboxes.setdefault(receiver, {})[receiver_port] = payload
+                        bits = estimate_bits(payload)
+                        count += 1
+                        bits_sum += bits
+                        if bits > bits_max:
+                            bits_max = bits
+                if count:
+                    metrics.record_round_batch(count, bits_sum, bits_max)
+            else:
+                for sender, ports in pending.items():
+                    for port, payload in ports.items():
+                        receiver, receiver_port = network.endpoint(sender, port)
+                        inboxes.setdefault(receiver, {})[receiver_port] = payload
+                        bits = estimate_bits(payload)
+                        metrics.record_message(bits)
+                        tracer.record_message(
                             round_number, sender, port, receiver, receiver_port, bits, payload
                         )
 
-            for u in range(self.graph.n):
-                ctx = self.contexts[u]
-                if ctx.halted:
-                    continue
+            if not active:
+                # final flush: every node already halted, the in-flight
+                # messages above were charged to the wire but there is no
+                # one left to receive them
+                metrics.record_undelivered(sum(len(ports) for ports in pending.values()))
+                pending = {}
+                continue
+
+            any_halted = False
+            for u in active:
+                ctx = contexts[u]
                 ctx._advance_round(round_number)
-                self._invoke(u, round_number, lambda: self.programs[u].on_round(ctx, inboxes.get(u, {})))
-                if ctx.halted and self.tracer is not None:
-                    self.tracer.record_halt(round_number, u, ctx.output)
+                # direct dispatch — the program and context of *this* node
+                # are bound at the call site (no late-binding closures);
+                # exception wrapping is inlined to keep the per-node cost
+                # at one bound-method call
+                try:
+                    on_round[u](ctx, inboxes.get(u, {}))
+                except AlgorithmError:
+                    raise
+                except Exception as exc:
+                    raise AlgorithmError(u, round_number, exc) from exc
+                if ctx.halted:
+                    any_halted = True
+                    if tracer is not None:
+                        tracer.record_halt(round_number, u, ctx.output)
 
-            pending = self._collect_outboxes()
+            # drain before filtering: a node may send and then halt in the
+            # same round, and those messages are still in flight
+            pending = self._collect_outboxes(active)
+            if any_halted:
+                active = [u for u in active if not contexts[u].halted]
 
-        outputs = {u: self.contexts[u].output for u in range(self.graph.n)}
-        missing = sum(1 for ctx in self.contexts if not ctx.has_output)
-        completed = all(ctx.halted for ctx in self.contexts)
+        outputs = {u: contexts[u].output for u in range(n)}
+        missing = sum(1 for ctx in contexts if not ctx.has_output)
+        completed = all(ctx.halted for ctx in contexts)
         return RunResult(
             outputs=outputs,
             metrics=self.metrics,
             completed=completed,
             missing_outputs=missing,
+            stop_reason=stop_reason,
         )
 
     # ------------------------------------------------------------------ #
 
-    def _invoke(self, node: int, round_number: int, call) -> None:
-        """Run one node-program callback, wrapping failures with their context."""
+    def _invoke(self, node: int, round_number: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Run one node-program callback, wrapping failures with their context.
+
+        The callback and its arguments are passed explicitly (not closed
+        over) so that every call site binds the program and context of
+        *this* node — a late-binding ``lambda`` over the loop variable
+        would dispatch the wrong node the moment invocation is deferred.
+        """
         try:
-            call()
+            fn(*args)
         except AlgorithmError:
             raise
         except Exception as exc:
             raise AlgorithmError(node, round_number, exc) from exc
 
-    def _collect_outboxes(self) -> Dict[int, Dict[int, Any]]:
+    def _collect_outboxes(self, nodes) -> Dict[int, Dict[int, Any]]:
+        """Drain the outboxes of ``nodes`` (only they can have sent)."""
         out: Dict[int, Dict[int, Any]] = {}
-        for u in range(self.graph.n):
+        for u in nodes:
             box = self.contexts[u]._drain_outbox()
             if box:
                 out[u] = box
         return out
-
-    def _no_progress_possible(self) -> bool:
-        """True when no message is in flight and no node will ever act again.
-
-        In the synchronous model a non-halted node is still scheduled
-        every round even with an empty inbox (algorithms with a fixed
-        round schedule rely on this), so progress is always possible as
-        long as some node has not halted.  The engine therefore only
-        stops early when *every* node is halted — this hook exists so the
-        behaviour is explicit and testable.
-        """
-        return False
 
 
 def run_sync(

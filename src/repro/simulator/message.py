@@ -25,13 +25,79 @@ mapping         treated as a sequence of key/value pairs
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Dict
 
 __all__ = ["Message", "estimate_bits"]
 
+#: memo for flat scalar tuples — the engine sees the same handful of
+#: payload shapes millions of times across a sweep, so a dict lookup
+#: beats re-walking the structure.  The key pairs the payload with its
+#: element classes because equal values of different types have
+#: different wire sizes (``(True, 2) == (1, 2)`` but 8 vs 9 bits), and
+#: only tuples of these classes are memoized so nested structures cannot
+#: alias.  Bounded so a pathological workload cannot grow it forever.
+_MEMO: Dict[Any, int] = {}
+_MEMO_LIMIT = 1 << 16
+_MEMO_SAFE = frozenset({int, bool, float, str, bytes, type(None)})
+
 
 def estimate_bits(payload: Any) -> int:
-    """Estimated wire size of ``payload`` in bits (see module docstring)."""
+    """Estimated wire size of ``payload`` in bits (see module docstring).
+
+    The common payload shapes of the schemes in this library — ``None``,
+    ``bool``, ``int``, flat tuples of those, and ``BitString`` — take a
+    non-recursive fast path, and hashable tuples are memoized.  Exotic
+    payloads (subclasses, nested containers, dicts, sets) fall back to
+    the general recursive walk, with identical results.
+    """
+    # --- scalar fast paths (exact-type checks: no subclass surprises) ---
+    if payload is None:
+        return 0
+    cls = payload.__class__
+    if cls is bool:
+        return 1
+    if cls is int:
+        return max(1, payload.bit_length()) + 1
+    if cls is tuple:
+        classes = tuple(map(type, payload))
+        if _MEMO_SAFE.issuperset(classes):
+            key = (payload, classes)
+            cached = _MEMO.get(key)
+            if cached is not None:
+                return cached
+        else:
+            key = None
+        # one flat pass; only a non-scalar element recurses
+        total = 0
+        for item in payload:
+            item_cls = item.__class__
+            if item_cls is int:
+                total += 3 + max(1, item.bit_length())
+            elif item_cls is bool:
+                total += 3
+            elif item is None:
+                total += 2
+            else:
+                total += 2 + estimate_bits(item)
+        if key is not None:
+            if len(_MEMO) >= _MEMO_LIMIT:
+                _MEMO.clear()
+            _MEMO[key] = total
+        return total
+    if cls is float:
+        return 32
+    if cls is str:
+        return 8 * len(payload)
+    # BitString (and anything else with an exact bit length): resolve the
+    # hook on the class once instead of walking the isinstance chain.
+    bit_len = getattr(cls, "bit_length_exact", None)
+    if bit_len is not None:
+        return int(bit_len(payload))
+    return _estimate_bits_general(payload)
+
+
+def _estimate_bits_general(payload: Any) -> int:
+    """The original recursive estimator: subclasses and rare containers."""
     if payload is None:
         return 0
     if isinstance(payload, bool):

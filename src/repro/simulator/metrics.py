@@ -36,6 +36,11 @@ class RunMetrics:
     max_edge_bits_per_round: int = 0
     #: number of messages delivered per round (index 0 = round 1)
     messages_per_round: List[int] = field(default_factory=list)
+    #: messages accounted as sent but never processed by a receiver because
+    #: every node had already halted (the engine's final flush round); they
+    #: still count towards the totals above — CONGEST charges bits on the
+    #: wire, not bits that were read
+    undelivered_messages: int = 0
 
     def record_round(self) -> None:
         """Open the accounting bucket of a new round."""
@@ -50,6 +55,28 @@ class RunMetrics:
         self.max_edge_bits_per_round = max(self.max_edge_bits_per_round, bits)
         if self.messages_per_round:
             self.messages_per_round[-1] += 1
+
+    def record_round_batch(self, count: int, bits_sum: int, bits_max: int) -> None:
+        """Account a whole round of deliveries at once (engine fast path).
+
+        Equivalent to ``count`` calls to :meth:`record_message` whose
+        sizes sum to ``bits_sum`` with maximum ``bits_max`` — one method
+        call per round instead of one per message.  (``bits_max`` also
+        bounds the per-edge load because the model sends at most one
+        message per edge per direction per round.)
+        """
+        self.total_messages += count
+        self.total_message_bits += bits_sum
+        if bits_max > self.max_message_bits:
+            self.max_message_bits = bits_max
+        if bits_max > self.max_edge_bits_per_round:
+            self.max_edge_bits_per_round = bits_max
+        if self.messages_per_round:
+            self.messages_per_round[-1] += count
+
+    def record_undelivered(self, count: int) -> None:
+        """Mark ``count`` already-recorded messages as never received."""
+        self.undelivered_messages += count
 
     # ------------------------------------------------------------------ #
     # derived quantities used by benchmarks
@@ -78,5 +105,6 @@ class RunMetrics:
             "total_message_bits": self.total_message_bits,
             "max_message_bits": self.max_message_bits,
             "max_edge_bits_per_round": self.max_edge_bits_per_round,
+            "undelivered_messages": self.undelivered_messages,
             "congest_factor": self.congest_factor(),
         }

@@ -22,21 +22,17 @@ class Network:
     def __init__(self, graph: PortNumberedGraph) -> None:
         self.graph = graph
         self.n = graph.n
-        # (node, port) -> (neighbour, neighbour port)
-        self._wiring: List[List[Tuple[int, int]]] = []
-        for u in range(graph.n):
-            row = []
-            for p in graph.ports(u):
-                row.append((graph.neighbor(u, p), graph.reverse_port(u, p)))
-            self._wiring.append(row)
+        # (node, port) -> (neighbour, neighbour port); public so the
+        # engine's delivery loop can index it without a call per message
+        self.wiring: List[List[Tuple[int, int]]] = graph.wiring_table()
 
     def endpoint(self, node: int, port: int) -> Tuple[int, int]:
         """``(neighbour, neighbour_port)`` behind ``(node, port)``."""
-        return self._wiring[node][port]
+        return self.wiring[node][port]
 
     def degree(self, node: int) -> int:
         """Number of ports of ``node``."""
-        return len(self._wiring[node])
+        return len(self.wiring[node])
 
     def deliver(
         self, outboxes: Dict[int, Dict[int, object]]

@@ -81,6 +81,50 @@ class TestCommands:
         assert main(["sweep", "--scheme", "trivial", "--sizes", ","]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_sweep_jobs_output_is_byte_identical(self, capsys):
+        argv = ["sweep", "--scheme", "trivial", "--sizes", "8,16", "--repeats", "2", "--json"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_sweep_cache_dir(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--scheme", "trivial", "--sizes", "8,16", "--repeats", "1",
+            "--json", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert main(argv) == 0  # second run is served from the cache
+        assert capsys.readouterr().out == first
+
+    def test_bench(self, capsys):
+        code = main(["bench", "--scheme", "trivial", "--n", "16", "--repeats", "3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"] == 3
+        assert payload["correct"] is True
+        assert payload["runs_per_second"] > 0
+        assert payload["cache_hits"] == 0
+
+    def test_bench_reports_cache_hits(self, tmp_path, capsys):
+        argv = [
+            "bench", "--scheme", "trivial", "--n", "16", "--repeats", "3",
+            "--json", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out)["cache_hits"] == 0
+        assert main(argv) == 0
+        # warm cache: the timing measured reads, and the summary says so
+        assert json.loads(capsys.readouterr().out)["cache_hits"] == 3
+
+    def test_bench_baseline_table(self, capsys):
+        code = main(["bench", "--scheme", "full-info", "--n", "12", "--repeats", "2"])
+        assert code == 0
+        assert "runs_per_second" in capsys.readouterr().out
+
     def test_lowerbound(self, capsys):
         assert main(["lowerbound", "--h", "10", "--i", "3"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,196 @@
+"""Tests of the parallel experiment runner (repro.runner)."""
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import run_baseline_sweep, run_scheme_sweep
+from repro.core.scheme_trivial import TrivialRankScheme
+from repro.runner import (
+    GraphSpec,
+    ResultCache,
+    SweepTask,
+    execute_task,
+    resolve_baseline,
+    resolve_scheme,
+    run_tasks,
+)
+from repro.runner.registry import BASELINES, SCHEMES, build_graph
+
+
+class TestRegistry:
+    def test_resolve_scheme_by_name_and_instance(self):
+        assert resolve_scheme("trivial").name == "trivial-rank"
+        instance = TrivialRankScheme()
+        assert resolve_scheme(instance) is instance
+        with pytest.raises(ValueError):
+            resolve_scheme("nope")
+
+    def test_resolve_baseline(self):
+        assert resolve_baseline("full-info").name == "local-full-info"
+        with pytest.raises(ValueError):
+            resolve_baseline("nope")
+
+    @pytest.mark.parametrize("family", ["random", "complete", "cycle", "grid", "geometric", "gn"])
+    def test_graph_families_build_connected_instances(self, family):
+        graph = build_graph(family, 20, seed=1, density=0.1)
+        graph.validate()
+        assert graph.is_connected()
+
+    def test_registries_nonempty(self):
+        assert set(SCHEMES) >= {"trivial", "theorem2", "theorem3"}
+        assert set(BASELINES) >= {"ghs", "full-info"}
+
+
+class TestGraphSpec:
+    def test_spec_is_a_graph_factory(self):
+        spec = GraphSpec("random", 0.1)
+        g1 = spec(16, 3)
+        g2 = spec.build(16, 3)
+        assert g1.n == g2.n == 16
+        assert g1.wiring_table() == g2.wiring_table()
+
+    def test_spec_is_hashable_and_comparable(self):
+        assert GraphSpec("cycle") == GraphSpec("cycle")
+        assert len({GraphSpec("cycle"), GraphSpec("cycle"), GraphSpec("grid")}) == 2
+
+
+class TestTaskHashing:
+    def test_hash_is_stable_and_discriminates(self):
+        task = SweepTask("scheme", "trivial", GraphSpec("random", 0.1), 16, 0)
+        same = SweepTask("scheme", "trivial", GraphSpec("random", 0.1), 16, 0)
+        assert task.task_hash() == same.task_hash()
+        assert task.task_hash() != SweepTask("scheme", "trivial", GraphSpec("random", 0.1), 16, 1).task_hash()
+        assert task.task_hash() != SweepTask("scheme", "theorem2", GraphSpec("random", 0.1), 16, 0).task_hash()
+        assert task.task_hash() != SweepTask("scheme", "trivial", GraphSpec("random", 0.2), 16, 0).task_hash()
+
+    def test_density_is_ignored_in_keys_of_density_free_families(self):
+        # cycle graphs do not depend on density: same workload, same key
+        a = SweepTask("scheme", "trivial", GraphSpec("cycle", 0.05), 16, 0)
+        b = SweepTask("scheme", "trivial", GraphSpec("cycle", 0.03), 16, 0)
+        assert a.task_hash() == b.task_hash()
+        # ... but random graphs do
+        c = SweepTask("scheme", "trivial", GraphSpec("random", 0.05), 16, 0)
+        d = SweepTask("scheme", "trivial", GraphSpec("random", 0.03), 16, 0)
+        assert c.task_hash() != d.task_hash()
+        # densities above 1.0 are clamped by build_graph, and the key agrees
+        e = SweepTask("scheme", "trivial", GraphSpec("random", 1.5), 16, 0)
+        f = SweepTask("scheme", "trivial", GraphSpec("random", 1.0), 16, 0)
+        assert e.task_hash() == f.task_hash()
+
+    def test_key_includes_library_version(self, monkeypatch):
+        # a new release must never serve rows produced by an older one
+        import repro
+
+        task = SweepTask("scheme", "trivial", GraphSpec("random", 0.1), 16, 0)
+        before = task.task_hash()
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert task.task_hash() != before
+
+    def test_instance_targets_are_not_cacheable(self):
+        task = SweepTask("scheme", TrivialRankScheme(), GraphSpec("random", 0.1), 16, 0)
+        assert not task.cacheable
+        assert task.task_hash() is None
+
+    def test_closure_factories_are_not_cacheable(self):
+        task = SweepTask("scheme", "trivial", lambda n, seed: build_graph("cycle", n, seed), 16, 0)
+        assert not task.cacheable
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SweepTask("wat", "trivial", GraphSpec(), 8, 0)
+
+
+class TestExecuteTask:
+    def test_scheme_row_shape(self):
+        row = execute_task(SweepTask("scheme", "trivial", GraphSpec("random", 0.1), 16, 0))
+        assert row["kind"] == "scheme"
+        assert row["correct"] is True
+        assert row["rounds"] == 0
+        assert row["n"] == 16 and row["seed"] == 0
+        json.dumps(row)  # must be JSON-able for the cache
+
+    def test_baseline_row_shape(self):
+        row = execute_task(SweepTask("baseline", "full-info", GraphSpec("random", 0.1), 12, 1))
+        assert row["kind"] == "baseline"
+        assert row["correct"] is True
+        assert "round_bound" in row
+
+
+class TestRunTasks:
+    TASKS = [
+        SweepTask("scheme", "trivial", GraphSpec("random", 0.1), n, seed)
+        for n in (8, 16)
+        for seed in (0, 1)
+    ]
+
+    def test_results_in_task_order(self):
+        rows = run_tasks(self.TASKS, jobs=1)
+        assert [(r["n"], r["seed"]) for r in rows] == [(8, 0), (8, 1), (16, 0), (16, 1)]
+
+    def test_parallel_matches_serial_byte_for_byte(self):
+        serial = run_tasks(self.TASKS, jobs=1)
+        parallel = run_tasks(self.TASKS, jobs=2)
+        assert json.dumps(serial) == json.dumps(parallel)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_tasks(self.TASKS, jobs=0)
+
+    def test_cache_round_trip(self, tmp_path):
+        fresh = run_tasks(self.TASKS, jobs=1, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == len(self.TASKS)
+        cache = ResultCache(tmp_path)
+        cached = run_tasks(self.TASKS, jobs=1, cache_dir=cache)
+        assert cache.hits == len(self.TASKS)
+        assert json.dumps(fresh) == json.dumps(cached)
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        run_tasks(self.TASKS[:1], cache_dir=tmp_path)
+        (victim,) = tmp_path.glob("*.json")
+        victim.write_text("{not json")
+        rows = run_tasks(self.TASKS[:1], cache_dir=tmp_path)
+        assert rows[0]["correct"] is True
+        assert json.loads(victim.read_text())["version"] == 1  # rewritten
+
+    def test_uncacheable_tasks_bypass_the_cache(self, tmp_path):
+        task = SweepTask("scheme", TrivialRankScheme(), GraphSpec("random", 0.1), 8, 0)
+        rows = run_tasks([task], cache_dir=tmp_path)
+        assert rows[0]["correct"] is True
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestSweepRouting:
+    def test_scheme_sweep_serial_vs_parallel_identical(self):
+        kwargs = dict(
+            sizes=(8, 16),
+            graph_factory=GraphSpec("random", 0.1),
+            seeds=(0, 1),
+        )
+        serial = run_scheme_sweep("trivial", jobs=1, **kwargs)
+        parallel = run_scheme_sweep("trivial", jobs=2, **kwargs)
+        assert json.dumps(serial.rows) == json.dumps(parallel.rows)
+
+    def test_baseline_sweep_serial_vs_parallel_identical(self):
+        kwargs = dict(sizes=(8,), graph_factory=GraphSpec("random", 0.1), seeds=(0, 1))
+        serial = run_baseline_sweep("full-info", jobs=1, **kwargs)
+        parallel = run_baseline_sweep("full-info", jobs=2, **kwargs)
+        assert json.dumps(serial.rows) == json.dumps(parallel.rows)
+
+    def test_sweep_accepts_scheme_instances_with_closures(self):
+        # the historical calling convention must keep working serially
+        result = run_scheme_sweep(
+            TrivialRankScheme(),
+            sizes=(8,),
+            graph_factory=lambda n, seed: build_graph("cycle", n, seed),
+            seeds=(0,),
+        )
+        assert result.rows[0]["correct"]
+
+    def test_sweep_cache_reuse(self, tmp_path):
+        kwargs = dict(sizes=(8, 16), graph_factory=GraphSpec("random", 0.1), seeds=(0, 1))
+        first = run_scheme_sweep("trivial", cache_dir=tmp_path, **kwargs)
+        cache = ResultCache(tmp_path)
+        second = run_scheme_sweep("trivial", cache_dir=cache, **kwargs)
+        assert cache.hits == 4
+        assert json.dumps(first.rows) == json.dumps(second.rows)

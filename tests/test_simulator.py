@@ -48,6 +48,33 @@ class _Forever(NodeProgram):
         ctx.send(0, 1)
 
 
+class _SendAndHalt(NodeProgram):
+    """Every node sends on all its ports and immediately halts.
+
+    Regression case for the final-flush accounting: all messages are in
+    flight at the moment the last node halts, so without the flush round
+    their bits would vanish from the CONGEST totals.
+    """
+
+    def init(self, ctx):
+        for p in ctx.ports():
+            ctx.send(p, 5)
+        ctx.halt(ctx.node_id)
+
+    def on_round(self, ctx, inbox):  # pragma: no cover - never reached
+        ctx.halt()
+
+
+class _SilentSpinner(NodeProgram):
+    """Neither halts nor sends: the engine cannot prove it is stuck."""
+
+    def init(self, ctx):
+        pass
+
+    def on_round(self, ctx, inbox):
+        pass
+
+
 class TestEstimateBits:
     def test_primitives(self):
         assert estimate_bits(None) == 0
@@ -169,6 +196,101 @@ class TestEngine:
         r2 = run_sync(g, lambda ctx: _PingPong())
         assert r1.outputs == r2.outputs
         assert r1.metrics.as_dict() == r2.metrics.as_dict()
+
+    def test_zero_round_stop_reason(self):
+        result = run_sync(star_graph(4, seed=0), lambda ctx: _Silent())
+        assert result.stop_reason == "completed"
+        assert result.metrics.undelivered_messages == 0
+
+    def test_final_round_messages_are_accounted(self):
+        # all nodes halt in init while sending: 2 directed messages per
+        # edge are in flight with nobody left to receive them
+        g = path_graph(3, seed=0)
+        result = run_sync(g, lambda ctx: _SendAndHalt())
+        assert result.completed
+        assert result.stop_reason == "completed"
+        m = result.metrics
+        # path on 3 nodes: 2 edges -> 4 directed messages, each 5 -> 4 bits
+        assert m.total_messages == 4
+        assert m.total_message_bits == 4 * 4
+        assert m.max_edge_bits_per_round == 4
+        assert m.undelivered_messages == 4
+        # the flush occupies one wire round
+        assert m.rounds == 1
+        assert m.messages_per_round == [4]
+        # but the outputs are the ones set before halting
+        assert result.outputs == {u: g.node_id(u) for u in range(3)}
+
+    def test_send_and_halt_with_tracer_matches_metrics(self):
+        from repro.simulator.trace import Tracer
+
+        tracer = Tracer()
+        result = run_sync(path_graph(3, seed=0), lambda ctx: _SendAndHalt(), tracer=tracer)
+        assert result.metrics.total_messages == 4
+        assert tracer.summary()["total_messages"] == 4
+        assert tracer.summary()["total_bits"] == result.metrics.total_message_bits
+        # all round-0 halts share one round record (not one record per node)
+        assert tracer.num_rounds() == 2
+        assert tracer.rounds[0].halted == [0, 1, 2]
+
+    def test_non_halting_non_sending_program_reports_max_rounds(self):
+        result = run_sync(path_graph(2, seed=0), lambda ctx: _SilentSpinner(), max_rounds=7)
+        assert not result.completed
+        assert result.stop_reason == "max_rounds"
+        assert result.metrics.rounds == 7
+        assert result.missing_outputs == 2
+        assert result.metrics.total_messages == 0
+
+    def test_round_limit_stop_reason(self):
+        result = run_sync(path_graph(2, seed=0), lambda ctx: _Forever(), max_rounds=5)
+        assert result.stop_reason == "max_rounds"
+        assert not result.completed
+
+    def test_flush_runs_even_at_the_round_budget_boundary(self):
+        # all nodes halt (sending) exactly when the budget is exhausted:
+        # the accounting flush is not a computation round, so it must
+        # still run — otherwise the final bits vanish and the result
+        # would claim completed=True with stop_reason="max_rounds"
+        class SendThreeRounds(NodeProgram):
+            def init(self, ctx):
+                ctx.send(0, 1)
+
+            def on_round(self, ctx, inbox):
+                ctx.send(0, 1)
+                if ctx.round == 3:
+                    ctx.halt(ctx.node_id)
+
+        tight = run_sync(path_graph(2, seed=0), lambda ctx: SendThreeRounds(), max_rounds=3)
+        loose = run_sync(path_graph(2, seed=0), lambda ctx: SendThreeRounds(), max_rounds=10)
+        assert tight.completed and tight.stop_reason == "completed"
+        assert tight.metrics.total_messages == loose.metrics.total_messages == 8
+        assert tight.metrics.undelivered_messages == 2
+
+    def test_tracer_halt_records(self):
+        from repro.simulator.trace import Tracer
+
+        tracer = Tracer()
+        result = run_sync(cycle_graph(5, seed=0), lambda ctx: _PingPong(), tracer=tracer)
+        assert result.completed
+        # every node halted in round 2, and the tracer saw each of them
+        for u in range(5):
+            assert tracer.halt_round_of(u) == 2
+
+    def test_per_node_dispatch_binding(self):
+        # regression for the late-binding lambda bug: every node's program
+        # must be invoked with *its own* context, so outputs are per-node
+        g = star_graph(6, seed=0)
+
+        class Who(NodeProgram):
+            def init(self, ctx):
+                ctx.halt((ctx.node_id, ctx.degree))
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                ctx.halt()
+
+        result = run_sync(g, lambda ctx: Who())
+        assert len({out for out in result.outputs.values()}) >= 2
+        assert result.outputs[0][1] == 5  # the hub's degree, not a neighbour's
 
     def test_halted_nodes_do_not_act(self):
         g = path_graph(2, seed=0)
