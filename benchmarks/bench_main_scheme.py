@@ -21,21 +21,29 @@ SIZES = (16, 32, 64, 128, 256, 512, 1024, 2048)
 #: fan out; default stays serial for stable pytest-benchmark timings)
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
+#: decoder execution backend; ``analytic`` computes every point from the
+#: Borůvka trace (engine-identical metrics, much faster at large n)
+BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "engine")
+
 
 def _run_experiment():
     # registry-name target + GraphSpec: the whole experiment routes through
     # repro.runner and is picklable, so REPRO_BENCH_JOBS>1 parallelises it
     random_sweep = run_scheme_sweep(
-        "theorem3", SIZES, graph_factory=GraphSpec("random", 0.03), seeds=(0, 1), jobs=JOBS
+        "theorem3", SIZES, graph_factory=GraphSpec("random", 0.03), seeds=(0, 1),
+        jobs=JOBS, backend=BACKEND,
     )
     grid_sweep = run_scheme_sweep(
-        "theorem3", (64, 256, 1024), graph_factory=GraphSpec("grid"), seeds=(0,), jobs=JOBS
+        "theorem3", (64, 256, 1024), graph_factory=GraphSpec("grid"), seeds=(0,),
+        jobs=JOBS, backend=BACKEND,
     )
     cycle_sweep = run_scheme_sweep(
-        "theorem3", (64, 256, 1024), graph_factory=GraphSpec("cycle"), seeds=(0,), jobs=JOBS
+        "theorem3", (64, 256, 1024), graph_factory=GraphSpec("cycle"), seeds=(0,),
+        jobs=JOBS, backend=BACKEND,
     )
     complete_sweep = run_scheme_sweep(
-        "theorem3", (16, 64, 128), graph_factory=GraphSpec("complete"), seeds=(0,), jobs=JOBS
+        "theorem3", (16, 64, 128), graph_factory=GraphSpec("complete"), seeds=(0,),
+        jobs=JOBS, backend=BACKEND,
     )
     return random_sweep, grid_sweep, cycle_sweep, complete_sweep
 

@@ -80,12 +80,27 @@ def run_scheme_sweep(
     root: int = 0,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "engine",
 ) -> SweepResult:
-    """Run ``scheme`` on every size in ``sizes`` and aggregate per size."""
+    """Run ``scheme`` on every size in ``sizes`` and aggregate per size.
+
+    ``backend="analytic"`` computes every point from the Borůvka trace
+    instead of simulating the decoder (same metrics, measurably faster —
+    see :mod:`repro.simulator.analytic`); backends hash into distinct
+    cache keys, so an engine cache is never served to an analytic sweep.
+    """
     factory = graph_factory if graph_factory is not None else default_graph_factory()
     scheme_obj = resolve_scheme(scheme)
     tasks = [
-        SweepTask(kind="scheme", target=scheme, graph=factory, n=n, seed=seed, root=root)
+        SweepTask(
+            kind="scheme",
+            target=scheme,
+            graph=factory,
+            n=n,
+            seed=seed,
+            root=root,
+            backend=backend,
+        )
         for n in sizes
         for seed in seeds
     ]

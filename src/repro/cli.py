@@ -16,7 +16,11 @@ The CLI exposes the library's main workflows without writing any Python:
     reuses results across invocations).
 ``bench``
     Repeated runs of one scheme/baseline on one instance family, timed;
-    reports runs/second (the runner's micro-benchmark).
+    reports runs/second (the runner's micro-benchmark).  ``--backend
+    both`` times the engine and the analytic backend side by side,
+    ``--snapshot`` persists the summary as a ``BENCH_<rev>.json`` perf
+    snapshot at the repo root, and ``--baseline FILE`` compares against a
+    committed snapshot, warning on a >20% throughput regression.
 ``lowerbound``
     The Theorem-1 fooling-family experiment and pigeonhole table.
 
@@ -29,9 +33,11 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import subprocess
 import sys
 import time
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.analysis.sweep import run_scheme_sweep
 from repro.analysis.tables import format_table
@@ -46,7 +52,7 @@ from repro.core.scheme_average import paper_average_constant
 from repro.distributed.base import run_baseline
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.runner.cache import ResultCache
-from repro.runner.registry import BASELINES, SCHEMES, build_graph
+from repro.runner.registry import BACKENDS, BASELINES, SCHEMES, build_graph
 from repro.runner.runner import run_tasks
 from repro.runner.tasks import GraphSpec, SweepTask
 
@@ -83,6 +89,20 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser, allow_both: bool = False) -> None:
+    choices = list(BACKENDS) + (["both"] if allow_both else [])
+    parser.add_argument(
+        "--backend",
+        default="engine",
+        choices=choices,
+        help=(
+            "decoder execution backend: 'engine' simulates every round, "
+            "'analytic' computes the same metrics from the Borůvka trace"
+            + (", 'both' times the two side by side" if allow_both else "")
+        ),
+    )
+
+
 # --------------------------------------------------------------------------- #
 # sub-commands
 # --------------------------------------------------------------------------- #
@@ -113,9 +133,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graph = _make_graph(args.graph, args.n, args.seed, args.density)
     root = args.root % graph.n
     if args.scheme in SCHEMES:
-        report = run_scheme(SCHEMES[args.scheme](), graph, root=root)
+        report = run_scheme(SCHEMES[args.scheme](), graph, root=root, backend=args.backend)
         row = report.as_row()
     elif args.scheme in BASELINES:
+        if args.backend != "engine":
+            raise ValueError("baselines have no analytic model; use --backend engine")
         baseline_report = run_baseline(BASELINES[args.scheme](), graph)
         row = baseline_report.as_row()
     else:  # pragma: no cover - argparse restricts the choices
@@ -177,6 +199,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=seeds,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps(result.rows, indent=2, default=str))
@@ -198,31 +221,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if all(result.series("correct")) else 1
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    if args.repeats < 1:
-        raise ValueError("--repeats must be >= 1")
-    kind = "scheme" if args.scheme in SCHEMES else "baseline"
+def _bench_one_backend(args: argparse.Namespace, backend: str) -> Dict[str, Any]:
+    """Time one (scheme, graph, n, backend) workload and summarise it."""
+    from repro.runner.tasks import clear_graph_memo
+
+    # cold-start fairness: a previously timed backend must not pre-build
+    # this backend's graphs (and their cached traces) outside the window
+    clear_graph_memo()
+    # --scheme all mirrors the multi-seed trade-off benchmark: every
+    # advising scheme over the same instances (graph and Borůvka-trace
+    # reuse across schemes is part of the measured workload)
+    targets = sorted(SCHEMES) if args.scheme == "all" else [args.scheme]
     tasks = [
         SweepTask(
-            kind=kind,
-            target=args.scheme,
+            kind="scheme" if target in SCHEMES else "baseline",
+            target=target,
             graph=GraphSpec(args.graph, args.density),
             n=args.n,
             seed=args.seed + k,
             root=args.root,
+            backend=backend,
         )
         for k in range(args.repeats)
+        for target in targets
     ]
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     start = time.perf_counter()
     rows = run_tasks(tasks, jobs=args.jobs, cache_dir=cache)
     elapsed = time.perf_counter() - start
 
-    all_correct = all(row["correct"] for row in rows)
-    summary = {
+    return {
         "scheme": args.scheme,
         "graph": args.graph,
         "n": args.n,
+        "backend": backend,
         "runs": len(rows),
         "jobs": args.jobs,
         "wall_seconds": round(elapsed, 4),
@@ -233,14 +265,114 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "max_rounds": max(row["rounds"] for row in rows),
         "max_edge_bits": max(row["max_edge_bits"] for row in rows),
         "total_messages": sum(row["total_messages"] for row in rows),
-        "correct": all_correct,
+        "correct": all(row["correct"] for row in rows),
     }
+
+
+def _git_query(args: List[str], fallback: str) -> str:
+    """One line of ``git <args>`` output, or ``fallback`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", *args], capture_output=True, text=True, timeout=10
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - no git binary
+        return fallback
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else fallback
+
+
+def _git_short_rev() -> str:
+    """Short revision of the working tree, or ``"local"`` outside git."""
+    return _git_query(["rev-parse", "--short", "HEAD"], "local")
+
+
+def _repo_root() -> Path:
+    """The git toplevel directory, or the current directory outside git."""
+    return Path(_git_query(["rev-parse", "--show-toplevel"], str(Path.cwd())))
+
+
+def _bench_rows(payload: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """The per-backend summaries of a bench payload (single or ``both``)."""
+    if "results" in payload:
+        yield from payload["results"]
+    else:
+        yield payload
+
+
+def _write_bench_snapshot(payload: Dict[str, Any], path_arg: Optional[str]) -> Path:
+    """Persist a ``BENCH_<rev>.json`` perf snapshot (CI's regression baseline)."""
+    rev = _git_short_rev()
+    path = Path(path_arg) if path_arg else _repo_root() / f"BENCH_{rev}.json"
+    snapshot = {"kind": "bench-snapshot", "rev": rev, "payload": payload}
+    path.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _warn_on_regression(payload: Dict[str, Any], baseline_path: str) -> None:
+    """Compare against a committed snapshot; warn on >20% throughput loss."""
+    try:
+        baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"warning: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+        return
+    reference = {
+        (row["scheme"], row["graph"], row["n"], row.get("backend", "engine")): row[
+            "runs_per_second"
+        ]
+        for row in _bench_rows(baseline.get("payload", baseline))
+        if "runs_per_second" in row
+    }
+    for row in _bench_rows(payload):
+        key = (row["scheme"], row["graph"], row["n"], row.get("backend", "engine"))
+        base_rps = reference.get(key)
+        if base_rps is None:
+            print(f"warning: baseline has no entry for {key}", file=sys.stderr)
+            continue
+        current = row["runs_per_second"]
+        if current < 0.8 * base_rps:
+            print(
+                f"warning: perf regression for {key}: {current:.3f} runs/s vs "
+                f"baseline {base_rps:.3f} runs/s ({current / base_rps:.0%})",
+                file=sys.stderr,
+            )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.repeats < 1:
+        raise ValueError("--repeats must be >= 1")
+    if args.scheme in BASELINES and args.backend != "engine":
+        raise ValueError("baselines have no analytic model; use --backend engine")
+    backends: List[str] = list(BACKENDS) if args.backend == "both" else [args.backend]
+    summaries = [_bench_one_backend(args, backend) for backend in backends]
+
+    all_correct = all(summary["correct"] for summary in summaries)
+    if len(summaries) == 1:
+        payload: Dict[str, Any] = summaries[0]
+    else:
+        engine_wall = summaries[0]["wall_seconds"]
+        analytic_wall = summaries[1]["wall_seconds"]
+        payload = {
+            "scheme": args.scheme,
+            "graph": args.graph,
+            "n": args.n,
+            "runs": summaries[0]["runs"],
+            "results": summaries,
+            "speedup_analytic_vs_engine": (
+                round(engine_wall / analytic_wall, 2) if analytic_wall > 0 else None
+            ),
+        }
+
+    if args.snapshot is not None:
+        path = _write_bench_snapshot(payload, args.snapshot or None)
+        print(f"perf snapshot written to {path}", file=sys.stderr)
+    if args.baseline:
+        _warn_on_regression(payload, args.baseline)
+
     if args.json:
-        print(json.dumps(summary, indent=2))
+        print(json.dumps(payload, indent=2))
     else:
         print(
             format_table(
-                [summary],
+                summaries,
                 title=f"bench: {args.repeats} x {args.scheme} on {args.graph}(n={args.n})",
             )
         )
@@ -309,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="advising scheme or no-advice baseline (default: theorem3)",
     )
     _add_graph_arguments(run_parser)
+    _add_backend_argument(run_parser)
 
     tradeoff_parser = sub.add_parser("tradeoff", help="measured advice/time trade-off table")
     _add_graph_arguments(tradeoff_parser)
@@ -321,17 +454,40 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--repeats", type=int, default=2, help="seeds per size (default 2)")
     _add_parallel_arguments(sweep_parser)
     _add_graph_arguments(sweep_parser)
+    _add_backend_argument(sweep_parser)
 
     bench_parser = sub.add_parser("bench", help="timed repeated runs (runs/second)")
     bench_parser.add_argument(
         "--scheme",
         default="theorem3",
-        choices=sorted(SCHEMES) + sorted(BASELINES),
-        help="advising scheme or no-advice baseline (default: theorem3)",
+        choices=sorted(SCHEMES) + sorted(BASELINES) + ["all"],
+        help=(
+            "advising scheme or no-advice baseline (default: theorem3); "
+            "'all' runs every scheme over the same instances, the shape of "
+            "the multi-seed trade-off benchmark"
+        ),
     )
     bench_parser.add_argument("--repeats", type=int, default=10, help="number of runs (default 10)")
     _add_parallel_arguments(bench_parser)
     _add_graph_arguments(bench_parser)
+    _add_backend_argument(bench_parser, allow_both=True)
+    bench_parser.add_argument(
+        "--snapshot",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a BENCH_<rev>.json perf snapshot (at the repo root by "
+            "default, or to PATH)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="compare runs/second against a committed snapshot; warn on >20%% regression",
+    )
 
     lb_parser = sub.add_parser("lowerbound", help="Theorem 1 fooling-family experiment")
     lb_parser.add_argument("--h", type=int, default=12, help="nodes per clique of G_n (default 12)")

@@ -21,6 +21,25 @@ from typing import Iterable, Iterator, List, Sequence, Tuple, Union
 __all__ = ["BitString", "BitWriter", "BitReader"]
 
 
+def _uint_bits(value: int, width: int) -> Iterator[int]:
+    """Big-endian bits of ``value`` in ``width`` bits, after validation.
+
+    Shared by :meth:`BitString.from_uint` and :meth:`BitWriter.write_uint`
+    so the fixed-width encoding (and its error behaviour) exists once.
+    """
+    if value < 0:
+        raise ValueError("cannot encode a negative value")
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if width == 0:
+        if value != 0:
+            raise ValueError("only 0 fits in zero bits")
+        return iter(())
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return ((value >> (width - 1 - k)) & 1 for k in range(width))
+
+
 class BitString:
     """An immutable string of bits."""
 
@@ -33,6 +52,18 @@ class BitString:
     # constructors
     # ------------------------------------------------------------------ #
 
+    @classmethod
+    def _wrap(cls, bits: Tuple[int, ...]) -> "BitString":
+        """Internal: adopt an already-normalised tuple of 0/1 ints.
+
+        Skips the per-bit normalisation of ``__init__`` — the writer and
+        reader hot paths construct millions of strings whose bits are
+        known to be clean already.
+        """
+        s = object.__new__(cls)
+        s._bits = bits
+        return s
+
     @staticmethod
     def empty() -> "BitString":
         """The empty bit string."""
@@ -41,17 +72,7 @@ class BitString:
     @staticmethod
     def from_uint(value: int, width: int) -> "BitString":
         """Fixed-width big-endian encoding of ``value`` (``0 <= value < 2**width``)."""
-        if value < 0:
-            raise ValueError("cannot encode a negative value")
-        if width < 0:
-            raise ValueError("width must be non-negative")
-        if value >= (1 << width) and width > 0:
-            raise ValueError(f"value {value} does not fit in {width} bits")
-        if width == 0:
-            if value != 0:
-                raise ValueError("only 0 fits in zero bits")
-            return BitString.empty()
-        return BitString(((value >> (width - 1 - k)) & 1) for k in range(width))
+        return BitString._wrap(tuple(_uint_bits(value, width)))
 
     @staticmethod
     def from_string(text: str) -> "BitString":
@@ -91,13 +112,13 @@ class BitString:
 
     def __getitem__(self, item):
         if isinstance(item, slice):
-            return BitString(self._bits[item])
+            return BitString._wrap(self._bits[item])
         return self._bits[item]
 
     def __add__(self, other: "BitString") -> "BitString":
         if not isinstance(other, BitString):
             return NotImplemented
-        return BitString(self._bits + other._bits)
+        return BitString._wrap(self._bits + other._bits)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, BitString) and self._bits == other._bits
@@ -125,13 +146,12 @@ class BitWriter:
 
     def write_bits(self, bits: Iterable[Union[int, bool]]) -> "BitWriter":
         """Append a sequence of bits (e.g. another :class:`BitString`)."""
-        for b in bits:
-            self.write_bit(b)
+        self._bits.extend(1 if b else 0 for b in bits)
         return self
 
     def write_uint(self, value: int, width: int) -> "BitWriter":
         """Append a fixed-width big-endian unsigned integer."""
-        self.write_bits(BitString.from_uint(value, width))
+        self._bits.extend(_uint_bits(value, width))
         return self
 
     def write_gamma(self, value: int) -> "BitWriter":
@@ -145,14 +165,13 @@ class BitWriter:
         if value < 1:
             raise ValueError("Elias-gamma encodes integers >= 1")
         width = value.bit_length()
-        for _ in range(width - 1):
-            self.write_bit(0)
-        self.write_uint(value, width)
-        return self
+        if width > 1:
+            self._bits.extend([0] * (width - 1))
+        return self.write_uint(value, width)
 
     def getvalue(self) -> BitString:
         """The accumulated bit string."""
-        return BitString(self._bits)
+        return BitString._wrap(tuple(self._bits))
 
 
 class BitReader:
@@ -190,7 +209,7 @@ class BitReader:
             raise ValueError("count must be non-negative")
         if self.remaining < count:
             raise EOFError("not enough bits left")
-        chunk = BitString(self._bits[self._pos : self._pos + count])
+        chunk = BitString._wrap(tuple(self._bits[self._pos : self._pos + count]))
         self._pos += count
         return chunk
 

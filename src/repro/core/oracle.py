@@ -106,14 +106,42 @@ def run_scheme(
     graph: PortNumberedGraph,
     root: int = 0,
     max_rounds: Optional[int] = None,
+    backend: str = "engine",
 ) -> SchemeReport:
     """Run ``scheme`` end to end on ``graph`` and verify the output.
 
     The oracle is given the instance and the designated root; the
-    decoder is run in the simulator with the resulting advice; the
-    outputs are then checked to describe a rooted MST whose root is the
-    designated one.
+    decoder is run with the resulting advice; the outputs are then
+    checked to describe a rooted MST whose root is the designated one.
+
+    ``backend`` selects how the decoder is executed:
+
+    * ``"engine"`` — the :class:`~repro.simulator.engine.SyncEngine`
+      simulates every node program round by round (the reference path);
+    * ``"analytic"`` — per-round message counts, bit totals and halting
+      rounds are computed directly from the Borůvka trace and advice
+      packing (see :mod:`repro.simulator.analytic`), skipping the
+      per-message simulation entirely.  Metrics are identical to the
+      engine's (enforced by the equivalence test-suite).  Schemes without
+      an analytic model, and runs that would exceed ``max_rounds``, fall
+      back to the engine transparently.
     """
+    from repro.simulator.backends import BACKENDS
+
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}")
+    if backend == "analytic":
+        from repro.simulator.analytic import AnalyticUnsupported, run_scheme_analytic
+
+        try:
+            advice, result = run_scheme_analytic(
+                scheme, graph, root=root, max_rounds=max_rounds
+            )
+        except AnalyticUnsupported:
+            advice, result = None, None
+        if result is not None:
+            return _build_report(scheme, graph, root, advice, result)
+
     advice = scheme.compute_advice(graph, root=root)
     result = run_sync(
         graph,
@@ -121,6 +149,11 @@ def run_scheme(
         advice=advice.as_payloads(),
         max_rounds=max_rounds,
     )
+    return _build_report(scheme, graph, root, advice, result)
+
+
+def _build_report(scheme, graph, root, advice, result) -> SchemeReport:
+    """Verify the outputs and assemble the report (shared by both backends)."""
     if not result.completed:
         check = OutputCheck(False, "the decoder did not terminate within the round limit")
     else:

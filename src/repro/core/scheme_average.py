@@ -107,8 +107,15 @@ class AverageConstantScheme(AdvisingScheme):
 
     name = "theorem2-average"
 
-    def compute_advice(self, graph: PortNumberedGraph, root: int = 0) -> AdviceAssignment:
-        trace = boruvka_trace(graph, root=root)
+    def compute_advice(
+        self,
+        graph: PortNumberedGraph,
+        root: int = 0,
+        trace=None,
+    ) -> AdviceAssignment:
+        """Assign the advice (``trace`` may be passed to reuse a Borůvka run)."""
+        if trace is None:
+            trace = boruvka_trace(graph, root=root)
         # per node, the (phase-ordered) list of records to encode
         data: Dict[int, BitWriter] = {}
         bitmap: Dict[int, List[int]] = {}

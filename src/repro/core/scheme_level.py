@@ -38,9 +38,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.advice import AdviceAssignment
 from repro.core.bits import BitReader, BitString, BitWriter
 from repro.core.scheme_main import (
-    CapacityError,
-    MSG_ATTACH_CHILD,
-    MSG_ATTACH_PARENT,
     ShortAdviceScheme,
     _MainProgram,
     _PHASE_FIELD_BITS,
@@ -66,84 +63,34 @@ class LevelAdviceScheme(ShortAdviceScheme):
 
     # ------------------------------ oracle ------------------------------ #
 
-    def compute_advice(self, graph: PortNumberedGraph, root: int = 0) -> AdviceAssignment:
+    def compute_advice(
+        self,
+        graph: PortNumberedGraph,
+        root: int = 0,
+        trace: Optional[BoruvkaTrace] = None,
+    ) -> AdviceAssignment:
         if not graph.has_distinct_weights():
             raise ValueError(
                 "the level-based variant requires pairwise-distinct edge weights; "
                 "use ShortAdviceScheme for instances with duplicated weights"
             )
-        n = graph.n
-        phases = num_boruvka_phases(n)
-        trace = boruvka_trace(graph, root=root)
+        if trace is None:
+            trace = boruvka_trace(graph, root=root)
+        # stash the per-node level bitmaps for the shared header writer
+        self._levels = self._node_levels(graph, trace, num_boruvka_phases(graph.n))
+        return super().compute_advice(graph, root=root, trace=trace)
 
-        data_bits: Dict[int, BitString] = {u: BitString.empty() for u in range(n)}
-        capacity_used: Optional[int] = None
-        for cap in self._capacity_candidates:
-            try:
-                data_bits = self._pack_phase_advice(graph, trace, phases, cap)
-                capacity_used = cap
-                break
-            except CapacityError:
-                continue
-        if capacity_used is None:  # pragma: no cover - the largest cap always fits
-            raise CapacityError("no candidate capacity could hold the fragment advice")
-        self.last_capacity = capacity_used
+    def _write_extra_header(self, writer: BitWriter, u: int) -> None:
+        for level in self._levels[u]:
+            writer.write_bit(level)
 
-        final_bit, collect_flag = self._assign_final_bits(graph, trace, phases)
-        levels = self._node_levels(graph, trace, phases)
-
-        advice = AdviceAssignment(n)
-        for u in range(n):
-            writer = BitWriter()
-            writer.write_uint(phases, _PHASE_FIELD_BITS)
-            writer.write_bit(1 if collect_flag.get(u, False) else 0)
-            if u in final_bit:
-                writer.write_bit(1)
-                writer.write_bit(final_bit[u])
-            else:
-                writer.write_bit(0)
-            for level in levels[u]:
-                writer.write_bit(level)
-            writer.write_bits(data_bits[u])
-            advice.set(u, writer.getvalue())
-        return advice
-
-    def _pack_phase_advice(
-        self,
-        graph: PortNumberedGraph,
-        trace: BoruvkaTrace,
-        phases: int,
-        cap: int,
-    ) -> Dict[int, BitString]:
-        """Same packing as the primary scheme, but ``A(F)`` stores a level bit."""
-        used = [0] * graph.n
-        writers: Dict[int, BitWriter] = {u: BitWriter() for u in range(graph.n)}
-        for phase in trace.phases[:phases]:
-            partition = phase.partition
-            for sel in phase.selections:
-                a_writer = BitWriter()
-                a_writer.write_bit(1 if sel.is_up else 0)
-                a_writer.write_bit(sel.level_of_target_fragment)
-                a_writer.write_gamma(sel.choosing_dfs_index)
-                a_bits = a_writer.getvalue()
-
-                preorder = partition.dfs_preorder(sel.fragment)
-                pos = 0
-                for u in preorder:
-                    if pos >= len(a_bits):
-                        break
-                    free = cap - used[u]
-                    if free <= 0:
-                        continue
-                    take = min(free, len(a_bits) - pos)
-                    writers[u].write_bits(a_bits[pos : pos + take])
-                    used[u] += take
-                    pos += take
-                if pos < len(a_bits):
-                    raise CapacityError(
-                        f"capacity {cap} too small for fragment advice at phase {phase.index}"
-                    )
-        return {u: writers[u].getvalue() for u in range(graph.n)}
+    def _fragment_advice(self, sel) -> BitString:
+        """``A(F)`` with the paper's literal level bit instead of the rank."""
+        a_writer = BitWriter()
+        a_writer.write_bit(1 if sel.is_up else 0)
+        a_writer.write_bit(sel.level_of_target_fragment)
+        a_writer.write_gamma(sel.choosing_dfs_index)
+        return a_writer.getvalue()
 
     @staticmethod
     def _node_levels(

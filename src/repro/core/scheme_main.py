@@ -66,7 +66,7 @@ from repro.core.advice import AdviceAssignment
 from repro.core.bits import BitReader, BitString, BitWriter
 from repro.core.oracle import AdvisingScheme
 from repro.graphs.weighted_graph import PortNumberedGraph
-from repro.mst.boruvka import BoruvkaTrace, boruvka_trace
+from repro.mst.boruvka import BoruvkaTrace, FragmentSelection, boruvka_trace
 from repro.mst.rooted_tree import ROOT_OUTPUT
 from repro.simulator.algorithm import NodeProgram, ProgramFactory
 from repro.simulator.node import NodeContext
@@ -148,27 +148,27 @@ class ShortAdviceScheme(AdvisingScheme):
         self._capacity_candidates = capacity_candidates
         #: per-node data capacity actually used by the last ``compute_advice`` call
         self.last_capacity: Optional[int] = None
+        #: packing layout of the last ``compute_advice`` call:
+        #: ``last_layout[i - 1][u]`` is the number of data bits of phase
+        #: ``i`` packed at node ``u``.  The analytic backend replays the
+        #: decoder's convergecast streams from exactly this layout.
+        self.last_layout: List[Dict[int, int]] = []
 
     # ------------------------------ oracle ------------------------------ #
 
-    def compute_advice(self, graph: PortNumberedGraph, root: int = 0) -> AdviceAssignment:
+    def compute_advice(
+        self,
+        graph: PortNumberedGraph,
+        root: int = 0,
+        trace: Optional[BoruvkaTrace] = None,
+    ) -> AdviceAssignment:
+        """Assign the advice (``trace`` may be passed to reuse a Borůvka run)."""
         n = graph.n
         phases = num_boruvka_phases(n)
-        trace = boruvka_trace(graph, root=root)
+        if trace is None:
+            trace = boruvka_trace(graph, root=root)
 
-        data_bits: Dict[int, BitString] = {u: BitString.empty() for u in range(n)}
-        capacity_used: Optional[int] = None
-        for cap in self._capacity_candidates:
-            try:
-                data_bits = self._pack_phase_advice(graph, trace, phases, cap)
-                capacity_used = cap
-                break
-            except CapacityError:
-                continue
-        if capacity_used is None:  # pragma: no cover - the largest cap always fits
-            raise CapacityError("no candidate capacity could hold the fragment advice")
-        self.last_capacity = capacity_used
-
+        data_bits = self._pack_with_capacity_search(graph, trace, phases)
         final_bit, collect_flag = self._assign_final_bits(graph, trace, phases)
 
         advice = AdviceAssignment(n)
@@ -181,9 +181,46 @@ class ShortAdviceScheme(AdvisingScheme):
                 writer.write_bit(final_bit[u])
             else:
                 writer.write_bit(0)
+            self._write_extra_header(writer, u)
             writer.write_bits(data_bits[u])
             advice.set(u, writer.getvalue())
         return advice
+
+    def _write_extra_header(self, writer: BitWriter, u: int) -> None:
+        """Scheme-specific header fields (the level variant adds its bitmap)."""
+
+    def _fragment_advice(self, sel: "FragmentSelection") -> BitString:
+        """The fragment advice string ``A(F)`` of one selection.
+
+        Rank-coded variant (deviation D1): orientation bit, γ-coded rank
+        of the selected edge at the choosing node, γ-coded DFS index of
+        the choosing node.  The level variant overrides this with the
+        paper's literal level-coded record; the shared packer below is
+        oblivious to the contents.
+        """
+        a_writer = BitWriter()
+        a_writer.write_bit(1 if sel.is_up else 0)
+        a_writer.write_gamma(sel.rank_at_choosing)
+        a_writer.write_gamma(sel.choosing_dfs_index)
+        return a_writer.getvalue()
+
+    def _pack_with_capacity_search(
+        self,
+        graph: PortNumberedGraph,
+        trace: BoruvkaTrace,
+        phases: int,
+    ) -> Dict[int, BitString]:
+        """Pack with the smallest per-node capacity candidate that fits."""
+        for cap in self._capacity_candidates:
+            try:
+                data_bits = self._pack_phase_advice(graph, trace, phases, cap)
+            except CapacityError:
+                continue
+            self.last_capacity = cap
+            return data_bits
+        raise CapacityError(  # pragma: no cover - the largest cap always fits
+            "no candidate capacity could hold the fragment advice"
+        )
 
     def _pack_phase_advice(
         self,
@@ -204,14 +241,12 @@ class ShortAdviceScheme(AdvisingScheme):
         """
         used = [0] * graph.n
         writers: Dict[int, BitWriter] = {u: BitWriter() for u in range(graph.n)}
+        layout: List[Dict[int, int]] = []
         for phase in trace.phases[:phases]:
             partition = phase.partition
+            phase_layout: Dict[int, int] = {}
             for sel in phase.selections:
-                a_writer = BitWriter()
-                a_writer.write_bit(1 if sel.is_up else 0)
-                a_writer.write_gamma(sel.rank_at_choosing)
-                a_writer.write_gamma(sel.choosing_dfs_index)
-                a_bits = a_writer.getvalue()
+                a_bits = self._fragment_advice(sel)
 
                 preorder = partition.dfs_preorder(sel.fragment)
                 pos = 0
@@ -225,10 +260,13 @@ class ShortAdviceScheme(AdvisingScheme):
                     writers[u].write_bits(a_bits[pos : pos + take])
                     used[u] += take
                     pos += take
+                    phase_layout[u] = phase_layout.get(u, 0) + take
                 if pos < len(a_bits):
                     raise CapacityError(
                         f"capacity {cap} too small for fragment advice at phase {phase.index}"
                     )
+            layout.append(phase_layout)
+        self.last_layout = layout
         return {u: writers[u].getvalue() for u in range(graph.n)}
 
     def _assign_final_bits(

@@ -58,8 +58,15 @@ class TrivialRankScheme(AdvisingScheme):
 
     name = "trivial-rank"
 
-    def compute_advice(self, graph: PortNumberedGraph, root: int = 0) -> AdviceAssignment:
-        tree = build_rooted_tree(graph, kruskal_mst(graph), root=root)
+    def compute_advice(
+        self,
+        graph: PortNumberedGraph,
+        root: int = 0,
+        tree=None,
+    ) -> AdviceAssignment:
+        """Assign the advice (``tree`` may be passed to reuse a rooted MST)."""
+        if tree is None:
+            tree = build_rooted_tree(graph, kruskal_mst(graph), root=root)
         advice = AdviceAssignment(graph.n)
         for u in range(graph.n):
             writer = BitWriter()

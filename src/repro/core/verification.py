@@ -72,16 +72,17 @@ def check_outputs(
     if expected_root is not None and root != expected_root:
         return OutputCheck(False, f"root is {root}, expected {expected_root}")
 
+    neighbors, edge_ids = graph.adjacency_tables()
     parent: Dict[int, int] = {}
     parent_edge: Dict[int, int] = {}
     for u in range(graph.n):
         if u == root:
             continue
         port = outputs[u]
-        if not isinstance(port, int) or not 0 <= port < graph.degree(u):
+        if not isinstance(port, int) or not 0 <= port < len(neighbors[u]):
             return OutputCheck(False, f"node {u} output an invalid port {port!r}")
-        parent[u] = graph.neighbor(u, port)
-        parent_edge[u] = graph.edge_id(u, port)
+        parent[u] = neighbors[u][port]
+        parent_edge[u] = edge_ids[u][port]
 
     # -------- every node reaches the root (acyclicity + connectivity) --------
     status: Dict[int, int] = {root: 1}  # 1 = reaches root

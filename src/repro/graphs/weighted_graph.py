@@ -180,24 +180,16 @@ class PortNumberedGraph:
                 raise ValueError("node_ids must have length n")
             self.node_ids = np.asarray(node_ids, dtype=np.int64)
 
-        edge_u = np.empty(self.m, dtype=np.int64)
-        edge_v = np.empty(self.m, dtype=np.int64)
-        edge_w = np.empty(self.m, dtype=np.float64)
-        seen: set = set()
-        for eid, (u, v, w) in enumerate(edges):
-            u = int(u)
-            v = int(v)
-            if u == v:
-                raise ValueError(f"self-loop at node {u} is not allowed")
-            if not (0 <= u < self.n and 0 <= v < self.n):
-                raise ValueError(f"edge ({u}, {v}) references a node out of range")
-            key = (u, v) if u < v else (v, u)
-            if key in seen:
-                raise ValueError(f"parallel edge {key} is not allowed")
-            seen.add(key)
-            edge_u[eid] = u
-            edge_v[eid] = v
-            edge_w[eid] = float(w)
+        if self.m:
+            edge_list_in = list(edges)
+            edge_u = np.fromiter((int(e[0]) for e in edge_list_in), dtype=np.int64, count=self.m)
+            edge_v = np.fromiter((int(e[1]) for e in edge_list_in), dtype=np.int64, count=self.m)
+            edge_w = np.fromiter((float(e[2]) for e in edge_list_in), dtype=np.float64, count=self.m)
+            self._validate_edges(edge_u, edge_v)
+        else:
+            edge_u = np.empty(0, dtype=np.int64)
+            edge_v = np.empty(0, dtype=np.int64)
+            edge_w = np.empty(0, dtype=np.float64)
         self.edge_u = edge_u
         self.edge_v = edge_v
         self.edge_w = edge_w
@@ -211,56 +203,107 @@ class PortNumberedGraph:
         np.cumsum(degrees, out=offsets[1:])
         self._offsets = offsets
 
-        # port assignment: default is input-edge order per node
+        # occurrence rank of every endpoint (the k-th incident edge of a
+        # node in input-edge order has rank k) — one stable grouped
+        # ranking over the interleaved endpoint sequence instead of a
+        # Python loop over the edges
+        endpoints = np.empty(2 * self.m, dtype=np.int64)
+        endpoints[0::2] = edge_u
+        endpoints[1::2] = edge_v
+        order = np.argsort(endpoints, kind="stable")
+        ranks = np.empty(2 * self.m, dtype=np.int64)
+        ranks[order] = np.arange(2 * self.m) - offsets[endpoints[order]]
+        if port_permutations is None:
+            # default assignment: the rank is the port
+            pu = ranks[0::2]
+            pv = ranks[1::2]
+        else:
+            # per-node lookup table, identity unless a permutation is given
+            node_of_slot = np.repeat(np.arange(self.n), degrees)
+            table = np.arange(2 * self.m, dtype=np.int64) - offsets[node_of_slot]
+            for u, perm in port_permutations.items():
+                if not 0 <= u < self.n:
+                    continue  # same as the historical loop: never consulted
+                deg = int(degrees[u])
+                if len(perm) < deg:
+                    raise IndexError("list index out of range")
+                lo = int(offsets[u])
+                table[lo : lo + deg] = [int(p) for p in list(perm)[:deg]]
+            pu = table[offsets[edge_u] + ranks[0::2]]
+            pv = table[offsets[edge_v] + ranks[1::2]]
+            if np.any(pu < 0) or np.any(pu >= degrees[edge_u]) or np.any(
+                pv < 0
+            ) or np.any(pv >= degrees[edge_v]):
+                raise ValueError("port permutation assigns an out-of-range port")
+
         twice_m = 2 * self.m
+        su = offsets[edge_u] + pu
+        sv = offsets[edge_v] + pv
+        slots = np.concatenate((su, sv))
+        if port_permutations is not None and len(np.unique(slots)) != twice_m:
+            raise ValueError("port permutation assigns the same port twice")
+
         adj_neighbor = np.full(twice_m, -1, dtype=np.int64)
         adj_weight = np.zeros(twice_m, dtype=np.float64)
         adj_edge = np.full(twice_m, -1, dtype=np.int64)
         adj_rev_port = np.full(twice_m, -1, dtype=np.int64)
-        edge_port_u = np.full(self.m, -1, dtype=np.int64)
-        edge_port_v = np.full(self.m, -1, dtype=np.int64)
-
-        next_slot = np.zeros(self.n, dtype=np.int64)
-
-        def _next_port(node: int) -> int:
-            k = int(next_slot[node])
-            next_slot[node] += 1
-            if port_permutations is not None and node in port_permutations:
-                perm = port_permutations[node]
-                return int(perm[k])
-            return k
-
-        for eid in range(self.m):
-            u = int(edge_u[eid])
-            v = int(edge_v[eid])
-            pu = _next_port(u)
-            pv = _next_port(v)
-            if not (0 <= pu < degrees[u]) or not (0 <= pv < degrees[v]):
-                raise ValueError("port permutation assigns an out-of-range port")
-            su = int(offsets[u]) + pu
-            sv = int(offsets[v]) + pv
-            if adj_edge[su] != -1 or adj_edge[sv] != -1:
-                raise ValueError("port permutation assigns the same port twice")
-            adj_neighbor[su] = v
-            adj_neighbor[sv] = u
-            adj_weight[su] = edge_w[eid]
-            adj_weight[sv] = edge_w[eid]
-            adj_edge[su] = eid
-            adj_edge[sv] = eid
-            adj_rev_port[su] = pv
-            adj_rev_port[sv] = pu
-            edge_port_u[eid] = pu
-            edge_port_v[eid] = pv
+        eids = np.arange(self.m, dtype=np.int64)
+        adj_neighbor[su] = edge_v
+        adj_neighbor[sv] = edge_u
+        adj_weight[su] = edge_w
+        adj_weight[sv] = edge_w
+        adj_edge[su] = eids
+        adj_edge[sv] = eids
+        adj_rev_port[su] = pv
+        adj_rev_port[sv] = pu
 
         self._adj_neighbor = adj_neighbor
         self._adj_weight = adj_weight
         self._adj_edge = adj_edge
         self._adj_rev_port = adj_rev_port
-        self.edge_port_u = edge_port_u
-        self.edge_port_v = edge_port_v
+        self.edge_port_u = pu
+        self.edge_port_v = pv
 
-        # lazily computed caches
+        # lazily computed caches (the graph is immutable after construction)
         self._rank_cache: Dict[int, Tuple[int, ...]] = {}
+        self._connected_cache: Optional[bool] = None
+        self._adjacency_tables: Optional[Tuple[List[List[int]], List[List[int]]]] = None
+
+    def _validate_edges(self, edge_u: np.ndarray, edge_v: np.ndarray) -> None:
+        """Reject self-loops, out-of-range endpoints and parallel edges.
+
+        Vectorised, but reporting the same edge the historical per-edge
+        scan reported: the first offending edge in input order (with the
+        self-loop / range / parallel priority of the old loop).
+        """
+        n = self.n
+        bad_loop = np.flatnonzero(edge_u == edge_v)
+        bad_range = np.flatnonzero(
+            (edge_u < 0) | (edge_u >= n) | (edge_v < 0) | (edge_v >= n)
+        )
+        lo = np.minimum(edge_u, edge_v)
+        hi = np.maximum(edge_u, edge_v)
+        keys = lo * (n + 1) + hi
+        order = np.argsort(keys, kind="stable")
+        dup_positions = np.flatnonzero(keys[order][1:] == keys[order][:-1]) + 1
+        bad_dup = order[dup_positions] if dup_positions.size else dup_positions
+
+        candidates = []  # (edge id, per-edge check priority, raiser)
+        if bad_loop.size:
+            eid = int(bad_loop[0])
+            candidates.append((eid, 0, f"self-loop at node {int(edge_u[eid])} is not allowed"))
+        if bad_range.size:
+            eid = int(bad_range[0])
+            candidates.append(
+                (eid, 1, f"edge ({int(edge_u[eid])}, {int(edge_v[eid])}) references a node out of range")
+            )
+        if bad_dup.size:
+            eid = int(bad_dup.min())
+            key = (int(lo[eid]), int(hi[eid]))
+            candidates.append((eid, 2, f"parallel edge {key} is not allowed"))
+        if candidates:
+            candidates.sort()
+            raise ValueError(candidates[0][2])
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -468,24 +511,48 @@ class PortNumberedGraph:
             for u in range(self.n)
         ]
 
+    def adjacency_tables(self) -> Tuple[List[List[int]], List[List[int]]]:
+        """Per-node ``(neighbours, edge ids)`` lists, indexed by port.
+
+        One bulk conversion of the adjacency arrays, cached on the
+        instance: output verification and traversals resolve every port
+        through these tables instead of one NumPy scalar round-trip per
+        (node, port).
+        """
+        if self._adjacency_tables is None:
+            neigh = self._adj_neighbor.tolist()
+            eids = self._adj_edge.tolist()
+            offsets = self._offsets.tolist()
+            self._adjacency_tables = (
+                [neigh[offsets[u] : offsets[u + 1]] for u in range(self.n)],
+                [eids[offsets[u] : offsets[u + 1]] for u in range(self.n)],
+            )
+        return self._adjacency_tables
+
     def is_connected(self) -> bool:
-        """``True`` iff the graph is connected."""
-        if self.n == 1:
-            return True
-        seen = np.zeros(self.n, dtype=bool)
-        stack = [0]
-        seen[0] = True
-        count = 1
-        while stack:
-            u = stack.pop()
-            lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
-            for v in self._adj_neighbor[lo:hi]:
-                v = int(v)
-                if not seen[v]:
-                    seen[v] = True
-                    count += 1
-                    stack.append(v)
-        return count == self.n
+        """``True`` iff the graph is connected.
+
+        Computed once and cached — the MST pipeline asks repeatedly
+        (Kruskal, Borůvka, the verifiers) about the same immutable graph.
+        """
+        if self._connected_cache is None:
+            if self.n == 1:
+                self._connected_cache = True
+            else:
+                neighbors, _ = self.adjacency_tables()
+                seen = [False] * self.n
+                stack = [0]
+                seen[0] = True
+                count = 1
+                while stack:
+                    u = stack.pop()
+                    for v in neighbors[u]:
+                        if not seen[v]:
+                            seen[v] = True
+                            count += 1
+                            stack.append(v)
+                self._connected_cache = count == self.n
+        return self._connected_cache
 
     def validate(self) -> None:
         """Raise ``ValueError`` if any structural invariant is violated."""

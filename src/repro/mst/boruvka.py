@@ -126,13 +126,62 @@ class BoruvkaTrace:
         """
         if 1 <= i <= len(self.phases):
             return self.phases[i - 1].partition
-        return FragmentPartition.from_selected_edges(
-            self.tree, self.selected_before_phase(len(self.phases) + 1)
-        )
+        # the beyond-the-end partition is the same object for every such
+        # ``i``; build it once (the analytic backend asks for it once per
+        # remaining phase window plus once for the final collection)
+        cached = getattr(self, "_final_partition", None)
+        if cached is None:
+            cached = FragmentPartition.from_selected_edges(
+                self.tree, self.selected_before_phase(len(self.phases) + 1)
+            )
+            self._final_partition = cached
+        return cached
 
     def mst_edge_ids(self) -> List[int]:
         """Edge ids of the MST produced by the run (the reference tree's edges)."""
         return sorted(self.tree.edge_ids)
+
+
+# ---------------------------------------------------------------------- #
+# vectorised per-phase minimum-outgoing-edge selection
+# ---------------------------------------------------------------------- #
+
+
+def _minimum_outgoing_edges(
+    graph: PortNumberedGraph,
+    reps: np.ndarray,
+    pos_in_order: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per fragment, its first outgoing edge in the canonical order.
+
+    One segmented reduction over the CSR edge arrays instead of a Python
+    scan of the canonical edge order per phase: every (endpoint,
+    fragment) incidence of an inter-fragment edge becomes a candidate,
+    candidates are lexsorted by (fragment, canonical position), and the
+    first candidate of each fragment run is its minimum outgoing edge —
+    exactly the edge the historical scan found, including the
+    ``(weight, edge_id)`` tie-breaking.
+
+    Returns ``(fragments, edge_ids, choosing_nodes)``: for every
+    fragment representative with at least one outgoing edge, the
+    selected edge id and the endpoint inside the fragment.
+    """
+    ru = reps[graph.edge_u]
+    rv = reps[graph.edge_v]
+    eids = np.nonzero(ru != rv)[0]
+    if eids.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    cand_rep = np.concatenate((ru[eids], rv[eids]))
+    cand_node = np.concatenate((graph.edge_u[eids], graph.edge_v[eids]))
+    cand_eid = np.concatenate((eids, eids))
+    cand_pos = np.concatenate((pos_in_order[eids], pos_in_order[eids]))
+    sort = np.lexsort((cand_pos, cand_rep))
+    sorted_rep = cand_rep[sort]
+    first = np.ones(sorted_rep.size, dtype=bool)
+    first[1:] = sorted_rep[1:] != sorted_rep[:-1]
+    winners = sort[first]
+    return cand_rep[winners], cand_eid[winners], cand_node[winners]
 
 
 # ---------------------------------------------------------------------- #
@@ -154,21 +203,13 @@ def boruvka_mst(graph: PortNumberedGraph) -> List[int]:
     uf = UnionFind(graph.n)
     tree: Set[int] = set()
     order = np.lexsort((np.arange(graph.m), graph.edge_w))
+    pos_in_order = np.empty(graph.m, dtype=np.int64)
+    pos_in_order[order] = np.arange(graph.m)
     while uf.component_count > 1:
-        best: Dict[int, int] = {}
-        for eid in order:
-            eid = int(eid)
-            ru = uf.find(int(graph.edge_u[eid]))
-            rv = uf.find(int(graph.edge_v[eid]))
-            if ru == rv:
-                continue
-            if ru not in best:
-                best[ru] = eid
-            if rv not in best:
-                best[rv] = eid
-        if not best:  # pragma: no cover - cannot happen on a connected graph
+        _, edge_ids, _ = _minimum_outgoing_edges(graph, uf.roots_array(), pos_in_order)
+        if edge_ids.size == 0:  # pragma: no cover - cannot happen on a connected graph
             break
-        for eid in best.values():
+        for eid in sorted(set(edge_ids.tolist())):
             # the same edge can be the minimum of both of its fragments; the
             # second union is then a no-op and the edge is already in the tree
             if uf.union(int(graph.edge_u[eid]), int(graph.edge_v[eid])):
@@ -207,7 +248,22 @@ def boruvka_trace(
     if not 0 <= root < graph.n:
         raise ValueError("root out of range")
 
+    # full traces are memoised per (graph, root): the trace is a pure
+    # function of the immutable instance, and every trace-driven scheme
+    # (theorem2 / theorem3 / theorem3-level) plus the analytic backend
+    # asks for the same one when run over the same instance
+    if max_phases is None:
+        memo = getattr(graph, "_trace_cache", None)
+        if memo is None:
+            memo = {}
+            graph._trace_cache = memo
+        cached = memo.get(root)
+        if cached is not None:
+            return cached
+
     order = np.lexsort((np.arange(graph.m), graph.edge_w))
+    pos_in_order = np.empty(graph.m, dtype=np.int64)
+    pos_in_order[order] = np.arange(graph.m)
 
     # ---------- raw phase loop (membership + selections only) ----------
     uf = UnionFind(graph.n)
@@ -217,37 +273,24 @@ def boruvka_trace(
     while uf.component_count > 1:
         phase_index += 1
         threshold = 1 << phase_index
-        reps = [uf.find(u) for u in range(graph.n)]
-        sizes: Dict[int, int] = {}
-        for rep in reps:
-            sizes[rep] = sizes.get(rep, 0) + 1
-        active_reps = {rep for rep, s in sizes.items() if s < threshold}
+        reps = uf.roots_array()
+        sizes = np.bincount(reps, minlength=graph.n)
 
         # first outgoing edge in canonical order, per active fragment
-        chosen: Dict[int, Tuple[int, int]] = {}  # rep -> (edge id, choosing node)
-        remaining = set(active_reps)
-        if remaining:
-            for eid in order:
-                if not remaining:
-                    break
-                eid = int(eid)
-                u, v = int(graph.edge_u[eid]), int(graph.edge_v[eid])
-                ru, rv = reps[u], reps[v]
-                if ru == rv:
-                    continue
-                if ru in remaining:
-                    chosen[ru] = (eid, u)
-                    remaining.discard(ru)
-                if rv in remaining:
-                    chosen[rv] = (eid, v)
-                    remaining.discard(rv)
+        frag_reps, edge_ids, nodes = _minimum_outgoing_edges(graph, reps, pos_in_order)
+        active = sizes[frag_reps] < threshold
+        chosen: Dict[int, Tuple[int, int]] = {  # rep -> (edge id, choosing node)
+            int(rep): (int(eid), int(node))
+            for rep, eid, node in zip(
+                frag_reps[active], edge_ids[active], nodes[active]
+            )
+        }
 
         new_edges = sorted({eid for eid, _ in chosen.values()})
         raw_phases.append(
             {
                 "index": phase_index,
-                "selected_before": sorted(all_selected),
-                "selections": dict(chosen),
+                "selections": chosen,
                 "new_edges": new_edges,
             }
         )
@@ -263,19 +306,29 @@ def boruvka_trace(
     tree = build_rooted_tree(graph, mst_edges, root=root)
 
     # ---------- annotate phases ----------
+    # partitions are rebuilt incrementally: one union-find accumulates the
+    # selected edges phase by phase, and each phase's partition is one bulk
+    # roots_array pass instead of a fresh union-find over all earlier edges
     phases: List[BoruvkaPhase] = []
     limit = len(raw_phases) if max_phases is None else min(max_phases, len(raw_phases))
+    annotate_uf = UnionFind(graph.n)
+    edge_u = graph.edge_u.tolist()
+    edge_v = graph.edge_v.tolist()
+    edge_w = graph.edge_w.tolist()
+    port_u = graph.edge_port_u.tolist()
+    port_v = graph.edge_port_v.tolist()
     for raw in raw_phases[:limit]:
         i = raw["index"]
-        partition = FragmentPartition.from_selected_edges(tree, raw["selected_before"])
+        partition = FragmentPartition.from_roots(tree, annotate_uf.roots_array())
         ftree = partition.fragment_tree()
         active = tuple(partition.active_fragments(i))
         selections: List[FragmentSelection] = []
         for _rep, (eid, choosing) in sorted(raw["selections"].items()):
             f = partition.fragment_of[choosing]
-            ref = graph.edge(eid)
-            target = ref.other_endpoint(choosing)
-            port = ref.endpoint_port(choosing)
+            if edge_u[eid] == choosing:
+                target, port = edge_v[eid], port_u[eid]
+            else:
+                target, port = edge_u[eid], port_v[eid]
             selections.append(
                 FragmentSelection(
                     phase=i,
@@ -284,7 +337,7 @@ def boruvka_trace(
                     choosing_node=choosing,
                     selected_edge=eid,
                     port_at_choosing=port,
-                    weight=ref.weight,
+                    weight=edge_w[eid],
                     rank_at_choosing=graph.rank_of_port(choosing, port),
                     index_pair=graph.index_pair(choosing, port),
                     is_up=tree.parent_edge[choosing] == eid,
@@ -305,5 +358,10 @@ def boruvka_trace(
                 selected_edge_ids=tuple(raw["new_edges"]),
             )
         )
+        for eid in raw["new_edges"]:
+            annotate_uf.union(int(graph.edge_u[eid]), int(graph.edge_v[eid]))
 
-    return BoruvkaTrace(graph=graph, root=root, tree=tree, phases=phases)
+    trace = BoruvkaTrace(graph=graph, root=root, tree=tree, phases=phases)
+    if max_phases is None:
+        graph._trace_cache[root] = trace
+    return trace

@@ -18,8 +18,10 @@ and the test-suite uses them to check the structural lemmas of the paper
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.mst.rooted_tree import RootedSpanningTree
@@ -43,6 +45,10 @@ class FragmentPartition:
     fragment_of: Tuple[int, ...]
     #: members of every fragment, sorted
     members: Tuple[Tuple[int, ...], ...]
+    #: per-instance caches (preorders and fragment roots are requested for
+    #: the same fragment by the oracle, the packer and the analytic
+    #: backend; ``compare=False`` keeps dataclass equality value-based)
+    _cache: Dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -66,17 +72,33 @@ class FragmentPartition:
                 raise ValueError(f"edge {eid} is not an edge of the reference MST")
             ref = graph.edge(eid)
             uf.union(ref.u, ref.v)
+        return FragmentPartition.from_roots(tree, uf.roots_array())
 
-        groups = uf.components()
-        groups.sort(key=lambda g: g[0])
-        fragment_of = [0] * graph.n
-        for f, group in enumerate(groups):
-            for u in group:
-                fragment_of[u] = f
+    @staticmethod
+    def from_roots(tree: RootedSpanningTree, roots: "np.ndarray") -> "FragmentPartition":
+        """Partition from a per-node representative array, in one bulk pass.
+
+        Fragment indices are assigned in increasing order of the smallest
+        member node — identical to the historical per-node
+        ``UnionFind.find`` scan, but built from ``np.unique`` instead of
+        ``n`` Python-level find calls per phase.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        uniq, first_pos, inverse = np.unique(roots, return_index=True, return_inverse=True)
+        # np.unique orders groups by representative value; reorder them by
+        # first occurrence = smallest member (node indices are scanned in
+        # increasing order), the documented deterministic fragment order
+        order = np.argsort(first_pos, kind="stable")
+        relabel = np.empty(len(uniq), dtype=np.int64)
+        relabel[order] = np.arange(len(uniq))
+        fragment_of = relabel[inverse]
+        members: List[List[int]] = [[] for _ in range(len(uniq))]
+        for u, f in enumerate(fragment_of.tolist()):
+            members[f].append(u)
         return FragmentPartition(
             tree=tree,
-            fragment_of=tuple(fragment_of),
-            members=tuple(tuple(g) for g in groups),
+            fragment_of=tuple(fragment_of.tolist()),
+            members=tuple(tuple(g) for g in members),
         )
 
     @staticmethod
@@ -107,7 +129,15 @@ class FragmentPartition:
 
     def root_of(self, f: int) -> int:
         """``r_F``: the node of fragment ``f`` closest (in the MST) to the global root."""
-        return min(self.members[f], key=lambda u: (self.tree.depth[u], u))
+        roots = self._cache.get("roots")
+        if roots is None:
+            roots = {}
+            self._cache["roots"] = roots
+        r = roots.get(f)
+        if r is None:
+            r = min(self.members[f], key=lambda u: (self.tree.depth[u], u))
+            roots[f] = r
+        return r
 
     def active_fragments(self, phase: int) -> List[int]:
         """Fragments that are *active* at ``phase`` (``|F| < 2^phase``)."""
@@ -135,7 +165,8 @@ class FragmentPartition:
     def children_in_fragment(self, u: int) -> List[int]:
         """Children of ``u`` inside ``T_F``, ordered by edge index at ``u``."""
         f = self.fragment_of[u]
-        return [v for v in self.tree.children(u) if self.fragment_of[v] == f]
+        fragment_of = self.fragment_of
+        return [v for v in self.tree.children_table()[u] if fragment_of[v] == f]
 
     def depth_in_fragment(self, u: int) -> int:
         """Depth of ``u`` within its fragment subtree ``T_F``."""
@@ -150,14 +181,26 @@ class FragmentPartition:
         (deviation D6 in DESIGN.md: DFS preorder instead of BFS; the
         ``j``-th node in preorder is at depth at most ``j - 1``, so every
         round bound of the paper is preserved).
+
+        The preorder of each fragment is computed once and cached: the
+        Borůvka tracer, the Theorem-3 packer and the analytic backend all
+        walk the same fragments of the same partition objects.
         """
-        order: List[int] = []
-        stack = [self.root_of(f)]
-        while stack:
-            u = stack.pop()
-            order.append(u)
-            stack.extend(reversed(self.children_in_fragment(u)))
-        return order
+        preorders = self._cache.get("preorders")
+        if preorders is None:
+            preorders = {}
+            self._cache["preorders"] = preorders
+        cached = preorders.get(f)
+        if cached is None:
+            order: List[int] = []
+            stack = [self.root_of(f)]
+            while stack:
+                u = stack.pop()
+                order.append(u)
+                stack.extend(reversed(self.children_in_fragment(u)))
+            cached = order
+            preorders[f] = cached
+        return list(cached)
 
     def fragment_diameter_bound(self, f: int) -> int:
         """Maximum depth of ``T_F`` — an upper bound used for round budgeting."""

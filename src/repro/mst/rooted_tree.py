@@ -64,12 +64,38 @@ class RootedSpanningTree:
         The order matters: the paper's fragment machinery walks subtrees
         "guided by the indexes of the edges ... lower index first".
         """
-        kids = []
-        for p in self.graph.ports_by_index(u):
-            v = self.graph.neighbor(u, p)
-            if self.parent[v] == u and self.graph.edge_id(u, p) == self.parent_edge[v]:
-                kids.append(v)
-        return kids
+        return list(self.children_table()[u])
+
+    def children_table(self) -> Tuple[Tuple[int, ...], ...]:
+        """Children of every node, each ordered by the ``index_u`` order.
+
+        Computed once in a single bulk pass over the tree edges (the
+        fragment machinery asks for children of the same tree across
+        every Borůvka phase, so a per-call port scan is quadratic in
+        practice) and cached on the instance.
+        """
+        cached = getattr(self, "_children_table", None)
+        if cached is not None:
+            return cached
+        graph = self.graph
+        # child -> (rank of the parent edge at the parent) pairs, grouped
+        # by parent and sorted by that rank = the index_u order at u
+        edge_u = graph.edge_u.tolist()
+        port_u = graph.edge_port_u.tolist()
+        port_v = graph.edge_port_v.tolist()
+        buckets: List[List[Tuple[int, int]]] = [[] for _ in range(graph.n)]
+        for v in range(graph.n):
+            u = self.parent[v]
+            if u < 0:
+                continue
+            e = self.parent_edge[v]
+            port_at_parent = port_u[e] if edge_u[e] == u else port_v[e]
+            buckets[u].append((graph.rank_of_port(u, port_at_parent), v))
+        table = tuple(
+            tuple(v for _, v in sorted(bucket)) for bucket in buckets
+        )
+        object.__setattr__(self, "_children_table", table)
+        return table
 
     def subtree_nodes(self, u: int) -> List[int]:
         """All nodes of the subtree rooted at ``u`` (preorder)."""

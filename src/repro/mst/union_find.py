@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
+import numpy as np
+
 __all__ = ["UnionFind"]
 
 
@@ -65,16 +67,37 @@ class UnionFind:
         """Size of the set containing ``x``."""
         return self._size[self.find(x)]
 
+    def roots_array(self) -> np.ndarray:
+        """Representative of every element, as one bulk array pass.
+
+        Equivalent to ``[self.find(x) for x in range(n)]`` but computed
+        with vectorised pointer jumping (``p = parent[p]`` until a fixed
+        point, which takes ``O(log depth)`` array passes) followed by a
+        full path-compression write-back.  Representatives are identical
+        to per-call :meth:`find` — compression never changes roots — so
+        callers that previously paid ``n`` Python-level ``find`` calls
+        per phase (the Borůvka loop, :meth:`components`) now pay a few
+        NumPy passes instead.
+        """
+        parent = np.asarray(self._parent, dtype=np.int64)
+        roots = parent[parent]
+        while not np.array_equal(roots, parent):
+            parent = roots
+            roots = parent[parent]
+        self._parent = roots.tolist()
+        return roots
+
     def components(self) -> List[List[int]]:
         """All sets, as sorted lists of elements, sorted by representative."""
         groups: Dict[int, List[int]] = {}
-        for x in range(self.n):
-            groups.setdefault(self.find(x), []).append(x)
-        return [sorted(members) for _, members in sorted(groups.items())]
+        for x, root in enumerate(self.roots_array().tolist()):
+            groups.setdefault(root, []).append(x)
+        # elements are appended in increasing order, so each group is sorted
+        return [members for _, members in sorted(groups.items())]
 
     def representatives(self) -> List[int]:
         """The representative of every element, indexed by element."""
-        return [self.find(x) for x in range(self.n)]
+        return self.roots_array().tolist()
 
     @classmethod
     def from_groups(cls, n: int, groups: Iterable[Iterable[int]]) -> "UnionFind":

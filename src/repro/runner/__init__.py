@@ -22,6 +22,7 @@ serial and parallel paths produce byte-identical aggregated results.
 
 from repro.runner.cache import ResultCache
 from repro.runner.registry import (
+    BACKENDS,
     BASELINES,
     GRAPH_FAMILIES,
     SCHEMES,
@@ -33,6 +34,7 @@ from repro.runner.runner import execute_task, run_tasks
 from repro.runner.tasks import GraphSpec, SweepTask
 
 __all__ = [
+    "BACKENDS",
     "BASELINES",
     "GRAPH_FAMILIES",
     "SCHEMES",

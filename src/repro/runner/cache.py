@@ -4,10 +4,17 @@ Layout: one file per task under the cache directory, named
 ``<sha256-of-task>.json``, each containing::
 
     {
-      "version": 1,          # cache format version
+      "version": 2,          # cache format version
       "task":    {...},      # the canonical task content (for humans/debugging)
       "result":  {...}       # the measured result row
     }
+
+The task content (and therefore the sha256 file name) includes the
+execution backend (``engine`` / ``analytic``) and that backend's
+semantic version — see :func:`repro.runner.tasks.backend_version` — so a
+row measured on one backend can never be served for the other, and
+bumping a backend's version invalidates exactly its own rows.  Version 1
+entries (which predate the backend field) are treated as misses.
 
 Entries are written atomically (temp file + ``os.replace``) so parallel
 workers and concurrent sweeps can share a directory; a corrupt,
@@ -27,7 +34,8 @@ from typing import Any, Dict, Optional, Union
 
 __all__ = ["ResultCache", "CACHE_VERSION"]
 
-CACHE_VERSION = 1
+#: 2: the task content gained the backend + backend_version fields
+CACHE_VERSION = 2
 
 
 class ResultCache:

@@ -33,11 +33,16 @@ from repro.graphs.weighted_graph import PortNumberedGraph
 __all__ = [
     "SCHEMES",
     "BASELINES",
+    "BACKENDS",
     "GRAPH_FAMILIES",
     "resolve_scheme",
     "resolve_baseline",
     "build_graph",
 ]
+
+#: execution backends a scheme task may request (see
+#: :func:`repro.core.oracle.run_scheme`); baselines always use the engine
+from repro.simulator.backends import BACKENDS  # noqa: E402  (re-export)
 
 #: scheme name -> factory
 SCHEMES: Dict[str, Callable[[], AdvisingScheme]] = {

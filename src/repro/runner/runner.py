@@ -44,7 +44,9 @@ def execute_task(task: SweepTask) -> Dict[str, Any]:
     graph = task.build_graph()
     if task.kind == "scheme":
         scheme = resolve_scheme(task.target)
-        report = run_scheme(scheme, graph, root=task.root % graph.n)
+        report = run_scheme(
+            scheme, graph, root=task.root % graph.n, backend=task.backend
+        )
         return {
             "kind": "scheme",
             "scheme": report.scheme,

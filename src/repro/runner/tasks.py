@@ -29,12 +29,35 @@ from repro.core.oracle import AdvisingScheme
 from repro.distributed.base import DistributedMSTBaseline
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.runner.registry import build_graph
+from repro.simulator.backends import BACKENDS
 
-__all__ = ["GraphSpec", "SweepTask", "TASK_FORMAT_VERSION"]
+__all__ = ["GraphSpec", "SweepTask", "TASK_FORMAT_VERSION", "backend_version"]
 
 #: bump when the result-row or hashing format changes; stored inside the
 #: hash input so stale cache entries can never be mistaken for fresh ones
-TASK_FORMAT_VERSION = 1
+#: (2: the key grew the execution backend and its semantic version)
+TASK_FORMAT_VERSION = 2
+
+
+def backend_version(backend: str) -> int:
+    """Semantic version of an execution backend, mixed into cache keys.
+
+    A cached row must identify *how* it was computed, not just on what:
+    an engine row and an analytic row for the same workload are only
+    interchangeable because the equivalence suite says so today, and a
+    future change to either implementation must invalidate only its own
+    rows.  Imported lazily to keep ``repro.runner`` importable without
+    the simulator.
+    """
+    if backend == "engine":
+        from repro.simulator.engine import ENGINE_VERSION
+
+        return ENGINE_VERSION
+    if backend == "analytic":
+        from repro.simulator.analytic import ANALYTIC_VERSION
+
+        return ANALYTIC_VERSION
+    raise ValueError(f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}")
 
 
 def _library_version() -> str:
@@ -50,6 +73,23 @@ def _library_version() -> str:
     return getattr(repro, "__version__", "0")
 
 
+#: small per-process memo of built instances: a sweep runs several
+#: schemes (and both backends) over the *same* ``(family, n, seed)``
+#: instances back to back, and rebuilding the graph — plus its cached
+#: derivations (reference MST, Borůvka trace, adjacency tables) — per
+#: scheme was the single largest shared cost per point.  Instances are
+#: immutable, so sharing the object across tasks is observable only as
+#: speed.  Bounded FIFO to keep worker memory flat.
+_GRAPH_MEMO: Dict[Any, PortNumberedGraph] = {}
+_GRAPH_MEMO_LIMIT = 16
+
+
+def clear_graph_memo() -> None:
+    """Drop all memoised instances (benchmarks call this between timed
+    passes so every backend pays the cold construction cost)."""
+    _GRAPH_MEMO.clear()
+
+
 @dataclass(frozen=True)
 class GraphSpec:
     """A picklable, hashable description of one graph family workload."""
@@ -60,8 +100,15 @@ class GraphSpec:
     density: float = 0.05
 
     def build(self, n: int, seed: int) -> PortNumberedGraph:
-        """Materialise the instance of size ``n`` for ``seed``."""
-        return build_graph(self.family, n, seed, self.density)
+        """Materialise the instance of size ``n`` for ``seed`` (memoised)."""
+        key = (self.family, self.density if self.family == "random" else None, n, seed)
+        graph = _GRAPH_MEMO.get(key)
+        if graph is None:
+            graph = build_graph(self.family, n, seed, self.density)
+            if len(_GRAPH_MEMO) >= _GRAPH_MEMO_LIMIT:
+                _GRAPH_MEMO.pop(next(iter(_GRAPH_MEMO)))
+            _GRAPH_MEMO[key] = graph
+        return graph
 
     # GraphFactory-compatible: a GraphSpec can be passed anywhere a
     # ``factory(n, seed)`` callable was expected
@@ -96,10 +143,19 @@ class SweepTask:
     n: int
     seed: int
     root: int = 0
+    #: execution backend: ``"engine"`` simulates the decoder round by
+    #: round, ``"analytic"`` computes the metrics from the Borůvka trace
+    backend: str = "engine"
 
     def __post_init__(self) -> None:
         if self.kind not in ("scheme", "baseline"):
             raise ValueError(f"kind must be 'scheme' or 'baseline', got {self.kind!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {', '.join(BACKENDS)}, got {self.backend!r}"
+            )
+        if self.kind == "baseline" and self.backend != "engine":
+            raise ValueError("baselines have no analytic model; use backend='engine'")
 
     @property
     def cacheable(self) -> bool:
@@ -119,6 +175,11 @@ class SweepTask:
             "n": self.n,
             "seed": self.seed,
             "root": self.root,
+            # backend + its semantic version: analytic and engine rows can
+            # never be served for each other, and bumping either backend's
+            # version invalidates exactly its own cached rows
+            "backend": self.backend,
+            "backend_version": backend_version(self.backend),
         }
 
     def task_hash(self) -> Optional[str]:

@@ -30,8 +30,16 @@ from repro.simulator.metrics import RunMetrics
 from repro.simulator.network import Network
 from repro.simulator.trace import MessageEvent, RoundRecord, Tracer
 from repro.simulator.engine import AlgorithmError, RunResult, SyncEngine, run_sync
+from repro.simulator.analytic import (
+    ANALYTIC_VERSION,
+    AnalyticUnsupported,
+    run_scheme_analytic,
+)
 
 __all__ = [
+    "ANALYTIC_VERSION",
+    "AnalyticUnsupported",
+    "run_scheme_analytic",
     "Message",
     "estimate_bits",
     "NodeContext",

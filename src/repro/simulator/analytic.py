@@ -1,0 +1,436 @@
+"""Trace-driven analytic execution backend.
+
+The :class:`~repro.simulator.engine.SyncEngine` runs every node program
+round by round and materialises every message as a Python payload.  For
+the paper's four advising schemes that is pure overhead once the decoder
+has been validated: the communication pattern of each decoder is a
+deterministic function of the Borůvka trace and the advice packing, so
+per-round message counts, bit totals and halting rounds can be computed
+*directly* from the oracle-side structures — no node programs, no
+payload objects, no inboxes.
+
+This module computes exactly the :class:`~repro.simulator.metrics.RunMetrics`
+the engine would have produced (rounds, total/per-round message counts,
+bit totals, maximum message size, undelivered count) together with the
+per-node outputs, for
+
+* :class:`~repro.core.scheme_trivial.TrivialRankScheme` — zero rounds,
+  zero messages;
+* :class:`~repro.core.scheme_average.AverageConstantScheme` — one round,
+  one 2-bit parent claim per *down* record of the trace;
+* :class:`~repro.core.scheme_main.ShortAdviceScheme` and
+  :class:`~repro.core.scheme_level.LevelAdviceScheme` — the full phase
+  window schedule: per-fragment convergecasts (heights), broadcasts
+  (depths and unconsumed-bit prefix sums over the DFS preorder),
+  attachments, and the final collection wave.
+
+Equivalence with the engine is not assumed — it is enforced
+round-for-round by ``tests/test_analytic_backend.py`` on every scheme
+and graph family.  The backend refuses unknown scheme classes (raising
+:class:`AnalyticUnsupported`) instead of guessing, and it never models
+truncated runs: if a declared ``max_rounds`` budget would be exceeded
+the caller must fall back to the engine.
+
+Message sizes replicate :func:`~repro.simulator.message.estimate_bits`
+for the exact payload shapes the decoders send; the helper formulas are
+pinned against ``estimate_bits`` itself in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.boruvka import boruvka_trace
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.rooted_tree import ROOT_OUTPUT, build_rooted_tree
+from repro.simulator.engine import RunResult
+from repro.simulator.metrics import RunMetrics
+
+__all__ = ["ANALYTIC_VERSION", "AnalyticUnsupported", "run_scheme_analytic"]
+
+#: bumped whenever the analytic model changes; mixed into runner cache
+#: keys so rows computed by an older model are never served as fresh
+ANALYTIC_VERSION = 1
+
+
+class AnalyticUnsupported(ValueError):
+    """Raised when a scheme (or run budget) has no analytic model."""
+
+
+# --------------------------------------------------------------------- #
+# payload size formulas (mirroring simulator.message.estimate_bits)
+# --------------------------------------------------------------------- #
+
+
+def _int_elem(value: int) -> int:
+    """Wire size of one ``int`` element inside a tuple payload."""
+    return 3 + max(1, int(value).bit_length())
+
+
+_BOOL_ELEM = 3  # one bool element inside a tuple payload
+_CLAIM_BITS = 2  # the Theorem-2 parent claim: the bare int ``1``
+
+
+def _conv_bits(phase: int, subtree_size: int, stream_len: int) -> int:
+    """``(MSG_CONV, phase, subtree_size, stream)``."""
+    return _int_elem(1) + _int_elem(phase) + _int_elem(subtree_size) + 2 + stream_len
+
+
+def _bcast_bits(
+    phase: int, j: int, record_bits: int, consumed: int, offset: int, dfs_index: int
+) -> int:
+    """``(MSG_BCAST, phase, j, record, consumed_total, my_offset, my_dfs_index)``."""
+    return (
+        _int_elem(2)
+        + _int_elem(phase)
+        + _int_elem(j)
+        + (2 + record_bits)
+        + _int_elem(consumed)
+        + _int_elem(offset)
+        + _int_elem(dfs_index)
+    )
+
+
+def _attach_bits(phase: int, is_up: bool) -> int:
+    """``(MSG_ATTACH_CHILD, phase)`` when up, ``(MSG_ATTACH_PARENT, phase)`` when down."""
+    return _int_elem(4 if is_up else 3) + _int_elem(phase)
+
+
+def _level_bits(phase: int) -> int:
+    """``(MSG_LEVEL, phase, level)`` — level is 0 or 1, same wire size either way."""
+    return _int_elem(7) + _int_elem(phase) + _int_elem(0)
+
+
+def _collect_bits(ttl: int) -> int:
+    """``(MSG_COLLECT, ttl)``."""
+    return _int_elem(5) + _int_elem(ttl)
+
+
+def _reply_bits(stream_len: int) -> int:
+    """``(MSG_REPLY, stream)``."""
+    return _int_elem(6) + 2 + stream_len
+
+
+# --------------------------------------------------------------------- #
+# the per-round message ledger
+# --------------------------------------------------------------------- #
+
+
+class _Ledger:
+    """Accumulates deliveries per round without materialising messages."""
+
+    def __init__(self) -> None:
+        self.per_round: Dict[int, int] = {}
+        self.total_messages = 0
+        self.total_bits = 0
+        self.max_bits = 0
+
+    def deliver(self, round_number: int, bits: int, count: int = 1) -> None:
+        self.per_round[round_number] = self.per_round.get(round_number, 0) + count
+        self.total_messages += count
+        self.total_bits += bits * count
+        if bits > self.max_bits:
+            self.max_bits = bits
+
+    def metrics(self, n: int, rounds: int) -> RunMetrics:
+        if self.per_round and max(self.per_round) > rounds:  # pragma: no cover
+            raise RuntimeError("analytic model delivered a message after the last round")
+        return RunMetrics(
+            n=n,
+            rounds=rounds,
+            total_messages=self.total_messages,
+            total_message_bits=self.total_bits,
+            max_message_bits=self.max_bits,
+            max_edge_bits_per_round=self.max_bits,
+            messages_per_round=[self.per_round.get(r, 0) for r in range(1, rounds + 1)],
+            undelivered_messages=0,
+        )
+
+
+# --------------------------------------------------------------------- #
+# fragment geometry
+# --------------------------------------------------------------------- #
+
+
+def _gamma_len(value: int) -> int:
+    """Length in bits of the Elias-γ code of ``value >= 1``."""
+    return 2 * value.bit_length() - 1
+
+
+class _FragmentGeometry:
+    """Preorder, depths, heights and subtree sums of one fragment subtree."""
+
+    def __init__(
+        self,
+        partition,
+        f: int,
+        weights: Optional[List[int]] = None,
+        preorder: Optional[List[int]] = None,
+    ) -> None:
+        pre = preorder if preorder is not None else partition.dfs_preorder(f)
+        self.preorder = pre
+        pos = {u: k for k, u in enumerate(pre)}
+        self.position = pos
+        parent: List[int] = [-1] * len(pre)  # position of the parent, -1 for r_F
+        depth: List[int] = [0] * len(pre)
+        for k, u in enumerate(pre):
+            if k == 0:
+                continue
+            p = partition.parent_in_fragment(u)
+            pk = pos[p]
+            parent[k] = pk
+            depth[k] = depth[pk] + 1
+        self.parent = parent
+        self.depth = depth
+
+        height = [0] * len(pre)
+        size = [1] * len(pre)
+        weight_sum = list(weights) if weights is not None else [0] * len(pre)
+        for k in range(len(pre) - 1, 0, -1):
+            pk = parent[k]
+            if height[k] + 1 > height[pk]:
+                height[pk] = height[k] + 1
+            size[pk] += size[k]
+            weight_sum[pk] += weight_sum[k]
+        self.height = height
+        self.subtree_size = size
+        #: per subtree, the sum of the per-node weights (unconsumed bits)
+        self.subtree_weight = weight_sum
+        #: per node, the sum of weights over strictly earlier preorder nodes
+        prefix = [0] * len(pre)
+        running = 0
+        base = weights if weights is not None else [0] * len(pre)
+        for k in range(len(pre)):
+            prefix[k] = running
+            running += base[k]
+        self.prefix_weight = prefix
+        self.has_children = [False] * len(pre)
+        for k in range(1, len(pre)):
+            self.has_children[parent[k]] = True
+
+
+# --------------------------------------------------------------------- #
+# per-scheme analytic models
+# --------------------------------------------------------------------- #
+
+
+def _expected_outputs(tree) -> Dict[int, Any]:
+    return {
+        u: ROOT_OUTPUT if u == tree.root else int(tree.parent_port[u])
+        for u in range(tree.n)
+    }
+
+
+def _result(outputs: Dict[int, Any], metrics: RunMetrics) -> RunResult:
+    return RunResult(
+        outputs=outputs,
+        metrics=metrics,
+        completed=True,
+        missing_outputs=0,
+        stop_reason="completed",
+    )
+
+
+def _analytic_trivial(scheme, graph: PortNumberedGraph, root: int):
+    tree = build_rooted_tree(graph, kruskal_mst(graph), root=root)
+    advice = scheme.compute_advice(graph, root=root, tree=tree)
+    # every node halts during init: zero rounds, zero messages
+    return advice, _result(_expected_outputs(tree), _Ledger().metrics(graph.n, 0))
+
+
+def _analytic_average(scheme, graph: PortNumberedGraph, root: int):
+    trace = boruvka_trace(graph, root=root)
+    advice = scheme.compute_advice(graph, root=root, trace=trace)
+    ledger = _Ledger()
+    # one parent claim per *down* record, all delivered in round 1; every
+    # node (even a claimless one) waits that one round for late claims
+    downs = sum(
+        1 for phase in trace.phases for sel in phase.selections if not sel.is_up
+    )
+    if downs:
+        ledger.deliver(1, _CLAIM_BITS, count=downs)
+    return advice, _result(_expected_outputs(trace.tree), ledger.metrics(graph.n, 1))
+
+
+def _analytic_main(scheme, graph: PortNumberedGraph, root: int, is_level: bool):
+    from repro.core.scheme_main import num_boruvka_phases, phase_window_rounds
+
+    n = graph.n
+    trace = boruvka_trace(graph, root=root)
+    advice = scheme.compute_advice(graph, root=root, trace=trace)
+    outputs = _expected_outputs(trace.tree)
+    if n == 1:
+        # the lone degree-0 node halts during init: no rounds at all
+        return advice, _result(outputs, _Ledger().metrics(n, 0))
+
+    phases = num_boruvka_phases(n)
+    layout = scheme.last_layout  # per real phase, bits packed per node
+    conv_start = 2 if is_level else 1
+    consumed = [0] * n
+    data_total = [0] * n
+    for phase_layout in layout:
+        for u, take in phase_layout.items():
+            data_total[u] += take
+
+    ledger = _Ledger()
+    offset = 0
+    for i in range(1, phases + 1):
+        window = phase_window_rounds(i) + (2 if is_level else 0)
+        partition = trace.partition_before_phase(i)
+
+        if is_level:
+            # every node announces its level on every port in the first
+            # round of the window; delivered (and charged) one round later
+            ledger.deliver(offset + 2, _level_bits(i), count=2 * graph.m)
+
+        if i <= len(trace.phases):
+            selections = {
+                sel.fragment: sel for sel in trace.phases[i - 1].selections
+            }
+        else:
+            selections = {}
+
+        threshold = 1 << i
+        for f in range(partition.num_fragments):
+            members = partition.members[f]
+            sel = selections.get(f)
+            if len(members) == 1:
+                # singleton fragment: no convergecast, no broadcast; an
+                # active one attaches across its selected edge right away
+                if sel is not None and len(members) < threshold:
+                    ledger.deliver(offset + conv_start + 1, _attach_bits(i, sel.is_up))
+                continue
+            pre = partition.dfs_preorder(f)
+            unconsumed = [data_total[u] - consumed[u] for u in pre]
+            geo = _FragmentGeometry(partition, f, weights=unconsumed, preorder=pre)
+
+            # ---- convergecast: one CONV per non-root that fits the window
+            for k in range(1, len(pre)):
+                send_round = conv_start + geo.height[k]
+                if send_round <= window:
+                    ledger.deliver(
+                        offset + send_round + 1,
+                        _conv_bits(i, geo.subtree_size[k], geo.subtree_weight[k]),
+                    )
+
+            # ---- broadcast + attachment (active fragments only)
+            if sel is None or len(members) >= threshold:
+                continue
+            if is_level:
+                a_len = 2 + _gamma_len(sel.choosing_dfs_index)
+                record_bits = _BOOL_ELEM + _int_elem(sel.level_of_target_fragment)
+            else:
+                a_len = (
+                    1
+                    + _gamma_len(sel.rank_at_choosing)
+                    + _gamma_len(sel.choosing_dfs_index)
+                )
+                record_bits = _BOOL_ELEM + _int_elem(sel.rank_at_choosing)
+            complete = conv_start + geo.height[0]
+            j = sel.choosing_dfs_index
+            for k in range(1, len(pre)):
+                ledger.deliver(
+                    offset + complete + geo.depth[k],
+                    _bcast_bits(i, j, record_bits, a_len, geo.prefix_weight[k], k + 1),
+                )
+            choosing_depth = geo.depth[geo.position[sel.choosing_node]]
+            ledger.deliver(
+                offset + complete + choosing_depth + 1, _attach_bits(i, sel.is_up)
+            )
+
+        # the broadcasts of this window consumed exactly the bits the
+        # oracle packed for phase i (the packing invariant)
+        if i <= len(layout):
+            for u, take in layout[i - 1].items():
+                consumed[u] += take
+        offset += window
+
+    # ------------------------- final collection ------------------------ #
+    final_start = offset + 1
+    partition = trace.partition_before_phase(phases + 1)
+    last_halt = final_start
+    for f in range(partition.num_fragments):
+        geo = _FragmentGeometry(partition, f)
+        pre = geo.preorder
+        r_f = pre[0]
+        width = max(1, graph.degree(r_f).bit_length())
+        if width - 1 == 0 or not geo.has_children[0]:
+            continue  # the root alone holds every bit: it halts at final_start
+        # wave height: the collection is truncated at depth width - 1
+        wave_height = [0] * len(pre)
+        for k in range(len(pre) - 1, 0, -1):
+            if geo.depth[k] > width - 1:
+                continue  # never reached by the wave
+            # a node at depth width - 1 replies without forwarding, so its
+            # own wave height stays 0 (its children sit beyond the wave),
+            # but it still adds one collect/reply hop to its parent
+            pk = geo.parent[k]
+            if wave_height[k] + 1 > wave_height[pk]:
+                wave_height[pk] = wave_height[k] + 1
+        for k in range(1, len(pre)):
+            d = geo.depth[k]
+            if d > width - 1:
+                continue
+            # COLLECT from the parent (depth <= width - 2 always forwards)
+            ledger.deliver(final_start + d, _collect_bits(width - 1 - d))
+            # REPLY back up, carrying the final bits of the subtree (the
+            # holders are the first ``width`` preorder positions)
+            reply_round = final_start + d + 2 * wave_height[k]
+            pos = geo.position[pre[k]]
+            holders = max(0, min(width, pos + geo.subtree_size[k]) - pos)
+            ledger.deliver(reply_round + 1, _reply_bits(holders))
+            if reply_round > last_halt:
+                last_halt = reply_round
+        root_halt = final_start + 2 * wave_height[0]
+        if root_halt > last_halt:
+            last_halt = root_halt
+
+    return advice, _result(outputs, ledger.metrics(n, last_halt))
+
+
+# --------------------------------------------------------------------- #
+# dispatch
+# --------------------------------------------------------------------- #
+
+
+def run_scheme_analytic(
+    scheme,
+    graph: PortNumberedGraph,
+    root: int = 0,
+    max_rounds: Optional[int] = None,
+) -> Tuple[Any, RunResult]:
+    """Compute (advice, run result) analytically, without the engine.
+
+    Supports exactly the four built-in schemes — a subclass with a
+    different decoder would silently diverge from the model, so anything
+    else raises :class:`AnalyticUnsupported` (run it on the engine
+    instead).  The model never truncates: if the computed run would
+    exceed ``max_rounds``, :class:`AnalyticUnsupported` is raised and the
+    caller should fall back to the engine for exact truncated metrics.
+    """
+    from repro.core.scheme_average import AverageConstantScheme
+    from repro.core.scheme_level import LevelAdviceScheme
+    from repro.core.scheme_main import ShortAdviceScheme
+    from repro.core.scheme_trivial import TrivialRankScheme
+
+    cls = type(scheme)
+    if cls is TrivialRankScheme:
+        advice, result = _analytic_trivial(scheme, graph, root)
+    elif cls is AverageConstantScheme:
+        advice, result = _analytic_average(scheme, graph, root)
+    elif cls is LevelAdviceScheme:
+        advice, result = _analytic_main(scheme, graph, root, is_level=True)
+    elif cls is ShortAdviceScheme:
+        advice, result = _analytic_main(scheme, graph, root, is_level=False)
+    else:
+        raise AnalyticUnsupported(
+            f"no analytic model for scheme class {cls.__name__}; "
+            'run it with backend="engine"'
+        )
+    if max_rounds is not None and result.metrics.rounds > max_rounds:
+        raise AnalyticUnsupported(
+            f"the run needs {result.metrics.rounds} rounds but max_rounds="
+            f"{max_rounds}; truncated runs must use the engine"
+        )
+    return advice, result

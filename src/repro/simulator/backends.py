@@ -1,0 +1,12 @@
+"""The registry of decoder execution backends.
+
+Kept dependency-free (no simulator, core or runner imports) so every
+layer that validates a backend name — task construction, the scheme
+runner, the CLI — can share this single tuple without import cycles.
+"""
+
+__all__ = ["BACKENDS"]
+
+#: ``engine`` simulates the decoder round by round; ``analytic``
+#: computes the same metrics directly from the Borůvka trace
+BACKENDS = ("engine", "analytic")

@@ -50,7 +50,12 @@ from repro.simulator.network import Network
 from repro.simulator.node import NodeContext
 from repro.simulator.trace import Tracer
 
-__all__ = ["AlgorithmError", "RunResult", "SyncEngine", "run_sync"]
+__all__ = ["ENGINE_VERSION", "AlgorithmError", "RunResult", "SyncEngine", "run_sync"]
+
+#: bumped whenever the engine's execution or accounting semantics change
+#: (PR 1 changed message accounting); mixed into runner cache keys so rows
+#: simulated by an older engine are never served as fresh
+ENGINE_VERSION = 2
 
 
 class AlgorithmError(RuntimeError):

@@ -139,3 +139,66 @@ class TestCommands:
 
     def test_lowerbound_invalid_target(self, capsys):
         assert main(["lowerbound", "--h", "8", "--i", "1"]) == 2
+
+
+class TestBackendFlag:
+    def test_run_analytic_backend(self, capsys):
+        argv = ["run", "--scheme", "theorem3", "--n", "32", "--json"]
+        assert main(argv + ["--backend", "engine"]) == 0
+        engine_row = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--backend", "analytic"]) == 0
+        analytic_row = json.loads(capsys.readouterr().out)
+        # identical measured rows: the backends are interchangeable
+        assert engine_row == analytic_row
+
+    def test_run_baseline_rejects_analytic(self, capsys):
+        assert main(["run", "--scheme", "ghs", "--n", "16", "--backend", "analytic"]) == 2
+        assert "analytic" in capsys.readouterr().err
+
+    def test_sweep_backends_byte_identical(self, capsys):
+        argv = ["sweep", "--scheme", "theorem3", "--sizes", "16,32", "--repeats", "2", "--json"]
+        assert main(argv + ["--backend", "engine"]) == 0
+        engine_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "analytic"]) == 0
+        assert capsys.readouterr().out == engine_out
+
+    def test_bench_both_backends(self, capsys):
+        argv = [
+            "bench", "--scheme", "theorem3", "--n", "24", "--repeats", "2",
+            "--backend", "both", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["backend"] for row in payload["results"]] == ["engine", "analytic"]
+        assert payload["speedup_analytic_vs_engine"] is not None
+        engine_row, analytic_row = payload["results"]
+        # the backends measured the same runs: only the timings may differ
+        for key in ("max_rounds", "max_edge_bits", "total_messages", "correct"):
+            assert engine_row[key] == analytic_row[key]
+
+    def test_bench_snapshot_and_baseline(self, tmp_path, capsys):
+        snapshot = tmp_path / "BENCH_test.json"
+        argv = [
+            "bench", "--scheme", "trivial", "--n", "16", "--repeats", "2", "--json",
+            "--snapshot", str(snapshot),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "perf snapshot written" in captured.err
+        stored = json.loads(snapshot.read_text())
+        assert stored["kind"] == "bench-snapshot"
+        assert stored["payload"]["runs_per_second"] > 0
+
+        # doctor the baseline to an absurd throughput: the compare warns
+        stored["payload"]["runs_per_second"] = 10 ** 9
+        snapshot.write_text(json.dumps(stored))
+        assert main(argv[:-2] + ["--baseline", str(snapshot)]) == 0
+        assert "perf regression" in capsys.readouterr().err
+
+    def test_bench_baseline_missing_file_warns_not_fails(self, tmp_path, capsys):
+        argv = [
+            "bench", "--scheme", "trivial", "--n", "16", "--repeats", "1", "--json",
+            "--baseline", str(tmp_path / "nope.json"),
+        ]
+        assert main(argv) == 0
+        assert "cannot read baseline" in capsys.readouterr().err

@@ -15,6 +15,7 @@ from repro.runner import (
     resolve_scheme,
     run_tasks,
 )
+from repro.runner.cache import CACHE_VERSION
 from repro.runner.registry import BASELINES, SCHEMES, build_graph
 
 
@@ -151,7 +152,7 @@ class TestRunTasks:
         victim.write_text("{not json")
         rows = run_tasks(self.TASKS[:1], cache_dir=tmp_path)
         assert rows[0]["correct"] is True
-        assert json.loads(victim.read_text())["version"] == 1  # rewritten
+        assert json.loads(victim.read_text())["version"] == CACHE_VERSION  # rewritten
 
     def test_uncacheable_tasks_bypass_the_cache(self, tmp_path):
         task = SweepTask("scheme", TrivialRankScheme(), GraphSpec("random", 0.1), 8, 0)
