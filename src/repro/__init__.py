@@ -28,7 +28,9 @@ from repro.graphs import (
     cycle_graph,
     fooling_family,
     grid_graph,
+    hypercube_graph,
     path_graph,
+    power_law_graph,
     random_connected_graph,
     random_geometric_graph,
     random_spanning_tree_graph,
@@ -57,7 +59,7 @@ from repro.core import (
 from repro.simulator import RunMetrics, run_sync
 from repro.runner import GraphSpec, SweepTask, run_tasks
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -70,7 +72,9 @@ __all__ = [
     "cycle_graph",
     "fooling_family",
     "grid_graph",
+    "hypercube_graph",
     "path_graph",
+    "power_law_graph",
     "random_connected_graph",
     "random_geometric_graph",
     "random_spanning_tree_graph",

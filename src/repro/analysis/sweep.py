@@ -37,10 +37,29 @@ from repro.runner.tasks import GraphSpec, SweepTask
 __all__ = [
     "GraphFactory",
     "SweepResult",
+    "aggregate_baseline_rows",
+    "aggregate_scheme_rows",
     "default_graph_factory",
+    "resolve_actual_sizes",
     "run_scheme_sweep",
     "run_baseline_sweep",
 ]
+
+
+def resolve_actual_sizes(
+    factory: "GraphFactory", sizes: Sequence[int], seed: int = 0
+) -> List[int]:
+    """Map requested sizes to the sizes the factory actually realises.
+
+    Structured families round a requested ``n`` to the nearest realisable
+    shape (grid/torus to squares, hypercube to powers of two, ``gn`` to
+    an even clique split), and derived columns — ``log2_n``,
+    ``congest_factor``, the theoretical bounds — must be computed at the
+    *real* size or they quietly describe a different instance.  Builds
+    one instance per size to read ``n`` off it; instances are memoised
+    per process, so the sweep pays this construction anyway.
+    """
+    return [factory(n, seed).n for n in sizes]
 
 #: ``factory(n, seed) -> PortNumberedGraph``
 GraphFactory = Callable[[int, int], PortNumberedGraph]
@@ -88,6 +107,19 @@ def run_scheme_sweep(
     instead of simulating the decoder (same metrics, measurably faster —
     see :mod:`repro.simulator.analytic`); backends hash into distinct
     cache keys, so an engine cache is never served to an analytic sweep.
+
+    Schemes may be registry names or instances; ``jobs``/``cache_dir``
+    fan the runs over worker processes and an on-disk cache without
+    changing a byte of the result:
+
+    >>> result = run_scheme_sweep("trivial", sizes=[8, 16], seeds=(0, 1))
+    >>> [row["n"] for row in result.rows]
+    [8, 16]
+    >>> all(row["correct"] and row["rounds"] == 0 for row in result.rows)
+    True
+    >>> parallel = run_scheme_sweep("trivial", sizes=[8, 16], seeds=(0, 1), jobs=2)
+    >>> parallel.rows == result.rows  # byte-identical to serial
+    True
     """
     factory = graph_factory if graph_factory is not None else default_graph_factory()
     scheme_obj = resolve_scheme(scheme)
@@ -105,11 +137,36 @@ def run_scheme_sweep(
         for seed in seeds
     ]
     raw = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir)
+    return SweepResult(
+        name=scheme_obj.name,
+        rows=aggregate_scheme_rows(
+            scheme_obj,
+            resolve_actual_sizes(factory, sizes, seeds[0] if seeds else 0),
+            len(seeds),
+            raw,
+        ),
+    )
 
-    result = SweepResult(name=scheme_obj.name)
-    per_size = len(seeds)
+
+def aggregate_scheme_rows(
+    scheme_obj: AdvisingScheme,
+    sizes: Sequence[int],
+    seeds_per_size: int,
+    raw: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Aggregate raw per-run scheme rows into one row per size.
+
+    ``raw`` must be in task order — all seeds of ``sizes[0]`` first, then
+    all seeds of ``sizes[1]``, and so on (exactly how the sweep and
+    report pipelines lay out their task grids).  Worst-case quantities
+    (max advice, rounds, per-edge bits) aggregate by maximum — the
+    conservative choice when checking upper bounds — and average advice
+    by mean.  Shared by :func:`run_scheme_sweep` and the
+    :mod:`repro.report` pipeline so both render identical tables.
+    """
+    rows: List[Dict[str, Any]] = []
     for index, n in enumerate(sizes):
-        group = raw[index * per_size : (index + 1) * per_size]
+        group = raw[index * seeds_per_size : (index + 1) * seeds_per_size]
         max_advice = 0
         avg_advice = 0.0
         rounds = 0
@@ -122,13 +179,13 @@ def run_scheme_sweep(
             max_edge_bits = max(max_edge_bits, row["max_edge_bits"])
             all_correct = all_correct and row["correct"]
         log_n = math.log2(max(n, 2))
-        result.rows.append(
+        rows.append(
             {
                 "scheme": scheme_obj.name,
                 "n": n,
                 "log2_n": round(log_n, 2),
                 "max_advice_bits": max_advice,
-                "avg_advice_bits": round(avg_advice / len(seeds), 3),
+                "avg_advice_bits": round(avg_advice / seeds_per_size, 3),
                 "rounds": rounds,
                 "rounds_per_log_n": round(rounds / log_n, 2),
                 "max_edge_bits": max_edge_bits,
@@ -138,7 +195,7 @@ def run_scheme_sweep(
                 "round_bound": scheme_obj.round_bound(n),
             }
         )
-    return result
+    return rows
 
 
 def run_baseline_sweep(
@@ -158,11 +215,32 @@ def run_baseline_sweep(
         for seed in seeds
     ]
     raw = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir)
+    return SweepResult(
+        name=baseline_obj.name,
+        rows=aggregate_baseline_rows(
+            baseline_obj,
+            resolve_actual_sizes(factory, sizes, seeds[0] if seeds else 0),
+            len(seeds),
+            raw,
+        ),
+    )
 
-    result = SweepResult(name=baseline_obj.name)
-    per_size = len(seeds)
+
+def aggregate_baseline_rows(
+    baseline_obj: DistributedMSTBaseline,
+    sizes: Sequence[int],
+    seeds_per_size: int,
+    raw: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Aggregate raw per-run baseline rows into one row per size.
+
+    The baseline counterpart of :func:`aggregate_scheme_rows`: same
+    layout contract (``raw`` in task order, sizes-major), same
+    aggregation policy, advice columns pinned to zero.
+    """
+    rows: List[Dict[str, Any]] = []
     for index, n in enumerate(sizes):
-        group = raw[index * per_size : (index + 1) * per_size]
+        group = raw[index * seeds_per_size : (index + 1) * seeds_per_size]
         rounds = 0
         max_edge_bits = 0
         all_correct = True
@@ -173,7 +251,7 @@ def run_baseline_sweep(
             all_correct = all_correct and row["correct"]
             bound = row["round_bound"]
         log_n = math.log2(max(n, 2))
-        result.rows.append(
+        rows.append(
             {
                 "scheme": baseline_obj.name,
                 "n": n,
@@ -188,4 +266,4 @@ def run_baseline_sweep(
                 "round_bound": bound,
             }
         )
-    return result
+    return rows

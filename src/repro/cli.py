@@ -21,6 +21,11 @@ The CLI exposes the library's main workflows without writing any Python:
     ``--snapshot`` persists the summary as a ``BENCH_<rev>.json`` perf
     snapshot at the repo root, and ``--baseline FILE`` compares against a
     committed snapshot, warning on a >20% throughput regression.
+``report``
+    Regenerate a full result set from a declarative TOML/JSON spec
+    (``--spec specs/paper.toml --out reports/``): every experiment is
+    compiled into a task grid, executed through the cached parallel
+    runner, and rendered as Markdown/CSV artifacts.
 ``lowerbound``
     The Theorem-1 fooling-family experiment and pigeonhole table.
 
@@ -52,7 +57,13 @@ from repro.core.scheme_average import paper_average_constant
 from repro.distributed.base import run_baseline
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.runner.cache import ResultCache
-from repro.runner.registry import BACKENDS, BASELINES, SCHEMES, build_graph
+from repro.runner.registry import (
+    BACKENDS,
+    BASELINES,
+    GRAPH_FAMILIES,
+    SCHEMES,
+    build_graph,
+)
 from repro.runner.runner import run_tasks
 from repro.runner.tasks import GraphSpec, SweepTask
 
@@ -68,7 +79,7 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--graph",
         default="random",
-        choices=["random", "complete", "cycle", "grid", "geometric", "gn"],
+        choices=list(GRAPH_FAMILIES),
         help="instance family (default: random connected graph)",
     )
     parser.add_argument("--n", type=int, default=128, help="number of nodes (default 128)")
@@ -109,6 +120,31 @@ def _add_backend_argument(parser: argparse.ArgumentParser, allow_both: bool = Fa
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    if getattr(args, "format", "text") == "json":
+        payload = {
+            "version": repro.__version__,
+            "paper": "Local MST computation with short advice (SPAA 2007)",
+            "backends": list(BACKENDS),
+            "graph_families": list(GRAPH_FAMILIES),
+            "schemes": [
+                {
+                    "name": name,
+                    "class": type(scheme).__name__,
+                    "advice_bound_bits_n1024": scheme.advice_bound_bits(1024),
+                    "round_bound_n1024": scheme.round_bound(1024),
+                }
+                for name, scheme in ((n, f()) for n, f in SCHEMES.items())
+            ],
+            "baselines": [
+                {"name": name, "class": type(factory()).__name__}
+                for name, factory in BASELINES.items()
+            ],
+            "theorem2_average_constant_bits": paper_average_constant(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     rows = []
     for name, factory in SCHEMES.items():
         scheme = factory()
@@ -124,6 +160,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print("Advising schemes:")
     print(format_table(rows))
     print("\nNo-advice baselines: " + ", ".join(sorted(BASELINES)))
+    print("Graph families: " + ", ".join(GRAPH_FAMILIES))
     print(f"Theorem 2 average-advice constant: c = {paper_average_constant():.1f} bits")
     print("Paper bounds for Theorem 3: m = 12 bits, t <= 9*ceil(log2 n) rounds.")
     return 0
@@ -379,6 +416,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if all_correct else 1
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import generate_report, load_spec
+
+    spec = load_spec(args.spec)
+    result = generate_report(
+        spec,
+        args.out,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+    )
+    for name in result.artifacts:
+        print(Path(args.out) / name)
+    print(
+        f"report '{spec.title}': {len(result.artifacts)} artifact(s) from "
+        f"{result.tasks_run} run(s); all correct: {result.all_correct}",
+        file=sys.stderr,
+    )
+    return 0 if result.all_correct else 1
+
+
 def _cmd_lowerbound(args: argparse.Namespace) -> int:
     h, i = args.h, args.i
     if not 2 <= i <= h - 1:
@@ -431,7 +489,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="summary of the model, schemes and bounds")
+    info_parser = sub.add_parser("info", help="summary of the model, schemes and bounds")
+    info_parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="output format: human-readable text or machine-readable JSON",
+    )
 
     run_parser = sub.add_parser("run", help="run one scheme or baseline on one instance")
     run_parser.add_argument(
@@ -489,6 +553,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare runs/second against a committed snapshot; warn on >20%% regression",
     )
 
+    report_parser = sub.add_parser(
+        "report",
+        help="regenerate a full result set from a declarative spec",
+        description=(
+            "Compile a TOML/JSON experiment spec into SweepTask grids, execute "
+            "them through the cached parallel runner, and write the paper's "
+            "tables as Markdown/CSV artifacts. Artifacts are deterministic: "
+            "--jobs and --backend never change a byte."
+        ),
+    )
+    report_parser.add_argument(
+        "--spec", required=True, metavar="FILE", help="spec file (e.g. specs/paper.toml)"
+    )
+    report_parser.add_argument(
+        "--out", required=True, metavar="DIR", help="output directory for the artifacts"
+    )
+    _add_parallel_arguments(report_parser)
+    report_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKENDS),
+        help="override the spec's default execution backend",
+    )
+
     lb_parser = sub.add_parser("lowerbound", help="Theorem 1 fooling-family experiment")
     lb_parser.add_argument("--h", type=int, default=12, help="nodes per clique of G_n (default 12)")
     lb_parser.add_argument("--i", type=int, default=4, help="spine position of the target node")
@@ -503,6 +591,7 @@ _COMMANDS = {
     "tradeoff": _cmd_tradeoff,
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
+    "report": _cmd_report,
     "lowerbound": _cmd_lowerbound,
 }
 

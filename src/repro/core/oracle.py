@@ -125,6 +125,18 @@ def run_scheme(
       engine's (enforced by the equivalence test-suite).  Schemes without
       an analytic model, and runs that would exceed ``max_rounds``, fall
       back to the engine transparently.
+
+    >>> from repro.graphs.generators import random_connected_graph
+    >>> from repro.core.scheme_trivial import TrivialRankScheme
+    >>> graph = random_connected_graph(32, 0.1, seed=1)
+    >>> report = run_scheme(TrivialRankScheme(), graph, root=0)
+    >>> report.correct, report.rounds  # 0 rounds: decoded from advice alone
+    (True, 0)
+    >>> report.advice.max_bits <= report.advice_bound
+    True
+    >>> analytic = run_scheme(TrivialRankScheme(), graph, root=0, backend="analytic")
+    >>> analytic.as_row() == report.as_row()  # backends are interchangeable
+    True
     """
     from repro.simulator.backends import BACKENDS
 

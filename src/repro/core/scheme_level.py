@@ -57,7 +57,24 @@ MSG_LEVEL = 7
 
 
 class LevelAdviceScheme(ShortAdviceScheme):
-    """Theorem 3 with level-coded fragment advice (the paper's literal encoding)."""
+    """Theorem 3 with level-coded fragment advice (the paper's literal encoding).
+
+    Same bounds shape as :class:`ShortAdviceScheme`; requires pairwise
+    distinct weights (the level bit only identifies the target fragment
+    uniquely when the MST is unique):
+
+    >>> from repro.core.oracle import run_scheme
+    >>> from repro.graphs.generators import random_connected_graph
+    >>> graph = random_connected_graph(32, 0.1, seed=1)  # "distinct" weight mode
+    >>> report = run_scheme(LevelAdviceScheme(), graph)
+    >>> report.correct
+    True
+    >>> dup = random_connected_graph(16, 0.2, seed=1, weight_mode="integer", weight_range=3)
+    >>> LevelAdviceScheme().compute_advice(dup)
+    Traceback (most recent call last):
+        ...
+    ValueError: the level-based variant requires pairwise-distinct edge weights; use ShortAdviceScheme for instances with duplicated weights
+    """
 
     name = "theorem3-level"
 

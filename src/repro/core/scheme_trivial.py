@@ -54,7 +54,16 @@ class _TrivialProgram(NodeProgram):
 
 
 class TrivialRankScheme(AdvisingScheme):
-    """The straightforward ``(⌈log n⌉ + 1, 0)``-advising scheme for MST."""
+    """The straightforward ``(⌈log n⌉ + 1, 0)``-advising scheme for MST.
+
+    >>> from repro.core.oracle import run_scheme
+    >>> from repro.graphs.generators import random_connected_graph
+    >>> report = run_scheme(TrivialRankScheme(), random_connected_graph(32, 0.1, seed=1))
+    >>> report.correct, report.rounds, report.metrics.total_messages
+    (True, 0, 0)
+    >>> report.advice.max_bits <= TrivialRankScheme().advice_bound_bits(32)
+    True
+    """
 
     name = "trivial-rank"
 

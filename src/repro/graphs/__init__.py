@@ -37,7 +37,9 @@ from repro.graphs.generators import (
     complete_graph,
     cycle_graph,
     grid_graph,
+    hypercube_graph,
     path_graph,
+    power_law_graph,
     random_connected_graph,
     random_geometric_graph,
     random_spanning_tree_graph,
@@ -69,7 +71,9 @@ __all__ = [
     "complete_graph",
     "cycle_graph",
     "grid_graph",
+    "hypercube_graph",
     "path_graph",
+    "power_law_graph",
     "random_connected_graph",
     "random_geometric_graph",
     "random_spanning_tree_graph",

@@ -34,7 +34,9 @@ __all__ = [
     "complete_graph",
     "cycle_graph",
     "grid_graph",
+    "hypercube_graph",
     "path_graph",
+    "power_law_graph",
     "random_connected_graph",
     "random_geometric_graph",
     "random_spanning_tree_graph",
@@ -207,6 +209,89 @@ def torus_graph(
     # deduplicate (wrap-around can duplicate on 2xK shapes, excluded above)
     pairs = sorted({(min(a, b), max(a, b)) for a, b in pairs})
     return _build(n, pairs, _rng(seed), weight_mode, weight_range, shuffle_ports)
+
+
+def hypercube_graph(
+    dim: int,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = False,
+) -> PortNumberedGraph:
+    """The ``dim``-dimensional hypercube ``Q_dim`` (``2^dim`` nodes).
+
+    Node ``u`` is adjacent to ``u ^ (1 << k)`` for every bit position
+    ``k`` — the classic interconnection topology: ``dim * 2^(dim-1)``
+    edges, every node of degree ``dim``, diameter ``dim``.  Hypercubes
+    are the log-diameter counterpoint to grids/tori in family sweeps:
+    Borůvka needs the same ``O(log n)`` phases but fragments never grow
+    long spines.
+
+    >>> g = hypercube_graph(4, seed=1)
+    >>> g.n, g.m, g.is_connected()
+    (16, 32, True)
+    """
+    if dim < 1:
+        raise ValueError("a hypercube needs dimension >= 1")
+    if dim > 20:
+        raise ValueError("refusing to build a hypercube with more than 2^20 nodes")
+    n = 1 << dim
+    pairs = [(u, u ^ (1 << k)) for u in range(n) for k in range(dim) if u < u ^ (1 << k)]
+    return _build(n, pairs, _rng(seed), weight_mode, weight_range, shuffle_ports)
+
+
+def power_law_graph(
+    n: int,
+    attach: int = 2,
+    seed: Optional[int] = 0,
+    weight_mode: str = "distinct",
+    weight_range: int = 100,
+    shuffle_ports: bool = True,
+) -> PortNumberedGraph:
+    """A preferential-attachment (Barabási–Albert style) power-law graph.
+
+    Starts from a star on ``attach + 1`` nodes; every further node joins
+    ``attach`` *distinct* existing nodes sampled with probability
+    proportional to their current degree.  The resulting degree
+    distribution has a heavy tail — a few hubs of very high degree —
+    which stresses the advice packing exactly opposite to the
+    bounded-degree families: hub-heavy fragments with huge stars of
+    degree-1 attachments.  Connected by construction.
+
+    >>> g = power_law_graph(50, attach=2, seed=3)
+    >>> g.n, g.is_connected()
+    (50, True)
+    >>> g.m == 2 + 2 * (50 - 3)  # star on 3 nodes, then 2 edges per newcomer
+    True
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    if attach < 1:
+        raise ValueError("attach must be at least 1")
+    rng = _rng(seed)
+    core = min(attach + 1, n)
+    pairs: List[Tuple[int, int]] = [(0, v) for v in range(1, core)]
+    # repeated-endpoint list: node u appears degree(u) times, so a uniform
+    # draw from it is exactly degree-proportional sampling (non-empty:
+    # n >= 2 guarantees at least the first star edge)
+    endpoints: List[int] = []
+    for u, v in pairs:
+        endpoints.append(u)
+        endpoints.append(v)
+    for v in range(core, n):
+        k = min(attach, v)
+        chosen: List[int] = []
+        seen = set()
+        while len(chosen) < k:
+            u = int(endpoints[int(rng.integers(0, len(endpoints)))])
+            if u not in seen:
+                seen.add(u)
+                chosen.append(u)
+        for u in chosen:
+            pairs.append((u, v))
+            endpoints.append(u)
+            endpoints.append(v)
+    return _build(n, sorted(pairs), rng, weight_mode, weight_range, shuffle_ports)
 
 
 def caterpillar_graph(

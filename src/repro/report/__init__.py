@@ -1,0 +1,42 @@
+"""Declarative experiment specs and the ``repro report`` pipeline.
+
+This subpackage turns the library into a push-button reproduction:
+
+* :mod:`repro.report.spec` — TOML/JSON experiment specifications
+  (:class:`ReportSpec` and the three experiment kinds), validated at
+  load time;
+* :mod:`repro.report.pipeline` — :func:`generate_report`: spec →
+  :class:`~repro.runner.tasks.SweepTask` grid → cached parallel runner
+  → Markdown/CSV artifacts;
+* :mod:`repro.report.render` — the deterministic renderers (no
+  timestamps, wall times or backend names ever reach an artifact).
+
+One command regenerates the paper's whole result set::
+
+    python -m repro report --spec specs/paper.toml --out reports/
+
+See ``docs/reproducing-the-paper.md`` for how each artifact maps back to
+Theorems 1–3.
+"""
+
+from repro.report.pipeline import ReportResult, compile_tasks, generate_report
+from repro.report.spec import (
+    LowerBoundExperiment,
+    ReportSpec,
+    SweepExperiment,
+    TradeoffExperiment,
+    load_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "LowerBoundExperiment",
+    "ReportResult",
+    "ReportSpec",
+    "SweepExperiment",
+    "TradeoffExperiment",
+    "compile_tasks",
+    "generate_report",
+    "load_spec",
+    "spec_from_dict",
+]

@@ -1,0 +1,364 @@
+"""Declarative experiment specifications.
+
+A *report spec* is a small TOML or JSON document that names everything
+needed to regenerate a result set: which graph families at which sizes
+and seeds, which advising schemes and baselines, which execution
+backend, and which experiments to render.  Specs are data, not code —
+the same spec hashes into the same :class:`~repro.runner.tasks.SweepTask`
+grid on every machine, so ``repro report --spec specs/paper.toml`` is a
+deterministic, cache-friendly reproduction of the paper's tables.
+
+Three experiment kinds cover the paper's results:
+
+``sweep``
+    One task per ``(target, size, seed)``: the advice/round curves over
+    ``n`` (Theorems 2–3 and the trivial scheme, plus optional no-advice
+    baselines).
+``tradeoff``
+    One task per target on a single instance: the measured
+    advice-size / round-complexity trade-off table (experiment E6),
+    rendered next to the paper's claimed bounds.
+``lowerbound``
+    The Theorem-1 fooling-family experiment and pigeonhole table — pure
+    computation, no simulator tasks.
+
+Example (TOML)::
+
+    title = "smoke"
+
+    [defaults]
+    backend = "engine"
+
+    [[experiment]]
+    name = "curves"
+    kind = "sweep"
+    schemes = ["trivial", "theorem3"]
+    graph = { family = "random", density = 0.1 }
+    sizes = [8, 16]
+    seeds = 2
+
+Unknown keys, scheme names, graph families and backend names are
+rejected at load time with a message naming the offender — a spec that
+parses is a spec that runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.runner.registry import BACKENDS, BASELINES, GRAPH_FAMILIES, SCHEMES
+from repro.runner.tasks import GraphSpec
+
+__all__ = [
+    "LowerBoundExperiment",
+    "ReportSpec",
+    "SweepExperiment",
+    "TradeoffExperiment",
+    "experiment_artifact_names",
+    "load_spec",
+    "spec_from_dict",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid report spec: {message}")
+
+
+def _check_keys(table: Mapping[str, Any], allowed: Sequence[str], where: str) -> None:
+    unknown = sorted(set(table) - set(allowed))
+    _require(
+        not unknown,
+        f"unknown key(s) {', '.join(map(repr, unknown))} in {where}; "
+        f"allowed: {', '.join(sorted(allowed))}",
+    )
+
+
+def _parse_graph(table: Any, where: str) -> GraphSpec:
+    _require(isinstance(table, Mapping), f"{where}.graph must be a table/object")
+    _check_keys(table, ("family", "density"), f"{where}.graph")
+    family = table.get("family", "random")
+    _require(
+        family in GRAPH_FAMILIES,
+        f"{where}.graph.family {family!r} is not a known family "
+        f"({', '.join(GRAPH_FAMILIES)})",
+    )
+    density = table.get("density", 0.05)
+    _require(
+        isinstance(density, (int, float)) and 0.0 <= float(density) <= 1.0,
+        f"{where}.graph.density must be a probability",
+    )
+    return GraphSpec(family, float(density))
+
+
+def _parse_targets(table: Mapping[str, Any], where: str) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    schemes = tuple(table.get("schemes", ()))
+    baselines = tuple(table.get("baselines", ()))
+    for name in schemes:
+        _require(name in SCHEMES, f"{where} names unknown scheme {name!r} ({', '.join(sorted(SCHEMES))})")
+    for name in baselines:
+        _require(name in BASELINES, f"{where} names unknown baseline {name!r} ({', '.join(sorted(BASELINES))})")
+    _require(bool(schemes) or bool(baselines), f"{where} must name at least one scheme or baseline")
+    return schemes, baselines
+
+
+def _parse_int(value: Any, where: str) -> int:
+    """An int field, rejected with a named offender on any other type."""
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{where} must be an integer, got {value!r}",
+    )
+    return value
+
+
+def _parse_seeds(value: Any, where: str) -> Tuple[int, ...]:
+    if isinstance(value, int) and not isinstance(value, bool):
+        _require(value >= 1, f"{where}.seeds must be >= 1")
+        return tuple(range(value))
+    _require(
+        isinstance(value, Sequence) and not isinstance(value, (str, bytes)) and len(value) > 0,
+        f"{where}.seeds must be a count or a non-empty list of ints",
+    )
+    seeds = []
+    for s in value:
+        _require(
+            isinstance(s, int) and not isinstance(s, bool) and s >= 0,
+            f"{where}.seeds entries must be non-negative ints",
+        )
+        seeds.append(s)
+    return tuple(seeds)
+
+
+@dataclass(frozen=True)
+class SweepExperiment:
+    """Advice/round curves of a set of targets over growing ``n``."""
+
+    name: str
+    schemes: Tuple[str, ...]
+    baselines: Tuple[str, ...]
+    graph: GraphSpec
+    sizes: Tuple[int, ...]
+    seeds: Tuple[int, ...]
+    root: int = 0
+    kind: str = field(default="sweep", init=False)
+
+
+@dataclass(frozen=True)
+class TradeoffExperiment:
+    """The measured trade-off table on one instance (experiment E6)."""
+
+    name: str
+    schemes: Tuple[str, ...]
+    baselines: Tuple[str, ...]
+    graph: GraphSpec
+    n: int
+    seed: int = 0
+    root: int = 0
+    kind: str = field(default="tradeoff", init=False)
+
+
+@dataclass(frozen=True)
+class LowerBoundExperiment:
+    """The Theorem-1 fooling family, pigeonhole and Ω(log n) curve."""
+
+    name: str
+    h: int = 12
+    i: int = 4
+    max_budget_bits: int = 6
+    h_curve: Tuple[int, ...] = (4, 8, 16, 32, 64)
+    kind: str = field(default="lowerbound", init=False)
+
+
+Experiment = Union[SweepExperiment, TradeoffExperiment, LowerBoundExperiment]
+
+
+def experiment_artifact_names(experiment: Experiment) -> Tuple[str, ...]:
+    """The output files one experiment writes (single source of truth)."""
+    if isinstance(experiment, LowerBoundExperiment):
+        return (
+            f"{experiment.name}.md",
+            f"{experiment.name}_pigeonhole.csv",
+            f"{experiment.name}_curve.csv",
+        )
+    return (f"{experiment.name}.md", f"{experiment.name}.csv")
+
+
+@dataclass(frozen=True)
+class ReportSpec:
+    """A full report: a title, a default backend, and experiments."""
+
+    title: str
+    experiments: Tuple[Experiment, ...]
+    description: str = ""
+    backend: str = "engine"
+    #: spec file name, extension included (used in the rendered
+    #: regeneration hint); empty for specs built programmatically
+    source: str = ""
+
+
+def _parse_experiment(table: Any, index: int) -> Experiment:
+    where = f"experiment[{index}]"
+    _require(isinstance(table, Mapping), f"{where} must be a table/object")
+    name = table.get("name")
+    _require(
+        isinstance(name, str) and name and all(c.isalnum() or c in "-_" for c in name),
+        f"{where}.name must be a non-empty [a-zA-Z0-9_-] string (it names output files)",
+    )
+    kind = table.get("kind", "sweep")
+    if kind == "sweep":
+        _check_keys(
+            table,
+            ("name", "kind", "schemes", "baselines", "graph", "sizes", "seeds", "root"),
+            where,
+        )
+        schemes, baselines = _parse_targets(table, where)
+        sizes = tuple(table.get("sizes", ()))
+        _require(
+            len(sizes) > 0
+            and all(
+                isinstance(n, int) and not isinstance(n, bool) and n >= 1 for n in sizes
+            ),
+            f"{where}.sizes must be a non-empty list of positive ints",
+        )
+        return SweepExperiment(
+            name=name,
+            schemes=schemes,
+            baselines=baselines,
+            graph=_parse_graph(table.get("graph", {"family": "random"}), where),
+            sizes=sizes,
+            seeds=_parse_seeds(table.get("seeds", 3), where),
+            root=_parse_int(table.get("root", 0), f"{where}.root"),
+        )
+    if kind == "tradeoff":
+        _check_keys(
+            table, ("name", "kind", "schemes", "baselines", "graph", "n", "seed", "root"), where
+        )
+        schemes, baselines = _parse_targets(table, where)
+        n = _parse_int(table.get("n", 128), f"{where}.n")
+        _require(n >= 1, f"{where}.n must be a positive int")
+        return TradeoffExperiment(
+            name=name,
+            schemes=schemes,
+            baselines=baselines,
+            graph=_parse_graph(table.get("graph", {"family": "random"}), where),
+            n=n,
+            seed=_parse_int(table.get("seed", 0), f"{where}.seed"),
+            root=_parse_int(table.get("root", 0), f"{where}.root"),
+        )
+    if kind == "lowerbound":
+        _check_keys(table, ("name", "kind", "h", "i", "max_budget_bits", "h_curve"), where)
+        h = _parse_int(table.get("h", 12), f"{where}.h")
+        i = _parse_int(table.get("i", 4), f"{where}.i")
+        _require(2 <= i <= h - 1, f"{where} needs 2 <= i <= h - 1 (got h={h}, i={i})")
+        h_curve = tuple(table.get("h_curve", (4, 8, 16, 32, 64)))
+        _require(
+            all(isinstance(x, int) and not isinstance(x, bool) and x >= 3 for x in h_curve),
+            f"{where}.h_curve entries must be ints >= 3",
+        )
+        max_budget = _parse_int(table.get("max_budget_bits", 6), f"{where}.max_budget_bits")
+        _require(max_budget >= 0, f"{where}.max_budget_bits must be >= 0")
+        return LowerBoundExperiment(
+            name=name, h=h, i=i, max_budget_bits=max_budget, h_curve=h_curve
+        )
+    raise ValueError(
+        f"invalid report spec: {where}.kind {kind!r} is not one of sweep, tradeoff, lowerbound"
+    )
+
+
+def spec_from_dict(data: Mapping[str, Any], source: str = "") -> ReportSpec:
+    """Validate a parsed spec document into a :class:`ReportSpec`.
+
+    Raises :class:`ValueError` with a message naming the offending key or
+    value on any problem — never a half-validated spec.
+    """
+    _require(isinstance(data, Mapping), "top level must be a table/object")
+    _check_keys(data, ("title", "description", "defaults", "experiment"), "the top level")
+    title = data.get("title", "")
+    _require(isinstance(title, str) and title, "a non-empty title is required")
+    defaults = data.get("defaults", {})
+    _require(isinstance(defaults, Mapping), "defaults must be a table/object")
+    _check_keys(defaults, ("backend",), "defaults")
+    backend = defaults.get("backend", "engine")
+    _require(
+        backend in BACKENDS,
+        f"defaults.backend {backend!r} is not one of {', '.join(BACKENDS)}",
+    )
+    raw_experiments = data.get("experiment", ())
+    _require(
+        isinstance(raw_experiments, Sequence) and len(raw_experiments) > 0,
+        "at least one [[experiment]] is required",
+    )
+    experiments: List[Experiment] = []
+    names = set()
+    # artifact file names must be collision-free across experiments, not
+    # just the experiment names themselves (a lowerbound experiment "lb"
+    # and a sweep "lb_pigeonhole" would otherwise clobber each other)
+    artifact_names = {"index.md"}
+    for index, table in enumerate(raw_experiments):
+        experiment = _parse_experiment(table, index)
+        _require(experiment.name not in names, f"duplicate experiment name {experiment.name!r}")
+        names.add(experiment.name)
+        for artifact in experiment_artifact_names(experiment):
+            _require(
+                artifact not in artifact_names,
+                f"experiment {experiment.name!r} would write {artifact!r}, "
+                "which another experiment already claims",
+            )
+            artifact_names.add(artifact)
+        experiments.append(experiment)
+    description = data.get("description", "")
+    _require(isinstance(description, str), "description must be a string")
+    return ReportSpec(
+        title=title,
+        experiments=tuple(experiments),
+        description=description,
+        backend=backend,
+        source=source,
+    )
+
+
+def load_spec(path: Union[str, Path]) -> ReportSpec:
+    """Load and validate a ``.toml`` or ``.json`` report spec file.
+
+    >>> import tempfile, os
+    >>> body = b'title = "t"\\n[[experiment]]\\nname = "s"\\n' \\
+    ...        b'schemes = ["trivial"]\\nsizes = [8]\\nseeds = 1\\n'
+    >>> fd, name = tempfile.mkstemp(suffix=".toml"); _ = os.write(fd, body); os.close(fd)
+    >>> spec = load_spec(name)
+    >>> (spec.title, spec.experiments[0].kind, spec.experiments[0].schemes)
+    ('t', 'sweep', ('trivial',))
+    >>> spec.source.endswith(".toml")
+    True
+    >>> os.unlink(name)
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ValueError(f"cannot read spec {path}: {exc}") from exc
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+            try:
+                import tomli as tomllib  # type: ignore[no-redef]
+            except ModuleNotFoundError:
+                raise ValueError(
+                    "TOML specs need Python >= 3.11 (tomllib) or the tomli "
+                    "package; use a .json spec instead"
+                ) from None
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"cannot parse TOML spec {path}: {exc}") from exc
+    elif path.suffix == ".json":
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"cannot parse JSON spec {path}: {exc}") from exc
+    else:
+        raise ValueError(f"spec {path} must be a .toml or .json file")
+    return spec_from_dict(data, source=path.name)

@@ -24,8 +24,11 @@ from repro.graphs.generators import (
     complete_graph,
     cycle_graph,
     grid_graph,
+    hypercube_graph,
+    power_law_graph,
     random_connected_graph,
     random_geometric_graph,
+    torus_graph,
 )
 from repro.graphs.lowerbound_family import build_gn
 from repro.graphs.weighted_graph import PortNumberedGraph
@@ -58,8 +61,19 @@ BASELINES: Dict[str, Callable[[], DistributedMSTBaseline]] = {
     "full-info": FullInformationMST,
 }
 
-#: graph family name -> builder(n, seed, density)
-GRAPH_FAMILIES = ("random", "complete", "cycle", "grid", "geometric", "gn")
+#: graph family names understood by :func:`build_graph` (the CLI's
+#: ``--graph`` choices and the report specs' ``graph.family`` values)
+GRAPH_FAMILIES = (
+    "random",
+    "complete",
+    "cycle",
+    "grid",
+    "torus",
+    "hypercube",
+    "geometric",
+    "powerlaw",
+    "gn",
+)
 
 
 def resolve_scheme(scheme: Union[str, AdvisingScheme]) -> AdvisingScheme:
@@ -87,7 +101,19 @@ def resolve_baseline(baseline: Union[str, DistributedMSTBaseline]) -> Distribute
 
 
 def build_graph(family: str, n: int, seed: int, density: float = 0.05) -> PortNumberedGraph:
-    """Build one instance of a named graph family (shared with the CLI)."""
+    """Build one instance of a named graph family (shared with the CLI).
+
+    ``n`` is a *requested* size; structured families round it to the
+    nearest realisable shape (``grid``/``torus`` to a square side,
+    ``hypercube`` to a power of two, ``gn`` to an even split across its
+    two cliques), so always read the actual size off the returned
+    instance.  ``density`` only shapes the ``random`` family.
+
+    >>> build_graph("hypercube", 30, seed=0).n  # rounded to 2^5
+    32
+    >>> build_graph("torus", 16, seed=0).n
+    16
+    """
     if family == "random":
         return random_connected_graph(n, min(1.0, density), seed=seed)
     if family == "complete":
@@ -97,8 +123,16 @@ def build_graph(family: str, n: int, seed: int, density: float = 0.05) -> PortNu
     if family == "grid":
         side = max(2, int(math.isqrt(n)))
         return grid_graph(side, side, seed=seed)
+    if family == "torus":
+        side = max(3, int(math.isqrt(n)))
+        return torus_graph(side, side, seed=seed)
+    if family == "hypercube":
+        dim = max(1, round(math.log2(max(n, 2))))
+        return hypercube_graph(dim, seed=seed)
     if family == "geometric":
         return random_geometric_graph(n, seed=seed)
+    if family == "powerlaw":
+        return power_law_graph(max(n, 2), attach=2, seed=seed)
     if family == "gn":
         return build_gn(max(2, n // 2), seed=seed).graph
-    raise ValueError(f"unknown graph kind {family!r}")
+    raise ValueError(f"unknown graph kind {family!r}; known: {', '.join(GRAPH_FAMILIES)}")

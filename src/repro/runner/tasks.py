@@ -92,7 +92,17 @@ def clear_graph_memo() -> None:
 
 @dataclass(frozen=True)
 class GraphSpec:
-    """A picklable, hashable description of one graph family workload."""
+    """A picklable, hashable description of one graph family workload.
+
+    Families come from :data:`repro.runner.registry.GRAPH_FAMILIES`; a
+    spec is callable like the ``factory(n, seed)`` closures it replaced:
+
+    >>> spec = GraphSpec("hypercube")
+    >>> spec(16, seed=0).n  # builds the instance (memoised per process)
+    16
+    >>> GraphSpec("cycle").key_dict()  # density only shapes "random"
+    {'family': 'cycle', 'density': None}
+    """
 
     #: family name understood by :func:`repro.runner.registry.build_graph`
     family: str = "random"
@@ -131,7 +141,27 @@ class GraphSpec:
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One simulated run inside a sweep."""
+    """One simulated run inside a sweep.
+
+    Tasks built from registry names and a :class:`GraphSpec` are
+    *cacheable*: their content hashes to a stable sha256 key that
+    includes the library version and the execution backend's semantic
+    version, so stale or cross-backend rows are never served.
+
+    >>> task = SweepTask("scheme", "theorem3", GraphSpec("random", 0.05), n=64, seed=0)
+    >>> task.cacheable
+    True
+    >>> task.task_hash() == task.task_hash()  # content-addressed, stable
+    True
+    >>> engine_key = task.task_hash()
+    >>> from dataclasses import replace
+    >>> replace(task, backend="analytic").task_hash() == engine_key
+    False
+    >>> SweepTask("baseline", "ghs", GraphSpec(), 16, 0, backend="analytic")
+    Traceback (most recent call last):
+        ...
+    ValueError: baselines have no analytic model; use backend='engine'
+    """
 
     #: ``"scheme"`` or ``"baseline"``
     kind: str

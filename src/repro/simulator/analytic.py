@@ -408,6 +408,23 @@ def run_scheme_analytic(
     instead).  The model never truncates: if the computed run would
     exceed ``max_rounds``, :class:`AnalyticUnsupported` is raised and the
     caller should fall back to the engine for exact truncated metrics.
+
+    >>> from repro.core.scheme_main import ShortAdviceScheme
+    >>> from repro.graphs.generators import random_connected_graph
+    >>> from repro.simulator.engine import run_sync
+    >>> graph = random_connected_graph(24, 0.1, seed=2)
+    >>> scheme = ShortAdviceScheme()
+    >>> advice, result = run_scheme_analytic(scheme, graph, root=0)
+    >>> engine = run_sync(graph, scheme.program_factory(),
+    ...                   advice=scheme.compute_advice(graph, root=0).as_payloads())
+    >>> result.metrics == engine.metrics  # value-identical, round for round
+    True
+    >>> class Custom(ShortAdviceScheme):
+    ...     pass
+    >>> run_scheme_analytic(Custom(), graph)
+    Traceback (most recent call last):
+        ...
+    repro.simulator.analytic.AnalyticUnsupported: no analytic model for scheme class Custom; run it with backend="engine"
     """
     from repro.core.scheme_average import AverageConstantScheme
     from repro.core.scheme_level import LevelAdviceScheme

@@ -98,7 +98,23 @@ class RunResult:
 
 
 class SyncEngine:
-    """Drives a set of node programs over a :class:`Network` synchronously."""
+    """Drives a set of node programs over a :class:`Network` synchronously.
+
+    The accounting semantics (round 0 = init, per-round charging, the
+    final flush, ``max_rounds`` truncation) are specified in
+    ``docs/accounting.md`` and mirrored exactly by the analytic backend.
+
+    >>> from repro.graphs.generators import path_graph
+    >>> from repro.core.scheme_trivial import TrivialRankScheme
+    >>> scheme = TrivialRankScheme()
+    >>> graph = path_graph(5, seed=0)
+    >>> advice = scheme.compute_advice(graph, root=0)
+    >>> result = SyncEngine(graph, scheme.program_factory(), advice=advice.as_payloads()).run()
+    >>> result.completed, result.stop_reason, result.metrics.rounds
+    (True, 'completed', 0)
+    >>> sorted(result.outputs) == list(range(5))  # one output per node
+    True
+    """
 
     def __init__(
         self,

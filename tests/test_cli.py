@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import SCHEMES, BASELINES, build_parser, main, _make_graph
+from repro.cli import SCHEMES, BASELINES, GRAPH_FAMILIES, build_parser, main, _make_graph
 
 
 class TestParser:
@@ -27,7 +27,7 @@ class TestParser:
 
 
 class TestGraphFactory:
-    @pytest.mark.parametrize("kind", ["random", "complete", "cycle", "grid", "geometric", "gn"])
+    @pytest.mark.parametrize("kind", GRAPH_FAMILIES)
     def test_every_kind_builds_a_connected_graph(self, kind):
         graph = _make_graph(kind, 24, seed=1, density=0.1)
         graph.validate()
@@ -35,7 +35,7 @@ class TestGraphFactory:
 
     def test_unknown_kind(self):
         with pytest.raises(ValueError):
-            _make_graph("hypercube", 16, 0, 0.1)
+            _make_graph("moebius", 16, 0, 0.1)
 
 
 class TestCommands:
@@ -43,6 +43,23 @@ class TestCommands:
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         assert "theorem3" in out and "trivial" in out
+
+    def test_info_json(self, capsys):
+        import repro
+
+        assert main(["info", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == repro.__version__
+        assert payload["backends"] == ["engine", "analytic"]
+        assert set(payload["graph_families"]) == set(GRAPH_FAMILIES)
+        schemes = {row["name"] for row in payload["schemes"]}
+        assert schemes == set(SCHEMES)
+        baselines = {row["name"] for row in payload["baselines"]}
+        assert baselines == set(BASELINES)
+        assert payload["theorem2_average_constant_bits"] == pytest.approx(12.0)
+        # bounds are numbers, usable by tooling without parsing tables
+        for row in payload["schemes"]:
+            assert isinstance(row["advice_bound_bits_n1024"], (int, float))
 
     @pytest.mark.parametrize("scheme", sorted(SCHEMES))
     def test_run_each_scheme(self, scheme, capsys):

@@ -8,7 +8,9 @@ from repro.graphs import (
     complete_graph,
     cycle_graph,
     grid_graph,
+    hypercube_graph,
     path_graph,
+    power_law_graph,
     random_connected_graph,
     random_geometric_graph,
     random_spanning_tree_graph,
@@ -16,6 +18,7 @@ from repro.graphs import (
     torus_graph,
 )
 from repro.graphs.generators import assign_weights
+from repro.runner.registry import GRAPH_FAMILIES, build_graph
 
 
 ALL_GENERATORS = [
@@ -25,6 +28,8 @@ ALL_GENERATORS = [
     ("complete", lambda: complete_graph(9, seed=1), 9, 36),
     ("grid", lambda: grid_graph(3, 4, seed=1), 12, 17),
     ("torus", lambda: torus_graph(3, 4, seed=1), 12, 24),
+    ("hypercube", lambda: hypercube_graph(4, seed=1), 16, 32),
+    ("powerlaw", lambda: power_law_graph(20, attach=2, seed=1), 20, 36),
     ("caterpillar", lambda: caterpillar_graph(5, 2, seed=1), 15, 14),
     ("tree", lambda: random_spanning_tree_graph(20, seed=1), 20, 19),
 ]
@@ -69,6 +74,30 @@ class TestTopologies:
             random_connected_graph(10, 1.5)
         with pytest.raises(ValueError):
             grid_graph(0, 3)
+        with pytest.raises(ValueError):
+            hypercube_graph(0)
+        with pytest.raises(ValueError):
+            hypercube_graph(21)
+        with pytest.raises(ValueError):
+            power_law_graph(1)
+        with pytest.raises(ValueError):
+            power_law_graph(10, attach=0)
+
+    def test_hypercube_is_regular(self):
+        for dim in (1, 2, 3, 5):
+            g = hypercube_graph(dim, seed=0)
+            assert g.n == 2**dim
+            assert g.m == dim * 2 ** (dim - 1)
+            assert all(g.degree(v) == dim for v in range(g.n))
+
+    def test_power_law_has_heavy_tail(self):
+        g = power_law_graph(400, attach=2, seed=1)
+        degrees = sorted((g.degree(v) for v in range(g.n)), reverse=True)
+        # hubs: the max degree dwarfs the median (no bounded-degree family
+        # in the zoo behaves like this)
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+        # edge budget: star core + attach edges per later node
+        assert g.m == 2 + 2 * (400 - 3)
 
 
 class TestWeightsAndDeterminism:
@@ -108,3 +137,28 @@ class TestWeightsAndDeterminism:
         assert sorted((u, v) for u, v, _ in g.edge_list()) == sorted(
             (u, v) for u, v, _ in h.edge_list()
         )
+
+
+class TestFamilyRegistry:
+    """Every registry family is buildable, connected and deterministic."""
+
+    @pytest.mark.parametrize("family", GRAPH_FAMILIES)
+    def test_family_builds_connected(self, family):
+        g = build_graph(family, 20, seed=1)
+        g.validate()
+        assert g.is_connected()
+
+    @pytest.mark.parametrize("family", GRAPH_FAMILIES)
+    def test_family_deterministic(self, family):
+        a = build_graph(family, 24, seed=5)
+        b = build_graph(family, 24, seed=5)
+        assert a.edge_list() == b.edge_list()
+
+    def test_structured_families_round_the_requested_size(self):
+        assert build_graph("hypercube", 30, seed=0).n == 32
+        assert build_graph("grid", 20, seed=0).n == 16
+        assert build_graph("torus", 20, seed=0).n == 16
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown graph kind"):
+            build_graph("moebius", 16, seed=0)

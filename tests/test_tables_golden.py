@@ -1,0 +1,114 @@
+"""Golden-output tests for the table renderers and the trade-off module.
+
+The renderers feed committed report artifacts, so their exact output
+bytes are contract, not presentation: these tests pin them down to the
+character, including the float formatting, ``None`` placeholders and
+column-subset behaviour.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import format_markdown_table, format_table
+from repro.analysis.tradeoff import theoretical_tradeoff_rows, tradeoff_rows
+from repro.graphs.generators import path_graph
+from repro.graphs.weighted_graph import PortNumberedGraph
+
+ROWS = [
+    {"scheme": "trivial", "n": 8, "avg": 1.6875, "correct": True, "bound": None},
+    {"scheme": "theorem3", "n": 128, "avg": 10.5, "correct": False, "bound": 21},
+]
+
+
+class TestFormatTable:
+    def test_golden_text_table(self):
+        expected = (
+            "title\n"
+            "scheme    n    avg    correct  bound\n"
+            "--------  ---  -----  -------  -----\n"
+            "trivial   8    1.688  True     -    \n"
+            "theorem3  128  10.5   False    21   "
+        )
+        assert format_table(ROWS, title="title") == expected
+
+    def test_column_subset_and_order(self):
+        out = format_table(ROWS, columns=["n", "scheme"])
+        assert out.splitlines()[0] == "n    scheme  "
+        assert out.splitlines()[2] == "8    trivial "
+
+    def test_missing_column_renders_dash(self):
+        out = format_table([{"a": 1}], columns=["a", "zzz"])
+        assert out.splitlines()[-1] == "1  -  "
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+        assert format_table([], title="t") == "t\n(no rows)"
+
+    def test_nan_renders_as_nan(self):
+        assert format_table([{"x": float("nan")}]).splitlines()[-1] == "nan"
+
+    def test_float_formatting_strips_trailing_zeros(self):
+        out = format_table([{"x": 2.0, "y": 0.125, "z": 1.23456}])
+        assert out.splitlines()[-1] == "2  0.125  1.235"
+
+
+class TestFormatMarkdownTable:
+    def test_golden_markdown_table(self):
+        expected = (
+            "| scheme | n | avg | correct | bound |\n"
+            "|---|---|---|---|---|\n"
+            "| trivial | 8 | 1.688 | True | - |\n"
+            "| theorem3 | 128 | 10.5 | False | 21 |"
+        )
+        assert format_markdown_table(ROWS) == expected
+
+    def test_empty_rows(self):
+        assert format_markdown_table([]) == "(no rows)"
+
+    def test_column_subset(self):
+        out = format_markdown_table(ROWS, columns=["scheme"])
+        assert out == "| scheme |\n|---|\n| trivial |\n| theorem3 |"
+
+
+class TestTradeoffRows:
+    def test_degenerate_single_node_instance(self):
+        rows = tradeoff_rows(path_graph(1, seed=0))
+        # every scheme and baseline solves the empty problem correctly
+        assert len(rows) == 6
+        assert all(row["correct"] for row in rows)
+        # nothing to communicate about: 0 advice bits beyond headers for
+        # the 0-round schemes, and the trivial scheme stays at 0 rounds
+        by_scheme = {row["scheme"]: row for row in rows}
+        assert by_scheme["trivial-rank"]["rounds"] == 0
+
+    def test_disconnected_input_raises(self):
+        disconnected = PortNumberedGraph(4, [(0, 1, 1.0), (2, 3, 2.0)])
+        with pytest.raises(ValueError, match="disconnected"):
+            tradeoff_rows(disconnected)
+
+    def test_include_flags(self):
+        graph = path_graph(6, seed=1)
+        full = tradeoff_rows(graph)
+        assert len(full) == 6
+        no_level = tradeoff_rows(graph, include_level_variant=False)
+        assert len(no_level) == 5
+        assert all(row["scheme"] != "theorem3-level" for row in no_level)
+        no_baselines = tradeoff_rows(graph, include_baselines=False)
+        assert len(no_baselines) == 4
+        assert all("advice_bound" in row for row in no_baselines)
+
+
+class TestTheoreticalRows:
+    def test_values_at_n_64(self):
+        rows = {row["scheme"]: row for row in theoretical_tradeoff_rows(64)}
+        log_n = math.ceil(math.log2(64))
+        assert rows["trivial (Section 1)"]["max_advice_bits"] == log_n
+        assert rows["trivial (Section 1)"]["rounds"] == 0
+        assert rows["Theorem 2"]["rounds"] == 1
+        assert rows["Theorem 3"]["rounds"] == f"<= 9 log n = {9 * log_n}"
+        assert rows["no advice (LOCAL)"]["max_advice_bits"] == 0
+
+    def test_five_rows_for_any_n(self):
+        assert len(theoretical_tradeoff_rows(2)) == 5
+        assert len(theoretical_tradeoff_rows(10**6)) == 5
