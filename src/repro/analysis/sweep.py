@@ -100,6 +100,7 @@ def run_scheme_sweep(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     backend: str = "engine",
+    grouping: str = "instance",
 ) -> SweepResult:
     """Run ``scheme`` on every size in ``sizes`` and aggregate per size.
 
@@ -136,7 +137,7 @@ def run_scheme_sweep(
         for n in sizes
         for seed in seeds
     ]
-    raw = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir)
+    raw = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir, grouping=grouping)
     return SweepResult(
         name=scheme_obj.name,
         rows=aggregate_scheme_rows(
@@ -205,6 +206,7 @@ def run_baseline_sweep(
     seeds: Sequence[int] = (0, 1),
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    grouping: str = "instance",
 ) -> SweepResult:
     """Run a no-advice baseline on every size in ``sizes``."""
     factory = graph_factory if graph_factory is not None else default_graph_factory()
@@ -214,7 +216,7 @@ def run_baseline_sweep(
         for n in sizes
         for seed in seeds
     ]
-    raw = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir)
+    raw = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir, grouping=grouping)
     return SweepResult(
         name=baseline_obj.name,
         rows=aggregate_baseline_rows(

@@ -57,6 +57,7 @@ from repro.core.scheme_average import paper_average_constant
 from repro.distributed.base import run_baseline
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.runner.cache import ResultCache
+from repro.runner.plan import ExecutionStats
 from repro.runner.registry import (
     BACKENDS,
     BASELINES,
@@ -64,7 +65,7 @@ from repro.runner.registry import (
     SCHEMES,
     build_graph,
 )
-from repro.runner.runner import run_tasks
+from repro.runner.runner import GROUPING_MODES, run_tasks
 from repro.runner.tasks import GraphSpec, SweepTask
 
 __all__ = ["main", "build_parser", "SCHEMES", "BASELINES"]
@@ -97,6 +98,16 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--cache-dir", default=None, help="directory for the on-disk JSON result cache"
+    )
+    parser.add_argument(
+        "--grouping",
+        default="instance",
+        choices=list(GROUPING_MODES),
+        help=(
+            "execution planning: 'instance' batches tasks sharing a graph "
+            "instance so the graph/trace/advice are built once per group "
+            "(default), 'none' is the historical per-task execution"
+        ),
     )
 
 
@@ -237,6 +248,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         backend=args.backend,
+        grouping=args.grouping,
     )
     if args.json:
         print(json.dumps(result.rows, indent=2, default=str))
@@ -283,17 +295,23 @@ def _bench_one_backend(args: argparse.Namespace, backend: str) -> Dict[str, Any]
         for target in targets
     ]
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    stats = ExecutionStats()
     start = time.perf_counter()
-    rows = run_tasks(tasks, jobs=args.jobs, cache_dir=cache)
+    rows = run_tasks(
+        tasks, jobs=args.jobs, cache_dir=cache, grouping=args.grouping, stats=stats
+    )
     elapsed = time.perf_counter() - start
 
-    return {
+    summary = {
         "scheme": args.scheme,
         "graph": args.graph,
         "n": args.n,
         "backend": backend,
         "runs": len(rows),
+        # jobs + grouping identify the execution configuration: snapshots
+        # measured under different configurations are never comparable
         "jobs": args.jobs,
+        "grouping": args.grouping,
         "wall_seconds": round(elapsed, 4),
         "runs_per_second": round(len(rows) / elapsed, 3) if elapsed > 0 else float("inf"),
         # rows served from --cache-dir were not simulated inside the timed
@@ -304,6 +322,10 @@ def _bench_one_backend(args: argparse.Namespace, backend: str) -> Dict[str, Any]
         "total_messages": sum(row["total_messages"] for row in rows),
         "correct": all(row["correct"] for row in rows),
     }
+    if args.profile:
+        summary["instance_groups"] = stats.groups
+        summary["stage_seconds"] = stats.stages_dict()
+    return summary
 
 
 def _git_query(args: List[str], fallback: str) -> str:
@@ -344,33 +366,59 @@ def _write_bench_snapshot(payload: Dict[str, Any], path_arg: Optional[str]) -> P
     return path
 
 
-def _warn_on_regression(payload: Dict[str, Any], baseline_path: str) -> None:
-    """Compare against a committed snapshot; warn on >20% throughput loss."""
+def _check_regression(payload: Dict[str, Any], baseline_path: str) -> int:
+    """Compare against a committed snapshot.
+
+    Warns on a >20% ``runs_per_second`` loss and counts a >30% loss as a
+    hard failure (the return value; ``bench --baseline`` exits non-zero
+    on any, which is what turns CI's perf smoke from warn-only into a
+    gate).  Rows measured under a different execution configuration
+    (``jobs`` / ``grouping``) are never compared — throughput across
+    configurations is apples-to-oranges by construction.
+    """
     try:
         baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
     except (OSError, ValueError) as exc:
         print(f"warning: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
-        return
+        return 0
     reference = {
-        (row["scheme"], row["graph"], row["n"], row.get("backend", "engine")): row[
-            "runs_per_second"
-        ]
+        (row["scheme"], row["graph"], row["n"], row.get("backend", "engine")): row
         for row in _bench_rows(baseline.get("payload", baseline))
         if "runs_per_second" in row
     }
+    failures = 0
     for row in _bench_rows(payload):
         key = (row["scheme"], row["graph"], row["n"], row.get("backend", "engine"))
-        base_rps = reference.get(key)
-        if base_rps is None:
+        base_row = reference.get(key)
+        if base_row is None:
             print(f"warning: baseline has no entry for {key}", file=sys.stderr)
             continue
+        config = (row.get("jobs", 1), row.get("grouping", "instance"))
+        # snapshots predating the grouping field were measured per-task
+        base_config = (base_row.get("jobs", 1), base_row.get("grouping", "none"))
+        if config != base_config:
+            print(
+                f"warning: skipping {key}: baseline was measured with "
+                f"jobs/grouping {base_config}, this run used {config}",
+                file=sys.stderr,
+            )
+            continue
+        base_rps = base_row["runs_per_second"]
         current = row["runs_per_second"]
-        if current < 0.8 * base_rps:
+        if current < 0.7 * base_rps:
+            failures += 1
+            print(
+                f"error: perf regression for {key}: {current:.3f} runs/s vs "
+                f"baseline {base_rps:.3f} runs/s ({current / base_rps:.0%})",
+                file=sys.stderr,
+            )
+        elif current < 0.8 * base_rps:
             print(
                 f"warning: perf regression for {key}: {current:.3f} runs/s vs "
                 f"baseline {base_rps:.3f} runs/s ({current / base_rps:.0%})",
                 file=sys.stderr,
             )
+    return failures
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -401,19 +449,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.snapshot is not None:
         path = _write_bench_snapshot(payload, args.snapshot or None)
         print(f"perf snapshot written to {path}", file=sys.stderr)
+    regressions = 0
     if args.baseline:
-        _warn_on_regression(payload, args.baseline)
+        regressions = _check_regression(payload, args.baseline)
 
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
+        profile_keys = ("instance_groups", "stage_seconds")
+        table_rows = [
+            {k: v for k, v in summary.items() if k not in profile_keys}
+            for summary in summaries
+        ]
         print(
             format_table(
-                summaries,
+                table_rows,
                 title=f"bench: {args.repeats} x {args.scheme} on {args.graph}(n={args.n})",
             )
         )
-    return 0 if all_correct else 1
+        if args.profile:
+            for summary in summaries:
+                stages = summary.get("stage_seconds", {})
+                breakdown = "  ".join(f"{k}={v:.4f}s" for k, v in stages.items())
+                print(
+                    f"profile[{summary['backend']}]: "
+                    f"{summary.get('instance_groups', 0)} instance group(s)  "
+                    f"{breakdown}"
+                )
+    return 0 if all_correct and not regressions else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -426,6 +489,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         backend=args.backend,
+        grouping=args.grouping,
     )
     for name in result.artifacts:
         print(Path(args.out) / name)
@@ -550,7 +614,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         default=None,
         metavar="FILE",
-        help="compare runs/second against a committed snapshot; warn on >20%% regression",
+        help=(
+            "compare runs/second against a committed snapshot; warn on >20%% "
+            "regression, exit non-zero on >30%% (configuration-mismatched "
+            "rows are skipped, never compared)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "emit the per-stage timing breakdown (graph build / trace / "
+            "advice / backend execution) of the grouped executor; with "
+            "--grouping none the stages are not instrumented"
+        ),
     )
 
     report_parser = sub.add_parser(

@@ -82,7 +82,9 @@ class AdviceAssignment:
 
     def as_payloads(self) -> Dict[int, BitString]:
         """A ``node -> BitString`` mapping suitable for the simulator."""
-        return {node: self.get(node) for node in range(self.n)}
+        empty = BitString.empty()
+        assigned = self._advice
+        return {node: assigned.get(node, empty) for node in range(self.n)}
 
     # ------------------------------------------------------------------ #
     # statistics
@@ -90,7 +92,10 @@ class AdviceAssignment:
 
     def stats(self) -> AdviceStats:
         """Maximum / total / average advice size of this assignment."""
-        sizes = [self.bits_of(node) for node in range(self.n)]
+        assigned = self._advice
+        sizes = [
+            len(assigned[node]) if node in assigned else 0 for node in range(self.n)
+        ]
         total = sum(sizes)
         return AdviceStats(
             n=self.n,

@@ -107,8 +107,16 @@ def run_scheme(
     root: int = 0,
     max_rounds: Optional[int] = None,
     backend: str = "engine",
+    advice: Optional[AdviceAssignment] = None,
 ) -> SchemeReport:
     """Run ``scheme`` end to end on ``graph`` and verify the output.
+
+    ``advice`` may carry a precomputed oracle assignment — it **must** be
+    the value ``scheme.compute_advice`` returned for this exact
+    ``(graph, root)`` on this exact ``scheme`` object (the scheme holds
+    packing state, e.g. the Theorem-3 layout, that the analytic backend
+    replays).  The grouped runner uses this to compute each scheme's
+    advice once per instance and run every backend against it.
 
     The oracle is given the instance and the designated root; the
     decoder is run with the resulting advice; the outputs are then
@@ -147,14 +155,15 @@ def run_scheme(
 
         try:
             advice, result = run_scheme_analytic(
-                scheme, graph, root=root, max_rounds=max_rounds
+                scheme, graph, root=root, max_rounds=max_rounds, advice=advice
             )
         except AnalyticUnsupported:
-            advice, result = None, None
+            result = None  # fall back to the engine (advice keeps its value)
         if result is not None:
             return _build_report(scheme, graph, root, advice, result)
 
-    advice = scheme.compute_advice(graph, root=root)
+    if advice is None:
+        advice = scheme.compute_advice(graph, root=root)
     result = run_sync(
         graph,
         scheme.program_factory(),

@@ -33,6 +33,7 @@ the root) sees it as *down* at the choosing side or *up* at itself.
 from __future__ import annotations
 
 import math
+from itertools import chain
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.advice import AdviceAssignment
@@ -151,12 +152,11 @@ class AverageConstantScheme(AdvisingScheme):
         advice = AdviceAssignment(graph.n)
         for u, writer in data.items():
             bits = writer.getvalue()
-            marks = bitmap[u]
-            interleaved = BitWriter()
-            for mark, bit in zip(marks, bits):
-                interleaved.write_bit(mark)
-                interleaved.write_bit(bit)
-            advice.set(u, interleaved.getvalue())
+            # interleave (mark, bit) pairs in one C-level pass
+            advice.set(
+                u,
+                BitString(chain.from_iterable(zip(bitmap[u], bits))),
+            )
         return advice
 
     def program_factory(self) -> ProgramFactory:

@@ -94,12 +94,13 @@ class LevelAdviceScheme(ShortAdviceScheme):
         if trace is None:
             trace = boruvka_trace(graph, root=root)
         # stash the per-node level bitmaps for the shared header writer
-        self._levels = self._node_levels(graph, trace, num_boruvka_phases(graph.n))
+        levels = self._node_levels(graph, trace, num_boruvka_phases(graph.n))
+        self._levels = levels
+        self._level_bits = {u: BitString(bits) for u, bits in levels.items()}
         return super().compute_advice(graph, root=root, trace=trace)
 
-    def _write_extra_header(self, writer: BitWriter, u: int) -> None:
-        for level in self._levels[u]:
-            writer.write_bit(level)
+    def _extra_header_bits(self, u: int) -> BitString:
+        return self._level_bits[u]
 
     def _fragment_advice(self, sel) -> BitString:
         """``A(F)`` with the paper's literal level bit instead of the rank."""

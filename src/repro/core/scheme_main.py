@@ -60,7 +60,9 @@ Deviations from the paper (documented in DESIGN.md):
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.advice import AdviceAssignment
 from repro.core.bits import BitReader, BitString, BitWriter
@@ -185,23 +187,30 @@ class ShortAdviceScheme(AdvisingScheme):
         data_bits = self._pack_with_capacity_search(graph, trace, phases)
         final_bit, collect_flag = self._assign_final_bits(graph, trace, phases)
 
+        # the four possible flag headers, shared across nodes: collect
+        # flag, then "has final bit" flag (+ the bit itself when present)
+        header = BitString.from_uint(phases, _PHASE_FIELD_BITS)
+        zero = BitString.from_uint(0, 1)
+        one = BitString.from_uint(1, 1)
         advice = AdviceAssignment(n)
         for u in range(n):
-            writer = BitWriter()
-            writer.write_uint(phases, _PHASE_FIELD_BITS)
-            writer.write_bit(1 if collect_flag.get(u, False) else 0)
-            if u in final_bit:
-                writer.write_bit(1)
-                writer.write_bit(final_bit[u])
+            parts = [header, one if collect_flag.get(u, False) else zero]
+            fb = final_bit.get(u)
+            if fb is None:
+                parts.append(zero)
             else:
-                writer.write_bit(0)
-            self._write_extra_header(writer, u)
-            writer.write_bits(data_bits[u])
-            advice.set(u, writer.getvalue())
+                parts.append(one)
+                parts.append(one if fb else zero)
+            extra = self._extra_header_bits(u)
+            if extra is not None:
+                parts.append(extra)
+            parts.append(data_bits[u])
+            advice.set(u, BitString.concat(parts))
         return advice
 
-    def _write_extra_header(self, writer: BitWriter, u: int) -> None:
+    def _extra_header_bits(self, u: int) -> Optional[BitString]:
         """Scheme-specific header fields (the level variant adds its bitmap)."""
+        return None
 
     def _fragment_advice(self, sel: "FragmentSelection") -> BitString:
         """The fragment advice string ``A(F)`` of one selection.
@@ -224,17 +233,145 @@ class ShortAdviceScheme(AdvisingScheme):
         trace: BoruvkaTrace,
         phases: int,
     ) -> Dict[int, BitString]:
-        """Pack with the smallest per-node capacity candidate that fits."""
+        """Pack with the smallest per-node capacity candidate that fits.
+
+        The capacity-independent work — every fragment advice string and
+        every DFS preorder — is collected *once*; each candidate capacity
+        is then checked with prefix-sum placement arithmetic alone, and
+        the advice bits are written out a single time for the winner.
+        """
+        plan = self._collect_advice_plan(trace, phases)
         for cap in self._capacity_candidates:
-            try:
-                data_bits = self._pack_phase_advice(graph, trace, phases, cap)
-            except CapacityError:
+            placement = self._place_plan(plan, graph.n, cap)
+            if isinstance(placement, int):  # the phase index that overflowed
                 continue
             self.last_capacity = cap
-            return data_bits
+            return self._materialize_plan(plan, placement, graph.n)
         raise CapacityError(  # pragma: no cover - the largest cap always fits
             "no candidate capacity could hold the fragment advice"
         )
+
+    def _collect_advice_plan(
+        self, trace: BoruvkaTrace, phases: int
+    ) -> List[Dict[str, Any]]:
+        """Per phase, the preorders and ``A(F)`` strings of every selection.
+
+        This is everything the packer needs that does not depend on the
+        per-node capacity, so the capacity search never recomputes it.
+        Each phase is flattened into one concatenated node array (segment
+        per selection) so placement is a handful of NumPy passes per
+        phase rather than per-fragment Python work.
+        """
+        plan: List[Dict[str, Any]] = []
+        for phase in trace.phases[:phases]:
+            nodes, starts = phase.partition.preorder_arrays()
+            selections = phase.selections
+            advice_strings = [self._fragment_advice(sel) for sel in selections]
+            if selections:
+                frags = np.fromiter(
+                    (sel.fragment for sel in selections),
+                    dtype=np.int64,
+                    count=len(selections),
+                )
+                lens = starts[frags + 1] - starts[frags]
+                seg_starts = np.zeros(len(selections) + 1, dtype=np.int64)
+                np.cumsum(lens, out=seg_starts[1:])
+                total = int(seg_starts[-1])
+                # concatenation of the fragment preorder slices, built as
+                # one strided arange instead of per-selection slicing
+                flat = (
+                    np.arange(total, dtype=np.int64)
+                    - np.repeat(seg_starts[:-1], lens)
+                    + np.repeat(starts[frags], lens)
+                )
+                all_nodes = nodes[flat]
+                seg_id = np.repeat(np.arange(len(selections), dtype=np.int64), lens)
+            else:
+                all_nodes = np.empty(0, dtype=np.int64)
+                seg_id = np.empty(0, dtype=np.int64)
+                seg_starts = np.zeros(1, dtype=np.int64)
+            plan.append(
+                {
+                    "index": phase.index,
+                    "advice": advice_strings,
+                    "a_lens": np.fromiter(
+                        (len(a) for a in advice_strings),
+                        dtype=np.int64,
+                        count=len(advice_strings),
+                    ),
+                    "nodes": all_nodes,
+                    "seg_id": seg_id,
+                    "seg_starts": seg_starts,
+                }
+            )
+        return plan
+
+    @staticmethod
+    def _place_plan(plan: List[Dict[str, Any]], n: int, cap: int):
+        """Greedy DFS-preorder placement of every ``A(F)`` at capacity ``cap``.
+
+        Bits fill each node of the fragment preorder up to ``cap`` before
+        moving on; the cumulative free capacity along the concatenated
+        preorders (clipped per segment) turns the historical per-node
+        loop into one ``cumsum`` per phase.  Returns per phase the take
+        and cumulative-fill arrays, or the index of the first phase whose
+        advice overflows the capacity.
+        """
+        used = np.zeros(n, dtype=np.int64)
+        placement: List[Tuple["np.ndarray", "np.ndarray"]] = []
+        for phase in plan:
+            all_nodes = phase["nodes"]
+            if all_nodes.size == 0:
+                placement.append((np.empty(0, np.int64), np.empty(0, np.int64)))
+                continue
+            seg_id = phase["seg_id"]
+            seg_starts = phase["seg_starts"]
+            free_cum = np.concatenate(([0], np.cumsum(cap - used[all_nodes])))
+            # cumulative free capacity within each segment, clipped at the
+            # segment's advice length = cumulative bits placed so far
+            filled = np.minimum(
+                free_cum[1:] - free_cum[seg_starts[:-1]][seg_id],
+                phase["a_lens"][seg_id],
+            )
+            if np.any(filled[seg_starts[1:] - 1] < phase["a_lens"]):
+                return phase["index"]
+            prev = np.concatenate(([0], filled[:-1]))
+            prev[seg_starts[:-1]] = 0
+            takes = filled - prev
+            used[all_nodes] += takes
+            placement.append((takes, filled))
+        return placement
+
+    def _materialize_plan(
+        self,
+        plan: List[Dict[str, Any]],
+        placement: List[Tuple["np.ndarray", "np.ndarray"]],
+        n: int,
+    ) -> Dict[int, BitString]:
+        """Write the placed bits out (once) and record the packing layout.
+
+        A node that receives only part of an ``A(F)`` (other than its
+        tail) is full and can never receive bits of a later phase, which
+        guarantees that at decode time the unconsumed bits of a fragment,
+        concatenated in DFS order, always start with the current phase's
+        ``A(F)``.
+        """
+        writers = [BitWriter() for _ in range(n)]
+        layout: List[Dict[int, int]] = []
+        for phase, (takes, filled) in zip(plan, placement):
+            phase_layout: Dict[int, int] = {}
+            advice_strings = phase["advice"]
+            chunk_positions = np.flatnonzero(takes)
+            chunk_nodes = phase["nodes"][chunk_positions].tolist()
+            chunk_segs = phase["seg_id"][chunk_positions].tolist()
+            chunk_his = filled[chunk_positions].tolist()
+            chunk_takes = takes[chunk_positions].tolist()
+            for u, seg, hi, take in zip(chunk_nodes, chunk_segs, chunk_his, chunk_takes):
+                writers[u].write_bits(advice_strings[seg][hi - take : hi])
+                phase_layout[u] = phase_layout.get(u, 0) + take
+            layout.append(phase_layout)
+        self.last_layout = layout
+        return {u: writers[u].getvalue() for u in range(n)}
 
     def _pack_phase_advice(
         self,
@@ -243,45 +380,15 @@ class ShortAdviceScheme(AdvisingScheme):
         phases: int,
         cap: int,
     ) -> Dict[int, BitString]:
-        """Distribute every fragment advice ``A(F)`` of phases ``1..phases``.
-
-        Bits are written to the fragment's nodes in DFS-preorder order,
-        filling each node up to ``cap`` data bits before moving on.  A
-        node that receives only part of an ``A(F)`` (other than its tail)
-        is therefore full and can never receive bits of a later phase,
-        which guarantees that at decode time the unconsumed bits of a
-        fragment, concatenated in DFS order, always start with the
-        current phase's ``A(F)``.
-        """
-        used = [0] * graph.n
-        writers: Dict[int, BitWriter] = {u: BitWriter() for u in range(graph.n)}
-        layout: List[Dict[int, int]] = []
-        for phase in trace.phases[:phases]:
-            partition = phase.partition
-            phase_layout: Dict[int, int] = {}
-            for sel in phase.selections:
-                a_bits = self._fragment_advice(sel)
-
-                preorder = partition.dfs_preorder(sel.fragment)
-                pos = 0
-                for u in preorder:
-                    if pos >= len(a_bits):
-                        break
-                    free = cap - used[u]
-                    if free <= 0:
-                        continue
-                    take = min(free, len(a_bits) - pos)
-                    writers[u].write_bits(a_bits[pos : pos + take])
-                    used[u] += take
-                    pos += take
-                    phase_layout[u] = phase_layout.get(u, 0) + take
-                if pos < len(a_bits):
-                    raise CapacityError(
-                        f"capacity {cap} too small for fragment advice at phase {phase.index}"
-                    )
-            layout.append(phase_layout)
-        self.last_layout = layout
-        return {u: writers[u].getvalue() for u in range(graph.n)}
+        """Distribute every fragment advice ``A(F)`` of phases ``1..phases``
+        at one fixed capacity (the single-capacity view of the search)."""
+        plan = self._collect_advice_plan(trace, phases)
+        placement = self._place_plan(plan, graph.n, cap)
+        if isinstance(placement, int):
+            raise CapacityError(
+                f"capacity {cap} too small for fragment advice at phase {placement}"
+            )
+        return self._materialize_plan(plan, placement, graph.n)
 
     def _assign_final_bits(
         self,
@@ -382,6 +489,8 @@ class _MainProgram(NodeProgram):
         self.cons = 0
         # per-phase scratch
         self.current_segment: Optional[Tuple[str, int]] = None
+        #: cumulative window ends, built lazily once ``num_phases`` is known
+        self._segment_ends: Optional[List[int]] = None
         self._reset_scratch()
         # final phase
         self.final_done = False
@@ -432,6 +541,12 @@ class _MainProgram(NodeProgram):
         kind, index = segment
         if kind == "phase":
             self._phase_round(ctx, inbox, index)
+            if self.conv_sent:
+                # once this node's convergecast is away, every remaining
+                # action of the window is triggered by an incoming message
+                # (broadcast forwarding, attachments), so the engine may
+                # skip the silent tail of the window for this node
+                ctx.idle_until(self._segment_end(index) + 1)
         else:
             self._apply_pending_structure()
             self._final_round(ctx, inbox)
@@ -450,6 +565,18 @@ class _MainProgram(NodeProgram):
         # the final segment is a single scratch scope: per-round state must
         # survive across its rounds, so the tuple stays constant
         return ("final", 0)
+
+    def _segment_end(self, phase: int) -> int:
+        """The last (absolute) round of the window of ``phase``."""
+        ends = self._segment_ends
+        if ends is None:
+            total = 0
+            ends = []
+            for i in range(1, self.num_phases + 1):
+                total += self._window(i)
+                ends.append(total)
+            self._segment_ends = ends
+        return ends[phase - 1]
 
     def _relative_round(self, round_number: int) -> int:
         t = round_number

@@ -18,8 +18,10 @@ from __future__ import annotations
 import math
 from typing import Dict
 
+import numpy as np
+
 from repro.core.advice import AdviceAssignment
-from repro.core.bits import BitReader, BitString, BitWriter
+from repro.core.bits import BitReader, BitString
 from repro.core.oracle import AdvisingScheme
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.mst.kruskal import kruskal_mst
@@ -77,16 +79,23 @@ class TrivialRankScheme(AdvisingScheme):
         if tree is None:
             tree = build_rooted_tree(graph, kruskal_mst(graph), root=root)
         advice = AdviceAssignment(graph.n)
+        # all parent-edge ranks in one gather over the cached slot order
+        if graph.m:
+            slot_rank = graph._slot_orders()[0]
+            parent_port = np.asarray(tree.parent_port, dtype=np.int64)
+            ranks0 = slot_rank[
+                graph._offsets[:-1] + np.where(parent_port >= 0, parent_port, 0)
+            ].tolist()
+        else:
+            ranks0 = [0] * graph.n  # edgeless graph: only the root exists
+        widths = [(int(d) - 1).bit_length() for d in graph._degrees.tolist()]
+        root_flag = BitString.from_uint(1, 1)
+        zero = BitString.from_uint(0, 1)
         for u in range(graph.n):
-            writer = BitWriter()
             if u == root:
-                writer.write_bit(1)
+                advice.set(u, root_flag)
             else:
-                writer.write_bit(0)
-                rank = graph.rank_of_port(u, tree.parent_port[u])
-                width = (graph.degree(u) - 1).bit_length()
-                writer.write_uint(rank - 1, width)
-            advice.set(u, writer.getvalue())
+                advice.set(u, zero + BitString.from_uint(ranks0[u], widths[u]))
         return advice
 
     def program_factory(self) -> ProgramFactory:

@@ -61,11 +61,13 @@ def check_outputs(
         If given, additionally require the declared root to be this node.
     """
     # -------- shape checks --------
-    missing = [u for u in range(graph.n) if u not in outputs or outputs[u] is None]
+    n = graph.n
+    out_list = [outputs.get(u) for u in range(n)]
+    missing = sum(1 for value in out_list if value is None)
     if missing:
-        return OutputCheck(False, f"{len(missing)} node(s) produced no output")
+        return OutputCheck(False, f"{missing} node(s) produced no output")
 
-    roots = [u for u in range(graph.n) if outputs[u] == ROOT_OUTPUT]
+    roots = [u for u, value in enumerate(out_list) if value == ROOT_OUTPUT]
     if len(roots) != 1:
         return OutputCheck(False, f"expected exactly one root, found {len(roots)}")
     root = roots[0]
@@ -73,41 +75,46 @@ def check_outputs(
         return OutputCheck(False, f"root is {root}, expected {expected_root}")
 
     neighbors, edge_ids = graph.adjacency_tables()
-    parent: Dict[int, int] = {}
-    parent_edge: Dict[int, int] = {}
-    for u in range(graph.n):
+    parent: List[int] = [-1] * n
+    parent_edge: List[int] = [-1] * n
+    for u, port in enumerate(out_list):
         if u == root:
             continue
-        port = outputs[u]
         if not isinstance(port, int) or not 0 <= port < len(neighbors[u]):
             return OutputCheck(False, f"node {u} output an invalid port {port!r}")
         parent[u] = neighbors[u][port]
         parent_edge[u] = edge_ids[u][port]
 
     # -------- every node reaches the root (acyclicity + connectivity) --------
-    status: Dict[int, int] = {root: 1}  # 1 = reaches root
-    for start in range(graph.n):
+    status = [-1] * n  # -1 = unvisited, 0 = on the current path, 1 = reaches root
+    status[root] = 1
+    for start in range(n):
         path: List[int] = []
         u = start
-        while u not in status:
+        while status[u] < 0:
             status[u] = 0  # on the current path
             path.append(u)
             u = parent[u]
-            if status.get(u) == 0:
+            if status[u] == 0:
                 return OutputCheck(False, f"parent pointers contain a cycle through node {u}")
         if status[u] == 1:
             for v in path:
                 status[v] = 1
 
     # -------- the parent edges form a minimum spanning tree --------
-    tree_edges: Set[int] = set(parent_edge.values())
-    if len(tree_edges) != graph.n - 1:
+    tree_edges: Set[int] = set(parent_edge)
+    tree_edges.discard(-1)
+    if len(tree_edges) != n - 1:
         return OutputCheck(
             False,
-            f"parent edges form {len(tree_edges)} distinct edges, expected {graph.n - 1}",
+            f"parent edges form {len(tree_edges)} distinct edges, expected {n - 1}",
         )
     tree_weight = graph.total_weight(tree_edges)
-    mst_weight = graph.total_weight(kruskal_mst(graph))
+    # the reference MST weight is a pure function of the immutable graph
+    mst_weight = getattr(graph, "_mst_weight_cache", None)
+    if mst_weight is None:
+        mst_weight = graph.total_weight(kruskal_mst(graph))
+        graph._mst_weight_cache = mst_weight
     if abs(tree_weight - mst_weight) > tolerance:
         return OutputCheck(
             False,

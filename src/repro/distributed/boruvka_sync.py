@@ -96,6 +96,21 @@ class _SyncBoruvkaProgram(NodeProgram):
 
         if ctx.round == total_rounds:
             ctx.halt(ROOT_OUTPUT if self.parent_port is None else self.parent_port)
+            return
+        # every spontaneous (non-message-triggered) action of this program
+        # happens at one of three fixed relative rounds per phase window or
+        # at the final halting round; declare the next one so the engine
+        # can skip the silent rounds in between (messages still wake us)
+        ctx.idle_until(min(self._next_scheduled_round(ctx.round), total_rounds))
+
+    def _next_scheduled_round(self, round_number: int) -> int:
+        """The next absolute round with a spontaneous action after ``round_number``."""
+        budget = self.tree_budget
+        phase_start = ((round_number - 1) // self.window) * self.window
+        for relative in (1, budget + 1, 3 * budget + 5):
+            if phase_start + relative > round_number:
+                return phase_start + relative
+        return phase_start + self.window + 1  # first round of the next phase
 
     # ------------------------------------------------------------------ #
     # message handling

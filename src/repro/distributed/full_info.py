@@ -51,6 +51,11 @@ class _FullInfoProgram(NodeProgram):
         self.records: Dict[int, Tuple[Tuple[float, int], ...]] = {}
         self.neighbor_ids: Dict[int, int] = {}
         self.prev_size = -1
+        # the knowledge payload is rebuilt only when the knowledge base
+        # grew (records never shrink), so the same tuple object is reused
+        # across rounds — the engine then also sizes it only once per round
+        self._payload_cache: Optional[Tuple] = None
+        self._payload_cache_size = -1
 
     def init(self, ctx: NodeContext) -> None:
         if ctx.degree == 0:
@@ -80,7 +85,10 @@ class _FullInfoProgram(NodeProgram):
             return
         self.prev_size = len(self.records)
 
-        payload = (_MSG_KNOWLEDGE, tuple(sorted(self.records.items())))
+        if self._payload_cache_size != len(self.records):
+            self._payload_cache = (_MSG_KNOWLEDGE, tuple(sorted(self.records.items())))
+            self._payload_cache_size = len(self.records)
+        payload = self._payload_cache
         for port in ctx.ports():
             ctx.send(port, payload)
 

@@ -22,7 +22,7 @@ Weight modes
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -67,34 +67,45 @@ def assign_weights(
 
 def _build(
     n: int,
-    pairs: Sequence[Tuple[int, int]],
+    pairs: Union[Sequence[Tuple[int, int]], Tuple[np.ndarray, np.ndarray]],
     rng: np.random.Generator,
     weight_mode: str,
     weight_range: int,
     shuffle_ports: bool,
     weights: Optional[Sequence[float]] = None,
 ) -> PortNumberedGraph:
-    """Assemble a graph from node count + edge pairs + weight policy."""
-    if weights is None:
-        w = assign_weights(len(pairs), rng, weight_mode, weight_range)
+    """Assemble a graph from node count + edge pairs + weight policy.
+
+    ``pairs`` is either the historical sequence of ``(u, v)`` tuples or a
+    ``(u_array, v_array)`` pair of NumPy arrays — the array form skips
+    every per-edge Python tuple on the construction hot path.  The random
+    stream (weights first, then one port permutation per non-isolated
+    node in node order) is identical either way.
+    """
+    if isinstance(pairs, tuple) and len(pairs) == 2 and isinstance(pairs[0], np.ndarray):
+        u_arr = pairs[0].astype(np.int64, copy=False)
+        v_arr = pairs[1].astype(np.int64, copy=False)
     else:
-        if len(weights) != len(pairs):
+        u_arr = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+        v_arr = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+    if weights is None:
+        w = assign_weights(u_arr.size, rng, weight_mode, weight_range)
+    else:
+        if len(weights) != u_arr.size:
             raise ValueError("weights must have one entry per edge")
         w = np.asarray(weights, dtype=np.float64)
-    edges = [(u, v, float(w[k])) for k, (u, v) in enumerate(pairs)]
 
-    port_perms: Optional[Dict[int, List[int]]] = None
+    port_perms: Optional[np.ndarray] = None
     if shuffle_ports:
-        degree = np.zeros(n, dtype=np.int64)
-        for u, v in pairs:
-            degree[u] += 1
-            degree[v] += 1
-        port_perms = {
-            u: [int(p) for p in rng.permutation(int(degree[u]))]
-            for u in range(n)
-            if degree[u] > 0
-        }
-    return PortNumberedGraph(n, edges, port_permutations=port_perms)
+        degree = np.bincount(u_arr, minlength=n) + np.bincount(v_arr, minlength=n)
+        # one rng.permutation call per non-isolated node, in node order —
+        # the same stream the historical dict comprehension consumed; the
+        # concatenation is the per-slot port table PortNumberedGraph takes
+        parts = [rng.permutation(int(d)) for d in degree.tolist() if d > 0]
+        port_perms = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+    return PortNumberedGraph(n, (u_arr, v_arr, w), port_permutations=port_perms)
 
 
 # ---------------------------------------------------------------------- #
@@ -362,20 +373,22 @@ def random_connected_graph(
     if not 0.0 <= extra_edge_prob <= 1.0:
         raise ValueError("extra_edge_prob must be a probability")
     rng = _rng(seed)
-    tree_pairs = set()
-    for v in range(1, n):
-        u = int(rng.integers(0, v))
-        tree_pairs.add((min(u, v), max(u, v)))
-
-    pairs = set(tree_pairs)
+    # one rng.integers call per tree edge, in the historical order, so the
+    # random stream (and therefore every generated instance) is unchanged
+    tree_u = np.fromiter(
+        (rng.integers(0, v) for v in range(1, n)), dtype=np.int64, count=n - 1
+    )
+    codes = tree_u * n + np.arange(1, n, dtype=np.int64)  # u < v by construction
     if extra_edge_prob > 0.0 and n > 2:
         # vectorised G(n, p) over the upper triangle
         iu, iv = np.triu_indices(n, k=1)
         mask = rng.random(iu.size) < extra_edge_prob
-        for u, v in zip(iu[mask], iv[mask]):
-            pairs.add((int(u), int(v)))
-    ordered = sorted(pairs)
-    return _build(n, ordered, rng, weight_mode, weight_range, shuffle_ports)
+        codes = np.concatenate((codes, iu[mask] * n + iv[mask]))
+    # unique sorted codes == the historical sorted de-duplicated pair set
+    codes = np.unique(codes)
+    return _build(
+        n, (codes // n, codes % n), rng, weight_mode, weight_range, shuffle_ports
+    )
 
 
 def random_geometric_graph(

@@ -26,7 +26,7 @@ changes any bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -166,12 +166,11 @@ class PortNumberedGraph:
         n: int,
         edges: Sequence[Tuple[int, int, float]],
         node_ids: Optional[Sequence[int]] = None,
-        port_permutations: Optional[Dict[int, Sequence[int]]] = None,
+        port_permutations: Optional[Union[Dict[int, Sequence[int]], np.ndarray]] = None,
     ) -> None:
         if n <= 0:
             raise ValueError("graph must have at least one node")
         self.n = int(n)
-        self.m = len(edges)
 
         if node_ids is None:
             self.node_ids = np.arange(self.n, dtype=np.int64)
@@ -180,16 +179,32 @@ class PortNumberedGraph:
                 raise ValueError("node_ids must have length n")
             self.node_ids = np.asarray(node_ids, dtype=np.int64)
 
-        if self.m:
-            edge_list_in = list(edges)
-            edge_u = np.fromiter((int(e[0]) for e in edge_list_in), dtype=np.int64, count=self.m)
-            edge_v = np.fromiter((int(e[1]) for e in edge_list_in), dtype=np.int64, count=self.m)
-            edge_w = np.fromiter((float(e[2]) for e in edge_list_in), dtype=np.float64, count=self.m)
-            self._validate_edges(edge_u, edge_v)
+        # fast path for generators: edges may come in as a ready-made
+        # ``(edge_u, edge_v, edge_w)`` array triple instead of per-edge
+        # tuples, skipping one Python-level pass over the edge list
+        if (
+            isinstance(edges, tuple)
+            and len(edges) == 3
+            and isinstance(edges[0], np.ndarray)
+        ):
+            edge_u = edges[0].astype(np.int64, copy=False)
+            edge_v = edges[1].astype(np.int64, copy=False)
+            edge_w = edges[2].astype(np.float64, copy=False)
+            self.m = int(edge_u.size)
+            if self.m:
+                self._validate_edges(edge_u, edge_v)
         else:
-            edge_u = np.empty(0, dtype=np.int64)
-            edge_v = np.empty(0, dtype=np.int64)
-            edge_w = np.empty(0, dtype=np.float64)
+            self.m = len(edges)
+            if self.m:
+                edge_list_in = list(edges)
+                edge_u = np.fromiter((int(e[0]) for e in edge_list_in), dtype=np.int64, count=self.m)
+                edge_v = np.fromiter((int(e[1]) for e in edge_list_in), dtype=np.int64, count=self.m)
+                edge_w = np.fromiter((float(e[2]) for e in edge_list_in), dtype=np.float64, count=self.m)
+                self._validate_edges(edge_u, edge_v)
+            else:
+                edge_u = np.empty(0, dtype=np.int64)
+                edge_v = np.empty(0, dtype=np.int64)
+                edge_w = np.empty(0, dtype=np.float64)
         self.edge_u = edge_u
         self.edge_v = edge_v
         self.edge_w = edge_w
@@ -218,17 +233,26 @@ class PortNumberedGraph:
             pu = ranks[0::2]
             pv = ranks[1::2]
         else:
-            # per-node lookup table, identity unless a permutation is given
-            node_of_slot = np.repeat(np.arange(self.n), degrees)
-            table = np.arange(2 * self.m, dtype=np.int64) - offsets[node_of_slot]
-            for u, perm in port_permutations.items():
-                if not 0 <= u < self.n:
-                    continue  # same as the historical loop: never consulted
-                deg = int(degrees[u])
-                if len(perm) < deg:
-                    raise IndexError("list index out of range")
-                lo = int(offsets[u])
-                table[lo : lo + deg] = [int(p) for p in list(perm)[:deg]]
+            if isinstance(port_permutations, np.ndarray):
+                # ready-made per-slot table: slot offsets[u] + k holds the
+                # port of the k-th incident edge of u in input edge order
+                if port_permutations.size != 2 * self.m:
+                    raise ValueError(
+                        "flat port permutation table must have one entry per edge endpoint"
+                    )
+                table = port_permutations.astype(np.int64, copy=False)
+            else:
+                # per-node lookup table, identity unless a permutation is given
+                node_of_slot = np.repeat(np.arange(self.n), degrees)
+                table = np.arange(2 * self.m, dtype=np.int64) - offsets[node_of_slot]
+                for u, perm in port_permutations.items():
+                    if not 0 <= u < self.n:
+                        continue  # same as the historical loop: never consulted
+                    deg = int(degrees[u])
+                    if len(perm) < deg:
+                        raise IndexError("list index out of range")
+                    lo = int(offsets[u])
+                    table[lo : lo + deg] = [int(p) for p in list(perm)[:deg]]
             pu = table[offsets[edge_u] + ranks[0::2]]
             pv = table[offsets[edge_v] + ranks[1::2]]
             if np.any(pu < 0) or np.any(pu >= degrees[edge_u]) or np.any(
@@ -240,7 +264,9 @@ class PortNumberedGraph:
         su = offsets[edge_u] + pu
         sv = offsets[edge_v] + pv
         slots = np.concatenate((su, sv))
-        if port_permutations is not None and len(np.unique(slots)) != twice_m:
+        if port_permutations is not None and twice_m and (
+            np.bincount(slots, minlength=twice_m).max() > 1
+        ):
             raise ValueError("port permutation assigns the same port twice")
 
         adj_neighbor = np.full(twice_m, -1, dtype=np.int64)
@@ -418,6 +444,42 @@ class PortNumberedGraph:
     # the paper's index order at a node
     # ------------------------------------------------------------------ #
 
+    def _slot_orders(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per adjacency slot: its ``index_u`` rank and index pair, in bulk.
+
+        One global lexsort over ``(node, weight, port)`` ranks every
+        incident edge of every node at once: ``rank[slot]`` is the 0-based
+        position of the slot in its node's ``(weight, port)`` order, and
+        ``(x - 1, y - 1)`` split that rank at the first slot of the same
+        ``(node, weight)`` group.  The Borůvka tracer asks for ranks and
+        index pairs of thousands of ``(node, port)`` pairs per trace —
+        computing them all in one pass replaces a per-call tuple scan.
+        """
+        cached = getattr(self, "_slot_order_cache", None)
+        if cached is None:
+            two_m = 2 * self.m
+            node_of_slot = np.repeat(np.arange(self.n), self._degrees)
+            ports = np.arange(two_m, dtype=np.int64) - self._offsets[node_of_slot]
+            order = np.lexsort((ports, self._adj_weight, node_of_slot))
+            rank = np.empty(two_m, dtype=np.int64)
+            rank[order] = np.arange(two_m) - self._offsets[node_of_slot[order]]
+            # first rank of each (node, weight) run -> the x component
+            sorted_nodes = node_of_slot[order]
+            sorted_w = self._adj_weight[order]
+            new_group = np.ones(two_m, dtype=bool)
+            if two_m > 1:
+                new_group[1:] = (sorted_nodes[1:] != sorted_nodes[:-1]) | (
+                    sorted_w[1:] != sorted_w[:-1]
+                )
+            sorted_rank = np.arange(two_m) - self._offsets[sorted_nodes]
+            group_ids = np.cumsum(new_group) - 1
+            group_first = sorted_rank[new_group][group_ids]
+            x_minus_1 = np.empty(two_m, dtype=np.int64)
+            x_minus_1[order] = group_first
+            cached = (rank, x_minus_1, rank - x_minus_1)
+            self._slot_order_cache = cached
+        return cached
+
     def ports_by_index(self, u: int) -> Tuple[int, ...]:
         """Ports of ``u`` sorted by ``(weight, port)`` — the ``index_u`` order.
 
@@ -429,16 +491,16 @@ class PortNumberedGraph:
         if cached is not None:
             return cached
         lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
-        weights = self._adj_weight[lo:hi]
-        ports = np.arange(hi - lo)
-        order = np.lexsort((ports, weights))
-        result = tuple(int(p) for p in order)
+        rank = self._slot_orders()[0][lo:hi]
+        inverse = np.empty(hi - lo, dtype=np.int64)
+        inverse[rank] = np.arange(hi - lo)
+        result = tuple(int(p) for p in inverse)
         self._rank_cache[u] = result
         return result
 
     def rank_of_port(self, u: int, port: int) -> int:
         """1-based rank of ``(u, port)`` in the ``index_u`` order."""
-        return self.ports_by_index(u).index(port) + 1
+        return int(self._slot_orders()[0][self._slot(u, port)]) + 1
 
     def port_of_rank(self, u: int, rank: int) -> int:
         """Inverse of :meth:`rank_of_port` (``rank`` is 1-based)."""
@@ -449,12 +511,9 @@ class PortNumberedGraph:
 
     def index_pair(self, u: int, port: int) -> Tuple[int, int]:
         """The paper's ``index_u(e) = (x_u(e), y_u(e))`` for the edge at ``(u, port)``."""
-        lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
-        weights = self._adj_weight[lo:hi]
-        w = weights[port]
-        x = 1 + int(np.count_nonzero(weights < w))
-        y = 1 + int(np.count_nonzero(weights[:port] == w))
-        return (x, y)
+        slot = self._slot(u, port)
+        _, x_minus_1, y_minus_1 = self._slot_orders()
+        return (int(x_minus_1[slot]) + 1, int(y_minus_1[slot]) + 1)
 
     def port_of_index_pair(self, u: int, x: int, y: int) -> int:
         """Inverse of :meth:`index_pair`."""

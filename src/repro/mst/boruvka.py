@@ -150,38 +150,43 @@ class BoruvkaTrace:
 def _minimum_outgoing_edges(
     graph: PortNumberedGraph,
     reps: np.ndarray,
-    pos_in_order: np.ndarray,
+    sorted_u: np.ndarray,
+    sorted_v: np.ndarray,
+    order: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per fragment, its first outgoing edge in the canonical order.
 
-    One segmented reduction over the CSR edge arrays instead of a Python
-    scan of the canonical edge order per phase: every (endpoint,
-    fragment) incidence of an inter-fragment edge becomes a candidate,
-    candidates are lexsorted by (fragment, canonical position), and the
-    first candidate of each fragment run is its minimum outgoing edge —
-    exactly the edge the historical scan found, including the
-    ``(weight, edge_id)`` tie-breaking.
+    ``sorted_u`` / ``sorted_v`` are the edge endpoints arranged in the
+    canonical ``(weight, edge_id)`` order (``order`` maps a canonical
+    position back to the edge id).  A fragment's minimum outgoing edge is
+    its *first occurrence* in that order, found with one reversed fancy
+    assignment per endpoint side (later writes are overwritten by earlier
+    positions) — ``O(m)`` per phase with no per-phase sort, and exactly
+    the edge the historical scan found, including the ``(weight,
+    edge_id)`` tie-breaking.
 
     Returns ``(fragments, edge_ids, choosing_nodes)``: for every
     fragment representative with at least one outgoing edge, the
     selected edge id and the endpoint inside the fragment.
     """
-    ru = reps[graph.edge_u]
-    rv = reps[graph.edge_v]
-    eids = np.nonzero(ru != rv)[0]
-    if eids.size == 0:
+    ru = reps[sorted_u]
+    rv = reps[sorted_v]
+    inter = np.flatnonzero(ru != rv)
+    if inter.size == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, empty
-    cand_rep = np.concatenate((ru[eids], rv[eids]))
-    cand_node = np.concatenate((graph.edge_u[eids], graph.edge_v[eids]))
-    cand_eid = np.concatenate((eids, eids))
-    cand_pos = np.concatenate((pos_in_order[eids], pos_in_order[eids]))
-    sort = np.lexsort((cand_pos, cand_rep))
-    sorted_rep = cand_rep[sort]
-    first = np.ones(sorted_rep.size, dtype=bool)
-    first[1:] = sorted_rep[1:] != sorted_rep[:-1]
-    winners = sort[first]
-    return cand_rep[winners], cand_eid[winners], cand_node[winners]
+    sentinel = order.size
+    first_u = np.full(graph.n, sentinel, dtype=np.int64)
+    first_v = np.full(graph.n, sentinel, dtype=np.int64)
+    rev = inter[::-1]
+    first_u[ru[rev]] = rev
+    first_v[rv[rev]] = rev
+    best = np.minimum(first_u, first_v)
+    frags = np.flatnonzero(best < sentinel)
+    win_pos = best[frags]
+    eids = order[win_pos]
+    nodes = np.where(first_u[frags] == win_pos, graph.edge_u[eids], graph.edge_v[eids])
+    return frags, eids, nodes
 
 
 # ---------------------------------------------------------------------- #
@@ -203,10 +208,12 @@ def boruvka_mst(graph: PortNumberedGraph) -> List[int]:
     uf = UnionFind(graph.n)
     tree: Set[int] = set()
     order = np.lexsort((np.arange(graph.m), graph.edge_w))
-    pos_in_order = np.empty(graph.m, dtype=np.int64)
-    pos_in_order[order] = np.arange(graph.m)
+    sorted_u = graph.edge_u[order]
+    sorted_v = graph.edge_v[order]
     while uf.component_count > 1:
-        _, edge_ids, _ = _minimum_outgoing_edges(graph, uf.roots_array(), pos_in_order)
+        _, edge_ids, _ = _minimum_outgoing_edges(
+            graph, uf.roots_array(), sorted_u, sorted_v, order
+        )
         if edge_ids.size == 0:  # pragma: no cover - cannot happen on a connected graph
             break
         for eid in sorted(set(edge_ids.tolist())):
@@ -262,8 +269,8 @@ def boruvka_trace(
             return cached
 
     order = np.lexsort((np.arange(graph.m), graph.edge_w))
-    pos_in_order = np.empty(graph.m, dtype=np.int64)
-    pos_in_order[order] = np.arange(graph.m)
+    sorted_u = graph.edge_u[order]
+    sorted_v = graph.edge_v[order]
 
     # ---------- raw phase loop (membership + selections only) ----------
     uf = UnionFind(graph.n)
@@ -277,20 +284,21 @@ def boruvka_trace(
         sizes = np.bincount(reps, minlength=graph.n)
 
         # first outgoing edge in canonical order, per active fragment
-        frag_reps, edge_ids, nodes = _minimum_outgoing_edges(graph, reps, pos_in_order)
+        # (arrays are ordered by fragment representative — the historical
+        # ``sorted(rep -> selection)`` iteration order)
+        frag_reps, edge_ids, nodes = _minimum_outgoing_edges(
+            graph, reps, sorted_u, sorted_v, order
+        )
         active = sizes[frag_reps] < threshold
-        chosen: Dict[int, Tuple[int, int]] = {  # rep -> (edge id, choosing node)
-            int(rep): (int(eid), int(node))
-            for rep, eid, node in zip(
-                frag_reps[active], edge_ids[active], nodes[active]
-            )
-        }
+        sel_eids = edge_ids[active]
+        sel_nodes = nodes[active]
 
-        new_edges = sorted({eid for eid, _ in chosen.values()})
+        new_edges = np.unique(sel_eids).tolist()
         raw_phases.append(
             {
                 "index": phase_index,
-                "selections": chosen,
+                "sel_eids": sel_eids,
+                "sel_nodes": sel_nodes,
                 "new_edges": new_edges,
             }
         )
@@ -308,46 +316,71 @@ def boruvka_trace(
     # ---------- annotate phases ----------
     # partitions are rebuilt incrementally: one union-find accumulates the
     # selected edges phase by phase, and each phase's partition is one bulk
-    # roots_array pass instead of a fresh union-find over all earlier edges
+    # roots_array pass instead of a fresh union-find over all earlier edges;
+    # every per-selection field (ports, ranks, index pairs, orientations,
+    # levels, DFS indices) is gathered with one vectorised pass per phase
     phases: List[BoruvkaPhase] = []
     limit = len(raw_phases) if max_phases is None else min(max_phases, len(raw_phases))
     annotate_uf = UnionFind(graph.n)
-    edge_u = graph.edge_u.tolist()
-    edge_v = graph.edge_v.tolist()
-    edge_w = graph.edge_w.tolist()
-    port_u = graph.edge_port_u.tolist()
-    port_v = graph.edge_port_v.tolist()
+    parent_edge_arr = np.asarray(tree.parent_edge, dtype=np.int64)
+    slot_rank, slot_x, slot_y = graph._slot_orders()
+    offsets = graph._offsets
     for raw in raw_phases[:limit]:
         i = raw["index"]
         partition = FragmentPartition.from_roots(tree, annotate_uf.roots_array())
         ftree = partition.fragment_tree()
         active = tuple(partition.active_fragments(i))
-        selections: List[FragmentSelection] = []
-        for _rep, (eid, choosing) in sorted(raw["selections"].items()):
-            f = partition.fragment_of[choosing]
-            if edge_u[eid] == choosing:
-                target, port = edge_v[eid], port_u[eid]
-            else:
-                target, port = edge_u[eid], port_v[eid]
-            selections.append(
-                FragmentSelection(
-                    phase=i,
-                    fragment=f,
-                    fragment_size=partition.size(f),
-                    choosing_node=choosing,
-                    selected_edge=eid,
-                    port_at_choosing=port,
-                    weight=edge_w[eid],
-                    rank_at_choosing=graph.rank_of_port(choosing, port),
-                    index_pair=graph.index_pair(choosing, port),
-                    is_up=tree.parent_edge[choosing] == eid,
-                    target_node=target,
-                    target_fragment=partition.fragment_of[target],
-                    level_of_fragment=ftree.level(f),
-                    level_of_target_fragment=ftree.level(partition.fragment_of[target]),
-                    choosing_dfs_index=partition.dfs_preorder(f).index(choosing) + 1,
-                )
+        eids = raw["sel_eids"]
+        choosing = raw["sel_nodes"]
+        frag_of = partition.fragment_of_array()
+        at_u = graph.edge_u[eids] == choosing
+        target = np.where(at_u, graph.edge_v[eids], graph.edge_u[eids])
+        port = np.where(at_u, graph.edge_port_u[eids], graph.edge_port_v[eids])
+        slot = offsets[choosing] + port
+        frag = frag_of[choosing]
+        counts = np.fromiter(
+            (len(g) for g in partition.members), dtype=np.int64,
+            count=partition.num_fragments,
+        )
+        levels = np.asarray(ftree.depth, dtype=np.int64) % 2
+        target_frag = frag_of[target]
+        fields = zip(
+            frag.tolist(),
+            counts[frag].tolist(),
+            choosing.tolist(),
+            eids.tolist(),
+            port.tolist(),
+            graph.edge_w[eids].tolist(),
+            (slot_rank[slot] + 1).tolist(),
+            (slot_x[slot] + 1).tolist(),
+            (slot_y[slot] + 1).tolist(),
+            (parent_edge_arr[choosing] == eids).tolist(),
+            target.tolist(),
+            target_frag.tolist(),
+            levels[frag].tolist(),
+            levels[target_frag].tolist(),
+            (partition.preorder_positions()[choosing] + 1).tolist(),
+        )
+        selections = [
+            FragmentSelection(
+                phase=i,
+                fragment=f,
+                fragment_size=size,
+                choosing_node=node,
+                selected_edge=eid,
+                port_at_choosing=p,
+                weight=w,
+                rank_at_choosing=rank,
+                index_pair=(x, y),
+                is_up=up,
+                target_node=tgt,
+                target_fragment=tf,
+                level_of_fragment=lf,
+                level_of_target_fragment=lt,
+                choosing_dfs_index=dfs,
             )
+            for f, size, node, eid, p, w, rank, x, y, up, tgt, tf, lf, lt, dfs in fields
+        ]
         phases.append(
             BoruvkaPhase(
                 index=i,

@@ -92,14 +92,22 @@ class FragmentPartition:
         relabel = np.empty(len(uniq), dtype=np.int64)
         relabel[order] = np.arange(len(uniq))
         fragment_of = relabel[inverse]
-        members: List[List[int]] = [[] for _ in range(len(uniq))]
-        for u, f in enumerate(fragment_of.tolist()):
-            members[f].append(u)
-        return FragmentPartition(
+        # members grouped by fragment: a stable argsort keeps node order
+        # within each group, and C-level list slicing replaces the
+        # historical per-node append loop
+        grouped = np.argsort(fragment_of, kind="stable").tolist()
+        counts = np.bincount(fragment_of, minlength=len(uniq))
+        bounds = np.concatenate(([0], np.cumsum(counts))).tolist()
+        members = tuple(
+            tuple(grouped[bounds[f] : bounds[f + 1]]) for f in range(len(uniq))
+        )
+        partition = FragmentPartition(
             tree=tree,
             fragment_of=tuple(fragment_of.tolist()),
-            members=tuple(tuple(g) for g in members),
+            members=members,
         )
+        partition._cache["fragment_of_array"] = fragment_of
+        return partition
 
     @staticmethod
     def singletons(tree: RootedSpanningTree) -> "FragmentPartition":
@@ -127,17 +135,54 @@ class FragmentPartition:
         """Sizes of all fragments."""
         return [len(m) for m in self.members]
 
+    def fragment_of_array(self) -> "np.ndarray":
+        """The per-node fragment index as a NumPy array (cached)."""
+        cached = self._cache.get("fragment_of_array")
+        if cached is None:
+            cached = np.asarray(self.fragment_of, dtype=np.int64)
+            self._cache["fragment_of_array"] = cached
+        return cached
+
+    def preorder_arrays(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        """All fragment preorders in one pass: ``(nodes, starts)``.
+
+        ``nodes`` holds every node grouped by fragment, each group in the
+        DFS preorder of its fragment subtree; fragment ``f`` occupies
+        ``nodes[starts[f] : starts[f + 1]]``.  Built from the whole-tree
+        preorder in one ``lexsort``: a fragment is a connected subtree of
+        the reference MST, so the restriction of the tree preorder to its
+        members *is* its DFS preorder (same children order) — no per-
+        fragment Python walk needed.
+        """
+        cached = self._cache.get("bulk_preorder")
+        if cached is None:
+            pos = self.tree.preorder_index()
+            frag = self.fragment_of_array()
+            nodes = np.lexsort((pos, frag))
+            counts = np.bincount(frag, minlength=self.num_fragments)
+            starts = np.zeros(self.num_fragments + 1, dtype=np.int64)
+            np.cumsum(counts, out=starts[1:])
+            cached = (nodes, starts)
+            self._cache["bulk_preorder"] = cached
+        return cached
+
+    def preorder_positions(self) -> "np.ndarray":
+        """Per node, its 0-based position in its fragment's DFS preorder."""
+        cached = self._cache.get("bulk_positions")
+        if cached is None:
+            nodes, starts = self.preorder_arrays()
+            frag = self.fragment_of_array()[nodes]
+            cached = np.empty(nodes.size, dtype=np.int64)
+            cached[nodes] = np.arange(nodes.size) - starts[frag]
+            self._cache["bulk_positions"] = cached
+        return cached
+
     def root_of(self, f: int) -> int:
         """``r_F``: the node of fragment ``f`` closest (in the MST) to the global root."""
-        roots = self._cache.get("roots")
-        if roots is None:
-            roots = {}
-            self._cache["roots"] = roots
-        r = roots.get(f)
-        if r is None:
-            r = min(self.members[f], key=lambda u: (self.tree.depth[u], u))
-            roots[f] = r
-        return r
+        nodes, starts = self.preorder_arrays()
+        # the shallowest member is the ancestor of every other member of
+        # the connected subtree, hence the first in its preorder group
+        return int(nodes[starts[f]])
 
     def active_fragments(self, phase: int) -> List[int]:
         """Fragments that are *active* at ``phase`` (``|F| < 2^phase``)."""
@@ -192,13 +237,8 @@ class FragmentPartition:
             self._cache["preorders"] = preorders
         cached = preorders.get(f)
         if cached is None:
-            order: List[int] = []
-            stack = [self.root_of(f)]
-            while stack:
-                u = stack.pop()
-                order.append(u)
-                stack.extend(reversed(self.children_in_fragment(u)))
-            cached = order
+            nodes, starts = self.preorder_arrays()
+            cached = nodes[starts[f] : starts[f + 1]].tolist()
             preorders[f] = cached
         return list(cached)
 
@@ -213,34 +253,38 @@ class FragmentPartition:
     def fragment_tree(self) -> "FragmentTree":
         """Contract every fragment and root the result at the root's fragment."""
         tree = self.tree
-        graph = tree.graph
         k = self.num_fragments
-        parent_fragment = [-1] * k
-        connecting_edge = [-1] * k
-        for f in range(k):
-            r_f = self.root_of(f)
-            p = tree.parent[r_f]
-            if p < 0:
-                continue  # the fragment containing the global root
-            parent_fragment[f] = self.fragment_of[p]
-            connecting_edge[f] = tree.parent_edge[r_f]
+        nodes, starts = self.preorder_arrays()
+        frag_roots = nodes[starts[:-1]]  # r_F per fragment, in one gather
+        tree_parent = np.asarray(tree.parent, dtype=np.int64)
+        tree_depth = np.asarray(tree.depth, dtype=np.int64)
+        root_parents = tree_parent[frag_roots]
+        has_parent = root_parents >= 0
+        parent_fragment = np.full(k, -1, dtype=np.int64)
+        parent_fragment[has_parent] = self.fragment_of_array()[
+            root_parents[has_parent]
+        ]
+        connecting_edge = np.where(
+            has_parent, np.asarray(tree.parent_edge, dtype=np.int64)[frag_roots], -1
+        )
 
-        # depths in the contracted tree
+        # depths in the contracted tree: fragments ordered by the MST depth
+        # of their root are topologically sorted w.r.t. the contracted
+        # parent relation
         depth = [-1] * k
         root_fragment = self.fragment_of[tree.root]
         depth[root_fragment] = 0
-        # fragments ordered by the MST depth of their root are topologically
-        # sorted w.r.t. the contracted parent relation
-        order = sorted(range(k), key=lambda f: tree.depth[self.root_of(f)])
+        order = np.argsort(tree_depth[frag_roots], kind="stable").tolist()
+        parent_list = parent_fragment.tolist()
         for f in order:
             if f == root_fragment:
                 continue
-            depth[f] = depth[parent_fragment[f]] + 1
+            depth[f] = depth[parent_list[f]] + 1
         return FragmentTree(
             partition=self,
             root_fragment=root_fragment,
-            parent_fragment=tuple(parent_fragment),
-            connecting_edge=tuple(connecting_edge),
+            parent_fragment=tuple(parent_list),
+            connecting_edge=tuple(connecting_edge.tolist()),
             depth=tuple(depth),
         )
 

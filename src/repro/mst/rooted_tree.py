@@ -20,6 +20,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.graphs.weighted_graph import PortNumberedGraph
 
 __all__ = ["ROOT_OUTPUT", "RootedSpanningTree", "build_rooted_tree"]
@@ -97,6 +99,63 @@ class RootedSpanningTree:
         object.__setattr__(self, "_children_table", table)
         return table
 
+    def preorder(self) -> "np.ndarray":
+        """DFS preorder of the whole tree (children in ``index_u`` order).
+
+        Computed once and cached; the companion :meth:`preorder_index`
+        and :meth:`subtree_span` arrays turn every subtree into a
+        contiguous interval of preorder positions, which is what lets the
+        fragment machinery and the analytic backend replace per-node tree
+        walks with NumPy segment operations.
+        """
+        cached = getattr(self, "_preorder", None)
+        if cached is None:
+            table = self.children_table()
+            order: List[int] = []
+            stack = [self.root]
+            while stack:
+                u = stack.pop()
+                order.append(u)
+                stack.extend(reversed(table[u]))
+            cached = np.asarray(order, dtype=np.int64)
+            object.__setattr__(self, "_preorder", cached)
+        return cached
+
+    def preorder_index(self) -> "np.ndarray":
+        """Position of every node in :meth:`preorder` (``pos[preorder[k]] == k``)."""
+        cached = getattr(self, "_preorder_index", None)
+        if cached is None:
+            order = self.preorder()
+            cached = np.empty(self.n, dtype=np.int64)
+            cached[order] = np.arange(self.n)
+            object.__setattr__(self, "_preorder_index", cached)
+        return cached
+
+    def subtree_span(self) -> "np.ndarray":
+        """Per node, one past the last preorder position of its subtree.
+
+        ``preorder()[preorder_index()[u] : subtree_span()[u]]`` is exactly
+        the subtree rooted at ``u`` — the classic Euler-interval view.
+        """
+        cached = getattr(self, "_subtree_span", None)
+        if cached is None:
+            order = self.preorder()
+            # walk the preorder once; a node's interval closes when the
+            # walk first reaches a position whose depth is not deeper
+            end = np.empty(self.n, dtype=np.int64)
+            depth = self.depth
+            stack: List[int] = []
+            for k, u in enumerate(order.tolist()):
+                d = depth[u]
+                while stack and depth[stack[-1]] >= d:
+                    end[stack.pop()] = k
+                stack.append(u)
+            for u in stack:
+                end[u] = self.n
+            cached = end  # indexed by node; values are preorder positions
+            object.__setattr__(self, "_subtree_span", cached)
+        return cached
+
     def subtree_nodes(self, u: int) -> List[int]:
         """All nodes of the subtree rooted at ``u`` (preorder)."""
         out: List[int] = []
@@ -161,9 +220,21 @@ def build_rooted_tree(
     """Root the spanning tree given by ``tree_edge_ids`` at ``root``.
 
     Raises ``ValueError`` if the edge set is not a spanning tree of
-    ``graph``.
+    ``graph``.  Results are memoised per ``(root, edge set)`` on the
+    (immutable) graph instance: the Borůvka tracer, the trivial scheme's
+    Kruskal tree and the analytic backend all root the same MST of the
+    same instance, and the tree object itself carries useful caches
+    (children table, preorder, subtree spans).
     """
     edge_ids = sorted(int(e) for e in tree_edge_ids)
+    memo = getattr(graph, "_rooted_tree_cache", None)
+    if memo is None:
+        memo = {}
+        graph._rooted_tree_cache = memo
+    memo_key = (root, tuple(edge_ids))
+    cached = memo.get(memo_key)
+    if cached is not None:
+        return cached
     if len(edge_ids) != graph.n - 1:
         raise ValueError(
             f"a spanning tree of {graph.n} nodes needs {graph.n - 1} edges, "
@@ -172,12 +243,16 @@ def build_rooted_tree(
     if len(set(edge_ids)) != len(edge_ids):
         raise ValueError("duplicate edge ids in the tree edge set")
 
-    # adjacency restricted to the tree
-    adjacency: Dict[int, List[Tuple[int, int, int]]] = {u: [] for u in range(graph.n)}
-    for eid in edge_ids:
-        ref = graph.edge(eid)
-        adjacency[ref.u].append((ref.v, eid, ref.port_u))
-        adjacency[ref.v].append((ref.u, eid, ref.port_v))
+    # adjacency restricted to the tree (plain array reads, no EdgeRef)
+    eids_arr = np.asarray(edge_ids, dtype=np.int64)
+    eu = graph.edge_u[eids_arr].tolist()
+    ev = graph.edge_v[eids_arr].tolist()
+    pu = graph.edge_port_u[eids_arr].tolist()
+    pv = graph.edge_port_v[eids_arr].tolist()
+    adjacency: List[List[Tuple[int, int, int]]] = [[] for _ in range(graph.n)]
+    for k, eid in enumerate(edge_ids):
+        adjacency[eu[k]].append((ev[k], eid, pv[k]))
+        adjacency[ev[k]].append((eu[k], eid, pu[k]))
 
     parent = [-1] * graph.n
     parent_edge = [-1] * graph.n
@@ -188,19 +263,20 @@ def build_rooted_tree(
     visited = 1
     while queue:
         u = queue.popleft()
-        for v, eid, _port_u in adjacency[u]:
+        du = depth[u]
+        for v, eid, port_v in adjacency[u]:
             if depth[v] >= 0 or v == root:
                 continue
-            depth[v] = depth[u] + 1
+            depth[v] = du + 1
             parent[v] = u
             parent_edge[v] = eid
-            parent_port[v] = graph.port_of_edge(eid, v)
+            parent_port[v] = port_v
             visited += 1
             queue.append(v)
     if visited != graph.n:
         raise ValueError("the given edge set does not span the graph")
 
-    return RootedSpanningTree(
+    tree = RootedSpanningTree(
         graph=graph,
         root=root,
         parent=tuple(parent),
@@ -209,3 +285,5 @@ def build_rooted_tree(
         depth=tuple(depth),
         edge_ids=tuple(edge_ids),
     )
+    memo[memo_key] = tree
+    return tree

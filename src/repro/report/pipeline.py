@@ -203,21 +203,25 @@ def generate_report(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     backend: Optional[str] = None,
+    grouping: str = "instance",
 ) -> ReportResult:
     """Execute every experiment of ``spec`` and write its artifacts.
 
     Artifacts land in ``out_dir`` (created if missing): per experiment a
     ``<name>.md`` and one or more ``<name>*.csv``, plus a top-level
-    ``index.md``.  ``jobs``/``cache_dir`` are forwarded to the runner;
-    ``backend`` overrides the spec's default execution backend — none of
-    the three can change a single artifact byte.
+    ``index.md``.  ``jobs``/``cache_dir``/``grouping`` are forwarded to
+    the runner; ``backend`` overrides the spec's default execution
+    backend — none of the four can change a single artifact byte.  The
+    grouped executor pays off here in particular: a spec grid names the
+    same ``(family, n, seed)`` instance once per scheme and per
+    baseline, and grouping builds it exactly once overall.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
     compiled = compile_tasks(spec, backend=backend)
     flat: List[SweepTask] = [task for _, tasks in compiled for task in tasks]
-    raw = run_tasks(flat, jobs=jobs, cache_dir=cache_dir)
+    raw = run_tasks(flat, jobs=jobs, cache_dir=cache_dir, grouping=grouping)
 
     result = ReportResult(spec=spec, out_dir=out, tasks_run=len(flat))
     artifact_names: Dict[str, List[str]] = {}

@@ -11,16 +11,23 @@ amortises that workload:
   n, seed)`` work unit with a stable content hash);
 * :mod:`~repro.runner.cache` — an on-disk JSON result cache keyed by
   the task hash;
+* :mod:`~repro.runner.plan` — the execution planner: cache misses are
+  grouped by shared graph instance (:func:`plan_groups`), and each
+  group runs against one :class:`InstanceContext` that builds the
+  graph, Borůvka trace, rooted tree and per-scheme advice exactly once;
 * :mod:`~repro.runner.runner` — :func:`run_tasks`, which executes a
-  task list serially or over a ``multiprocessing`` pool (``jobs=N``)
-  with chunking and deterministic, task-order result merging.
+  task list serially or over a ``multiprocessing`` pool (``jobs=N``),
+  shipping whole instance groups to workers, with deterministic,
+  task-order result merging.
 
-``analysis/sweep.py``, the ``sweep --jobs`` / ``bench`` CLI commands and
-the ``benchmarks/`` suite all route through :func:`run_tasks`, so the
-serial and parallel paths produce byte-identical aggregated results.
+``analysis/sweep.py``, the ``repro.report`` pipeline, the ``sweep
+--jobs`` / ``bench`` CLI commands and the ``benchmarks/`` suite all
+route through :func:`run_tasks`, so the serial, parallel, grouped and
+ungrouped paths produce byte-identical aggregated results.
 """
 
 from repro.runner.cache import ResultCache
+from repro.runner.plan import ExecutionStats, InstanceContext, TaskGroup, plan_groups
 from repro.runner.registry import (
     BACKENDS,
     BASELINES,
@@ -30,19 +37,24 @@ from repro.runner.registry import (
     resolve_baseline,
     resolve_scheme,
 )
-from repro.runner.runner import execute_task, run_tasks
+from repro.runner.runner import GROUPING_MODES, execute_task, run_tasks
 from repro.runner.tasks import GraphSpec, SweepTask
 
 __all__ = [
     "BACKENDS",
     "BASELINES",
     "GRAPH_FAMILIES",
+    "GROUPING_MODES",
     "SCHEMES",
+    "ExecutionStats",
     "GraphSpec",
+    "InstanceContext",
     "ResultCache",
     "SweepTask",
+    "TaskGroup",
     "build_graph",
     "execute_task",
+    "plan_groups",
     "resolve_baseline",
     "resolve_scheme",
     "run_tasks",

@@ -1,0 +1,258 @@
+"""Execution planning: group sweep tasks that share an instance.
+
+A sweep point runs *many* treatments — several advising schemes, two
+execution backends, the no-advice baselines — over the *same* graph
+instance, and each of those treatments needs the same expensive
+preparations: build the graph, run the Borůvka trace, root the reference
+MST, compute the oracle advice.  :func:`plan_groups` partitions a miss
+list into :class:`TaskGroup`\\ s of tasks that share one instance, and
+:class:`InstanceContext` executes a whole group against shared
+artifacts, building each of them exactly once:
+
+* the **graph** is built once per group (not once per task);
+* the **Borůvka trace** and the **rooted reference tree** are built once
+  per ``(instance, root)`` — they live in per-graph memos, which the
+  grouping turns from "lucky when tasks happen to be adjacent" into a
+  guarantee, including under ``--jobs N`` where the runner ships whole
+  groups to workers instead of blind contiguous chunks;
+* the **advice** of each scheme is computed once per ``(scheme, root)``
+  and reused by every backend that runs that scheme.
+
+Rows are byte-identical to per-task execution: every shared artifact is
+a deterministic pure function of the instance, so sharing is observable
+only as speed.  :class:`ExecutionStats` aggregates per-stage wall time
+(graph / trace / advice / execute) and cache counters; ``repro bench
+--profile`` surfaces it so future performance work can see where the
+time goes.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.oracle import run_scheme
+from repro.distributed.base import run_baseline
+from repro.runner.registry import resolve_baseline, resolve_scheme
+from repro.runner.tasks import GraphSpec, SweepTask
+
+__all__ = [
+    "ExecutionStats",
+    "InstanceContext",
+    "TaskGroup",
+    "instance_key",
+    "plan_groups",
+]
+
+#: the stages a grouped execution is broken into, in reporting order
+STAGES = ("graph", "trace", "advice", "execute")
+
+
+@dataclass
+class ExecutionStats:
+    """What one :func:`~repro.runner.runner.run_tasks` call actually did.
+
+    ``stage_seconds`` decomposes the executed (non-cached) work into the
+    shared-preparation stages; a warm-cache run has every counter at
+    zero except ``cache_hits`` — group construction is skipped entirely.
+    """
+
+    #: instance groups executed (0 when every task was a cache hit)
+    groups: int = 0
+    #: tasks executed through grouped contexts
+    grouped_tasks: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: wall seconds per stage: graph build / trace / advice / execution
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def merge_stage_dict(self, stage_seconds: Dict[str, float]) -> None:
+        """Fold a worker's stage breakdown into this one."""
+        for stage, seconds in stage_seconds.items():
+            self.add_stage(stage, seconds)
+
+    def stages_dict(self) -> Dict[str, float]:
+        """The stage breakdown in canonical order, rounded for reports."""
+        return {
+            stage: round(self.stage_seconds.get(stage, 0.0), 4) for stage in STAGES
+        }
+
+
+@dataclass(frozen=True)
+class TaskGroup:
+    """A maximal run of cache-miss tasks sharing one graph instance."""
+
+    #: shared-instance identity, or ``None`` for an ungroupable task
+    key: Optional[Hashable]
+    #: positions of the group's tasks in the planned task list
+    indices: Tuple[int, ...]
+    tasks: Tuple[SweepTask, ...]
+
+
+def instance_key(task: SweepTask) -> Optional[Hashable]:
+    """The shared-instance identity of a task, or ``None`` if it has none.
+
+    Tasks agree on the key exactly when :meth:`SweepTask.build_graph`
+    builds the same instance (the root is *not* part of the key — traces
+    and advice are memoised per root inside the group).  Tasks with
+    ad-hoc factory callables have no comparable identity and become
+    singleton groups.
+    """
+    if not isinstance(task.graph, GraphSpec):
+        return None
+    spec = task.graph.key_dict()
+    return (spec["family"], spec["density"], task.n, task.seed)
+
+
+def plan_groups(tasks: Sequence[SweepTask]) -> List[TaskGroup]:
+    """Partition ``tasks`` into instance groups, in first-seen order.
+
+    Every task lands in exactly one group (the groups' ``indices``
+    partition ``range(len(tasks))``); tasks without an instance identity
+    become singleton groups at their original position in the order.
+    """
+    order: List[Hashable] = []
+    by_key: Dict[Hashable, Tuple[List[int], List[SweepTask]]] = {}
+    for index, task in enumerate(tasks):
+        key = instance_key(task)
+        if key is None:
+            key = ("__singleton__", index)
+        bucket = by_key.get(key)
+        if bucket is None:
+            bucket = ([], [])
+            by_key[key] = bucket
+            order.append(key)
+        bucket[0].append(index)
+        bucket[1].append(task)
+    return [
+        TaskGroup(
+            key=None if isinstance(key, tuple) and key and key[0] == "__singleton__" else key,
+            indices=tuple(by_key[key][0]),
+            tasks=tuple(by_key[key][1]),
+        )
+        for key in order
+    ]
+
+
+#: per scheme class: whether ``compute_advice`` accepts a ``trace``
+#: keyword (trace-driven oracles) — resolved once, not per task
+_TRACE_PARAM_CACHE: Dict[type, bool] = {}
+
+
+def _wants_trace(scheme: Any) -> bool:
+    cls = type(scheme)
+    cached = _TRACE_PARAM_CACHE.get(cls)
+    if cached is None:
+        try:
+            parameters = inspect.signature(scheme.compute_advice).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            parameters = {}
+        cached = "trace" in parameters
+        _TRACE_PARAM_CACHE[cls] = cached
+    return cached
+
+
+class InstanceContext:
+    """Shared artifacts of one instance group, built once and reused.
+
+    The context is deliberately lazy: a group of baseline tasks never
+    pays for a trace, a cache-warm group is never constructed at all.
+    ``execute`` produces exactly the row :func:`repro.runner.runner.execute_task`
+    produces — sharing is observable only as speed.
+    """
+
+    def __init__(self, stats: Optional[ExecutionStats] = None) -> None:
+        self._graph = None
+        self._stats = stats
+        #: (registry name, root) -> (scheme instance, computed advice)
+        self._advice: Dict[Tuple[str, int], Tuple[Any, Any]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _timed(self, stage: str, start: float) -> None:
+        if self._stats is not None:
+            self._stats.add_stage(stage, time.perf_counter() - start)
+
+    def _instance(self, task: SweepTask):
+        if self._graph is None:
+            start = time.perf_counter()
+            self._graph = task.build_graph()
+            self._timed("graph", start)
+        return self._graph
+
+    def _scheme_and_advice(self, task: SweepTask, graph) -> Tuple[Any, Any]:
+        """The task's scheme and its advice, shared across the group's backends."""
+        root = task.root % graph.n
+        memo_key = (task.target, root) if isinstance(task.target, str) else None
+        if memo_key is not None:
+            cached = self._advice.get(memo_key)
+            if cached is not None:
+                return cached
+        scheme = resolve_scheme(task.target)
+        if _wants_trace(scheme):
+            from repro.mst.boruvka import boruvka_trace
+
+            start = time.perf_counter()
+            trace = boruvka_trace(graph, root=root)
+            self._timed("trace", start)
+            start = time.perf_counter()
+            advice = scheme.compute_advice(graph, root=root, trace=trace)
+        else:
+            start = time.perf_counter()
+            advice = scheme.compute_advice(graph, root=root)
+        self._timed("advice", start)
+        if memo_key is not None:
+            self._advice[memo_key] = (scheme, advice)
+        return scheme, advice
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self, task: SweepTask) -> Dict[str, Any]:
+        """Run one task against the shared context and return its row."""
+        graph = self._instance(task)
+        if task.kind == "scheme":
+            scheme, advice = self._scheme_and_advice(task, graph)
+            start = time.perf_counter()
+            report = run_scheme(
+                scheme,
+                graph,
+                root=task.root % graph.n,
+                backend=task.backend,
+                advice=advice,
+            )
+            self._timed("execute", start)
+            return {
+                "kind": "scheme",
+                "scheme": report.scheme,
+                "n": task.n,
+                "seed": task.seed,
+                "max_advice_bits": report.advice.max_bits,
+                "avg_advice_bits": report.advice.average_bits,
+                "total_advice_bits": report.advice.total_bits,
+                "rounds": report.rounds,
+                "max_edge_bits": report.metrics.max_edge_bits_per_round,
+                "total_messages": report.metrics.total_messages,
+                "total_message_bits": report.metrics.total_message_bits,
+                "correct": report.correct,
+            }
+        baseline = resolve_baseline(task.target)
+        start = time.perf_counter()
+        report = run_baseline(baseline, graph)
+        self._timed("execute", start)
+        return {
+            "kind": "baseline",
+            "scheme": report.baseline,
+            "n": task.n,
+            "seed": task.seed,
+            "rounds": report.rounds,
+            "max_edge_bits": report.metrics.max_edge_bits_per_round,
+            "total_messages": report.metrics.total_messages,
+            "total_message_bits": report.metrics.total_message_bits,
+            "correct": report.correct,
+            "round_bound": report.round_bound,
+        }

@@ -1,19 +1,27 @@
 """Task execution: serial, or process-parallel with ``--jobs N``.
 
 :func:`run_tasks` is the single entry point everything routes through —
-``analysis/sweep.py``, the CLI's ``sweep --jobs`` / ``bench`` commands
-and the benchmark suite.  Guarantees:
+``analysis/sweep.py``, the ``repro.report`` pipeline, the CLI's ``sweep
+--jobs`` / ``bench`` commands and the benchmark suite.  Guarantees:
 
 * **Determinism** — results come back in task order regardless of
-  ``jobs``; workers return plain measured rows and all aggregation
-  happens in the parent, so the serial and parallel paths are
+  ``jobs`` or ``grouping``; workers return plain measured rows and all
+  aggregation happens in the parent, so every execution mode is
   byte-identical.
-* **Chunking** — with ``jobs=N`` the miss list is split into ~``4*N``
-  contiguous chunks, so inter-process traffic is one pickle per chunk
-  instead of one per run.
+* **Instance grouping** — with ``grouping="instance"`` (the default)
+  cache misses are partitioned by :func:`repro.runner.plan.plan_groups`
+  into groups sharing one graph instance, and each group runs against
+  one :class:`~repro.runner.plan.InstanceContext`: the graph, Borůvka
+  trace, rooted tree and per-scheme advice are built **once per group**
+  instead of once per task.  With ``jobs=N`` whole groups are shipped to
+  workers (instead of blind contiguous chunks), so the sharing holds in
+  every worker process too.  ``grouping="none"`` keeps the historical
+  per-task path for A/B comparison.
 * **Caching** — with ``cache_dir`` set, cacheable tasks (registry-name
   target + :class:`GraphSpec` graph) are looked up / stored by their
-  content hash; see :mod:`repro.runner.cache` for the file format.
+  content hash (computed once per task and reused for lookup, store and
+  planning); see :mod:`repro.runner.cache` for the file format.  A
+  cache-warm call never constructs a single group.
 
 Workers rebuild schemes and graphs from the task description, so a task
 is a few hundred bytes on the wire even when the instance it describes
@@ -24,71 +32,54 @@ from __future__ import annotations
 
 import math
 import multiprocessing
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.oracle import run_scheme
-from repro.distributed.base import run_baseline
 from repro.runner.cache import ResultCache
-from repro.runner.registry import resolve_baseline, resolve_scheme
+from repro.runner.plan import ExecutionStats, InstanceContext, TaskGroup, plan_groups
 from repro.runner.tasks import SweepTask
 
-__all__ = ["execute_task", "run_tasks"]
+__all__ = ["execute_task", "run_tasks", "GROUPING_MODES"]
+
+#: accepted values of ``run_tasks(..., grouping=...)``
+GROUPING_MODES = ("instance", "none")
 
 
 def execute_task(task: SweepTask) -> Dict[str, Any]:
-    """Run one task and return its measured row (plain JSON-able dict).
+    """Run one task in isolation and return its measured row.
 
-    Rows carry unrounded measurements; presentation rounding happens in
-    the aggregation layer so cached and fresh results cannot diverge.
+    The single-task view of the grouped executor: a fresh
+    :class:`~repro.runner.plan.InstanceContext` per call, so rows are
+    identical to grouped execution by construction.  Rows carry
+    unrounded measurements; presentation rounding happens in the
+    aggregation layer so cached and fresh results cannot diverge.
     """
-    graph = task.build_graph()
-    if task.kind == "scheme":
-        scheme = resolve_scheme(task.target)
-        report = run_scheme(
-            scheme, graph, root=task.root % graph.n, backend=task.backend
-        )
-        return {
-            "kind": "scheme",
-            "scheme": report.scheme,
-            "n": task.n,
-            "seed": task.seed,
-            "max_advice_bits": report.advice.max_bits,
-            "avg_advice_bits": report.advice.average_bits,
-            "total_advice_bits": report.advice.total_bits,
-            "rounds": report.rounds,
-            "max_edge_bits": report.metrics.max_edge_bits_per_round,
-            "total_messages": report.metrics.total_messages,
-            "total_message_bits": report.metrics.total_message_bits,
-            "correct": report.correct,
-        }
-    baseline = resolve_baseline(task.target)
-    report = run_baseline(baseline, graph)
-    return {
-        "kind": "baseline",
-        "scheme": report.baseline,
-        "n": task.n,
-        "seed": task.seed,
-        "rounds": report.rounds,
-        "max_edge_bits": report.metrics.max_edge_bits_per_round,
-        "total_messages": report.metrics.total_messages,
-        "total_message_bits": report.metrics.total_message_bits,
-        "correct": report.correct,
-        "round_bound": report.round_bound,
-    }
+    return InstanceContext().execute(task)
 
 
 def _execute_chunk(chunk: Sequence[SweepTask]) -> List[Dict[str, Any]]:
-    """Worker entry point: run one contiguous slice of the task list."""
+    """Worker entry point of the ungrouped path: one contiguous slice."""
     return [execute_task(task) for task in chunk]
 
 
-def _run_parallel(
-    tasks: Sequence[SweepTask], jobs: int, chunksize: Optional[int]
-) -> List[Dict[str, Any]]:
-    """Fan a task list over a process pool; results stay in task order."""
-    if chunksize is None:
-        chunksize = max(1, math.ceil(len(tasks) / (jobs * 4)))
-    chunks = [list(tasks[i : i + chunksize]) for i in range(0, len(tasks), chunksize)]
+def _execute_group_chunk(
+    chunk: Sequence[TaskGroup],
+) -> Tuple[List[Tuple[int, Dict[str, Any]]], Dict[str, float]]:
+    """Worker entry point of the grouped path: whole groups at a time.
+
+    Returns ``(miss_index, row)`` pairs plus the worker's stage-seconds
+    breakdown, so the parent can reassemble rows in task order and
+    aggregate profiling data across processes.
+    """
+    stats = ExecutionStats()
+    rows: List[Tuple[int, Dict[str, Any]]] = []
+    for group in chunk:
+        context = InstanceContext(stats=stats)
+        for index, task in zip(group.indices, group.tasks):
+            rows.append((index, context.execute(task)))
+    return rows, stats.stage_seconds
+
+
+def _pool(jobs: int):
     # fork shares the parent's sys.path (the repo may be run straight
     # from a checkout, without installation); fall back to the platform
     # default where fork does not exist
@@ -96,9 +87,45 @@ def _run_parallel(
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         ctx = multiprocessing.get_context()
-    with ctx.Pool(processes=jobs) as pool:
+    return ctx.Pool(processes=jobs)
+
+
+def _run_parallel(
+    tasks: Sequence[SweepTask], jobs: int, chunksize: Optional[int]
+) -> List[Dict[str, Any]]:
+    """Ungrouped fan-out: contiguous chunks, results stay in task order."""
+    if chunksize is None:
+        chunksize = max(1, math.ceil(len(tasks) / (jobs * 4)))
+    chunks = [list(tasks[i : i + chunksize]) for i in range(0, len(tasks), chunksize)]
+    with _pool(jobs) as pool:
         nested = pool.map(_execute_chunk, chunks)
     return [row for chunk_rows in nested for row in chunk_rows]
+
+
+def _run_parallel_groups(
+    groups: Sequence[TaskGroup],
+    jobs: int,
+    total_tasks: int,
+    stats: Optional[ExecutionStats],
+) -> List[Dict[str, Any]]:
+    """Grouped fan-out: whole groups per work item, never split.
+
+    Splitting a group across workers would rebuild its shared artifacts
+    in every worker — exactly the waste the planner exists to remove —
+    so the unit of distribution is the group, bundled into ~``4*jobs``
+    consecutive runs to keep pickling traffic low.
+    """
+    chunksize = max(1, math.ceil(len(groups) / (jobs * 4)))
+    chunks = [list(groups[i : i + chunksize]) for i in range(0, len(groups), chunksize)]
+    with _pool(jobs) as pool:
+        nested = pool.map(_execute_group_chunk, chunks)
+    rows: List[Optional[Dict[str, Any]]] = [None] * total_tasks
+    for chunk_rows, stage_seconds in nested:
+        for index, row in chunk_rows:
+            rows[index] = row
+        if stats is not None:
+            stats.merge_stage_dict(stage_seconds)
+    return rows  # type: ignore[return-value]
 
 
 def run_tasks(
@@ -106,26 +133,39 @@ def run_tasks(
     jobs: int = 1,
     cache_dir: Optional[Union[str, "ResultCache"]] = None,
     chunksize: Optional[int] = None,
+    grouping: str = "instance",
+    stats: Optional[ExecutionStats] = None,
 ) -> List[Dict[str, Any]]:
     """Execute every task and return their rows **in task order**.
 
     ``jobs=1`` runs in-process (no pickling — closures and ad-hoc scheme
     instances are fine); ``jobs>1`` distributes cache misses over a
     process pool.  ``cache_dir`` may be a directory path or an existing
-    :class:`ResultCache`.
+    :class:`ResultCache`.  ``grouping="instance"`` (default) batches
+    tasks sharing a graph instance through one shared context;
+    ``grouping="none"`` is the historical per-task execution.  ``stats``
+    may be an :class:`~repro.runner.plan.ExecutionStats` to be filled
+    with cache counters and the per-stage timing breakdown.
     """
     task_list = list(tasks)
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if grouping not in GROUPING_MODES:
+        raise ValueError(
+            f"grouping must be one of {', '.join(GROUPING_MODES)}, got {grouping!r}"
+        )
     cache: Optional[ResultCache] = None
     if cache_dir is not None:
         cache = cache_dir if isinstance(cache_dir, ResultCache) else ResultCache(cache_dir)
 
     results: List[Optional[Dict[str, Any]]] = [None] * len(task_list)
+    # one hash per task, reused for the lookup below and the store after
+    keys: List[Optional[str]] = (
+        [task.task_hash() for task in task_list] if cache is not None else []
+    )
     miss_indices: List[int] = []
     if cache is not None:
-        for index, task in enumerate(task_list):
-            key = task.task_hash()
+        for index, key in enumerate(keys):
             row = cache.get(key) if key is not None else None
             if row is not None:
                 results[index] = row
@@ -133,19 +173,34 @@ def run_tasks(
                 miss_indices.append(index)
     else:
         miss_indices = list(range(len(task_list)))
+    if stats is not None:
+        stats.cache_hits += len(task_list) - len(miss_indices)
+        stats.cache_misses += len(miss_indices)
 
     misses = [task_list[i] for i in miss_indices]
     if misses:
-        if jobs > 1 and len(misses) > 1:
+        if grouping == "instance":
+            groups = plan_groups(misses)
+            if stats is not None:
+                stats.groups += len(groups)
+                stats.grouped_tasks += len(misses)
+            if jobs > 1 and len(misses) > 1:
+                computed = _run_parallel_groups(groups, jobs, len(misses), stats)
+            else:
+                computed = [None] * len(misses)  # type: ignore[assignment]
+                for group in groups:
+                    context = InstanceContext(stats=stats)
+                    for index, task in zip(group.indices, group.tasks):
+                        computed[index] = context.execute(task)
+        elif jobs > 1 and len(misses) > 1:
             computed = _run_parallel(misses, jobs, chunksize)
         else:
             computed = [execute_task(task) for task in misses]
         for index, row in zip(miss_indices, computed):
             results[index] = row
             if cache is not None:
-                task = task_list[index]
-                key = task.task_hash()
+                key = keys[index]
                 if key is not None:
-                    cache.put(key, task.key_dict() or {}, row)
+                    cache.put(key, task_list[index].key_dict() or {}, row)
 
     return results  # type: ignore[return-value]

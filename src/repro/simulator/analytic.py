@@ -40,6 +40,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.mst.boruvka import boruvka_trace
 from repro.mst.kruskal import kruskal_mst
@@ -133,6 +135,20 @@ class _Ledger:
         if bits > self.max_bits:
             self.max_bits = bits
 
+    def deliver_bulk(self, rounds: np.ndarray, bits: np.ndarray) -> None:
+        """Charge one delivery per ``(rounds[k], bits[k])`` pair at once."""
+        if rounds.size == 0:
+            return
+        self.total_messages += int(rounds.size)
+        self.total_bits += int(bits.sum())
+        top = int(bits.max())
+        if top > self.max_bits:
+            self.max_bits = top
+        counts = np.bincount(rounds)
+        per_round = self.per_round
+        for r in np.flatnonzero(counts).tolist():
+            per_round[r] = per_round.get(r, 0) + int(counts[r])
+
     def metrics(self, n: int, rounds: int) -> RunMetrics:
         if self.per_round and max(self.per_round) > rounds:  # pragma: no cover
             raise RuntimeError("analytic model delivered a message after the last round")
@@ -158,56 +174,97 @@ def _gamma_len(value: int) -> int:
     return 2 * value.bit_length() - 1
 
 
-class _FragmentGeometry:
-    """Preorder, depths, heights and subtree sums of one fragment subtree."""
+def _bit_length(values: np.ndarray) -> np.ndarray:
+    """Vectorised ``max(1, int(v).bit_length())`` for non-negative ints.
 
-    def __init__(
-        self,
-        partition,
-        f: int,
-        weights: Optional[List[int]] = None,
-        preorder: Optional[List[int]] = None,
-    ) -> None:
-        pre = preorder if preorder is not None else partition.dfs_preorder(f)
-        self.preorder = pre
-        pos = {u: k for k, u in enumerate(pre)}
-        self.position = pos
-        parent: List[int] = [-1] * len(pre)  # position of the parent, -1 for r_F
-        depth: List[int] = [0] * len(pre)
-        for k, u in enumerate(pre):
-            if k == 0:
-                continue
-            p = partition.parent_in_fragment(u)
-            pk = pos[p]
-            parent[k] = pk
-            depth[k] = depth[pk] + 1
-        self.parent = parent
-        self.depth = depth
+    ``frexp`` returns the exponent ``e`` with ``v = m * 2**e`` and
+    ``0.5 <= m < 1``, which for ``v >= 1`` *is* the bit length; exact for
+    every integer below ``2**53``, far beyond any count in a trace.
+    """
+    return np.maximum(1, np.frexp(values.astype(np.float64))[1])
 
-        height = [0] * len(pre)
-        size = [1] * len(pre)
-        weight_sum = list(weights) if weights is not None else [0] * len(pre)
-        for k in range(len(pre) - 1, 0, -1):
-            pk = parent[k]
-            if height[k] + 1 > height[pk]:
-                height[pk] = height[k] + 1
-            size[pk] += size[k]
-            weight_sum[pk] += weight_sum[k]
-        self.height = height
-        self.subtree_size = size
-        #: per subtree, the sum of the per-node weights (unconsumed bits)
-        self.subtree_weight = weight_sum
-        #: per node, the sum of weights over strictly earlier preorder nodes
-        prefix = [0] * len(pre)
-        running = 0
-        base = weights if weights is not None else [0] * len(pre)
-        for k in range(len(pre)):
-            prefix[k] = running
-            running += base[k]
-        self.prefix_weight = prefix
-        self.has_children = [False] * len(pre)
-        for k in range(1, len(pre)):
-            self.has_children[parent[k]] = True
+
+def _int_elems(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_int_elem`."""
+    return 3 + _bit_length(values)
+
+
+def _range_max(values: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Per query ``k``, the maximum of ``values[lo[k] : hi[k]]`` (``hi > lo``).
+
+    A classic sparse table: ``O(n log n)`` to build, every query answered
+    by two overlapping power-of-two windows.  All the interval queries of
+    the analytic model (subtree heights, truncated collection waves) go
+    through here instead of per-node Python recurrences.
+    """
+    lens = hi - lo
+    max_len = int(lens.max())
+    levels = max_len.bit_length() - 1  # floor(log2(max_len))
+    tables = [values]
+    for level in range(1, levels + 1):
+        half = 1 << (level - 1)
+        prev = tables[-1]
+        tables.append(np.maximum(prev[:-half], prev[half:]))
+    out = np.empty(lo.size, dtype=values.dtype)
+    query_level = np.frexp(lens.astype(np.float64))[1] - 1  # floor(log2(len))
+    for level in range(levels + 1):
+        mask = query_level == level
+        if not mask.any():
+            continue
+        width = 1 << level
+        table = tables[level]
+        out[mask] = np.maximum(table[lo[mask]], table[hi[mask] - width])
+    return out
+
+
+class _PartitionGeometry:
+    """Bulk geometry of *every* fragment subtree of one partition.
+
+    All arrays are indexed by *position* in the concatenated fragment
+    preorders (:meth:`FragmentPartition.preorder_arrays`): position ``j``
+    holds node ``nodes[j]``, belongs to fragment ``frag[j]``, sits at
+    ``kpos[j]`` within its fragment's DFS preorder, at fragment-relative
+    depth ``depth[j]``; its fragment subtree occupies positions
+    ``[j, end[j])`` (fragments are connected MST subtrees, so subtrees
+    are contiguous preorder intervals), giving ``size[j] = end[j] - j``
+    and ``height[j]`` via one range-max.  The geometry depends only on
+    the partition, so it is computed once and cached on it — every
+    scheme run over the same trace reuses it.
+    """
+
+    def __init__(self, partition) -> None:
+        tree = partition.tree
+        nodes, starts = partition.preorder_arrays()
+        self.nodes = nodes
+        self.starts = starts
+        num_fragments = partition.num_fragments
+        counts = starts[1:] - starts[:-1]
+        self.counts = counts
+        frag = np.repeat(np.arange(num_fragments, dtype=np.int64), counts)
+        self.frag = frag
+        positions = np.arange(nodes.size, dtype=np.int64)
+        self.kpos = positions - starts[frag]
+        tree_depth = np.asarray(tree.depth, dtype=np.int64)
+        root_depth = tree_depth[nodes[starts[:-1]]]
+        self.depth = tree_depth[nodes] - root_depth[frag]
+        # subtree intervals: members of the fragment-subtree of node u are
+        # exactly the fragment members inside u's whole-tree Euler
+        # interval; within the lexsorted (fragment, preorder-pos) order a
+        # search on the combined key finds the interval end
+        pos_in_tree = tree.preorder_index()[nodes]
+        stride = tree.n + 1
+        key = frag * stride + pos_in_tree
+        self.end = np.searchsorted(key, frag * stride + tree.subtree_span()[nodes])
+        self.size = self.end - positions
+        self.height = _range_max(self.depth, positions, self.end) - self.depth
+
+    @staticmethod
+    def of(partition) -> "_PartitionGeometry":
+        cached = partition._cache.get("analytic_geometry")
+        if cached is None:
+            cached = _PartitionGeometry(partition)
+            partition._cache["analytic_geometry"] = cached
+        return cached
 
 
 # --------------------------------------------------------------------- #
@@ -232,16 +289,18 @@ def _result(outputs: Dict[int, Any], metrics: RunMetrics) -> RunResult:
     )
 
 
-def _analytic_trivial(scheme, graph: PortNumberedGraph, root: int):
+def _analytic_trivial(scheme, graph: PortNumberedGraph, root: int, advice=None):
     tree = build_rooted_tree(graph, kruskal_mst(graph), root=root)
-    advice = scheme.compute_advice(graph, root=root, tree=tree)
+    if advice is None:
+        advice = scheme.compute_advice(graph, root=root, tree=tree)
     # every node halts during init: zero rounds, zero messages
     return advice, _result(_expected_outputs(tree), _Ledger().metrics(graph.n, 0))
 
 
-def _analytic_average(scheme, graph: PortNumberedGraph, root: int):
+def _analytic_average(scheme, graph: PortNumberedGraph, root: int, advice=None):
     trace = boruvka_trace(graph, root=root)
-    advice = scheme.compute_advice(graph, root=root, trace=trace)
+    if advice is None:
+        advice = scheme.compute_advice(graph, root=root, trace=trace)
     ledger = _Ledger()
     # one parent claim per *down* record, all delivered in round 1; every
     # node (even a claimless one) waits that one round for late claims
@@ -253,12 +312,13 @@ def _analytic_average(scheme, graph: PortNumberedGraph, root: int):
     return advice, _result(_expected_outputs(trace.tree), ledger.metrics(graph.n, 1))
 
 
-def _analytic_main(scheme, graph: PortNumberedGraph, root: int, is_level: bool):
+def _analytic_main(scheme, graph: PortNumberedGraph, root: int, is_level: bool, advice=None):
     from repro.core.scheme_main import num_boruvka_phases, phase_window_rounds
 
     n = graph.n
     trace = boruvka_trace(graph, root=root)
-    advice = scheme.compute_advice(graph, root=root, trace=trace)
+    if advice is None:
+        advice = scheme.compute_advice(graph, root=root, trace=trace)
     outputs = _expected_outputs(trace.tree)
     if n == 1:
         # the lone degree-0 node halts during init: no rounds at all
@@ -267,17 +327,21 @@ def _analytic_main(scheme, graph: PortNumberedGraph, root: int, is_level: bool):
     phases = num_boruvka_phases(n)
     layout = scheme.last_layout  # per real phase, bits packed per node
     conv_start = 2 if is_level else 1
-    consumed = [0] * n
-    data_total = [0] * n
+    consumed = np.zeros(n, dtype=np.int64)
+    data_total = np.zeros(n, dtype=np.int64)
+    layout_arrays: List[Tuple[np.ndarray, np.ndarray]] = []
     for phase_layout in layout:
-        for u, take in phase_layout.items():
-            data_total[u] += take
+        keys = np.fromiter(phase_layout.keys(), dtype=np.int64, count=len(phase_layout))
+        takes = np.fromiter(phase_layout.values(), dtype=np.int64, count=len(phase_layout))
+        layout_arrays.append((keys, takes))
+        data_total[keys] += takes  # packer keys are unique per phase
 
     ledger = _Ledger()
     offset = 0
     for i in range(1, phases + 1):
         window = phase_window_rounds(i) + (2 if is_level else 0)
         partition = trace.partition_before_phase(i)
+        geo = _PartitionGeometry.of(partition)
 
         if is_level:
             # every node announces its level on every port in the first
@@ -291,31 +355,42 @@ def _analytic_main(scheme, graph: PortNumberedGraph, root: int, is_level: bool):
         else:
             selections = {}
 
+        # per-position unconsumed bits and their prefix sums along the
+        # concatenated fragment preorders; subtree sums become interval
+        # differences because subtrees are contiguous preorder intervals
+        unconsumed = data_total[geo.nodes] - consumed[geo.nodes]
+        csum = np.concatenate(([0], np.cumsum(unconsumed)))
+
+        # ---- convergecast: one CONV per non-root of every multi-node
+        # fragment whose send round fits the window
+        send_round = conv_start + geo.height
+        conv_mask = (geo.kpos > 0) & (send_round <= window)
+        if conv_mask.any():
+            positions = np.flatnonzero(conv_mask)
+            subtree_weight = csum[geo.end[positions]] - csum[positions]
+            # the scalar helper evaluated at (size=1, stream=0), with the
+            # two size-dependent terms swapped in vectorized
+            bits = (
+                (_conv_bits(i, 1, 0) - _int_elem(1))
+                + _int_elems(geo.size[positions])
+                + subtree_weight
+            )
+            ledger.deliver_bulk(offset + send_round[positions] + 1, bits)
+
+        # ---- attachments of singleton fragments, broadcast + attachment
+        # of the active multi-node fragments
         threshold = 1 << i
-        for f in range(partition.num_fragments):
-            members = partition.members[f]
-            sel = selections.get(f)
-            if len(members) == 1:
-                # singleton fragment: no convergecast, no broadcast; an
-                # active one attaches across its selected edge right away
-                if sel is not None and len(members) < threshold:
-                    ledger.deliver(offset + conv_start + 1, _attach_bits(i, sel.is_up))
-                continue
-            pre = partition.dfs_preorder(f)
-            unconsumed = [data_total[u] - consumed[u] for u in pre]
-            geo = _FragmentGeometry(partition, f, weights=unconsumed, preorder=pre)
-
-            # ---- convergecast: one CONV per non-root that fits the window
-            for k in range(1, len(pre)):
-                send_round = conv_start + geo.height[k]
-                if send_round <= window:
-                    ledger.deliver(
-                        offset + send_round + 1,
-                        _conv_bits(i, geo.subtree_size[k], geo.subtree_weight[k]),
-                    )
-
-            # ---- broadcast + attachment (active fragments only)
-            if sel is None or len(members) >= threshold:
+        bcast_fragments: List[int] = []
+        #: per active fragment, its broadcast size minus the two per-node
+        #: fields (offset prefix, DFS index) that vary along the fragment
+        frag_base = np.zeros(partition.num_fragments, dtype=np.int64)
+        for f, sel in selections.items():
+            size_f = int(geo.counts[f])
+            if size_f >= threshold:
+                continue  # passive fragment: nothing to decode at this phase
+            if size_f == 1:
+                # singleton: no convergecast, no broadcast; attach directly
+                ledger.deliver(offset + conv_start + 1, _attach_bits(i, sel.is_up))
                 continue
             if is_level:
                 a_len = 2 + _gamma_len(sel.choosing_dfs_index)
@@ -327,64 +402,88 @@ def _analytic_main(scheme, graph: PortNumberedGraph, root: int, is_level: bool):
                     + _gamma_len(sel.choosing_dfs_index)
                 )
                 record_bits = _BOOL_ELEM + _int_elem(sel.rank_at_choosing)
-            complete = conv_start + geo.height[0]
-            j = sel.choosing_dfs_index
-            for k in range(1, len(pre)):
-                ledger.deliver(
-                    offset + complete + geo.depth[k],
-                    _bcast_bits(i, j, record_bits, a_len, geo.prefix_weight[k], k + 1),
-                )
-            choosing_depth = geo.depth[geo.position[sel.choosing_node]]
+            frag_base[f] = _bcast_bits(
+                i, sel.choosing_dfs_index, record_bits, a_len, 0, 0
+            ) - 2 * _int_elem(0)
+            bcast_fragments.append(f)
+            # the fragment completes its convergecast at conv_start +
+            # height(r_F); the attachment crosses one round after the
+            # broadcast reaches the choosing node
+            complete = conv_start + int(geo.height[geo.starts[f]])
+            choosing_depth = int(
+                partition.tree.depth[sel.choosing_node]
+                - partition.tree.depth[int(geo.nodes[geo.starts[f]])]
+            )
             ledger.deliver(
                 offset + complete + choosing_depth + 1, _attach_bits(i, sel.is_up)
+            )
+        if bcast_fragments:
+            active = np.zeros(partition.num_fragments, dtype=bool)
+            active[bcast_fragments] = True
+            positions = np.flatnonzero(active[geo.frag] & (geo.kpos > 0))
+            frag_of_pos = geo.frag[positions]
+            complete = conv_start + geo.height[geo.starts[:-1]]  # per fragment
+            prefix_weight = csum[positions] - csum[geo.starts[frag_of_pos]]
+            bits = (
+                frag_base[frag_of_pos]
+                + _int_elems(prefix_weight)
+                + _int_elems(geo.kpos[positions] + 1)
+            )
+            ledger.deliver_bulk(
+                offset + complete[frag_of_pos] + geo.depth[positions], bits
             )
 
         # the broadcasts of this window consumed exactly the bits the
         # oracle packed for phase i (the packing invariant)
-        if i <= len(layout):
-            for u, take in layout[i - 1].items():
-                consumed[u] += take
+        if i <= len(layout_arrays):
+            keys, takes = layout_arrays[i - 1]
+            consumed[keys] += takes
         offset += window
 
     # ------------------------- final collection ------------------------ #
     final_start = offset + 1
     partition = trace.partition_before_phase(phases + 1)
+    geo = _PartitionGeometry.of(partition)
     last_halt = final_start
-    for f in range(partition.num_fragments):
-        geo = _FragmentGeometry(partition, f)
-        pre = geo.preorder
-        r_f = pre[0]
-        width = max(1, graph.degree(r_f).bit_length())
-        if width - 1 == 0 or not geo.has_children[0]:
-            continue  # the root alone holds every bit: it halts at final_start
-        # wave height: the collection is truncated at depth width - 1
-        wave_height = [0] * len(pre)
-        for k in range(len(pre) - 1, 0, -1):
-            if geo.depth[k] > width - 1:
-                continue  # never reached by the wave
-            # a node at depth width - 1 replies without forwarding, so its
-            # own wave height stays 0 (its children sit beyond the wave),
-            # but it still adds one collect/reply hop to its parent
-            pk = geo.parent[k]
-            if wave_height[k] + 1 > wave_height[pk]:
-                wave_height[pk] = wave_height[k] + 1
-        for k in range(1, len(pre)):
-            d = geo.depth[k]
-            if d > width - 1:
-                continue
+    # per fragment, the width of the final field at its root; fragments
+    # where the root alone holds every bit (width 1 or singleton) halt at
+    # final_start without any collection traffic
+    frag_width = _bit_length(graph._degrees[geo.nodes[geo.starts[:-1]]])
+    collecting = (frag_width > 1) & (geo.counts > 1)
+    if collecting.any():
+        # wave heights: the collection wave is truncated at depth
+        # width - 1, so clip deeper nodes out of the range-max (their
+        # depth can never propagate up into the wave region)
+        wave_limit = (frag_width - 1)[geo.frag]
+        clipped = np.where(geo.depth <= wave_limit, geo.depth, -1)
+        all_positions = np.arange(geo.nodes.size, dtype=np.int64)
+        wave_height = _range_max(clipped, all_positions, geo.end) - geo.depth
+        in_wave = (
+            collecting[geo.frag] & (geo.kpos > 0) & (geo.depth <= wave_limit)
+        )
+        if in_wave.any():
+            positions = np.flatnonzero(in_wave)
+            depth = geo.depth[positions]
+            width = frag_width[geo.frag[positions]]
             # COLLECT from the parent (depth <= width - 2 always forwards)
-            ledger.deliver(final_start + d, _collect_bits(width - 1 - d))
+            collect_bits = (
+                _collect_bits(0) - _int_elem(0) + _int_elems(width - 1 - depth)
+            )
+            ledger.deliver_bulk(final_start + depth, collect_bits)
             # REPLY back up, carrying the final bits of the subtree (the
             # holders are the first ``width`` preorder positions)
-            reply_round = final_start + d + 2 * wave_height[k]
-            pos = geo.position[pre[k]]
-            holders = max(0, min(width, pos + geo.subtree_size[k]) - pos)
-            ledger.deliver(reply_round + 1, _reply_bits(holders))
-            if reply_round > last_halt:
-                last_halt = reply_round
-        root_halt = final_start + 2 * wave_height[0]
-        if root_halt > last_halt:
-            last_halt = root_halt
+            reply_round = final_start + depth + 2 * wave_height[positions]
+            holders = np.maximum(
+                0,
+                np.minimum(width, geo.kpos[positions] + geo.size[positions])
+                - geo.kpos[positions],
+            )
+            reply_bits = _reply_bits(0) + holders  # the stream length is per node
+            ledger.deliver_bulk(reply_round + 1, reply_bits)
+            last_halt = max(last_halt, int(reply_round.max()))
+        root_halts = final_start + 2 * wave_height[geo.starts[:-1]][collecting]
+        if root_halts.size:
+            last_halt = max(last_halt, int(root_halts.max()))
 
     return advice, _result(outputs, ledger.metrics(n, last_halt))
 
@@ -399,6 +498,7 @@ def run_scheme_analytic(
     graph: PortNumberedGraph,
     root: int = 0,
     max_rounds: Optional[int] = None,
+    advice=None,
 ) -> Tuple[Any, RunResult]:
     """Compute (advice, run result) analytically, without the engine.
 
@@ -408,6 +508,11 @@ def run_scheme_analytic(
     instead).  The model never truncates: if the computed run would
     exceed ``max_rounds``, :class:`AnalyticUnsupported` is raised and the
     caller should fall back to the engine for exact truncated metrics.
+
+    ``advice`` may carry a precomputed assignment; it must come from
+    ``scheme.compute_advice`` on this exact ``scheme`` object for this
+    ``(graph, root)`` — the Theorem-3 model replays the packing layout
+    the oracle left on the scheme instance.
 
     >>> from repro.core.scheme_main import ShortAdviceScheme
     >>> from repro.graphs.generators import random_connected_graph
@@ -433,13 +538,13 @@ def run_scheme_analytic(
 
     cls = type(scheme)
     if cls is TrivialRankScheme:
-        advice, result = _analytic_trivial(scheme, graph, root)
+        advice, result = _analytic_trivial(scheme, graph, root, advice=advice)
     elif cls is AverageConstantScheme:
-        advice, result = _analytic_average(scheme, graph, root)
+        advice, result = _analytic_average(scheme, graph, root, advice=advice)
     elif cls is LevelAdviceScheme:
-        advice, result = _analytic_main(scheme, graph, root, is_level=True)
+        advice, result = _analytic_main(scheme, graph, root, is_level=True, advice=advice)
     elif cls is ShortAdviceScheme:
-        advice, result = _analytic_main(scheme, graph, root, is_level=False)
+        advice, result = _analytic_main(scheme, graph, root, is_level=False, advice=advice)
     else:
         raise AnalyticUnsupported(
             f"no analytic model for scheme class {cls.__name__}; "

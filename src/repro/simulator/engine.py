@@ -182,6 +182,8 @@ class SyncEngine:
         # nodes halt instead of re-scanning all n contexts every round
         active = [u for u in range(n) if not contexts[u].halted]
         on_round = [program.on_round for program in programs]
+        # per-node wake-up round of the idle-scheduling hint (0 = every round)
+        wake = [0] * n
         wiring = network.wiring
         pending = self._collect_outboxes(range(n))
         round_number = 0
@@ -204,16 +206,24 @@ class SyncEngine:
             inboxes: Dict[int, Dict[int, Any]] = {}
             if tracer is None:
                 # hot path: endpoint table indexed directly, per-round
-                # metric counters kept in locals and flushed once
+                # metric counters kept in locals and flushed once; a
+                # payload broadcast to many ports is sized once per round
+                # (keyed by object identity — the senders' outboxes keep
+                # every payload alive for the duration of the loop)
                 count = 0
                 bits_sum = 0
                 bits_max = 0
+                size_cache: Dict[int, int] = {}
                 for sender, ports in pending.items():
                     wiring_row = wiring[sender]
                     for port, payload in ports.items():
                         receiver, receiver_port = wiring_row[port]
                         inboxes.setdefault(receiver, {})[receiver_port] = payload
-                        bits = estimate_bits(payload)
+                        payload_id = id(payload)
+                        bits = size_cache.get(payload_id)
+                        if bits is None:
+                            bits = estimate_bits(payload)
+                            size_cache[payload_id] = bits
                         count += 1
                         bits_sum += bits
                         if bits > bits_max:
@@ -241,8 +251,13 @@ class SyncEngine:
 
             any_halted = False
             for u in active:
+                # honour the idle-scheduling hint: a node that declared
+                # itself idle is only invoked early by an incoming message
+                if wake[u] > round_number and u not in inboxes:
+                    continue
                 ctx = contexts[u]
                 ctx._advance_round(round_number)
+                ctx._wake_round = 0
                 # direct dispatch — the program and context of *this* node
                 # are bound at the call site (no late-binding closures);
                 # exception wrapping is inlined to keep the per-node cost
@@ -253,6 +268,7 @@ class SyncEngine:
                     raise
                 except Exception as exc:
                     raise AlgorithmError(u, round_number, exc) from exc
+                wake[u] = ctx._wake_round
                 if ctx.halted:
                     any_halted = True
                     if tracer is not None:
@@ -263,6 +279,17 @@ class SyncEngine:
             pending = self._collect_outboxes(active)
             if any_halted:
                 active = [u for u in active if not contexts[u].halted]
+
+            # idle fast-forward: with nothing in flight and every running
+            # node idling, the skipped rounds are provably message-free —
+            # charge them in one batch and jump to the earliest wake-up
+            # (the round budget still truncates exactly as before)
+            if active and not pending and tracer is None:
+                next_wake = min(wake[u] for u in active)
+                target = min(next_wake - 1, self.max_rounds)
+                if target > round_number:
+                    metrics.record_idle_rounds(target - round_number)
+                    round_number = target
 
         outputs = {u: contexts[u].output for u in range(n)}
         missing = sum(1 for ctx in contexts if not ctx.has_output)

@@ -74,6 +74,17 @@ class RunMetrics:
         if self.messages_per_round:
             self.messages_per_round[-1] += count
 
+    def record_idle_rounds(self, count: int) -> None:
+        """Account ``count`` rounds in which no message travelled.
+
+        Used by the engine's idle fast-forward: rounds in which every
+        running node declared itself idle (:meth:`NodeContext.idle_until`)
+        and no message was in flight are charged in one call — same
+        totals, same per-round histogram, none of the per-round work.
+        """
+        self.rounds += count
+        self.messages_per_round.extend([0] * count)
+
     def record_undelivered(self, count: int) -> None:
         """Mark ``count`` already-recorded messages as never received."""
         self.undelivered_messages += count

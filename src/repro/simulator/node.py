@@ -28,6 +28,7 @@ class NodeContext:
         self._output: Any = None
         self._has_output = False
         self._halted = False
+        self._wake_round = 0
 
     # ------------------------------------------------------------------ #
     # what the node may read
@@ -88,6 +89,22 @@ class NodeContext:
         """Record this node's output for the problem being solved."""
         self._output = value
         self._has_output = True
+
+    def idle_until(self, round_number: int) -> None:
+        """Declare that this node has nothing scheduled before ``round_number``.
+
+        A strictly optional scheduling hint: the engine will not invoke
+        ``on_round`` again before the given round **unless a message
+        arrives first** (an incoming message always wakes the node).  A
+        program may only use it when every action it would have taken in
+        the skipped rounds is triggered either by a message or by a round
+        number it can compute in advance — fixed round schedules like the
+        GHS-style baseline qualify.  The hint lasts until the next
+        invocation; programs that never call it are invoked every round,
+        exactly as before.
+        """
+        if round_number > self._wake_round:
+            self._wake_round = round_number
 
     def halt(self, output: Any = None) -> None:
         """Declare this node finished (optionally setting the output).

@@ -206,11 +206,19 @@ class TestBackendFlag:
         assert stored["kind"] == "bench-snapshot"
         assert stored["payload"]["runs_per_second"] > 0
 
-        # doctor the baseline to an absurd throughput: the compare warns
+        # doctor the baseline to an absurd throughput: a >30% loss is now
+        # a hard failure (non-zero exit), not just a warning
         stored["payload"]["runs_per_second"] = 10 ** 9
         snapshot.write_text(json.dumps(stored))
-        assert main(argv[:-2] + ["--baseline", str(snapshot)]) == 0
+        assert main(argv[:-2] + ["--baseline", str(snapshot)]) == 1
         assert "perf regression" in capsys.readouterr().err
+
+        # a baseline measured under another execution configuration is
+        # never compared (apples-to-oranges): skipped with a warning
+        stored["payload"]["jobs"] = 64
+        snapshot.write_text(json.dumps(stored))
+        assert main(argv[:-2] + ["--baseline", str(snapshot)]) == 0
+        assert "skipping" in capsys.readouterr().err
 
     def test_bench_baseline_missing_file_warns_not_fails(self, tmp_path, capsys):
         argv = [
