@@ -32,6 +32,7 @@ from repro.distributed.base import DistributedMSTBaseline
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.runner.registry import resolve_baseline, resolve_scheme
 from repro.runner.runner import run_tasks
+from repro.runner.store import DEFAULT_CACHE_BACKEND
 from repro.runner.tasks import GraphSpec, SweepTask
 
 __all__ = [
@@ -101,6 +102,9 @@ def run_scheme_sweep(
     cache_dir: Optional[str] = None,
     backend: str = "engine",
     grouping: str = "instance",
+    cache_backend: str = DEFAULT_CACHE_BACKEND,
+    resume: bool = False,
+    progress: bool = False,
 ) -> SweepResult:
     """Run ``scheme`` on every size in ``sizes`` and aggregate per size.
 
@@ -111,7 +115,11 @@ def run_scheme_sweep(
 
     Schemes may be registry names or instances; ``jobs``/``cache_dir``
     fan the runs over worker processes and an on-disk cache without
-    changing a byte of the result:
+    changing a byte of the result.  ``cache_backend`` picks the cache
+    storage (sharded SQLite store by default, ``"json"`` for per-task
+    files); ``resume=True`` checkpoints a run manifest so a killed sweep
+    restarts without recomputing finished work, and ``progress=True``
+    reports done/total + ETA on stderr:
 
     >>> result = run_scheme_sweep("trivial", sizes=[8, 16], seeds=(0, 1))
     >>> [row["n"] for row in result.rows]
@@ -137,7 +145,16 @@ def run_scheme_sweep(
         for n in sizes
         for seed in seeds
     ]
-    raw = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir, grouping=grouping)
+    raw = run_tasks(
+        tasks,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        grouping=grouping,
+        cache_backend=cache_backend,
+        resume=resume,
+        progress=progress,
+        progress_label="sweep",
+    )
     return SweepResult(
         name=scheme_obj.name,
         rows=aggregate_scheme_rows(
@@ -207,6 +224,9 @@ def run_baseline_sweep(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     grouping: str = "instance",
+    cache_backend: str = DEFAULT_CACHE_BACKEND,
+    resume: bool = False,
+    progress: bool = False,
 ) -> SweepResult:
     """Run a no-advice baseline on every size in ``sizes``."""
     factory = graph_factory if graph_factory is not None else default_graph_factory()
@@ -216,7 +236,16 @@ def run_baseline_sweep(
         for n in sizes
         for seed in seeds
     ]
-    raw = run_tasks(tasks, jobs=jobs, cache_dir=cache_dir, grouping=grouping)
+    raw = run_tasks(
+        tasks,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        grouping=grouping,
+        cache_backend=cache_backend,
+        resume=resume,
+        progress=progress,
+        progress_label="sweep",
+    )
     return SweepResult(
         name=baseline_obj.name,
         rows=aggregate_baseline_rows(

@@ -26,11 +26,18 @@ The CLI exposes the library's main workflows without writing any Python:
     (``--spec specs/paper.toml --out reports/``): every experiment is
     compiled into a task grid, executed through the cached parallel
     runner, and rendered as Markdown/CSV artifacts.
+``store``
+    Maintain the SQLite result store behind ``--cache-dir``:
+    ``stats`` (rows/bytes per shard), ``gc`` (drop rows no current task
+    hash can reference), ``migrate`` (import a JSON cache directory).
 ``lowerbound``
     The Theorem-1 fooling-family experiment and pigeonhole table.
 
 Every command is deterministic given ``--seed``; ``sweep --jobs N``
-produces byte-identical output to the serial path.
+produces byte-identical output to the serial path, and so do
+``--cache-backend json`` vs ``sqlite`` and fresh vs ``--resume``\\ d
+runs (``--resume`` checkpoints a run manifest so a killed sweep or
+report restarts without recomputing finished work).
 """
 
 from __future__ import annotations
@@ -56,7 +63,6 @@ from repro.core.oracle import run_scheme
 from repro.core.scheme_average import paper_average_constant
 from repro.distributed.base import run_baseline
 from repro.graphs.weighted_graph import PortNumberedGraph
-from repro.runner.cache import ResultCache
 from repro.runner.plan import ExecutionStats
 from repro.runner.registry import (
     BACKENDS,
@@ -66,6 +72,14 @@ from repro.runner.registry import (
     build_graph,
 )
 from repro.runner.runner import GROUPING_MODES, run_tasks
+from repro.runner.store import (
+    CACHE_BACKENDS,
+    DEFAULT_CACHE_BACKEND,
+    DEFAULT_SHARDS,
+    STORE_SCHEMA_VERSION,
+    SQLiteResultStore,
+    open_result_store,
+)
 from repro.runner.tasks import GraphSpec, SweepTask
 
 __all__ = ["main", "build_parser", "SCHEMES", "BASELINES"]
@@ -97,7 +111,31 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=1, help="worker processes (default 1: run in-process)"
     )
     parser.add_argument(
-        "--cache-dir", default=None, help="directory for the on-disk JSON result cache"
+        "--cache-dir", default=None, help="directory for the on-disk result cache"
+    )
+    parser.add_argument(
+        "--cache-backend",
+        default=DEFAULT_CACHE_BACKEND,
+        choices=list(CACHE_BACKENDS),
+        help=(
+            "cache storage under --cache-dir: 'sqlite' is a sharded WAL-mode "
+            "store (default), 'json' the historical one-file-per-task cache; "
+            "rows are byte-identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "checkpoint a run manifest per completed group (requires "
+            "--cache-dir); a killed run restarted with the same command "
+            "re-executes zero finished tasks"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live done/total, cache-hit and ETA reporting on stderr",
     )
     parser.add_argument(
         "--grouping",
@@ -138,6 +176,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
             "version": repro.__version__,
             "paper": "Local MST computation with short advice (SPAA 2007)",
             "backends": list(BACKENDS),
+            "cache": {
+                "backend": DEFAULT_CACHE_BACKEND,
+                "backends": list(CACHE_BACKENDS),
+                "store_schema_version": STORE_SCHEMA_VERSION,
+                "store_default_shards": DEFAULT_SHARDS,
+            },
             "graph_families": list(GRAPH_FAMILIES),
             "schemes": [
                 {
@@ -249,6 +293,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         backend=args.backend,
         grouping=args.grouping,
+        cache_backend=args.cache_backend,
+        resume=args.resume,
+        progress=args.progress or args.resume,
     )
     if args.json:
         print(json.dumps(result.rows, indent=2, default=str))
@@ -294,11 +341,22 @@ def _bench_one_backend(args: argparse.Namespace, backend: str) -> Dict[str, Any]
         for k in range(args.repeats)
         for target in targets
     ]
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    cache = (
+        open_result_store(args.cache_dir, backend=args.cache_backend)
+        if args.cache_dir
+        else None
+    )
     stats = ExecutionStats()
     start = time.perf_counter()
     rows = run_tasks(
-        tasks, jobs=args.jobs, cache_dir=cache, grouping=args.grouping, stats=stats
+        tasks,
+        jobs=args.jobs,
+        cache_dir=cache,
+        grouping=args.grouping,
+        stats=stats,
+        resume=args.resume,
+        progress=args.progress,
+        progress_label="bench",
     )
     elapsed = time.perf_counter() - start
 
@@ -490,6 +548,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         backend=args.backend,
         grouping=args.grouping,
+        cache_backend=args.cache_backend,
+        resume=args.resume,
+        progress=args.progress or args.resume,
     )
     for name in result.artifacts:
         print(Path(args.out) / name)
@@ -499,6 +560,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0 if result.all_correct else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Maintenance of the sharded SQLite result store (stats/gc/migrate)."""
+    directory = Path(args.cache_dir)
+    if args.store_command in ("stats", "gc") and not any(directory.glob("shard-*.sqlite")):
+        # read/maintenance commands must not conjure an empty store out of
+        # a typo'd path and then happily report zero rows
+        raise ValueError(f"no result store at {directory} (no shard-*.sqlite files)")
+    store = SQLiteResultStore(args.cache_dir)
+    if args.store_command == "stats":
+        payload: Dict[str, Any] = store.stats()
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"store {payload['directory']}: {payload['rows']} row(s) in "
+                f"{payload['shards']} shard(s), {payload['bytes']} bytes "
+                f"(schema v{payload['schema_version']})"
+            )
+            print(format_table(payload["per_shard"]))
+        return 0
+    if args.store_command == "gc":
+        payload = store.gc(vacuum=not args.no_vacuum)
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"gc: removed {payload['removed']} stale row(s), "
+                f"kept {payload['kept']}"
+            )
+        return 0
+    # migrate
+    payload = store.migrate_json_cache(args.from_json)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"migrate: imported {payload['imported']} row(s) from "
+            f"{args.from_json}, skipped {payload['skipped']}"
+        )
+    return 0
 
 
 def _cmd_lowerbound(args: argparse.Namespace) -> int:
@@ -547,9 +650,14 @@ def _cmd_lowerbound(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Local MST computation with short advice (SPAA 2007) — reproduction CLI",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -654,6 +762,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the spec's default execution backend",
     )
 
+    store_parser = sub.add_parser(
+        "store",
+        help="inspect and maintain the SQLite result store",
+        description=(
+            "Maintenance of the sharded SQLite result store: row/size stats per "
+            "shard, garbage collection of rows no current task hash can ever "
+            "reference, and one-shot migration of a JSON cache directory."
+        ),
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser("stats", help="rows and bytes, per shard and total")
+    store_gc = store_sub.add_parser(
+        "gc", help="drop rows from other library/backend generations"
+    )
+    store_gc.add_argument(
+        "--no-vacuum",
+        action="store_true",
+        help="skip the VACUUM after deleting (faster, files keep their size)",
+    )
+    store_migrate = store_sub.add_parser(
+        "migrate", help="import an existing JSON cache directory"
+    )
+    store_migrate.add_argument(
+        "--from-json",
+        required=True,
+        metavar="DIR",
+        help="JSON cache directory to import (<hash>.json files)",
+    )
+    for store_cmd in (store_stats, store_gc, store_migrate):
+        store_cmd.add_argument(
+            "--cache-dir", required=True, help="directory of the SQLite store"
+        )
+        store_cmd.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+
     lb_parser = sub.add_parser("lowerbound", help="Theorem 1 fooling-family experiment")
     lb_parser.add_argument("--h", type=int, default=12, help="nodes per clique of G_n (default 12)")
     lb_parser.add_argument("--i", type=int, default=4, help="spine position of the target node")
@@ -669,6 +813,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "bench": _cmd_bench,
     "report": _cmd_report,
+    "store": _cmd_store,
     "lowerbound": _cmd_lowerbound,
 }
 

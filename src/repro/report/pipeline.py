@@ -48,6 +48,7 @@ from repro.report.spec import (
 )
 from repro.runner.registry import resolve_baseline, resolve_scheme
 from repro.runner.runner import run_tasks
+from repro.runner.store import DEFAULT_CACHE_BACKEND
 from repro.runner.tasks import SweepTask
 
 __all__ = ["ReportResult", "compile_tasks", "generate_report"]
@@ -204,24 +205,39 @@ def generate_report(
     cache_dir: Optional[str] = None,
     backend: Optional[str] = None,
     grouping: str = "instance",
+    cache_backend: str = DEFAULT_CACHE_BACKEND,
+    resume: bool = False,
+    progress: bool = False,
 ) -> ReportResult:
     """Execute every experiment of ``spec`` and write its artifacts.
 
     Artifacts land in ``out_dir`` (created if missing): per experiment a
     ``<name>.md`` and one or more ``<name>*.csv``, plus a top-level
-    ``index.md``.  ``jobs``/``cache_dir``/``grouping`` are forwarded to
-    the runner; ``backend`` overrides the spec's default execution
-    backend — none of the four can change a single artifact byte.  The
-    grouped executor pays off here in particular: a spec grid names the
-    same ``(family, n, seed)`` instance once per scheme and per
-    baseline, and grouping builds it exactly once overall.
+    ``index.md``.  ``jobs``/``cache_dir``/``grouping``/``cache_backend``
+    are forwarded to the runner; ``backend`` overrides the spec's
+    default execution backend — none of them can change a single
+    artifact byte.  ``resume=True`` checkpoints a run manifest next to
+    the cache (a killed report re-executes zero finished tasks when
+    regenerated) and ``progress=True`` reports done/total + ETA on
+    stderr.  The grouped executor pays off here in particular: a spec
+    grid names the same ``(family, n, seed)`` instance once per scheme
+    and per baseline, and grouping builds it exactly once overall.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
     compiled = compile_tasks(spec, backend=backend)
     flat: List[SweepTask] = [task for _, tasks in compiled for task in tasks]
-    raw = run_tasks(flat, jobs=jobs, cache_dir=cache_dir, grouping=grouping)
+    raw = run_tasks(
+        flat,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        grouping=grouping,
+        cache_backend=cache_backend,
+        resume=resume,
+        progress=progress,
+        progress_label="report",
+    )
 
     result = ReportResult(spec=spec, out_dir=out, tasks_run=len(flat))
     artifact_names: Dict[str, List[str]] = {}

@@ -9,8 +9,15 @@ amortises that workload:
 * :mod:`~repro.runner.tasks` — :class:`GraphSpec` (a picklable,
   hashable graph factory) and :class:`SweepTask` (one ``(target, graph,
   n, seed)`` work unit with a stable content hash);
-* :mod:`~repro.runner.cache` — an on-disk JSON result cache keyed by
-  the task hash;
+* :mod:`~repro.runner.cache` — the ``json`` cache backend: one result
+  file per task hash;
+* :mod:`~repro.runner.store` — the default ``sqlite`` backend: a
+  sharded, WAL-mode SQLite store with batched transactional upserts,
+  plus ``stats`` / ``gc`` / JSON-cache migration maintenance;
+* :mod:`~repro.runner.manifest` — run manifests, the per-group
+  checkpoint ledger behind ``--resume``;
+* :mod:`~repro.runner.progress` — live done/total + ETA reporting on
+  stderr;
 * :mod:`~repro.runner.plan` — the execution planner: cache misses are
   grouped by shared graph instance (:func:`plan_groups`), and each
   group runs against one :class:`InstanceContext` that builds the
@@ -27,7 +34,9 @@ ungrouped paths produce byte-identical aggregated results.
 """
 
 from repro.runner.cache import ResultCache
+from repro.runner.manifest import RunManifest
 from repro.runner.plan import ExecutionStats, InstanceContext, TaskGroup, plan_groups
+from repro.runner.progress import ProgressReporter
 from repro.runner.registry import (
     BACKENDS,
     BASELINES,
@@ -38,22 +47,38 @@ from repro.runner.registry import (
     resolve_scheme,
 )
 from repro.runner.runner import GROUPING_MODES, execute_task, run_tasks
+from repro.runner.store import (
+    CACHE_BACKENDS,
+    DEFAULT_CACHE_BACKEND,
+    DEFAULT_SHARDS,
+    STORE_SCHEMA_VERSION,
+    SQLiteResultStore,
+    open_result_store,
+)
 from repro.runner.tasks import GraphSpec, SweepTask
 
 __all__ = [
     "BACKENDS",
     "BASELINES",
+    "CACHE_BACKENDS",
+    "DEFAULT_CACHE_BACKEND",
+    "DEFAULT_SHARDS",
     "GRAPH_FAMILIES",
     "GROUPING_MODES",
     "SCHEMES",
+    "STORE_SCHEMA_VERSION",
     "ExecutionStats",
     "GraphSpec",
     "InstanceContext",
+    "ProgressReporter",
     "ResultCache",
+    "RunManifest",
+    "SQLiteResultStore",
     "SweepTask",
     "TaskGroup",
     "build_graph",
     "execute_task",
+    "open_result_store",
     "plan_groups",
     "resolve_baseline",
     "resolve_scheme",

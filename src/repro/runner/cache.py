@@ -1,4 +1,11 @@
-"""On-disk JSON cache of task results.
+"""On-disk JSON cache of task results (the ``json`` cache backend).
+
+The historical backend behind ``--cache-backend json``: simple,
+dependency-free, and debuggable with ``cat``.  The default backend is
+the sharded SQLite store (:mod:`repro.runner.store`), which implements
+this same contract — ``get`` / ``put`` / ``put_many`` plus ``hits`` /
+``misses`` — over a handful of transactional files instead of one inode
+per task; ``repro store migrate`` imports a directory of this format.
 
 Layout: one file per task under the cache directory, named
 ``<sha256-of-task>.json``, each containing::
@@ -30,7 +37,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 __all__ = ["ResultCache", "CACHE_VERSION"]
 
@@ -81,3 +88,16 @@ class ResultCache:
         # cache must serialise byte-identically to a freshly computed one
         tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
         os.replace(tmp, target)
+
+    def put_many(
+        self, items: Iterable[Tuple[str, Dict[str, Any], Dict[str, Any]]]
+    ) -> None:
+        """Persist a batch of rows (each file individually atomic).
+
+        The JSON backend has no transactions, so a batch is simply a
+        loop — the method exists to keep the two backends' contracts
+        identical (the SQLite store turns it into one transaction per
+        shard).
+        """
+        for key, task_content, result in items:
+            self.put(key, task_content, result)

@@ -20,8 +20,20 @@
 * **Caching** — with ``cache_dir`` set, cacheable tasks (registry-name
   target + :class:`GraphSpec` graph) are looked up / stored by their
   content hash (computed once per task and reused for lookup, store and
-  planning); see :mod:`repro.runner.cache` for the file format.  A
+  planning).  ``cache_backend`` selects the storage: ``"sqlite"`` (the
+  default — a sharded WAL store, see :mod:`repro.runner.store`) or
+  ``"json"`` (one file per task, see :mod:`repro.runner.cache`).  A
   cache-warm call never constructs a single group.
+* **Checkpointing** — results are committed to the cache *as each
+  group's work completes* (batched upserts, streamed back from workers
+  in deterministic chunk order), not in one flush at the end: a run
+  killed mid-sweep keeps everything that finished.  With ``resume=True``
+  a :class:`~repro.runner.manifest.RunManifest` ledger is checkpointed
+  in the same rhythm, so ``repro sweep --resume`` / ``repro report
+  --resume`` re-execute zero already-checkpointed tasks.
+* **Progress** — ``progress=True`` reports done/total, cache hits and
+  an ETA on stderr while the run executes (stdout artifacts stay
+  byte-identical).
 
 Workers rebuild schemes and graphs from the task description, so a task
 is a few hundred bytes on the wire even when the instance it describes
@@ -32,10 +44,14 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.runner.cache import ResultCache
+from repro.runner.manifest import RunManifest
 from repro.runner.plan import ExecutionStats, InstanceContext, TaskGroup, plan_groups
+from repro.runner.progress import ProgressReporter
+from repro.runner.store import DEFAULT_CACHE_BACKEND, SQLiteResultStore, open_result_store
 from repro.runner.tasks import SweepTask
 
 __all__ = ["execute_task", "run_tasks", "GROUPING_MODES"]
@@ -90,62 +106,36 @@ def _pool(jobs: int):
     return ctx.Pool(processes=jobs)
 
 
-def _run_parallel(
-    tasks: Sequence[SweepTask], jobs: int, chunksize: Optional[int]
-) -> List[Dict[str, Any]]:
-    """Ungrouped fan-out: contiguous chunks, results stay in task order."""
-    if chunksize is None:
-        chunksize = max(1, math.ceil(len(tasks) / (jobs * 4)))
-    chunks = [list(tasks[i : i + chunksize]) for i in range(0, len(tasks), chunksize)]
-    with _pool(jobs) as pool:
-        nested = pool.map(_execute_chunk, chunks)
-    return [row for chunk_rows in nested for row in chunk_rows]
-
-
-def _run_parallel_groups(
-    groups: Sequence[TaskGroup],
-    jobs: int,
-    total_tasks: int,
-    stats: Optional[ExecutionStats],
-) -> List[Dict[str, Any]]:
-    """Grouped fan-out: whole groups per work item, never split.
-
-    Splitting a group across workers would rebuild its shared artifacts
-    in every worker — exactly the waste the planner exists to remove —
-    so the unit of distribution is the group, bundled into ~``4*jobs``
-    consecutive runs to keep pickling traffic low.
-    """
-    chunksize = max(1, math.ceil(len(groups) / (jobs * 4)))
-    chunks = [list(groups[i : i + chunksize]) for i in range(0, len(groups), chunksize)]
-    with _pool(jobs) as pool:
-        nested = pool.map(_execute_group_chunk, chunks)
-    rows: List[Optional[Dict[str, Any]]] = [None] * total_tasks
-    for chunk_rows, stage_seconds in nested:
-        for index, row in chunk_rows:
-            rows[index] = row
-        if stats is not None:
-            stats.merge_stage_dict(stage_seconds)
-    return rows  # type: ignore[return-value]
+def _chunked(items: Sequence[Any], size: int) -> List[List[Any]]:
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
 
 
 def run_tasks(
     tasks: Iterable[SweepTask],
     jobs: int = 1,
-    cache_dir: Optional[Union[str, "ResultCache"]] = None,
+    cache_dir: Optional[Union[str, Path, ResultCache, SQLiteResultStore]] = None,
     chunksize: Optional[int] = None,
     grouping: str = "instance",
     stats: Optional[ExecutionStats] = None,
+    cache_backend: str = DEFAULT_CACHE_BACKEND,
+    resume: bool = False,
+    progress: bool = False,
+    progress_label: str = "tasks",
 ) -> List[Dict[str, Any]]:
     """Execute every task and return their rows **in task order**.
 
     ``jobs=1`` runs in-process (no pickling — closures and ad-hoc scheme
     instances are fine); ``jobs>1`` distributes cache misses over a
-    process pool.  ``cache_dir`` may be a directory path or an existing
-    :class:`ResultCache`.  ``grouping="instance"`` (default) batches
-    tasks sharing a graph instance through one shared context;
-    ``grouping="none"`` is the historical per-task execution.  ``stats``
-    may be an :class:`~repro.runner.plan.ExecutionStats` to be filled
-    with cache counters and the per-stage timing breakdown.
+    process pool.  ``cache_dir`` may be a directory path (opened with
+    ``cache_backend``: ``"sqlite"`` by default, ``"json"`` for the
+    historical per-task files) or an already-open store/cache instance.
+    ``grouping="instance"`` (default) batches tasks sharing a graph
+    instance through one shared context; ``grouping="none"`` is the
+    historical per-task execution.  ``resume=True`` checkpoints a run
+    manifest alongside the cache (and requires one); ``progress=True``
+    reports done/total + ETA on stderr.  ``stats`` may be an
+    :class:`~repro.runner.plan.ExecutionStats` to be filled with cache
+    counters and the per-stage timing breakdown.
     """
     task_list = list(tasks)
     if jobs < 1:
@@ -154,21 +144,34 @@ def run_tasks(
         raise ValueError(
             f"grouping must be one of {', '.join(GROUPING_MODES)}, got {grouping!r}"
         )
-    cache: Optional[ResultCache] = None
+    cache: Optional[Union[ResultCache, SQLiteResultStore]] = None
     if cache_dir is not None:
-        cache = cache_dir if isinstance(cache_dir, ResultCache) else ResultCache(cache_dir)
+        if isinstance(cache_dir, (str, Path)):
+            cache = open_result_store(cache_dir, backend=cache_backend)
+        else:
+            cache = cache_dir
+    if resume and cache is None:
+        raise ValueError("resume requires a result cache (pass cache_dir)")
 
     results: List[Optional[Dict[str, Any]]] = [None] * len(task_list)
-    # one hash per task, reused for the lookup below and the store after
+    # one hash per task, reused for the lookup below, the store after,
+    # and the resume manifest's run identity
     keys: List[Optional[str]] = (
         [task.task_hash() for task in task_list] if cache is not None else []
     )
+    manifest: Optional[RunManifest] = None
+    if resume and cache is not None:
+        manifest = RunManifest.open(cache.directory, keys)
+
     miss_indices: List[int] = []
+    resumed_hits = 0
     if cache is not None:
         for index, key in enumerate(keys):
             row = cache.get(key) if key is not None else None
             if row is not None:
                 results[index] = row
+                if manifest is not None and manifest.is_done(key):
+                    resumed_hits += 1
             else:
                 miss_indices.append(index)
     else:
@@ -177,30 +180,87 @@ def run_tasks(
         stats.cache_hits += len(task_list) - len(miss_indices)
         stats.cache_misses += len(miss_indices)
 
-    misses = [task_list[i] for i in miss_indices]
-    if misses:
-        if grouping == "instance":
-            groups = plan_groups(misses)
-            if stats is not None:
-                stats.groups += len(groups)
-                stats.grouped_tasks += len(misses)
-            if jobs > 1 and len(misses) > 1:
-                computed = _run_parallel_groups(groups, jobs, len(misses), stats)
-            else:
-                computed = [None] * len(misses)  # type: ignore[assignment]
-                for group in groups:
-                    context = InstanceContext(stats=stats)
-                    for index, task in zip(group.indices, group.tasks):
-                        computed[index] = context.execute(task)
-        elif jobs > 1 and len(misses) > 1:
-            computed = _run_parallel(misses, jobs, chunksize)
-        else:
-            computed = [execute_task(task) for task in misses]
-        for index, row in zip(miss_indices, computed):
+    reporter = (
+        ProgressReporter(len(task_list), label=progress_label) if progress else None
+    )
+    if reporter is not None:
+        reporter.add_cached(len(task_list) - len(miss_indices), resumed=resumed_hits)
+    if manifest is not None:
+        # cache hits are persisted by definition: fold them into the
+        # ledger so it converges even when the cache outlives the run
+        manifest.mark_done(
+            [keys[index] for index in range(len(task_list)) if results[index] is not None]
+        )
+
+    def _commit(batch: List[Tuple[int, Dict[str, Any]]]) -> None:
+        """Land one completed batch: rows, cache upsert, checkpoint, progress.
+
+        Called in deterministic batch order (groups in plan order, chunks
+        in submission order), so the cache/manifest write sequence — and
+        therefore what a killed run keeps — is reproducible.
+        """
+        stored: List[Tuple[str, Dict[str, Any], Dict[str, Any]]] = []
+        for index, row in batch:
             results[index] = row
-            if cache is not None:
-                key = keys[index]
-                if key is not None:
-                    cache.put(key, task_list[index].key_dict() or {}, row)
+            if cache is not None and keys[index] is not None:
+                stored.append((keys[index], task_list[index].key_dict() or {}, row))
+        if stored and cache is not None:
+            cache.put_many(stored)
+            if manifest is not None:
+                manifest.mark_done([key for key, _, _ in stored])
+        if reporter is not None:
+            reporter.add_executed(len(batch))
+
+    misses = [task_list[i] for i in miss_indices]
+    try:
+        if misses:
+            if grouping == "instance":
+                groups = plan_groups(misses)
+                if stats is not None:
+                    stats.groups += len(groups)
+                    stats.grouped_tasks += len(misses)
+                if jobs > 1 and len(misses) > 1:
+                    chunks = _chunked(groups, max(1, math.ceil(len(groups) / (jobs * 4))))
+                    with _pool(jobs) as pool:
+                        # ordered imap: chunks stream back as they finish, so
+                        # each one is committed (and checkpointed) without
+                        # waiting for the whole sweep
+                        for chunk_rows, stage_seconds in pool.imap(
+                            _execute_group_chunk, chunks
+                        ):
+                            _commit(
+                                [(miss_indices[i], row) for i, row in chunk_rows]
+                            )
+                            if stats is not None:
+                                stats.merge_stage_dict(stage_seconds)
+                else:
+                    for group in groups:
+                        context = InstanceContext(stats=stats)
+                        _commit(
+                            [
+                                (miss_indices[i], context.execute(task))
+                                for i, task in zip(group.indices, group.tasks)
+                            ]
+                        )
+            elif jobs > 1 and len(misses) > 1:
+                if chunksize is None:
+                    chunksize = max(1, math.ceil(len(misses) / (jobs * 4)))
+                chunks = _chunked(misses, chunksize)
+                offset = 0
+                with _pool(jobs) as pool:
+                    for chunk_rows in pool.imap(_execute_chunk, chunks):
+                        _commit(
+                            [
+                                (miss_indices[offset + i], row)
+                                for i, row in enumerate(chunk_rows)
+                            ]
+                        )
+                        offset += len(chunk_rows)
+            else:
+                for i, task in enumerate(misses):
+                    _commit([(miss_indices[i], execute_task(task))])
+    finally:
+        if reporter is not None:
+            reporter.close()
 
     return results  # type: ignore[return-value]

@@ -1,0 +1,508 @@
+"""Sharded, WAL-mode SQLite result store — the default cache backend.
+
+The one-file-per-task JSON cache (:mod:`repro.runner.cache`) is simple
+and robust, but it tops out long before production-scale sweeps: a full
+``specs/paper.toml`` grid already writes hundreds of files, and
+million-task sweeps would mean millions of inodes, O(files) warm-up
+stats and no transactional way to checkpoint a run.  This module keeps
+the exact lookup/store contract of :class:`~repro.runner.cache.ResultCache`
+(``get`` / ``put`` / ``put_many``, ``hits`` / ``misses`` counters, a
+corrupt or version-mismatched entry is a miss) on top of a small number
+of SQLite files:
+
+* **Shard layout** — ``shard-00.sqlite`` ... ``shard-NN.sqlite`` inside
+  the store directory; a task hash is routed by its leading hex digits
+  (``int(key[:8], 16) % shards``), so concurrent sweeps writing disjoint
+  regions of the key space rarely contend on the same file.  The shard
+  count is fixed at creation and recorded in a ``store.layout`` claimed
+  atomically (``os.link`` of a fully written temp file, so even two
+  processes racing to create a brand-new directory agree): reopening a
+  directory always adopts the layout on disk, and two openers can never
+  disagree on routing.
+* **Concurrency** — every shard runs in WAL mode (readers never block
+  the writer, the writer never blocks readers) with a 30 s busy
+  timeout; writes are batched upserts (``INSERT OR REPLACE``) inside
+  one ``BEGIN IMMEDIATE`` transaction per shard, so parallel ``--jobs``
+  sweeps and wholly concurrent invocations interleave safely.
+* **Corruption recovery** — a shard that fails to open or query is
+  treated as all-misses (matching ``ResultCache``'s corrupt-file
+  semantics); the first write to it deletes and recreates the shard
+  file, so one torn file costs recomputation, never a crash.
+* **Byte identity** — rows are stored as the same JSON text the JSON
+  backend writes (``repr``-round-tripping floats), so a sweep served
+  from the store is byte-identical to a fresh or JSON-cached one.
+
+:func:`open_result_store` is the backend selector behind the CLI's
+``--cache-backend {json,sqlite}`` flag; ``repro store`` exposes
+:meth:`SQLiteResultStore.stats`, :meth:`SQLiteResultStore.gc` and
+:meth:`SQLiteResultStore.migrate_json_cache` for maintenance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.runner.cache import CACHE_VERSION, ResultCache
+
+__all__ = [
+    "CACHE_BACKENDS",
+    "DEFAULT_CACHE_BACKEND",
+    "DEFAULT_SHARDS",
+    "STORE_SCHEMA_VERSION",
+    "SQLiteResultStore",
+    "open_result_store",
+]
+
+#: bump when the on-disk table layout changes; a shard carrying another
+#: schema version is dropped and rebuilt (its rows become misses),
+#: mirroring how the JSON cache treats version-mismatched files
+STORE_SCHEMA_VERSION = 1
+
+#: default shard count of a freshly created store.  Shards only need to
+#: spread *file-level* contention between concurrent writers (row-level
+#: conflicts are already resolved by the upsert), so a small power of
+#: two is plenty; reopening an existing store ignores this and adopts
+#: the on-disk layout.
+DEFAULT_SHARDS = 4
+
+#: selectable cache backends, in the order the CLI lists them
+CACHE_BACKENDS = ("json", "sqlite")
+
+#: the backend used when a plain directory path is given
+DEFAULT_CACHE_BACKEND = "sqlite"
+
+ResultStore = Union[ResultCache, "SQLiteResultStore"]
+
+
+def open_result_store(
+    directory: Union[str, Path], backend: str = DEFAULT_CACHE_BACKEND
+) -> ResultStore:
+    """Open the result store of the requested backend over ``directory``.
+
+    Both backends implement the same contract (``get`` / ``put`` /
+    ``put_many`` plus ``hits`` / ``misses``), so everything downstream of
+    :func:`repro.runner.runner.run_tasks` is backend-agnostic.
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     type(open_result_store(tmp, "json")).__name__
+    'ResultCache'
+    """
+    if backend == "json":
+        return ResultCache(directory)
+    if backend == "sqlite":
+        return SQLiteResultStore(directory)
+    raise ValueError(
+        f"cache backend must be one of {', '.join(CACHE_BACKENDS)}, got {backend!r}"
+    )
+
+
+class SQLiteResultStore:
+    """N SQLite shard files implementing the ``ResultCache`` contract."""
+
+    def __init__(self, directory: Union[str, Path], shards: int = DEFAULT_SHARDS) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ValueError(
+                f"cannot use {self.directory!r} as a store directory: {exc}"
+            ) from exc
+        #: shard count: whatever ``store.layout`` records wins, so every
+        #: opener of one directory routes keys identically — including
+        #: two processes racing to create a brand-new directory, which
+        #: the atomic layout claim serialises
+        self.shards = self._claim_layout(shards)
+        #: cache-hit / miss counters of this process (for reporting)
+        self.hits = 0
+        self.misses = 0
+        self._conns: Dict[int, sqlite3.Connection] = {}
+        self._pid = os.getpid()
+        for index in range(self.shards):
+            try:
+                self._conn(index)
+            except sqlite3.Error:
+                # a corrupt shard file: its lookups miss and the first
+                # write rebuilds it — opening the store must not fail
+                pass
+
+    # ------------------------------------------------------------------ #
+    # shard plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def layout_path(self) -> Path:
+        """The file pinning this directory's shard count (JSON content;
+        deliberately not ``*.json``, which is the cache-entry namespace
+        of the JSON backend)."""
+        return self.directory / "store.layout"
+
+    def _claim_layout(self, requested: int) -> int:
+        """Agree on the directory's shard count, atomically.
+
+        Exactly one opener of a brand-new directory wins the claim; every
+        other opener (concurrent or later) reads the winner's count.  The
+        claim is an ``os.link`` of a *fully written* temp file, so a
+        reader can never observe a partially written ``store.layout``.
+        Directories created before the layout file existed fall back to
+        counting the shard files on disk (and pin that count for future
+        openers).
+        """
+        try:
+            payload = json.loads(self.layout_path.read_text(encoding="utf-8"))
+            return int(payload["shards"])
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+        existing = sorted(self.directory.glob("shard-*.sqlite"))
+        count = len(existing) if existing else requested
+        blob = json.dumps({"schema_version": STORE_SCHEMA_VERSION, "shards": count})
+        tmp = self.directory / f".layout.{os.getpid()}.tmp"
+        tmp.write_text(blob, encoding="utf-8")
+        try:
+            os.link(tmp, self.layout_path)
+        except FileExistsError:
+            # another opener won the race: adopt its layout below
+            pass
+        except OSError:  # pragma: no cover - filesystems without hard links
+            # non-atomic fallback; fine on filesystems that cannot race
+            if not self.layout_path.exists():
+                os.replace(tmp, self.layout_path)
+                return count
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        payload = json.loads(self.layout_path.read_text(encoding="utf-8"))
+        return int(payload["shards"])
+
+    def shard_for(self, key: str) -> int:
+        """The shard index a key routes to (stable across processes)."""
+        try:
+            prefix = int(key[:8], 16)
+        except ValueError:
+            # non-hash keys (tests, ad-hoc use) still need a stable route
+            prefix = zlib.crc32(key.encode("utf-8"))
+        return prefix % self.shards
+
+    def path_for_shard(self, index: int) -> Path:
+        """The file shard ``index`` lives in."""
+        return self.directory / f"shard-{index:02d}.sqlite"
+
+    def _connect(self, index: int) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            self.path_for_shard(index), timeout=30.0, isolation_level=None
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        row = conn.execute("SELECT value FROM meta WHERE key='schema_version'").fetchone()
+        if row is not None and row[0] != str(STORE_SCHEMA_VERSION):
+            # a shard written by another schema generation: its rows are
+            # stale by definition — drop and rebuild, exactly like the
+            # JSON cache overwriting a version-mismatched file
+            conn.execute("DROP TABLE IF EXISTS results")
+            conn.execute("DELETE FROM meta")
+            row = None
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " key TEXT PRIMARY KEY,"
+            " task TEXT NOT NULL,"
+            " result TEXT NOT NULL)"
+        )
+        if row is None:
+            conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES"
+                " ('schema_version', ?), ('shards', ?), ('shard_index', ?)",
+                (str(STORE_SCHEMA_VERSION), str(self.shards), str(index)),
+            )
+        return conn
+
+    def _conn(self, index: int) -> sqlite3.Connection:
+        # connections must not cross a fork: a child re-opens its own
+        if os.getpid() != self._pid:
+            self._conns = {}
+            self._pid = os.getpid()
+        conn = self._conns.get(index)
+        if conn is None:
+            conn = self._connect(index)
+            self._conns[index] = conn
+        return conn
+
+    def _drop_conn(self, index: int) -> None:
+        conn = self._conns.pop(index, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - close never fails in practice
+                pass
+
+    def _recover_shard(self, index: int) -> None:
+        """Delete and recreate a shard that SQLite refuses to use.
+
+        The JSON cache treats a corrupt file as a miss and overwrites it
+        on the next ``put``; the shard-level equivalent is dropping the
+        whole file (plus its WAL sidecars) and starting fresh — the rows
+        it held become recomputable misses, never an error.
+        """
+        self._drop_conn(index)
+        path = self.path_for_shard(index)
+        for victim in (path, Path(f"{path}-wal"), Path(f"{path}-shm")):
+            try:
+                victim.unlink()
+            except OSError:
+                pass
+        self._conn(index)
+
+    def close(self) -> None:
+        """Close every open connection (the store can be reopened)."""
+        for index in list(self._conns):
+            self._drop_conn(index)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # picklable for multiprocessing: connections are per-process
+        state = self.__dict__.copy()
+        state["_conns"] = {}
+        return state
+
+    # ------------------------------------------------------------------ #
+    # the ResultCache contract
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached result row for ``key``, or ``None`` on any miss."""
+        try:
+            row = (
+                self._conn(self.shard_for(key))
+                .execute("SELECT result FROM results WHERE key = ?", (key,))
+                .fetchone()
+            )
+        except sqlite3.Error:
+            # unreadable shard: every lookup into it is a miss; drop the
+            # connection so a later write can rebuild the file
+            self._drop_conn(self.shard_for(key))
+            self.misses += 1
+            return None
+        if row is None:
+            self.misses += 1
+            return None
+        try:
+            result = json.loads(row[0])
+        except ValueError:
+            self.misses += 1
+            return None
+        if not isinstance(result, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, task_content: Dict[str, Any], result: Dict[str, Any]) -> None:
+        """Atomically persist one result row under ``key``."""
+        self.put_many([(key, task_content, result)])
+
+    def put_many(
+        self, items: Iterable[Tuple[str, Dict[str, Any], Dict[str, Any]]]
+    ) -> None:
+        """Upsert a batch of rows, one transaction per touched shard.
+
+        The batch is the runner's checkpoint unit: a killed run loses at
+        most the groups whose transaction had not committed yet, and a
+        resumed run serves everything committed before the kill.
+        """
+        by_shard: Dict[int, List[Tuple[str, str, str]]] = {}
+        for key, task_content, result in items:
+            # no sort_keys, like the JSON backend: a row read back must
+            # serialise byte-identically to a freshly computed one
+            by_shard.setdefault(self.shard_for(key), []).append(
+                (key, json.dumps(task_content), json.dumps(result))
+            )
+        for index, rows in by_shard.items():
+            self._upsert_shard(index, rows)
+
+    @staticmethod
+    def _is_corruption(exc: sqlite3.Error) -> bool:
+        """Whether an error means the shard *file* is beyond saving.
+
+        Only actual corruption justifies deleting the shard: transient
+        conditions — ``database is locked`` after the busy timeout, a
+        full disk — raise :class:`sqlite3.OperationalError` and must
+        surface to the caller, not destroy committed rows.
+        """
+        if isinstance(
+            exc,
+            (
+                sqlite3.OperationalError,
+                sqlite3.IntegrityError,
+                sqlite3.ProgrammingError,
+                sqlite3.InterfaceError,
+            ),
+        ):
+            return False
+        message = str(exc)
+        return (
+            type(exc) is sqlite3.DatabaseError
+            or "malformed" in message
+            or "not a database" in message
+        )
+
+    def _upsert_shard(self, index: int, rows: List[Tuple[str, str, str]]) -> None:
+        for attempt in (0, 1):
+            try:
+                conn = self._conn(index)
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    conn.executemany(
+                        "INSERT OR REPLACE INTO results (key, task, result) VALUES (?, ?, ?)",
+                        rows,
+                    )
+                    conn.execute("COMMIT")
+                except BaseException:
+                    try:
+                        conn.execute("ROLLBACK")
+                    except sqlite3.Error:
+                        pass  # surface the original error, not the rollback's
+                    raise
+                return
+            except sqlite3.Error as exc:
+                # a corrupt shard file is rebuilt once and the write
+                # retried; anything else (locked, disk full, a bug) is a
+                # real error worth surfacing — never grounds for deleting
+                # committed rows
+                if attempt or not self._is_corruption(exc):
+                    raise
+                self._recover_shard(index)
+
+    # ------------------------------------------------------------------ #
+    # maintenance (the `repro store` command)
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, Any]:
+        """Row counts and file sizes, per shard and total.
+
+        A shard SQLite cannot query reports ``rows: None`` (corrupt —
+        its lookups miss until a write rebuilds it).
+        """
+        per_shard: List[Dict[str, Any]] = []
+        total_rows = 0
+        total_bytes = 0
+        for index in range(self.shards):
+            path = self.path_for_shard(index)
+            size = path.stat().st_size if path.exists() else 0
+            try:
+                rows = self._conn(index).execute("SELECT COUNT(*) FROM results").fetchone()[0]
+            except sqlite3.Error:
+                self._drop_conn(index)
+                rows = None
+            per_shard.append({"shard": index, "file": path.name, "rows": rows, "bytes": size})
+            total_rows += rows or 0
+            total_bytes += size
+        return {
+            "backend": "sqlite",
+            "directory": str(self.directory),
+            "schema_version": STORE_SCHEMA_VERSION,
+            "shards": self.shards,
+            "rows": total_rows,
+            "bytes": total_bytes,
+            "per_shard": per_shard,
+        }
+
+    def gc(self, vacuum: bool = True) -> Dict[str, int]:
+        """Drop rows no current task hash can ever reference again.
+
+        Task hashes mix in the library version and the backend's semantic
+        version, so rows whose stored task content names another
+        generation are dead weight: they can never be served, only grow
+        the files.  Unparseable task content counts as dead too.
+        """
+        from repro.runner.tasks import TASK_FORMAT_VERSION, _library_version
+
+        current_lib = _library_version()
+        removed = 0
+        kept = 0
+        for index in range(self.shards):
+            try:
+                conn = self._conn(index)
+                stored = conn.execute("SELECT key, task FROM results").fetchall()
+            except sqlite3.Error:
+                self._drop_conn(index)
+                continue
+            dead: List[Tuple[str]] = []
+            for key, task_text in stored:
+                try:
+                    task = json.loads(task_text)
+                    live = (
+                        isinstance(task, dict)
+                        and task.get("lib") == current_lib
+                        and task.get("format") == TASK_FORMAT_VERSION
+                    )
+                except ValueError:
+                    live = False
+                if live:
+                    kept += 1
+                else:
+                    dead.append((key,))
+            if dead:
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    conn.executemany("DELETE FROM results WHERE key = ?", dead)
+                    conn.execute("COMMIT")
+                except BaseException:
+                    conn.execute("ROLLBACK")
+                    raise
+                removed += len(dead)
+                if vacuum:
+                    # only a shard that actually shed rows has space to
+                    # reclaim; VACUUM rewrites the whole file, so running
+                    # it on untouched shards would be pure wasted I/O
+                    conn.execute("VACUUM")
+        return {"removed": removed, "kept": kept}
+
+    def migrate_json_cache(
+        self, json_dir: Union[str, Path], batch_size: int = 4096
+    ) -> Dict[str, int]:
+        """Import an existing JSON cache directory, transactionally.
+
+        Every readable, current-version ``<hash>.json`` entry is upserted
+        under its file-stem key; corrupt or version-mismatched files are
+        skipped (they were misses in the JSON backend too).  The rows'
+        JSON text is re-serialised through the same ``json.dumps`` both
+        backends use, so migrated rows serve byte-identical sweeps.
+
+        Entries land in batches of ``batch_size`` (each batch one
+        transaction per touched shard), keeping memory flat however large
+        the source directory is; upserts are idempotent, so an
+        interrupted migration can simply be re-run.
+        """
+        items: List[Tuple[str, Dict[str, Any], Dict[str, Any]]] = []
+        imported = 0
+        skipped = 0
+        for path in sorted(Path(json_dir).glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                skipped += 1
+                continue
+            if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+                skipped += 1
+                continue
+            result = payload.get("result")
+            if not isinstance(result, dict):
+                skipped += 1
+                continue
+            items.append((path.stem, payload.get("task") or {}, result))
+            if len(items) >= batch_size:
+                self.put_many(items)
+                imported += len(items)
+                items = []
+        if items:
+            self.put_many(items)
+            imported += len(items)
+        return {"imported": imported, "skipped": skipped}

@@ -44,13 +44,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "theorem3" in out and "trivial" in out
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
     def test_info_json(self, capsys):
         import repro
+        from repro.runner import DEFAULT_CACHE_BACKEND, STORE_SCHEMA_VERSION
 
         assert main(["info", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["version"] == repro.__version__
         assert payload["backends"] == ["engine", "analytic"]
+        # the active cache backend and store schema are machine-readable
+        assert payload["cache"]["backend"] == DEFAULT_CACHE_BACKEND
+        assert payload["cache"]["backends"] == ["json", "sqlite"]
+        assert payload["cache"]["store_schema_version"] == STORE_SCHEMA_VERSION
         assert set(payload["graph_families"]) == set(GRAPH_FAMILIES)
         schemes = {row["name"] for row in payload["schemes"]}
         assert schemes == set(SCHEMES)
@@ -106,16 +119,55 @@ class TestCommands:
         parallel = capsys.readouterr().out
         assert serial == parallel
 
-    def test_sweep_cache_dir(self, tmp_path, capsys):
+    def test_sweep_cache_dir_sqlite_default(self, tmp_path, capsys):
         argv = [
             "sweep", "--scheme", "trivial", "--sizes", "8,16", "--repeats", "1",
             "--json", "--cache-dir", str(tmp_path),
         ]
         assert main(argv) == 0
         first = capsys.readouterr().out
+        # the default backend is the sharded SQLite store, not JSON files
+        assert list(tmp_path.glob("*.json")) == []
+        assert len(list(tmp_path.glob("shard-*.sqlite"))) > 0
+        assert main(argv) == 0  # second run is served from the store
+        assert capsys.readouterr().out == first
+
+    def test_sweep_cache_dir_json_backend(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--scheme", "trivial", "--sizes", "8,16", "--repeats", "1",
+            "--json", "--cache-dir", str(tmp_path), "--cache-backend", "json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
         assert len(list(tmp_path.glob("*.json"))) == 2
         assert main(argv) == 0  # second run is served from the cache
         assert capsys.readouterr().out == first
+
+    def test_sweep_backends_and_resume_byte_identical(self, tmp_path, capsys):
+        argv = ["sweep", "--scheme", "trivial", "--sizes", "8,16", "--repeats", "1", "--json"]
+        assert main(argv) == 0
+        bare = capsys.readouterr().out
+        assert main(argv + ["--cache-dir", str(tmp_path / "s")]) == 0
+        assert capsys.readouterr().out == bare
+        assert main(argv + ["--cache-dir", str(tmp_path / "j"), "--cache-backend", "json"]) == 0
+        assert capsys.readouterr().out == bare
+        # fresh vs resumed runs: same bytes on stdout, progress on stderr
+        resumed = argv + ["--cache-dir", str(tmp_path / "r"), "--resume"]
+        assert main(resumed) == 0
+        cold = capsys.readouterr()
+        assert cold.out == bare
+        assert "done" in cold.err  # --resume implies progress reporting
+        assert main(resumed) == 0
+        warm = capsys.readouterr()
+        assert warm.out == bare
+        assert "2 cached, 2 resumed" in warm.err  # zero tasks re-executed
+        manifests = list((tmp_path / "r" / "manifests").glob("run-*.json"))
+        assert len(manifests) == 1
+        assert json.loads(manifests[0].read_text())["finished"] is True
+
+    def test_sweep_resume_requires_cache_dir(self, capsys):
+        assert main(["sweep", "--scheme", "trivial", "--sizes", "8", "--resume"]) == 2
+        assert "resume requires" in capsys.readouterr().err
 
     def test_bench(self, capsys):
         code = main(["bench", "--scheme", "trivial", "--n", "16", "--repeats", "3", "--json"])
@@ -227,3 +279,65 @@ class TestBackendFlag:
         ]
         assert main(argv) == 0
         assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def _populate(self, tmp_path, backend="sqlite"):
+        directory = tmp_path / backend
+        argv = [
+            "sweep", "--scheme", "trivial", "--sizes", "8,16", "--repeats", "1",
+            "--json", "--cache-dir", str(directory), "--cache-backend", backend,
+        ]
+        assert main(argv) == 0
+        return directory
+
+    def test_stats(self, tmp_path, capsys):
+        directory = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "stats", "--cache-dir", str(directory), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "sqlite"
+        assert payload["rows"] == 2
+        assert len(payload["per_shard"]) == payload["shards"]
+        assert sum(row["rows"] for row in payload["per_shard"]) == 2
+        # the human rendering mentions the same totals
+        assert main(["store", "stats", "--cache-dir", str(directory)]) == 0
+        assert "2 row(s)" in capsys.readouterr().out
+
+    def test_gc_keeps_current_rows(self, tmp_path, capsys):
+        directory = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "gc", "--cache-dir", str(directory), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"removed": 0, "kept": 2}
+
+    def test_migrate_then_serve(self, tmp_path, capsys):
+        json_dir = self._populate(tmp_path, backend="json")
+        store_dir = tmp_path / "migrated"
+        capsys.readouterr()
+        argv = [
+            "store", "migrate", "--cache-dir", str(store_dir),
+            "--from-json", str(json_dir), "--json",
+        ]
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == {"imported": 2, "skipped": 0}
+        # the migrated store serves the sweep without recomputation
+        sweep = [
+            "sweep", "--scheme", "trivial", "--sizes", "8,16", "--repeats", "1",
+            "--json", "--cache-dir", str(store_dir), "--resume",
+        ]
+        assert main(sweep) == 0
+        captured = capsys.readouterr()
+        assert "2 cached" in captured.err
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    @pytest.mark.parametrize("command", ["stats", "gc"])
+    def test_read_commands_refuse_missing_store(self, tmp_path, command, capsys):
+        """A typo'd --cache-dir must error, not conjure an empty store."""
+        missing = tmp_path / "no-such-store"
+        assert main(["store", command, "--cache-dir", str(missing)]) == 2
+        assert "no result store" in capsys.readouterr().err
+        assert not missing.exists()

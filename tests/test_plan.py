@@ -7,7 +7,7 @@ import pytest
 from repro.runner import (
     ExecutionStats,
     GraphSpec,
-    ResultCache,
+    SQLiteResultStore,
     SweepTask,
     execute_task,
     plan_groups,
@@ -120,7 +120,7 @@ class TestGroupedExecution:
         assert cold.groups == 2 and cold.cache_misses == len(tasks)
 
         warm = ExecutionStats()
-        cache = ResultCache(tmp_path)
+        cache = SQLiteResultStore(tmp_path)
         second = run_tasks(tasks, cache_dir=cache, stats=warm)
         assert cache.hits == len(tasks)
         assert warm.groups == 0  # no group was ever constructed

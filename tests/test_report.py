@@ -278,7 +278,33 @@ class TestGoldenReport:
         warm = generate_report(smoke_spec, tmp_path / "warm", cache_dir=str(cache))
         assert cold.all_correct and warm.all_correct
         assert _artifact_map(tmp_path / "cold") == _artifact_map(tmp_path / "warm")
-        assert len(list(cache.glob("*.json"))) > 0
+        # the default cache backend is the sharded SQLite store
+        assert len(list(cache.glob("shard-*.sqlite"))) > 0
+        assert list(cache.glob("*.json")) == []
+
+    def test_resumed_report_matches_golden_and_reexecutes_nothing(
+        self, smoke_spec, tmp_path, capsys
+    ):
+        """A killed-and-resumed report: same bytes, zero recomputation."""
+        cache = tmp_path / "cache"
+        first = generate_report(
+            smoke_spec, tmp_path / "first", cache_dir=str(cache), resume=True
+        )
+        resumed = generate_report(
+            smoke_spec, tmp_path / "resumed", cache_dir=str(cache), resume=True,
+            progress=True,
+        )
+        assert first.all_correct and resumed.all_correct
+        golden = _artifact_map(GOLDEN)
+        assert _artifact_map(tmp_path / "first") == golden
+        assert _artifact_map(tmp_path / "resumed") == golden
+        # every simulator task of the resumed run came from the checkpoint
+        err = capsys.readouterr().err
+        total = resumed.tasks_run
+        assert f"{total}/{total} done ({total} cached, {total} resumed)" in err
+        manifests = list((cache / "manifests").glob("run-*.json"))
+        assert len(manifests) == 1
+        assert json.loads(manifests[0].read_text())["finished"] is True
 
 
 # ------------------------------------------------------------------ #

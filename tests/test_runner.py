@@ -9,6 +9,7 @@ from repro.core.scheme_trivial import TrivialRankScheme
 from repro.runner import (
     GraphSpec,
     ResultCache,
+    SQLiteResultStore,
     SweepTask,
     execute_task,
     resolve_baseline,
@@ -138,19 +139,40 @@ class TestRunTasks:
         with pytest.raises(ValueError):
             run_tasks(self.TASKS, jobs=0)
 
-    def test_cache_round_trip(self, tmp_path):
-        fresh = run_tasks(self.TASKS, jobs=1, cache_dir=tmp_path)
+    def test_json_cache_round_trip(self, tmp_path):
+        fresh = run_tasks(self.TASKS, jobs=1, cache_dir=tmp_path, cache_backend="json")
         assert len(list(tmp_path.glob("*.json"))) == len(self.TASKS)
         cache = ResultCache(tmp_path)
         cached = run_tasks(self.TASKS, jobs=1, cache_dir=cache)
         assert cache.hits == len(self.TASKS)
         assert json.dumps(fresh) == json.dumps(cached)
 
+    def test_sqlite_cache_round_trip_is_the_default(self, tmp_path):
+        fresh = run_tasks(self.TASKS, jobs=1, cache_dir=tmp_path)
+        assert list(tmp_path.glob("*.json")) == []  # sqlite shards, not files
+        assert len(list(tmp_path.glob("shard-*.sqlite"))) > 0
+        store = SQLiteResultStore(tmp_path)
+        cached = run_tasks(self.TASKS, jobs=1, cache_dir=store)
+        assert store.hits == len(self.TASKS)
+        assert json.dumps(fresh) == json.dumps(cached)
+
+    def test_backends_serve_byte_identical_rows(self, tmp_path):
+        via_json = run_tasks(self.TASKS, cache_dir=tmp_path / "j", cache_backend="json")
+        via_sqlite = run_tasks(self.TASKS, cache_dir=tmp_path / "s", cache_backend="sqlite")
+        warm_json = run_tasks(self.TASKS, cache_dir=tmp_path / "j", cache_backend="json")
+        warm_sqlite = run_tasks(self.TASKS, cache_dir=tmp_path / "s", cache_backend="sqlite")
+        blobs = {json.dumps(rows) for rows in (via_json, via_sqlite, warm_json, warm_sqlite)}
+        assert len(blobs) == 1
+
+    def test_unknown_cache_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_tasks(self.TASKS, cache_dir=tmp_path, cache_backend="wat")
+
     def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
-        run_tasks(self.TASKS[:1], cache_dir=tmp_path)
+        run_tasks(self.TASKS[:1], cache_dir=tmp_path, cache_backend="json")
         (victim,) = tmp_path.glob("*.json")
         victim.write_text("{not json")
-        rows = run_tasks(self.TASKS[:1], cache_dir=tmp_path)
+        rows = run_tasks(self.TASKS[:1], cache_dir=tmp_path, cache_backend="json")
         assert rows[0]["correct"] is True
         assert json.loads(victim.read_text())["version"] == CACHE_VERSION  # rewritten
 
@@ -158,7 +180,7 @@ class TestRunTasks:
         task = SweepTask("scheme", TrivialRankScheme(), GraphSpec("random", 0.1), 8, 0)
         rows = run_tasks([task], cache_dir=tmp_path)
         assert rows[0]["correct"] is True
-        assert list(tmp_path.glob("*.json")) == []
+        assert SQLiteResultStore(tmp_path).stats()["rows"] == 0
 
 
 class TestSweepRouting:
@@ -188,10 +210,11 @@ class TestSweepRouting:
         )
         assert result.rows[0]["correct"]
 
-    def test_sweep_cache_reuse(self, tmp_path):
+    @pytest.mark.parametrize("backend,opener", [("json", ResultCache), ("sqlite", SQLiteResultStore)])
+    def test_sweep_cache_reuse(self, tmp_path, backend, opener):
         kwargs = dict(sizes=(8, 16), graph_factory=GraphSpec("random", 0.1), seeds=(0, 1))
-        first = run_scheme_sweep("trivial", cache_dir=tmp_path, **kwargs)
-        cache = ResultCache(tmp_path)
+        first = run_scheme_sweep("trivial", cache_dir=tmp_path, cache_backend=backend, **kwargs)
+        cache = opener(tmp_path)
         second = run_scheme_sweep("trivial", cache_dir=cache, **kwargs)
         assert cache.hits == 4
         assert json.dumps(first.rows) == json.dumps(second.rows)

@@ -1,0 +1,400 @@
+"""Tests of the sharded SQLite result store, run manifests and resume.
+
+The store must be a drop-in for :class:`repro.runner.cache.ResultCache`:
+same lookup/store contract, same miss-on-corruption semantics, and —
+most importantly — byte-identical sweep output whichever backend served
+the rows.  The multiprocessing stress test hammers one store from many
+concurrent writer processes with overlapping task sets, which is the
+shape of several ``--jobs`` sweeps sharing a cache directory.
+"""
+
+import json
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.analysis.sweep import run_scheme_sweep
+from repro.runner import (
+    ExecutionStats,
+    GraphSpec,
+    ProgressReporter,
+    ResultCache,
+    RunManifest,
+    SQLiteResultStore,
+    SweepTask,
+    open_result_store,
+    run_tasks,
+)
+from repro.runner.manifest import run_id_for
+from repro.runner.store import DEFAULT_SHARDS, STORE_SCHEMA_VERSION
+
+TASKS = [
+    SweepTask("scheme", "trivial", GraphSpec("random", 0.1), n, seed)
+    for n in (8, 16)
+    for seed in (0, 1)
+]
+
+
+def _row(tag):
+    """A result-row stand-in with a float that must survive round-trips."""
+    return {"kind": "scheme", "value": 0.1 + tag, "correct": True}
+
+
+class TestOpenResultStore:
+    def test_backend_selection(self, tmp_path):
+        assert isinstance(open_result_store(tmp_path / "j", "json"), ResultCache)
+        assert isinstance(open_result_store(tmp_path / "s", "sqlite"), SQLiteResultStore)
+        with pytest.raises(ValueError):
+            open_result_store(tmp_path, "wat")
+
+    def test_unusable_directory_rejected(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(ValueError):
+            SQLiteResultStore(blocker / "sub")
+
+
+class TestSQLiteStoreContract:
+    def test_round_trip_and_counters(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        assert store.get("0" * 64) is None
+        assert store.misses == 1
+        store.put("0" * 64, {"task": 1}, _row(0))
+        assert store.get("0" * 64) == _row(0)
+        assert store.hits == 1
+
+    def test_put_overwrites(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        store.put("ab" * 32, {}, _row(1))
+        store.put("ab" * 32, {}, _row(2))
+        assert store.get("ab" * 32) == _row(2)
+        assert store.stats()["rows"] == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        SQLiteResultStore(tmp_path).put("cd" * 32, {}, _row(3))
+        assert SQLiteResultStore(tmp_path).get("cd" * 32) == _row(3)
+
+    def test_float_rows_round_trip_exactly(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        row = {"avg": 1.0 / 3.0, "big": 2.0 ** 60, "tiny": 5e-324}
+        store.put("ef" * 32, {}, row)
+        assert json.dumps(store.get("ef" * 32)) == json.dumps(row)
+
+    def test_shard_layout(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        files = sorted(p.name for p in tmp_path.glob("shard-*.sqlite"))
+        assert len(files) == DEFAULT_SHARDS == store.shards
+        keys = [f"{i:02x}" * 32 for i in range(64)]
+        for i, key in enumerate(keys):
+            store.put(key, {}, _row(i))
+        stats = store.stats()
+        assert stats["rows"] == len(keys)
+        assert stats["schema_version"] == STORE_SCHEMA_VERSION
+        # the hash-prefix routing actually spreads the key space
+        populated = [row for row in stats["per_shard"] if row["rows"]]
+        assert len(populated) > 1
+
+    def test_reopen_adopts_existing_layout(self, tmp_path):
+        SQLiteResultStore(tmp_path, shards=2).put("ab" * 32, {}, _row(0))
+        reopened = SQLiteResultStore(tmp_path, shards=8)
+        assert reopened.shards == 2  # on-disk layout wins over the argument
+        assert reopened.get("ab" * 32) == _row(0)
+
+    def test_layout_file_pins_the_shard_count(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        layout = json.loads(store.layout_path.read_text())
+        assert layout["shards"] == store.shards
+        store.close()
+        # even with shard files missing (partial creation, manual damage)
+        # the layout claim — not a racy glob — decides the routing
+        store.path_for_shard(store.shards - 1).unlink()
+        assert SQLiteResultStore(tmp_path, shards=16).shards == store.shards
+
+    def test_legacy_directory_without_layout_file(self, tmp_path):
+        store = SQLiteResultStore(tmp_path, shards=2)
+        store.put("ab" * 32, {}, _row(0))
+        store.close()
+        store.layout_path.unlink()  # a pre-layout-file store directory
+        reopened = SQLiteResultStore(tmp_path, shards=8)
+        assert reopened.shards == 2  # counted from disk ...
+        assert json.loads(reopened.layout_path.read_text())["shards"] == 2  # ... and pinned
+        assert reopened.get("ab" * 32) == _row(0)
+
+    def test_non_hex_keys_still_route(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        store.put("not-a-hash", {}, _row(7))
+        assert store.get("not-a-hash") == _row(7)
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        store.put("ab" * 32, {}, _row(0))
+        index = store.shard_for("ab" * 32)
+        store.close()
+        conn = sqlite3.connect(store.path_for_shard(index))
+        conn.execute("UPDATE meta SET value='999' WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        fresh = SQLiteResultStore(tmp_path)
+        assert fresh.get("ab" * 32) is None  # stale generation dropped
+        fresh.put("ab" * 32, {}, _row(1))
+        assert fresh.get("ab" * 32) == _row(1)
+
+
+class TestCorruptShardRecovery:
+    def test_corrupt_shard_misses_then_recovers(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        key = "ab" * 32
+        store.put(key, {}, _row(0))
+        index = store.shard_for(key)
+        store.close()
+        store.path_for_shard(index).write_text("this is not a database")
+
+        # ResultCache semantics: corruption is a miss, never an error ...
+        reopened = SQLiteResultStore(tmp_path)
+        assert reopened.get(key) is None
+        assert reopened.misses == 1
+        # ... and the next write rebuilds the shard
+        reopened.put(key, {}, _row(1))
+        assert reopened.get(key) == _row(1)
+        assert reopened.stats()["rows"] == 1
+
+    def test_corrupt_shard_only_loses_its_own_keys(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        keys = [f"{i:02x}" * 32 for i in range(32)]
+        for i, key in enumerate(keys):
+            store.put(key, {}, _row(i))
+        victim = store.shard_for(keys[0])
+        store.close()
+        store.path_for_shard(victim).write_text("garbage")
+        reopened = SQLiteResultStore(tmp_path)
+        survivors = [k for k in keys if reopened.shard_for(k) != victim]
+        assert survivors
+        for key in survivors:
+            assert reopened.get(key) is not None
+        assert reopened.get(keys[0]) is None
+
+    def test_transient_errors_never_delete_the_shard(self, tmp_path):
+        """'database is locked' / disk-full must surface, not destroy rows."""
+        store = SQLiteResultStore(tmp_path)
+        key = "ab" * 32
+        store.put(key, {}, _row(0))
+        index = store.shard_for(key)
+        store._drop_conn(index)
+        attempts = []
+
+        def locked(_index):
+            attempts.append(_index)
+            raise sqlite3.OperationalError("database is locked")
+
+        store._conn = locked
+        with pytest.raises(sqlite3.OperationalError):
+            store.put(key, {}, _row(1))
+        assert attempts == [index]  # no silent retry loop either
+        # the shard file survived untouched, with its committed row
+        fresh = SQLiteResultStore(tmp_path)
+        assert fresh.get(key) == _row(0)
+
+    def test_run_tasks_recomputes_after_corruption(self, tmp_path):
+        fresh = run_tasks(TASKS, cache_dir=tmp_path)
+        for shard in tmp_path.glob("shard-*.sqlite"):
+            shard.write_text("garbage")
+        recovered = run_tasks(TASKS, cache_dir=tmp_path)
+        assert json.dumps(recovered) == json.dumps(fresh)
+        assert SQLiteResultStore(tmp_path).stats()["rows"] == len(TASKS)
+
+
+class TestMaintenance:
+    def test_migrate_json_cache(self, tmp_path):
+        json_dir = tmp_path / "json"
+        rows = run_tasks(TASKS, cache_dir=json_dir, cache_backend="json")
+        (json_dir / "broken.json").write_text("{nope")
+        store = SQLiteResultStore(tmp_path / "store")
+        # batch_size below the entry count: the streaming path must flush
+        # every batch, not just the last partial one
+        summary = store.migrate_json_cache(json_dir, batch_size=2)
+        assert summary == {"imported": len(TASKS), "skipped": 1}
+        served = run_tasks(TASKS, cache_dir=store)
+        assert store.hits == len(TASKS)
+        assert json.dumps(served) == json.dumps(rows)
+
+    def test_gc_drops_foreign_generations(self, tmp_path):
+        store = SQLiteResultStore(tmp_path)
+        run_tasks(TASKS, cache_dir=store)
+        live = store.stats()["rows"]
+        store.put("ab" * 32, {"format": 2, "lib": "0.0.0"}, _row(0))  # stale lib
+        store.put("cd" * 32, {}, _row(1))  # no provenance at all
+        assert store.gc() == {"removed": 2, "kept": live}
+        assert store.stats()["rows"] == live
+        # gc'd store still serves the live rows byte-identically
+        warm = SQLiteResultStore(tmp_path)
+        run_tasks(TASKS, cache_dir=warm)
+        assert warm.hits == len(TASKS)
+
+
+def _stress_writer(args):
+    """One writer process: upsert an overlapping slice of the key space."""
+    directory, start, count, tag = args
+    store = SQLiteResultStore(directory)
+    items = [
+        (f"{index:03x}" + "0" * 61, {"task": index}, {"index": index, "tag": tag})
+        for index in range(start, start + count)
+    ]
+    # alternate batched and single-row writes: both paths must be safe
+    if tag % 2:
+        store.put_many(items)
+    else:
+        for key, task, row in items:
+            store.put(key, task, row)
+    return tag
+
+
+class TestConcurrentWriters:
+    def test_many_processes_no_lost_rows(self, tmp_path):
+        """Overlapping upserts from many writers: no lost rows, no corruption."""
+        writers = 8
+        span = 40  # each writer covers [start, start+span), half-overlapping
+        jobs = [(str(tmp_path), w * span // 2, span, w) for w in range(writers)]
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=writers) as pool:
+            done = pool.map(_stress_writer, jobs)
+        assert sorted(done) == list(range(writers))
+
+        store = SQLiteResultStore(tmp_path)
+        universe = {index for _, start, count, _ in jobs for index in range(start, start + count)}
+        assert store.stats()["rows"] == len(universe)
+        for index in sorted(universe):
+            row = store.get(f"{index:03x}" + "0" * 61)
+            assert row is not None and row["index"] == index
+            # overlapped keys hold exactly one writer's complete row
+            assert row["tag"] in range(writers)
+        assert store.misses == 0
+
+    def test_concurrent_sweeps_share_one_store(self, tmp_path):
+        """Two parallel run_tasks calls over the same directory agree."""
+        a = run_tasks(TASKS, jobs=2, cache_dir=tmp_path)
+        b = run_tasks(TASKS, jobs=2, cache_dir=tmp_path)
+        assert json.dumps(a) == json.dumps(b)
+
+
+class TestRunManifest:
+    def test_identity_and_checkpoint(self, tmp_path):
+        keys = [t.task_hash() for t in TASKS]
+        manifest = RunManifest.open(tmp_path, keys)
+        assert manifest.total == len(TASKS)
+        assert not manifest.finished
+        manifest.mark_done(keys[:2])
+        stored = json.loads(manifest.path.read_text())
+        assert stored["run_id"] == run_id_for(keys)
+        assert stored["finished"] is False
+        assert len(stored["completed"]) == 2
+
+        resumed = RunManifest.open(tmp_path, keys)
+        assert resumed.resumed == 2
+        resumed.mark_done(keys)
+        assert resumed.finished
+        assert json.loads(resumed.path.read_text())["finished"] is True
+
+    def test_different_runs_get_different_ledgers(self, tmp_path):
+        first = RunManifest.open(tmp_path, [t.task_hash() for t in TASKS])
+        second = RunManifest.open(tmp_path, [t.task_hash() for t in TASKS[:2]])
+        assert first.run_id != second.run_id
+
+    def test_corrupt_manifest_is_ignored(self, tmp_path):
+        keys = [t.task_hash() for t in TASKS]
+        manifest = RunManifest.open(tmp_path, keys)
+        manifest.mark_done(keys[:1])
+        manifest.path.write_text("{broken")
+        assert RunManifest.open(tmp_path, keys).resumed == 0
+
+    def test_foreign_hashes_cannot_inflate_completion(self, tmp_path):
+        keys = [t.task_hash() for t in TASKS]
+        manifest = RunManifest.open(tmp_path, keys)
+        manifest.mark_done(keys)
+        doctored = json.loads(manifest.path.read_text())
+        doctored["completed"].append("f" * 64)
+        manifest.path.write_text(json.dumps(doctored))
+        assert RunManifest.open(tmp_path, keys).resumed == len(keys)
+
+
+class TestResume:
+    def test_resume_requires_a_cache(self):
+        with pytest.raises(ValueError):
+            run_tasks(TASKS, resume=True)
+
+    def test_killed_run_resumes_without_recomputation(self, tmp_path):
+        """The acceptance shape: a partial run, then --resume finishes it.
+
+        The first call completes only half the tasks (simulating a kill
+        after two group checkpoints); the resumed call must re-execute
+        exactly the other half and produce byte-identical rows.
+        """
+        fresh = run_tasks(TASKS)
+        run_tasks(TASKS[:2], cache_dir=tmp_path, resume=True)
+
+        stats = ExecutionStats()
+        resumed = run_tasks(TASKS, cache_dir=tmp_path, resume=True, stats=stats)
+        assert stats.cache_hits == 2
+        assert stats.cache_misses == 2  # zero checkpointed tasks re-executed
+        assert json.dumps(resumed) == json.dumps(fresh)
+
+        # the full run's ledger is now complete; a second resume executes nothing
+        stats = ExecutionStats()
+        again = run_tasks(TASKS, cache_dir=tmp_path, resume=True, stats=stats)
+        assert stats.cache_misses == 0
+        assert json.dumps(again) == json.dumps(fresh)
+        manifests = list((tmp_path / "manifests").glob("run-*.json"))
+        full = [
+            json.loads(p.read_text())
+            for p in manifests
+            if json.loads(p.read_text())["total"] == len(TASKS)
+        ]
+        assert len(full) == 1 and full[0]["finished"] is True
+
+    def test_resume_is_byte_identical_across_jobs(self, tmp_path):
+        fresh = run_scheme_sweep("trivial", sizes=(8, 16), seeds=(0, 1))
+        resumed = run_scheme_sweep(
+            "trivial", sizes=(8, 16), seeds=(0, 1),
+            cache_dir=tmp_path, resume=True, jobs=2,
+        )
+        assert json.dumps(resumed.rows) == json.dumps(fresh.rows)
+
+    def test_checkpoints_are_incremental(self, tmp_path):
+        """Every completed group is durable before the run ends."""
+        seen = []
+        store = SQLiteResultStore(tmp_path)
+        original = store.put_many
+
+        def spy(items):
+            original(items)
+            seen.append(SQLiteResultStore(tmp_path).stats()["rows"])
+
+        store.put_many = spy
+        run_tasks(TASKS, cache_dir=store)
+        # four tasks over two instance groups: two separate commits, and
+        # the store already held the first group's rows when the second landed
+        assert len(seen) >= 2
+        assert seen == sorted(seen)
+        assert seen[-1] == len(TASKS)
+
+
+class TestProgressReporter:
+    def test_counts_rates_and_final_newline(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = ProgressReporter(4, label="sweep", stream=stream, min_interval=0.0)
+        reporter.add_cached(2, resumed=1)
+        reporter.add_executed(1)
+        reporter.add_executed(1)
+        reporter.close()
+        output = stream.getvalue()
+        assert "sweep: 4/4 done" in output
+        assert "(2 cached, 1 resumed)" in output
+        assert "tasks/s" in output
+
+    def test_progress_goes_to_stderr_not_stdout(self, tmp_path, capsys):
+        run_tasks(TASKS, cache_dir=tmp_path, progress=True)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert f"{len(TASKS)}/{len(TASKS)} done" in captured.err
