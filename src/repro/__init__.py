@@ -5,6 +5,9 @@ Minimum Spanning Tree computation together with every substrate they
 need: a port-numbered weighted-graph model, sequential MST algorithms
 and the Borůvka fragment machinery, a synchronous LOCAL/CONGEST
 message-passing simulator, and no-advice distributed MST baselines.
+The advising framework itself is problem-agnostic: :mod:`repro.problems`
+hosts further instantiations (leader election, wake-up/broadcast,
+spanning-tree verification) on the same engine and runner.
 
 Quickstart
 ----------
@@ -50,16 +53,20 @@ from repro.core import (
     AverageConstantScheme,
     BitString,
     LevelAdviceScheme,
+    Problem,
     SchemeReport,
     ShortAdviceScheme,
     TrivialRankScheme,
     check_outputs,
+    get_problem,
+    problem_names,
+    register_problem,
     run_scheme,
 )
 from repro.simulator import RunMetrics, run_sync
 from repro.runner import GraphSpec, SweepTask, run_tasks
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -92,10 +99,14 @@ __all__ = [
     "AverageConstantScheme",
     "BitString",
     "LevelAdviceScheme",
+    "Problem",
     "SchemeReport",
     "ShortAdviceScheme",
     "TrivialRankScheme",
     "check_outputs",
+    "get_problem",
+    "problem_names",
+    "register_problem",
     "run_scheme",
     # simulator
     "RunMetrics",

@@ -17,7 +17,9 @@ therefore produce byte-identical results.
 Schemes and baselines may be passed as instances (as before) or as
 registry names (``"theorem3"``, ``"ghs"``, ...); only name +
 :class:`~repro.runner.tasks.GraphSpec` workloads are cacheable, because
-ad-hoc instances and closures have no stable content hash.
+ad-hoc instances and closures have no stable content hash.  Names
+resolve on the problem axis: bare names against ``problem`` (default
+``mst``), qualified names (``"leader/flag"``) directly.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.tables import format_table
 from repro.core.oracle import AdvisingScheme
+from repro.core.problem import DEFAULT_PROBLEM
 from repro.distributed.base import DistributedMSTBaseline
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.runner.registry import resolve_baseline, resolve_scheme
@@ -105,6 +108,7 @@ def run_scheme_sweep(
     cache_backend: str = DEFAULT_CACHE_BACKEND,
     resume: bool = False,
     progress: bool = False,
+    problem: Optional[str] = None,
 ) -> SweepResult:
     """Run ``scheme`` on every size in ``sizes`` and aggregate per size.
 
@@ -131,7 +135,8 @@ def run_scheme_sweep(
     True
     """
     factory = graph_factory if graph_factory is not None else default_graph_factory()
-    scheme_obj = resolve_scheme(scheme)
+    scheme_obj = resolve_scheme(scheme, problem=problem)
+    task_problem = getattr(scheme_obj, "problem", DEFAULT_PROBLEM)
     tasks = [
         SweepTask(
             kind="scheme",
@@ -141,6 +146,7 @@ def run_scheme_sweep(
             seed=seed,
             root=root,
             backend=backend,
+            problem=task_problem,
         )
         for n in sizes
         for seed in seeds
@@ -199,6 +205,7 @@ def aggregate_scheme_rows(
         log_n = math.log2(max(n, 2))
         rows.append(
             {
+                "problem": getattr(scheme_obj, "problem", DEFAULT_PROBLEM),
                 "scheme": scheme_obj.name,
                 "n": n,
                 "log2_n": round(log_n, 2),
@@ -227,12 +234,20 @@ def run_baseline_sweep(
     cache_backend: str = DEFAULT_CACHE_BACKEND,
     resume: bool = False,
     progress: bool = False,
+    problem: Optional[str] = None,
 ) -> SweepResult:
     """Run a no-advice baseline on every size in ``sizes``."""
     factory = graph_factory if graph_factory is not None else default_graph_factory()
-    baseline_obj = resolve_baseline(baseline)
+    baseline_obj = resolve_baseline(baseline, problem=problem)
     tasks = [
-        SweepTask(kind="baseline", target=baseline, graph=factory, n=n, seed=seed)
+        SweepTask(
+            kind="baseline",
+            target=baseline,
+            graph=factory,
+            n=n,
+            seed=seed,
+            problem=getattr(baseline_obj, "problem", DEFAULT_PROBLEM),
+        )
         for n in sizes
         for seed in seeds
     ]
@@ -284,6 +299,7 @@ def aggregate_baseline_rows(
         log_n = math.log2(max(n, 2))
         rows.append(
             {
+                "problem": getattr(baseline_obj, "problem", DEFAULT_PROBLEM),
                 "scheme": baseline_obj.name,
                 "n": n,
                 "log2_n": round(log_n, 2),

@@ -60,6 +60,7 @@ from repro.core.lower_bound import (
     truncated_trivial_failures,
 )
 from repro.core.oracle import run_scheme
+from repro.core.problem import DEFAULT_PROBLEM, get_problem, problem_names, split_target
 from repro.core.scheme_average import paper_average_constant
 from repro.distributed.base import run_baseline
 from repro.graphs.weighted_graph import PortNumberedGraph
@@ -70,6 +71,8 @@ from repro.runner.registry import (
     GRAPH_FAMILIES,
     SCHEMES,
     build_graph,
+    resolve_baseline,
+    resolve_scheme,
 )
 from repro.runner.runner import GROUPING_MODES, run_tasks
 from repro.runner.store import (
@@ -88,6 +91,37 @@ __all__ = ["main", "build_parser", "SCHEMES", "BASELINES"]
 def _make_graph(kind: str, n: int, seed: int, density: float) -> PortNumberedGraph:
     """Build the instance requested on the command line."""
     return build_graph(kind, n, seed, density)
+
+
+def _target_choices(kinds: Sequence[str] = ("scheme", "baseline")) -> List[str]:
+    """Every registry target a command accepts: bare and qualified names.
+
+    Derived from the problem registry, never hand-maintained: each
+    problem contributes its bare scheme/baseline names (resolved against
+    ``--problem``) and their ``problem/name`` qualified forms.
+    """
+    names = set()
+    for problem_name in problem_names():
+        problem = get_problem(problem_name)
+        for kind in kinds:
+            table = problem.schemes if kind == "scheme" else problem.baselines
+            for bare in table:
+                names.add(bare)
+                names.add(f"{problem_name}/{bare}")
+    return sorted(names)
+
+
+def _add_problem_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--problem",
+        default=DEFAULT_PROBLEM,
+        choices=problem_names(),
+        help=(
+            "problem bare target names resolve against (default: mst); "
+            "qualified targets like leader/flag select their problem "
+            "directly"
+        ),
+    )
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -196,6 +230,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
                 {"name": name, "class": type(factory()).__name__}
                 for name, factory in BASELINES.items()
             ],
+            "problems": [
+                {
+                    "name": problem.name,
+                    "title": problem.title,
+                    "schemes": sorted(problem.schemes),
+                    "baselines": sorted(problem.baselines),
+                }
+                for problem in (get_problem(name) for name in problem_names())
+            ],
             "theorem2_average_constant_bits": paper_average_constant(),
         }
         print(json.dumps(payload, indent=2))
@@ -215,6 +258,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print("Advising schemes:")
     print(format_table(rows))
     print("\nNo-advice baselines: " + ", ".join(sorted(BASELINES)))
+    print("\nProblems hosted on the advising framework:")
+    for problem_name in problem_names():
+        problem = get_problem(problem_name)
+        baselines = ", ".join(sorted(problem.baselines)) or "none"
+        print(
+            f"  {problem_name:<9} {problem.title} "
+            f"(schemes: {', '.join(sorted(problem.schemes))}; "
+            f"baselines: {baselines})"
+        )
     print("Graph families: " + ", ".join(GRAPH_FAMILIES))
     print(f"Theorem 2 average-advice constant: c = {paper_average_constant():.1f} bits")
     print("Paper bounds for Theorem 3: m = 12 bits, t <= 9*ceil(log2 n) rounds.")
@@ -224,16 +276,25 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     graph = _make_graph(args.graph, args.n, args.seed, args.density)
     root = args.root % graph.n
-    if args.scheme in SCHEMES:
-        report = run_scheme(SCHEMES[args.scheme](), graph, root=root, backend=args.backend)
+    qualifier, bare = split_target(args.scheme)
+    problem = get_problem(qualifier or args.problem)
+    if bare in problem.schemes:
+        scheme = resolve_scheme(args.scheme, problem=problem.name)
+        report = run_scheme(scheme, graph, root=root, backend=args.backend)
         row = report.as_row()
-    elif args.scheme in BASELINES:
+    elif bare in problem.baselines:
         if args.backend != "engine":
             raise ValueError("baselines have no analytic model; use --backend engine")
-        baseline_report = run_baseline(BASELINES[args.scheme](), graph)
+        baseline_report = run_baseline(
+            resolve_baseline(args.scheme, problem=problem.name), graph
+        )
         row = baseline_report.as_row()
-    else:  # pragma: no cover - argparse restricts the choices
-        raise ValueError(f"unknown scheme {args.scheme!r}")
+    else:
+        raise ValueError(
+            f"problem {problem.name!r} has no target {bare!r}; its schemes are "
+            f"{', '.join(sorted(problem.schemes))} and its baselines "
+            f"{', '.join(sorted(problem.baselines))}"
+        )
     if args.json:
         print(json.dumps(row, indent=2, default=str))
     else:
@@ -296,6 +357,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_backend=args.cache_backend,
         resume=args.resume,
         progress=args.progress or args.resume,
+        # a qualified --scheme names its problem directly; --problem only
+        # disambiguates bare names (run and bench resolve the same way)
+        problem=split_target(args.scheme)[0] or args.problem,
     )
     if args.json:
         print(json.dumps(result.rows, indent=2, default=str))
@@ -325,18 +389,29 @@ def _bench_one_backend(args: argparse.Namespace, backend: str) -> Dict[str, Any]
     # this backend's graphs (and their cached traces) outside the window
     clear_graph_memo()
     # --scheme all mirrors the multi-seed trade-off benchmark: every
-    # advising scheme over the same instances (graph and Borůvka-trace
-    # reuse across schemes is part of the measured workload)
-    targets = sorted(SCHEMES) if args.scheme == "all" else [args.scheme]
+    # advising scheme of the selected problem over the same instances
+    # (graph and Borůvka-trace reuse across schemes is part of the
+    # measured workload)
+    qualifier, bare = split_target(args.scheme)
+    problem = get_problem(qualifier or args.problem)
+    targets = sorted(problem.schemes) if bare == "all" else [bare]
+    for target in targets:
+        if target not in problem.schemes and target not in problem.baselines:
+            raise ValueError(
+                f"problem {problem.name!r} has no target {target!r}; its "
+                f"schemes are {', '.join(sorted(problem.schemes))} and its "
+                f"baselines {', '.join(sorted(problem.baselines))}"
+            )
     tasks = [
         SweepTask(
-            kind="scheme" if target in SCHEMES else "baseline",
+            kind="scheme" if target in problem.schemes else "baseline",
             target=target,
             graph=GraphSpec(args.graph, args.density),
             n=args.n,
             seed=args.seed + k,
             root=args.root,
             backend=backend,
+            problem=problem.name,
         )
         for k in range(args.repeats)
         for target in targets
@@ -482,7 +557,9 @@ def _check_regression(payload: Dict[str, Any], baseline_path: str) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.repeats < 1:
         raise ValueError("--repeats must be >= 1")
-    if args.scheme in BASELINES and args.backend != "engine":
+    bench_qualifier, bench_bare = split_target(args.scheme)
+    bench_problem = get_problem(bench_qualifier or args.problem)
+    if bench_bare in bench_problem.baselines and args.backend != "engine":
         raise ValueError("baselines have no analytic model; use --backend engine")
     backends: List[str] = list(BACKENDS) if args.backend == "both" else [args.backend]
     summaries = [_bench_one_backend(args, backend) for backend in backends]
@@ -673,9 +750,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--scheme",
         default="theorem3",
-        choices=sorted(SCHEMES) + sorted(BASELINES),
-        help="advising scheme or no-advice baseline (default: theorem3)",
+        choices=_target_choices(),
+        help=(
+            "advising scheme or no-advice baseline (default: theorem3); "
+            "bare names resolve against --problem, qualified names like "
+            "leader/flag pick their problem directly"
+        ),
     )
+    _add_problem_argument(run_parser)
     _add_graph_arguments(run_parser)
     _add_backend_argument(run_parser)
 
@@ -685,7 +767,10 @@ def build_parser() -> argparse.ArgumentParser:
     tradeoff_parser.add_argument("--no-level", action="store_true", help="skip the level-coded variant")
 
     sweep_parser = sub.add_parser("sweep", help="advice/round curves of one scheme over n")
-    sweep_parser.add_argument("--scheme", default="theorem3", choices=sorted(SCHEMES))
+    sweep_parser.add_argument(
+        "--scheme", default="theorem3", choices=_target_choices(kinds=("scheme",))
+    )
+    _add_problem_argument(sweep_parser)
     sweep_parser.add_argument("--sizes", default="32,64,128,256", help="comma-separated node counts")
     sweep_parser.add_argument("--repeats", type=int, default=2, help="seeds per size (default 2)")
     _add_parallel_arguments(sweep_parser)
@@ -696,13 +781,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--scheme",
         default="theorem3",
-        choices=sorted(SCHEMES) + sorted(BASELINES) + ["all"],
+        choices=_target_choices() + ["all"],
         help=(
             "advising scheme or no-advice baseline (default: theorem3); "
-            "'all' runs every scheme over the same instances, the shape of "
-            "the multi-seed trade-off benchmark"
+            "'all' runs every scheme of --problem over the same instances, "
+            "the shape of the multi-seed trade-off benchmark"
         ),
     )
+    _add_problem_argument(bench_parser)
     bench_parser.add_argument("--repeats", type=int, default=10, help="number of runs (default 10)")
     _add_parallel_arguments(bench_parser)
     _add_graph_arguments(bench_parser)

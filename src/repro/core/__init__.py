@@ -13,14 +13,25 @@ module                    paper artefact
                           lower bound for 0-round schemes
 ``oracle``                the ``(m, t)``-advising-scheme abstraction and
                           the end-to-end runner
+``problem``               the problem axis: scheme/baseline registries
+                          and output verifiers per problem
 ``advice`` / ``bits``     advice assignments, bit strings, γ codes
-``verification``          rooted-MST output checking
+``verification``          rooted-MST output checking (re-export of the
+                          MST problem's verifier)
 ========================  ================================================
 """
 
 from repro.core.advice import AdviceAssignment, AdviceStats
 from repro.core.bits import BitReader, BitString, BitWriter
 from repro.core.oracle import AdvisingScheme, SchemeReport, run_scheme
+from repro.core.problem import (
+    DEFAULT_PROBLEM,
+    Problem,
+    get_problem,
+    problem_names,
+    register_problem,
+    split_target,
+)
 from repro.core.scheme_trivial import TrivialRankScheme
 from repro.core.scheme_average import AverageConstantScheme, paper_average_constant
 from repro.core.scheme_main import (
@@ -47,6 +58,12 @@ __all__ = [
     "AdvisingScheme",
     "SchemeReport",
     "run_scheme",
+    "DEFAULT_PROBLEM",
+    "Problem",
+    "get_problem",
+    "problem_names",
+    "register_problem",
+    "split_target",
     "TrivialRankScheme",
     "AverageConstantScheme",
     "paper_average_constant",

@@ -7,10 +7,14 @@ and the advice, solves the problem within ``t`` rounds.
 
 :class:`AdvisingScheme` captures the pair: :meth:`compute_advice` is the
 oracle and :meth:`program_factory` produces the node programs of the
-decoder.  :func:`run_scheme` glues everything together — oracle →
-simulator → output verification — and returns a :class:`SchemeReport`
-with the exact quantities the paper's theorems bound (max/average advice
-bits, rounds, per-edge message bits).
+decoder.  The pair is defined relative to a *problem*
+(:mod:`repro.core.problem`) whose verifier decides what counts as a
+correct output map; the paper's schemes solve ``mst``, and the framework
+hosts further problems under :mod:`repro.problems`.  :func:`run_scheme`
+glues everything together — oracle → simulator → the problem's output
+verification — and returns a :class:`SchemeReport` with the exact
+quantities the paper's theorems bound (max/average advice bits, rounds,
+per-edge message bits).
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.core.advice import AdviceAssignment, AdviceStats
-from repro.core.verification import OutputCheck, check_outputs
+from repro.core.problem import DEFAULT_PROBLEM, OutputCheck, get_problem
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.simulator.algorithm import ProgramFactory
 from repro.simulator.engine import run_sync
@@ -35,10 +39,17 @@ class AdvisingScheme(ABC):
 
     #: short human-readable identifier used in tables
     name: str = "scheme"
+    #: the problem this scheme solves (selects the output verifier)
+    problem: str = DEFAULT_PROBLEM
 
     @abstractmethod
     def compute_advice(self, graph: PortNumberedGraph, root: int = 0) -> AdviceAssignment:
-        """The oracle: assign advice for ``graph`` with the MST rooted at ``root``."""
+        """The oracle: assign advice for ``graph`` with distinguished node ``root``.
+
+        For the MST problem ``root`` roots the reference MST; other
+        problems use it as their distinguished node (the leader, the
+        wake-up source, the candidate tree's root).
+        """
 
     @abstractmethod
     def program_factory(self) -> ProgramFactory:
@@ -69,15 +80,17 @@ class SchemeReport:
     check: OutputCheck
     advice_bound: Optional[float] = None
     round_bound: Optional[float] = None
+    problem: str = DEFAULT_PROBLEM
 
     @property
     def correct(self) -> bool:
-        """``True`` iff the decoder produced a valid rooted MST."""
+        """``True`` iff the decoder's outputs passed the problem's verifier."""
         return self.check.ok
 
     def as_row(self) -> Dict[str, Any]:
         """Flat dictionary used by the benchmark tables."""
         return {
+            "problem": self.problem,
             "scheme": self.scheme,
             "n": self.n,
             "m": self.m,
@@ -120,7 +133,8 @@ def run_scheme(
 
     The oracle is given the instance and the designated root; the
     decoder is run with the resulting advice; the outputs are then
-    checked to describe a rooted MST whose root is the designated one.
+    checked by the verifier of the scheme's declared problem (for the
+    paper's MST schemes: a rooted MST whose root is the designated one).
 
     ``backend`` selects how the decoder is executed:
 
@@ -175,10 +189,11 @@ def run_scheme(
 
 def _build_report(scheme, graph, root, advice, result) -> SchemeReport:
     """Verify the outputs and assemble the report (shared by both backends)."""
+    problem = getattr(scheme, "problem", DEFAULT_PROBLEM)
     if not result.completed:
         check = OutputCheck(False, "the decoder did not terminate within the round limit")
     else:
-        check = check_outputs(graph, result.outputs, expected_root=root)
+        check = get_problem(problem).check_outputs(graph, result.outputs, expected_root=root)
     n = graph.n
     return SchemeReport(
         scheme=scheme.name,
@@ -191,4 +206,5 @@ def _build_report(scheme, graph, root, advice, result) -> SchemeReport:
         check=check,
         advice_bound=scheme.advice_bound_bits(n),
         round_bound=scheme.round_bound(n),
+        problem=problem,
     )

@@ -1,0 +1,180 @@
+"""The problem axis of the advising framework.
+
+An ``(m, t)``-advising scheme (Section 2 of the paper) is defined
+relative to a *problem*: the oracle sees the whole instance, each node
+receives at most ``m`` advice bits, and the distributed decoder must
+produce, within ``t`` rounds, per-node outputs that satisfy the
+problem's specification.  The framework is problem-agnostic — the paper
+instantiates it for MST, but the same oracle/decoder/verifier contract
+covers leader election, wake-up, spanning-tree verification, and so on.
+
+:class:`Problem` captures one such instantiation: a name, the registry
+of advising schemes and no-advice baselines that solve it, and
+:meth:`Problem.check_outputs`, the verifier that decides whether a
+per-node output map solves the problem on a given instance.  Problems
+register themselves into a process-wide table; the built-in problems
+live in :mod:`repro.problems` and are loaded lazily on first lookup.
+
+Targets are addressed by *qualified names* — ``"mst/theorem3"``,
+``"leader/flag"`` — with bare legacy names (``"theorem3"``) resolving
+to the default ``mst`` problem, so every pre-existing spec, cache key
+convention and CLI invocation keeps meaning what it meant.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_PROBLEM",
+    "OutputCheck",
+    "Problem",
+    "get_problem",
+    "problem_names",
+    "qualified_names",
+    "register_problem",
+    "split_target",
+]
+
+#: the problem bare target names resolve to (the paper's instantiation)
+DEFAULT_PROBLEM = "mst"
+
+
+@dataclass(frozen=True)
+class OutputCheck:
+    """Result of validating one distributed output map.
+
+    The tree fields (``root``, ``tree_edge_ids``, ``tree_weight``,
+    ``mst_weight``) are filled by verifiers whose outputs describe a
+    rooted tree (MST, wake-up, spanning-tree verification); problems
+    without tree-shaped outputs leave them at their defaults.
+    """
+
+    ok: bool
+    reason: str = "ok"
+    root: Optional[int] = None
+    tree_edge_ids: tuple = ()
+    tree_weight: float = 0.0
+    mst_weight: float = 0.0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+class Problem(ABC):
+    """One instantiation of the advising framework.
+
+    Subclasses declare their registries as class attributes and
+    implement the verifier.  A problem instance is stateless: the same
+    object serves every run of every scheme.
+    """
+
+    #: registry name (also the qualifier in ``problem/scheme`` targets)
+    name: str = "problem"
+    #: one-line human-readable title for ``repro info`` and the docs
+    title: str = ""
+    #: what a correct output map looks like (shown in reports and docs)
+    output_statement: str = ""
+    #: bare scheme name -> factory of an advising scheme for this problem
+    schemes: Mapping[str, Callable[[], Any]] = {}
+    #: bare baseline name -> factory of a no-advice baseline
+    baselines: Mapping[str, Callable[[], Any]] = {}
+
+    @abstractmethod
+    def check_outputs(
+        self, graph: Any, outputs: Dict[int, Any], expected_root: Optional[int] = None
+    ) -> OutputCheck:
+        """Decide whether ``outputs`` solves the problem on ``graph``.
+
+        ``expected_root`` pins the distinguished node (MST root, leader,
+        wake-up source) when the run designated one; baselines, which
+        cannot promise a root, pass ``None``.
+        """
+
+    def qualified(self, bare: str) -> str:
+        """The fully qualified form of a bare target name."""
+        return f"{self.name}/{bare}"
+
+
+_PROBLEMS: Dict[str, Problem] = {}
+_BUILTIN_LOADED = False
+
+
+def register_problem(problem: Problem) -> Problem:
+    """Register ``problem`` under its name (later registrations win)."""
+    if not problem.name or "/" in problem.name:
+        raise ValueError(f"invalid problem name {problem.name!r} ('/' is the qualifier separator)")
+    _PROBLEMS[problem.name] = problem
+    return problem
+
+
+def _ensure_builtin() -> None:
+    """Load :mod:`repro.problems` once (it registers the built-ins).
+
+    The flag is set *before* the import: the built-in modules pull in the
+    scheme stack, whose own imports may call back into this registry.
+    """
+    global _BUILTIN_LOADED
+    if not _BUILTIN_LOADED:
+        _BUILTIN_LOADED = True
+        import repro.problems  # noqa: F401  (import side effect: registration)
+
+
+def problem_names() -> List[str]:
+    """Sorted names of every registered problem.
+
+    >>> problem_names()
+    ['leader', 'mst', 'stverify', 'wakeup']
+    """
+    _ensure_builtin()
+    return sorted(_PROBLEMS)
+
+
+def get_problem(name: str) -> Problem:
+    """Look up a registered problem by name.
+
+    >>> get_problem("mst").name
+    'mst'
+    """
+    _ensure_builtin()
+    try:
+        return _PROBLEMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown problem {name!r}; known: {', '.join(sorted(_PROBLEMS))}"
+        ) from None
+
+
+def split_target(target: str) -> Tuple[Optional[str], str]:
+    """Split a qualified target into ``(problem, bare_name)``.
+
+    Bare names return ``(None, name)`` — the caller decides the default.
+
+    >>> split_target("mst/theorem3")
+    ('mst', 'theorem3')
+    >>> split_target("theorem3")
+    (None, 'theorem3')
+    """
+    if "/" in target:
+        problem, bare = target.split("/", 1)
+        return problem, bare
+    return None, target
+
+
+def qualified_names(kind: str) -> List[str]:
+    """Every registered target of ``kind`` as ``problem/name``, sorted.
+
+    ``kind`` is ``"scheme"`` or ``"baseline"``; the list is the canonical
+    vocabulary of error messages and CLI choices.
+    """
+    if kind not in ("scheme", "baseline"):
+        raise ValueError(f"kind must be 'scheme' or 'baseline', got {kind!r}")
+    _ensure_builtin()
+    names: List[str] = []
+    for problem_name in sorted(_PROBLEMS):
+        problem = _PROBLEMS[problem_name]
+        table = problem.schemes if kind == "scheme" else problem.baselines
+        names.extend(f"{problem_name}/{bare}" for bare in sorted(table))
+    return names

@@ -1,134 +1,14 @@
-"""Checking the outputs of a distributed MST run.
+"""Backwards-compatible home of the MST output verifier.
 
-The MST problem of the paper requires every node to output the port of
-the edge leading to its parent in some rooted MST, and the root to
-output that it is the root (:data:`repro.mst.rooted_tree.ROOT_OUTPUT`).
-:func:`check_outputs` validates a full output map:
-
-1. exactly one node declares itself the root;
-2. every other node names a valid port;
-3. following parent pointers from every node reaches the root (no
-   cycles, no second component);
-4. the set of parent edges is a spanning tree of minimum total weight.
-
-The function returns a structured :class:`OutputCheck` so that tests and
-benchmarks can report *why* an output was rejected, not just that it
-was.
+The verifier implementation moved to :mod:`repro.problems.verify` when
+the problem layer was extracted — the MST problem
+(:class:`repro.problems.mst.MSTProblem`) now owns it, next to the other
+problems' verifiers.  This module re-exports it so every historical
+import path (``from repro.core.verification import check_outputs``)
+keeps working unchanged.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
-
-from repro.graphs.weighted_graph import PortNumberedGraph
-from repro.mst.kruskal import kruskal_mst
-from repro.mst.rooted_tree import ROOT_OUTPUT
+from repro.core.problem import OutputCheck
+from repro.problems.verify import check_outputs
 
 __all__ = ["OutputCheck", "check_outputs"]
-
-
-@dataclass(frozen=True)
-class OutputCheck:
-    """Result of validating one distributed output map."""
-
-    ok: bool
-    reason: str = "ok"
-    root: Optional[int] = None
-    tree_edge_ids: tuple = ()
-    tree_weight: float = 0.0
-    mst_weight: float = 0.0
-
-    def __bool__(self) -> bool:  # pragma: no cover - convenience
-        return self.ok
-
-
-def check_outputs(
-    graph: PortNumberedGraph,
-    outputs: Dict[int, Any],
-    expected_root: Optional[int] = None,
-    tolerance: float = 1e-9,
-) -> OutputCheck:
-    """Validate per-node outputs against the MST problem specification.
-
-    Parameters
-    ----------
-    graph:
-        The instance the outputs were produced on.
-    outputs:
-        Mapping ``node -> port`` (or :data:`ROOT_OUTPUT` for the root).
-    expected_root:
-        If given, additionally require the declared root to be this node.
-    """
-    # -------- shape checks --------
-    n = graph.n
-    out_list = [outputs.get(u) for u in range(n)]
-    missing = sum(1 for value in out_list if value is None)
-    if missing:
-        return OutputCheck(False, f"{missing} node(s) produced no output")
-
-    roots = [u for u, value in enumerate(out_list) if value == ROOT_OUTPUT]
-    if len(roots) != 1:
-        return OutputCheck(False, f"expected exactly one root, found {len(roots)}")
-    root = roots[0]
-    if expected_root is not None and root != expected_root:
-        return OutputCheck(False, f"root is {root}, expected {expected_root}")
-
-    neighbors, edge_ids = graph.adjacency_tables()
-    parent: List[int] = [-1] * n
-    parent_edge: List[int] = [-1] * n
-    for u, port in enumerate(out_list):
-        if u == root:
-            continue
-        if not isinstance(port, int) or not 0 <= port < len(neighbors[u]):
-            return OutputCheck(False, f"node {u} output an invalid port {port!r}")
-        parent[u] = neighbors[u][port]
-        parent_edge[u] = edge_ids[u][port]
-
-    # -------- every node reaches the root (acyclicity + connectivity) --------
-    status = [-1] * n  # -1 = unvisited, 0 = on the current path, 1 = reaches root
-    status[root] = 1
-    for start in range(n):
-        path: List[int] = []
-        u = start
-        while status[u] < 0:
-            status[u] = 0  # on the current path
-            path.append(u)
-            u = parent[u]
-            if status[u] == 0:
-                return OutputCheck(False, f"parent pointers contain a cycle through node {u}")
-        if status[u] == 1:
-            for v in path:
-                status[v] = 1
-
-    # -------- the parent edges form a minimum spanning tree --------
-    tree_edges: Set[int] = set(parent_edge)
-    tree_edges.discard(-1)
-    if len(tree_edges) != n - 1:
-        return OutputCheck(
-            False,
-            f"parent edges form {len(tree_edges)} distinct edges, expected {n - 1}",
-        )
-    tree_weight = graph.total_weight(tree_edges)
-    # the reference MST weight is a pure function of the immutable graph
-    mst_weight = getattr(graph, "_mst_weight_cache", None)
-    if mst_weight is None:
-        mst_weight = graph.total_weight(kruskal_mst(graph))
-        graph._mst_weight_cache = mst_weight
-    if abs(tree_weight - mst_weight) > tolerance:
-        return OutputCheck(
-            False,
-            f"tree weight {tree_weight} differs from MST weight {mst_weight}",
-            root=root,
-            tree_edge_ids=tuple(sorted(tree_edges)),
-            tree_weight=tree_weight,
-            mst_weight=mst_weight,
-        )
-    return OutputCheck(
-        True,
-        "ok",
-        root=root,
-        tree_edge_ids=tuple(sorted(tree_edges)),
-        tree_weight=tree_weight,
-        mst_weight=mst_weight,
-    )

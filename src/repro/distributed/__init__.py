@@ -24,12 +24,18 @@ make the comparison executable:
     ``run_baseline`` driver (simulation + output verification).
 """
 
-from repro.distributed.base import BaselineReport, DistributedMSTBaseline, run_baseline
+from repro.distributed.base import (
+    BaselineReport,
+    DistributedBaseline,
+    DistributedMSTBaseline,
+    run_baseline,
+)
 from repro.distributed.full_info import FullInformationMST
 from repro.distributed.boruvka_sync import SynchronizedBoruvkaMST
 
 __all__ = [
     "BaselineReport",
+    "DistributedBaseline",
     "DistributedMSTBaseline",
     "run_baseline",
     "FullInformationMST",

@@ -1,10 +1,15 @@
-"""Common interface of the no-advice distributed MST baselines.
+"""Common interface of the no-advice distributed baselines.
 
 A baseline is a distributed algorithm that receives *no oracle advice*;
 the only inputs of a node are its local view (and, where documented, the
 number of nodes ``n``).  Baselines therefore cannot promise which node
-ends up as the root of the output tree — :func:`run_baseline` checks the
-output against the MST problem specification without pinning the root.
+ends up distinguished in the output (the root of the tree, the leader,
+the wake-up source) — :func:`run_baseline` checks the output against the
+specification of the baseline's declared problem without pinning the
+root.
+
+``DistributedMSTBaseline`` remains as an alias of
+:class:`DistributedBaseline` for the historical MST-only import path.
 """
 
 from __future__ import annotations
@@ -13,20 +18,27 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from repro.core.verification import OutputCheck, check_outputs
+from repro.core.problem import DEFAULT_PROBLEM, OutputCheck, get_problem
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.simulator.algorithm import ProgramFactory
 from repro.simulator.engine import run_sync
 from repro.simulator.metrics import RunMetrics
 
-__all__ = ["DistributedMSTBaseline", "BaselineReport", "run_baseline"]
+__all__ = [
+    "DistributedBaseline",
+    "DistributedMSTBaseline",
+    "BaselineReport",
+    "run_baseline",
+]
 
 
-class DistributedMSTBaseline(ABC):
-    """A distributed MST algorithm that uses no advice."""
+class DistributedBaseline(ABC):
+    """A distributed algorithm that uses no advice."""
 
     #: short identifier used in benchmark tables
     name: str = "baseline"
+    #: the problem this baseline solves (selects the output verifier)
+    problem: str = DEFAULT_PROBLEM
     #: whether the algorithm assumes every node knows ``n`` (documented deviation)
     requires_n: bool = False
 
@@ -45,6 +57,10 @@ class DistributedMSTBaseline(ABC):
         return None
 
 
+#: historical name of the base class, kept importable for downstream code
+DistributedMSTBaseline = DistributedBaseline
+
+
 @dataclass
 class BaselineReport:
     """Measured behaviour of one baseline on one instance."""
@@ -56,15 +72,17 @@ class BaselineReport:
     metrics: RunMetrics
     check: OutputCheck
     round_bound: Optional[float] = None
+    problem: str = DEFAULT_PROBLEM
 
     @property
     def correct(self) -> bool:
-        """``True`` iff the output is a valid rooted MST."""
+        """``True`` iff the output passed the problem's verifier."""
         return self.check.ok
 
     def as_row(self) -> Dict[str, Any]:
         """Flat dictionary used by the benchmark tables."""
         return {
+            "problem": self.problem,
             "scheme": self.baseline,
             "n": self.n,
             "m": self.m,
@@ -80,7 +98,7 @@ class BaselineReport:
 
 
 def run_baseline(
-    baseline: DistributedMSTBaseline,
+    baseline: DistributedBaseline,
     graph: PortNumberedGraph,
     max_rounds: Optional[int] = None,
 ) -> BaselineReport:
@@ -95,10 +113,11 @@ def run_baseline(
         advice=None,
         max_rounds=max_rounds,
     )
+    problem = getattr(baseline, "problem", DEFAULT_PROBLEM)
     if not result.completed:
         check = OutputCheck(False, "the baseline did not terminate within the round limit")
     else:
-        check = check_outputs(graph, result.outputs, expected_root=None)
+        check = get_problem(problem).check_outputs(graph, result.outputs, expected_root=None)
     return BaselineReport(
         baseline=baseline.name,
         n=graph.n,
@@ -107,4 +126,5 @@ def run_baseline(
         metrics=result.metrics,
         check=check,
         round_bound=baseline.round_bound(graph),
+        problem=problem,
     )

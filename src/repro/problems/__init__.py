@@ -1,0 +1,52 @@
+"""The built-in problems hosted by the advising framework.
+
+Importing this package registers every built-in problem into the
+process-wide registry of :mod:`repro.core.problem` (the registry imports
+this package lazily on first lookup, so user code never has to):
+
+``mst``
+    The paper's problem — minimum spanning tree construction, with the
+    four schemes of Theorems 1–3 and the GHS-style / full-information
+    baselines (:mod:`repro.problems.mst`).
+``leader``
+    Leader election: impossible with 0 advice bits on anonymous graphs,
+    solved in 0 rounds by 1 bit (:mod:`repro.problems.leader`).
+``wakeup``
+    Wake-up / broadcast: spanning-tree advice cuts the message count
+    from ``2m - n + 1`` (flooding) to ``n - 1``
+    (:mod:`repro.problems.wakeup`).
+``stverify``
+    Spanning-tree verification: depth advice buys a one-round check,
+    the minimal encoding pays ``depth + 1`` rounds
+    (:mod:`repro.problems.stverify`).
+``verify``
+    The rooted-spanning-tree output checkers shared by ``mst``,
+    ``wakeup`` and ``stverify`` (:mod:`repro.problems.verify`).
+
+To add a fourth problem, subclass :class:`repro.core.problem.Problem`,
+point its ``schemes``/``baselines`` registries at your factories, call
+:func:`repro.core.problem.register_problem`, and import the module here
+— see ``docs/problems.md`` for a walk-through.
+"""
+
+from repro.problems.leader import LeaderFlagScheme, LeaderProblem, LeaderRankScheme, MaxIdFloodBaseline
+from repro.problems.mst import MSTProblem
+from repro.problems.stverify import StDistanceScheme, StFlagScheme, StVerifyProblem
+from repro.problems.verify import check_outputs, check_spanning_outputs
+from repro.problems.wakeup import FloodBaseline, SpanningTreeWakeupScheme, WakeupProblem
+
+__all__ = [
+    "FloodBaseline",
+    "LeaderFlagScheme",
+    "LeaderProblem",
+    "LeaderRankScheme",
+    "MSTProblem",
+    "MaxIdFloodBaseline",
+    "SpanningTreeWakeupScheme",
+    "StDistanceScheme",
+    "StFlagScheme",
+    "StVerifyProblem",
+    "WakeupProblem",
+    "check_outputs",
+    "check_spanning_outputs",
+]

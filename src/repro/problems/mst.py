@@ -1,0 +1,53 @@
+"""The paper's problem: minimum spanning tree with short advice.
+
+Every node must output the port of its parent edge in a rooted MST of
+the instance (the root outputs :data:`~repro.mst.rooted_tree.ROOT_OUTPUT`).
+This is the problem all four of the paper's schemes solve; the class
+below simply gathers the existing scheme and baseline registries and the
+verifier under the :class:`~repro.core.problem.Problem` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.problem import OutputCheck, Problem, register_problem
+from repro.core.scheme_average import AverageConstantScheme
+from repro.core.scheme_level import LevelAdviceScheme
+from repro.core.scheme_main import ShortAdviceScheme
+from repro.core.scheme_trivial import TrivialRankScheme
+from repro.distributed.boruvka_sync import SynchronizedBoruvkaMST
+from repro.distributed.full_info import FullInformationMST
+from repro.problems.verify import check_outputs
+
+__all__ = ["MSTProblem"]
+
+
+class MSTProblem(Problem):
+    """Minimum spanning tree, the instantiation studied by the paper."""
+
+    name = "mst"
+    title = "Minimum spanning tree construction"
+    output_statement = (
+        "every node outputs the port of its parent edge in one rooted MST "
+        "of the instance; the designated root outputs ROOT_OUTPUT"
+    )
+    schemes = {
+        "trivial": TrivialRankScheme,
+        "theorem2": AverageConstantScheme,
+        "theorem3": ShortAdviceScheme,
+        "theorem3-level": LevelAdviceScheme,
+    }
+    baselines = {
+        "ghs": SynchronizedBoruvkaMST,
+        "full-info": FullInformationMST,
+    }
+
+    def check_outputs(
+        self, graph: Any, outputs: Dict[int, Any], expected_root: Optional[int] = None
+    ) -> OutputCheck:
+        """A rooted spanning tree whose weight matches the Kruskal MST."""
+        return check_outputs(graph, outputs, expected_root=expected_root)
+
+
+register_problem(MSTProblem())

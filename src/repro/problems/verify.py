@@ -1,0 +1,150 @@
+"""Output verifiers shared by the tree-shaped problems.
+
+Three of the built-in problems ask (some or all) nodes to output the
+port of the edge leading to their parent in a rooted spanning tree —
+MST, wake-up and spanning-tree verification differ only in *which*
+spanning tree is acceptable.  :func:`check_spanning_outputs` performs
+the shape checks every one of them needs:
+
+1. exactly one node declares itself the root
+   (:data:`repro.mst.rooted_tree.ROOT_OUTPUT`);
+2. every other node names a valid port;
+3. following parent pointers from every node reaches the root (no
+   cycles, no second component);
+4. the parent edges form exactly ``n - 1`` distinct edges.
+
+:func:`check_outputs` is the MST problem's verifier: the shape checks
+plus the minimality condition (tree weight equals the Kruskal MST
+weight).  It lives here — and not next to the MST scheme registry — so
+that :mod:`repro.core.verification` can re-export it without importing
+the whole scheme stack.
+
+Both return a structured :class:`~repro.core.problem.OutputCheck` so
+tests and benchmarks can report *why* an output was rejected, not just
+that it was.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.problem import OutputCheck
+from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.rooted_tree import ROOT_OUTPUT
+
+__all__ = ["check_outputs", "check_spanning_outputs"]
+
+
+def check_spanning_outputs(
+    graph: PortNumberedGraph,
+    outputs: Dict[int, Any],
+    expected_root: Optional[int] = None,
+) -> OutputCheck:
+    """Validate that ``outputs`` describes *some* rooted spanning tree.
+
+    Parameters
+    ----------
+    graph:
+        The instance the outputs were produced on.
+    outputs:
+        Mapping ``node -> port`` (or :data:`ROOT_OUTPUT` for the root).
+    expected_root:
+        If given, additionally require the declared root to be this node.
+    """
+    # -------- shape checks --------
+    n = graph.n
+    out_list = [outputs.get(u) for u in range(n)]
+    missing = sum(1 for value in out_list if value is None)
+    if missing:
+        return OutputCheck(False, f"{missing} node(s) produced no output")
+
+    roots = [u for u, value in enumerate(out_list) if value == ROOT_OUTPUT]
+    if len(roots) != 1:
+        return OutputCheck(False, f"expected exactly one root, found {len(roots)}")
+    root = roots[0]
+    if expected_root is not None and root != expected_root:
+        return OutputCheck(False, f"root is {root}, expected {expected_root}")
+
+    neighbors, edge_ids = graph.adjacency_tables()
+    parent: List[int] = [-1] * n
+    parent_edge: List[int] = [-1] * n
+    for u, port in enumerate(out_list):
+        if u == root:
+            continue
+        if not isinstance(port, int) or not 0 <= port < len(neighbors[u]):
+            return OutputCheck(False, f"node {u} output an invalid port {port!r}")
+        parent[u] = neighbors[u][port]
+        parent_edge[u] = edge_ids[u][port]
+
+    # -------- every node reaches the root (acyclicity + connectivity) --------
+    status = [-1] * n  # -1 = unvisited, 0 = on the current path, 1 = reaches root
+    status[root] = 1
+    for start in range(n):
+        path: List[int] = []
+        u = start
+        while status[u] < 0:
+            status[u] = 0  # on the current path
+            path.append(u)
+            u = parent[u]
+            if status[u] == 0:
+                return OutputCheck(False, f"parent pointers contain a cycle through node {u}")
+        if status[u] == 1:
+            for v in path:
+                status[v] = 1
+
+    # -------- the parent edges form a spanning tree --------
+    tree_edges: Set[int] = set(parent_edge)
+    tree_edges.discard(-1)
+    if len(tree_edges) != n - 1:
+        return OutputCheck(
+            False,
+            f"parent edges form {len(tree_edges)} distinct edges, expected {n - 1}",
+        )
+    return OutputCheck(
+        True,
+        "ok",
+        root=root,
+        tree_edge_ids=tuple(sorted(tree_edges)),
+        tree_weight=graph.total_weight(tree_edges),
+    )
+
+
+def check_outputs(
+    graph: PortNumberedGraph,
+    outputs: Dict[int, Any],
+    expected_root: Optional[int] = None,
+    tolerance: float = 1e-9,
+) -> OutputCheck:
+    """Validate per-node outputs against the MST problem specification.
+
+    The spanning-tree shape checks of :func:`check_spanning_outputs`
+    plus minimality: the parent edges must have the same total weight as
+    a reference Kruskal MST (cached on the immutable graph instance).
+    """
+    check = check_spanning_outputs(graph, outputs, expected_root=expected_root)
+    if not check.ok:
+        return check
+    tree_weight = check.tree_weight
+    # the reference MST weight is a pure function of the immutable graph
+    mst_weight = getattr(graph, "_mst_weight_cache", None)
+    if mst_weight is None:
+        mst_weight = graph.total_weight(kruskal_mst(graph))
+        graph._mst_weight_cache = mst_weight
+    if abs(tree_weight - mst_weight) > tolerance:
+        return OutputCheck(
+            False,
+            f"tree weight {tree_weight} differs from MST weight {mst_weight}",
+            root=check.root,
+            tree_edge_ids=check.tree_edge_ids,
+            tree_weight=tree_weight,
+            mst_weight=mst_weight,
+        )
+    return OutputCheck(
+        True,
+        "ok",
+        root=check.root,
+        tree_edge_ids=check.tree_edge_ids,
+        tree_weight=tree_weight,
+        mst_weight=mst_weight,
+    )

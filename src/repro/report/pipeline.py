@@ -62,7 +62,7 @@ class ReportResult:
     out_dir: Path
     #: artifact file names, in write order (relative to ``out_dir``)
     artifacts: List[str] = field(default_factory=list)
-    #: every decoder output verified as a rooted MST, and every
+    #: every decoder output passed its problem's verifier, and every
     #: lower-bound premise held
     all_correct: bool = True
     #: number of simulator tasks executed (or served from the cache)
@@ -108,6 +108,7 @@ def _experiment_tasks(experiment: Experiment, backend: str) -> List[SweepTask]:
             seed=seed,
             root=experiment.root,
             backend=backend if kind == "scheme" else "engine",
+            problem=experiment.problem,
         )
         for kind, target, n, seed in grid
     ]
@@ -145,7 +146,7 @@ def _render_sweep(
     for name in experiment.schemes:
         rows.extend(
             aggregate_scheme_rows(
-                resolve_scheme(name),
+                resolve_scheme(name, problem=experiment.problem),
                 actual_sizes,
                 len(experiment.seeds),
                 raw[offset : offset + per_target],
@@ -155,7 +156,7 @@ def _render_sweep(
     for name in experiment.baselines:
         rows.extend(
             aggregate_baseline_rows(
-                resolve_baseline(name),
+                resolve_baseline(name, problem=experiment.problem),
                 actual_sizes,
                 len(experiment.seeds),
                 raw[offset : offset + per_target],

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Mapping, Sequence
 
 from repro.analysis.tables import _fmt, format_markdown_table
 from repro.analysis.tradeoff import theoretical_tradeoff_rows
+from repro.core.problem import DEFAULT_PROBLEM, get_problem
 from repro.report.spec import (
     LowerBoundExperiment,
     ReportSpec,
@@ -124,14 +125,25 @@ def render_sweep_markdown(
         "",
         format_markdown_table(_avg_advice_pivot(rows)),
         "",
-        "## Paper bounds at the largest size",
-        "",
-        format_markdown_table(
-            theoretical_tradeoff_rows(largest_n),
-            columns=["scheme", "max_advice_bits", "rounds"],
-        ),
-        "",
     ]
+    if experiment.problem == DEFAULT_PROBLEM:
+        # the paper's MST bounds; other problems have no theoretical table
+        parts += [
+            "## Paper bounds at the largest size",
+            "",
+            format_markdown_table(
+                theoretical_tradeoff_rows(largest_n),
+                columns=["scheme", "max_advice_bits", "rounds"],
+            ),
+            "",
+        ]
+    else:
+        problem = get_problem(experiment.problem)
+        parts += [
+            f"Problem: **{problem.title}** — correct output means "
+            f"{problem.output_statement}.",
+            "",
+        ]
     return "\n".join(parts)
 
 
@@ -140,25 +152,40 @@ def render_tradeoff_markdown(
 ) -> str:
     """The trade-off artifact: measured table next to the claimed bounds."""
     graph = experiment.graph
+    if experiment.problem == DEFAULT_PROBLEM:
+        spec_sentence = (
+            "Every scheme and baseline decodes the same "
+            "rooted MST; what varies is how many advice bits the oracle hands "
+            "out and how many synchronous rounds the decoder then needs."
+        )
+    else:
+        problem = get_problem(experiment.problem)
+        spec_sentence = (
+            f"Problem: {problem.title.lower()} — every target must produce "
+            f"outputs where {problem.output_statement}; what varies is how "
+            "many advice bits the oracle hands out and how many synchronous "
+            "rounds (and messages) the decoder then needs."
+        )
     parts = [
         f"# Trade-off: {experiment.name}",
         "",
         f"Measured advice-size / round-complexity trade-off on one "
         f"`{graph.family}` instance with n = {actual_n} (seed "
-        f"{experiment.seed}). Every scheme and baseline decodes the same "
-        "rooted MST; what varies is how many advice bits the oracle hands "
-        "out and how many synchronous rounds the decoder then needs.",
+        f"{experiment.seed}). " + spec_sentence,
         "",
         format_markdown_table(list(rows), columns=list(TRADEOFF_COLUMNS)),
         "",
-        "## The paper's claimed trade-off",
-        "",
-        format_markdown_table(
-            theoretical_tradeoff_rows(actual_n),
-            columns=["scheme", "max_advice_bits", "rounds"],
-        ),
-        "",
     ]
+    if experiment.problem == DEFAULT_PROBLEM:
+        parts += [
+            "## The paper's claimed trade-off",
+            "",
+            format_markdown_table(
+                theoretical_tradeoff_rows(actual_n),
+                columns=["scheme", "max_advice_bits", "rounds"],
+            ),
+            "",
+        ]
     return "\n".join(parts)
 
 
@@ -234,6 +261,18 @@ def render_index(
     if spec.description:
         parts += [spec.description, ""]
     source = spec.source or "<spec file>"
+    # lower-bound experiments are MST-specific by construction, so only
+    # sweep/trade-off experiments can pull the index off the MST wording
+    all_mst = all(
+        getattr(experiment, "problem", DEFAULT_PROBLEM) == DEFAULT_PROBLEM
+        for experiment in spec.experiments
+    )
+    if all_mst:
+        verified_line = f"All decoder outputs verified as rooted MSTs: **{all_correct}**"
+    else:
+        verified_line = (
+            f"All decoder outputs passed their problem's verifier: **{all_correct}**"
+        )
     parts += [
         "Every artifact below is regenerated deterministically from the "
         "spec by one command:",
@@ -242,7 +281,7 @@ def render_index(
         f"python -m repro report --spec <path to {source}> --out <dir>",
         "```",
         "",
-        f"All decoder outputs verified as rooted MSTs: **{all_correct}**",
+        verified_line,
         "",
         "## Experiments",
         "",
@@ -253,11 +292,15 @@ def render_index(
                 f"sweep of {', '.join(experiment.schemes + experiment.baselines)} over "
                 f"n = {', '.join(map(str, experiment.sizes))} on `{experiment.graph.family}`"
             )
+            if experiment.problem != DEFAULT_PROBLEM:
+                detail = f"`{experiment.problem}` {detail}"
         elif isinstance(experiment, TradeoffExperiment):
             detail = (
                 f"trade-off table on one `{experiment.graph.family}` instance "
                 f"(n = {experiment.n})"
             )
+            if experiment.problem != DEFAULT_PROBLEM:
+                detail = f"`{experiment.problem}` {detail}"
         else:
             detail = (
                 f"Theorem-1 lower bound on `G_n` (h = {experiment.h}, "

@@ -37,9 +37,23 @@ Example (TOML)::
     sizes = [8, 16]
     seeds = 2
 
-Unknown keys, scheme names, graph families and backend names are
-rejected at load time with a message naming the offender — a spec that
-parses is a spec that runs.
+``sweep`` and ``tradeoff`` experiments may name a ``problem`` (default
+``"mst"``); their schemes and baselines are then validated against that
+problem's registries, so one spec can mix MST curves with, say, a
+leader-election sweep::
+
+    [[experiment]]
+    name = "leader"
+    kind = "sweep"
+    problem = "leader"
+    schemes = ["flag", "rank"]
+    baselines = ["maxid-flood"]
+    sizes = [8, 16]
+    seeds = 2
+
+Unknown keys, problem names, scheme names, graph families and backend
+names are rejected at load time with a message naming the offender — a
+spec that parses is a spec that runs.
 """
 
 from __future__ import annotations
@@ -49,7 +63,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 
-from repro.runner.registry import BACKENDS, BASELINES, GRAPH_FAMILIES, SCHEMES
+from repro.core.problem import DEFAULT_PROBLEM, get_problem, problem_names, split_target
+from repro.runner.registry import BACKENDS, GRAPH_FAMILIES
 from repro.runner.tasks import GraphSpec
 
 __all__ = [
@@ -94,13 +109,47 @@ def _parse_graph(table: Any, where: str) -> GraphSpec:
     return GraphSpec(family, float(density))
 
 
-def _parse_targets(table: Mapping[str, Any], where: str) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
-    schemes = tuple(table.get("schemes", ()))
-    baselines = tuple(table.get("baselines", ()))
-    for name in schemes:
-        _require(name in SCHEMES, f"{where} names unknown scheme {name!r} ({', '.join(sorted(SCHEMES))})")
-    for name in baselines:
-        _require(name in BASELINES, f"{where} names unknown baseline {name!r} ({', '.join(sorted(BASELINES))})")
+def _parse_problem(table: Mapping[str, Any], where: str) -> str:
+    problem = table.get("problem", DEFAULT_PROBLEM)
+    _require(
+        isinstance(problem, str) and problem in problem_names(),
+        f"{where}.problem {problem!r} is not a known problem "
+        f"({', '.join(problem_names())})",
+    )
+    return problem
+
+
+def _parse_targets(
+    table: Mapping[str, Any], where: str, problem: str = DEFAULT_PROBLEM
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Validate the experiment's targets against its problem's registries.
+
+    Names may be bare (``"theorem3"``) or qualified with the experiment's
+    own problem (``"mst/theorem3"``); qualified names normalise to bare.
+    """
+    problem_obj = get_problem(problem)
+
+    def normalise(name: Any, kind: str, registry: Mapping[str, Any]) -> str:
+        _require(isinstance(name, str), f"{where} {kind} entries must be strings")
+        qualifier, bare = split_target(name)
+        _require(
+            qualifier in (None, problem),
+            f"{where} names {kind} {name!r} of problem {qualifier!r}, "
+            f"but the experiment's problem is {problem!r}",
+        )
+        _require(
+            bare in registry,
+            f"{where} names unknown {kind} {bare!r} ({', '.join(sorted(registry))})",
+        )
+        return bare
+
+    schemes = tuple(
+        normalise(name, "scheme", problem_obj.schemes) for name in table.get("schemes", ())
+    )
+    baselines = tuple(
+        normalise(name, "baseline", problem_obj.baselines)
+        for name in table.get("baselines", ())
+    )
     _require(bool(schemes) or bool(baselines), f"{where} must name at least one scheme or baseline")
     return schemes, baselines
 
@@ -143,6 +192,7 @@ class SweepExperiment:
     sizes: Tuple[int, ...]
     seeds: Tuple[int, ...]
     root: int = 0
+    problem: str = DEFAULT_PROBLEM
     kind: str = field(default="sweep", init=False)
 
 
@@ -157,6 +207,7 @@ class TradeoffExperiment:
     n: int
     seed: int = 0
     root: int = 0
+    problem: str = DEFAULT_PROBLEM
     kind: str = field(default="tradeoff", init=False)
 
 
@@ -211,10 +262,11 @@ def _parse_experiment(table: Any, index: int) -> Experiment:
     if kind == "sweep":
         _check_keys(
             table,
-            ("name", "kind", "schemes", "baselines", "graph", "sizes", "seeds", "root"),
+            ("name", "kind", "problem", "schemes", "baselines", "graph", "sizes", "seeds", "root"),
             where,
         )
-        schemes, baselines = _parse_targets(table, where)
+        problem = _parse_problem(table, where)
+        schemes, baselines = _parse_targets(table, where, problem)
         sizes = tuple(table.get("sizes", ()))
         _require(
             len(sizes) > 0
@@ -231,12 +283,16 @@ def _parse_experiment(table: Any, index: int) -> Experiment:
             sizes=sizes,
             seeds=_parse_seeds(table.get("seeds", 3), where),
             root=_parse_int(table.get("root", 0), f"{where}.root"),
+            problem=problem,
         )
     if kind == "tradeoff":
         _check_keys(
-            table, ("name", "kind", "schemes", "baselines", "graph", "n", "seed", "root"), where
+            table,
+            ("name", "kind", "problem", "schemes", "baselines", "graph", "n", "seed", "root"),
+            where,
         )
-        schemes, baselines = _parse_targets(table, where)
+        problem = _parse_problem(table, where)
+        schemes, baselines = _parse_targets(table, where, problem)
         n = _parse_int(table.get("n", 128), f"{where}.n")
         _require(n >= 1, f"{where}.n must be a positive int")
         return TradeoffExperiment(
@@ -247,6 +303,7 @@ def _parse_experiment(table: Any, index: int) -> Experiment:
             n=n,
             seed=_parse_int(table.get("seed", 0), f"{where}.seed"),
             root=_parse_int(table.get("root", 0), f"{where}.root"),
+            problem=problem,
         )
     if kind == "lowerbound":
         _check_keys(table, ("name", "kind", "h", "i", "max_budget_bits", "h_curve"), where)

@@ -43,8 +43,11 @@ from repro.runner.registry import (
     GRAPH_FAMILIES,
     SCHEMES,
     build_graph,
+    problem_names,
+    qualified_names,
     resolve_baseline,
     resolve_scheme,
+    resolve_target,
 )
 from repro.runner.runner import GROUPING_MODES, execute_task, run_tasks
 from repro.runner.store import (
@@ -80,7 +83,10 @@ __all__ = [
     "execute_task",
     "open_result_store",
     "plan_groups",
+    "problem_names",
+    "qualified_names",
     "resolve_baseline",
     "resolve_scheme",
+    "resolve_target",
     "run_tasks",
 ]

@@ -98,9 +98,11 @@ def instance_key(task: SweepTask) -> Optional[Hashable]:
     """The shared-instance identity of a task, or ``None`` if it has none.
 
     Tasks agree on the key exactly when :meth:`SweepTask.build_graph`
-    builds the same instance (the root is *not* part of the key — traces
-    and advice are memoised per root inside the group).  Tasks with
-    ad-hoc factory callables have no comparable identity and become
+    builds the same instance (neither the root nor the problem is part
+    of the key — traces and advice are memoised per ``(problem, target,
+    root)`` inside the group, so a sweep point mixing, say, MST and
+    leader-election tasks still builds its graph exactly once).  Tasks
+    with ad-hoc factory callables have no comparable identity and become
     singleton groups.
     """
     if not isinstance(task.graph, GraphSpec):
@@ -169,8 +171,8 @@ class InstanceContext:
     def __init__(self, stats: Optional[ExecutionStats] = None) -> None:
         self._graph = None
         self._stats = stats
-        #: (registry name, root) -> (scheme instance, computed advice)
-        self._advice: Dict[Tuple[str, int], Tuple[Any, Any]] = {}
+        #: (problem, registry name, root) -> (scheme instance, computed advice)
+        self._advice: Dict[Tuple[str, str, int], Tuple[Any, Any]] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -188,12 +190,14 @@ class InstanceContext:
     def _scheme_and_advice(self, task: SweepTask, graph) -> Tuple[Any, Any]:
         """The task's scheme and its advice, shared across the group's backends."""
         root = task.root % graph.n
-        memo_key = (task.target, root) if isinstance(task.target, str) else None
+        memo_key = (
+            (task.problem, task.target, root) if isinstance(task.target, str) else None
+        )
         if memo_key is not None:
             cached = self._advice.get(memo_key)
             if cached is not None:
                 return cached
-        scheme = resolve_scheme(task.target)
+        scheme = resolve_scheme(task.target, problem=task.problem)
         if _wants_trace(scheme):
             from repro.mst.boruvka import boruvka_trace
 
@@ -228,6 +232,7 @@ class InstanceContext:
             self._timed("execute", start)
             return {
                 "kind": "scheme",
+                "problem": report.problem,
                 "scheme": report.scheme,
                 "n": task.n,
                 "seed": task.seed,
@@ -240,12 +245,13 @@ class InstanceContext:
                 "total_message_bits": report.metrics.total_message_bits,
                 "correct": report.correct,
             }
-        baseline = resolve_baseline(task.target)
+        baseline = resolve_baseline(task.target, problem=task.problem)
         start = time.perf_counter()
         report = run_baseline(baseline, graph)
         self._timed("execute", start)
         return {
             "kind": "baseline",
+            "problem": report.problem,
             "scheme": report.baseline,
             "n": task.n,
             "seed": task.seed,

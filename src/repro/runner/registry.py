@@ -1,25 +1,30 @@
-"""Names for schemes, baselines and graph families.
+"""Names for problems, schemes, baselines and graph families.
 
 The runner describes work declaratively — ``("theorem3", GraphSpec
 ("random", 0.05), n, seed)`` — so that a task can be pickled to a worker
-process and hashed into a stable cache key.  This module owns the name
-tables that resolution goes through; the CLI re-exports them so
-``--scheme`` choices and runner targets can never drift apart.
+process and hashed into a stable cache key.  Resolution goes through the
+problem registry of :mod:`repro.core.problem`: a target is either a
+*qualified* name (``"mst/theorem3"``, ``"leader/flag"``) or a bare name
+resolved against a problem (the default problem ``mst`` when none is
+given), so every pre-existing name keeps meaning what it meant.  The CLI
+re-exports the tables so ``--scheme``/``--problem`` choices and runner
+targets can never drift apart.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.core.oracle import AdvisingScheme
-from repro.core.scheme_average import AverageConstantScheme
-from repro.core.scheme_level import LevelAdviceScheme
-from repro.core.scheme_main import ShortAdviceScheme
-from repro.core.scheme_trivial import TrivialRankScheme
-from repro.distributed.base import DistributedMSTBaseline
-from repro.distributed.boruvka_sync import SynchronizedBoruvkaMST
-from repro.distributed.full_info import FullInformationMST
+from repro.core.problem import (
+    DEFAULT_PROBLEM,
+    get_problem,
+    problem_names,
+    qualified_names,
+    split_target,
+)
+from repro.distributed.base import DistributedBaseline, DistributedMSTBaseline
 from repro.graphs.generators import (
     complete_graph,
     cycle_graph,
@@ -38,6 +43,9 @@ __all__ = [
     "BASELINES",
     "BACKENDS",
     "GRAPH_FAMILIES",
+    "problem_names",
+    "qualified_names",
+    "resolve_target",
     "resolve_scheme",
     "resolve_baseline",
     "build_graph",
@@ -47,19 +55,14 @@ __all__ = [
 #: :func:`repro.core.oracle.run_scheme`); baselines always use the engine
 from repro.simulator.backends import BACKENDS  # noqa: E402  (re-export)
 
-#: scheme name -> factory
-SCHEMES: Dict[str, Callable[[], AdvisingScheme]] = {
-    "trivial": TrivialRankScheme,
-    "theorem2": AverageConstantScheme,
-    "theorem3": ShortAdviceScheme,
-    "theorem3-level": LevelAdviceScheme,
-}
+#: bare scheme name -> factory, for the default (MST) problem — the
+#: historical tables, now views of the problem registry
+SCHEMES: Dict[str, Callable[[], AdvisingScheme]] = dict(get_problem(DEFAULT_PROBLEM).schemes)
 
-#: baseline name -> factory
-BASELINES: Dict[str, Callable[[], DistributedMSTBaseline]] = {
-    "ghs": SynchronizedBoruvkaMST,
-    "full-info": FullInformationMST,
-}
+#: bare baseline name -> factory, for the default (MST) problem
+BASELINES: Dict[str, Callable[[], DistributedBaseline]] = dict(
+    get_problem(DEFAULT_PROBLEM).baselines
+)
 
 #: graph family names understood by :func:`build_graph` (the CLI's
 #: ``--graph`` choices and the report specs' ``graph.family`` values)
@@ -76,28 +79,59 @@ GRAPH_FAMILIES = (
 )
 
 
-def resolve_scheme(scheme: Union[str, AdvisingScheme]) -> AdvisingScheme:
+def resolve_target(
+    kind: str,
+    target: Union[str, AdvisingScheme, DistributedBaseline],
+    problem: Optional[str] = None,
+):
+    """Turn a registry name into a scheme or baseline instance.
+
+    ``kind`` is ``"scheme"`` or ``"baseline"``.  Instances pass through
+    untouched.  Strings may be qualified (``"leader/flag"``) or bare
+    (``"theorem3"``); bare names resolve against ``problem`` (default:
+    ``mst``).  A qualifier that contradicts an explicit ``problem`` is an
+    error, and unknown names are reported against the full
+    problem-qualified vocabulary.
+
+    >>> resolve_target("scheme", "theorem3").name
+    'theorem3-main'
+    >>> resolve_target("scheme", "leader/flag").name
+    'leader-flag'
+    >>> resolve_target("baseline", "flood", problem="wakeup").name
+    'flood'
+    """
+    if kind not in ("scheme", "baseline"):
+        raise ValueError(f"kind must be 'scheme' or 'baseline', got {kind!r}")
+    if not isinstance(target, str):
+        return target
+    qualifier, bare = split_target(target)
+    if qualifier is not None and problem is not None and qualifier != problem:
+        raise ValueError(
+            f"target {target!r} is qualified for problem {qualifier!r} "
+            f"but problem {problem!r} was requested"
+        )
+    problem_obj = get_problem(qualifier or problem or DEFAULT_PROBLEM)
+    table = problem_obj.schemes if kind == "scheme" else problem_obj.baselines
+    try:
+        return table[bare]()
+    except KeyError:
+        raise ValueError(
+            f"unknown {kind} {target!r}; known: {', '.join(qualified_names(kind))}"
+        ) from None
+
+
+def resolve_scheme(
+    scheme: Union[str, AdvisingScheme], problem: Optional[str] = None
+) -> AdvisingScheme:
     """Turn a registry name into a scheme instance (instances pass through)."""
-    if isinstance(scheme, str):
-        try:
-            return SCHEMES[scheme]()
-        except KeyError:
-            raise ValueError(
-                f"unknown scheme {scheme!r}; known: {', '.join(sorted(SCHEMES))}"
-            ) from None
-    return scheme
+    return resolve_target("scheme", scheme, problem=problem)
 
 
-def resolve_baseline(baseline: Union[str, DistributedMSTBaseline]) -> DistributedMSTBaseline:
+def resolve_baseline(
+    baseline: Union[str, DistributedMSTBaseline], problem: Optional[str] = None
+) -> DistributedBaseline:
     """Turn a registry name into a baseline instance (instances pass through)."""
-    if isinstance(baseline, str):
-        try:
-            return BASELINES[baseline]()
-        except KeyError:
-            raise ValueError(
-                f"unknown baseline {baseline!r}; known: {', '.join(sorted(BASELINES))}"
-            ) from None
-    return baseline
+    return resolve_target("baseline", baseline, problem=problem)
 
 
 def build_graph(family: str, n: int, seed: int, density: float = 0.05) -> PortNumberedGraph:

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Union
 
 from repro.core.oracle import AdvisingScheme
+from repro.core.problem import DEFAULT_PROBLEM, split_target
 from repro.distributed.base import DistributedMSTBaseline
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.runner.registry import build_graph
@@ -35,8 +36,9 @@ __all__ = ["GraphSpec", "SweepTask", "TASK_FORMAT_VERSION", "backend_version"]
 
 #: bump when the result-row or hashing format changes; stored inside the
 #: hash input so stale cache entries can never be mistaken for fresh ones
-#: (2: the key grew the execution backend and its semantic version)
-TASK_FORMAT_VERSION = 2
+#: (3: the key and the result rows grew the problem axis;
+#:  2: the key grew the execution backend and its semantic version)
+TASK_FORMAT_VERSION = 3
 
 
 def backend_version(backend: str) -> int:
@@ -148,6 +150,11 @@ class SweepTask:
     includes the library version and the execution backend's semantic
     version, so stale or cross-backend rows are never served.
 
+    Targets live on a *problem* axis: bare names resolve against the
+    ``problem`` field (default ``mst``, so every historical task keeps
+    its meaning) and qualified names (``"leader/flag"``) normalise into
+    ``(problem, bare_name)`` at construction.
+
     >>> task = SweepTask("scheme", "theorem3", GraphSpec("random", 0.05), n=64, seed=0)
     >>> task.cacheable
     True
@@ -157,6 +164,15 @@ class SweepTask:
     >>> from dataclasses import replace
     >>> replace(task, backend="analytic").task_hash() == engine_key
     False
+    >>> qualified = SweepTask("scheme", "leader/flag", GraphSpec(), 16, 0)
+    >>> qualified.problem, qualified.target  # qualifier normalised away
+    ('leader', 'flag')
+    >>> qualified == SweepTask("scheme", "flag", GraphSpec(), 16, 0, problem="leader")
+    True
+    >>> SweepTask("scheme", "leader/flag", GraphSpec(), 16, 0, problem="wakeup")
+    Traceback (most recent call last):
+        ...
+    ValueError: target 'leader/flag' contradicts problem 'wakeup'
     >>> SweepTask("baseline", "ghs", GraphSpec(), 16, 0, backend="analytic")
     Traceback (most recent call last):
         ...
@@ -176,10 +192,27 @@ class SweepTask:
     #: execution backend: ``"engine"`` simulates the decoder round by
     #: round, ``"analytic"`` computes the metrics from the Borůvka trace
     backend: str = "engine"
+    #: the problem the target solves; bare string targets resolve against
+    #: it, instance targets override it with their own declaration
+    problem: str = DEFAULT_PROBLEM
 
     def __post_init__(self) -> None:
         if self.kind not in ("scheme", "baseline"):
             raise ValueError(f"kind must be 'scheme' or 'baseline', got {self.kind!r}")
+        if isinstance(self.target, str):
+            qualifier, bare = split_target(self.target)
+            if qualifier is not None:
+                if self.problem not in (DEFAULT_PROBLEM, qualifier):
+                    raise ValueError(
+                        f"target {self.target!r} contradicts problem {self.problem!r}"
+                    )
+                object.__setattr__(self, "problem", qualifier)
+                object.__setattr__(self, "target", bare)
+        else:
+            # an instance knows its own problem; keep the task's axis honest
+            object.__setattr__(
+                self, "problem", getattr(self.target, "problem", DEFAULT_PROBLEM)
+            )
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {', '.join(BACKENDS)}, got {self.backend!r}"
@@ -200,6 +233,7 @@ class SweepTask:
             "format": TASK_FORMAT_VERSION,
             "lib": _library_version(),
             "kind": self.kind,
+            "problem": self.problem,
             "target": self.target,
             "graph": self.graph.key_dict(),
             "n": self.n,

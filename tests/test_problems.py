@@ -1,0 +1,412 @@
+"""Tests of the problem layer: registry, resolution, and every built-in.
+
+The heart of the file is the registry-wide smoke matrix: every
+``(problem, scheme)`` and ``(problem, baseline)`` pair the registry
+knows runs end to end on a small random instance *and* one structured
+family, and must pass its own problem's verifier.  Adding a problem (or
+a scheme to an existing problem) extends the matrix automatically —
+there is no hand-maintained list to forget to update.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.oracle import run_scheme
+from repro.core.problem import (
+    DEFAULT_PROBLEM,
+    get_problem,
+    problem_names,
+    qualified_names,
+    split_target,
+)
+from repro.distributed.base import run_baseline
+from repro.graphs import cycle_graph, random_connected_graph
+from repro.report import generate_report, load_spec, spec_from_dict
+from repro.runner.registry import resolve_baseline, resolve_scheme, resolve_target
+from repro.runner.tasks import TASK_FORMAT_VERSION, GraphSpec, SweepTask
+
+REPO = Path(__file__).resolve().parent.parent
+PROBLEMS_SPEC = REPO / "specs" / "problems.toml"
+PROBLEMS_GOLDEN = REPO / "tests" / "golden" / "problems_report"
+
+
+def _matrix(kind):
+    """Every (problem, bare name) pair of the registry, as test ids."""
+    pairs = []
+    for problem_name in problem_names():
+        problem = get_problem(problem_name)
+        table = problem.schemes if kind == "scheme" else problem.baselines
+        pairs.extend((problem_name, bare) for bare in sorted(table))
+    return pairs
+
+
+SCHEME_MATRIX = _matrix("scheme")
+BASELINE_MATRIX = _matrix("baseline")
+
+
+# ------------------------------------------------------------------ #
+# the registry itself
+# ------------------------------------------------------------------ #
+
+
+class TestRegistry:
+    def test_builtin_problems(self):
+        assert problem_names() == ["leader", "mst", "stverify", "wakeup"]
+
+    def test_every_problem_declares_its_interface(self):
+        for name in problem_names():
+            problem = get_problem(name)
+            assert problem.name == name
+            assert problem.title
+            assert problem.output_statement
+            assert problem.schemes, f"{name} registers no schemes"
+
+    def test_unknown_problem_lists_known(self):
+        with pytest.raises(ValueError, match="leader, mst, stverify, wakeup"):
+            get_problem("colouring")
+
+    def test_qualified_names_cover_the_matrix(self):
+        assert qualified_names("scheme") == [
+            f"{p}/{s}" for p, s in SCHEME_MATRIX
+        ]
+        assert qualified_names("baseline") == [
+            f"{p}/{b}" for p, b in BASELINE_MATRIX
+        ]
+
+    def test_scheme_problem_attribute_matches_registry(self):
+        for problem_name, bare in SCHEME_MATRIX:
+            scheme = get_problem(problem_name).schemes[bare]()
+            assert scheme.problem == problem_name, f"{problem_name}/{bare}"
+
+    def test_baseline_problem_attribute_matches_registry(self):
+        for problem_name, bare in BASELINE_MATRIX:
+            baseline = get_problem(problem_name).baselines[bare]()
+            assert baseline.problem == problem_name, f"{problem_name}/{bare}"
+
+
+# ------------------------------------------------------------------ #
+# target resolution
+# ------------------------------------------------------------------ #
+
+
+class TestResolution:
+    def test_bare_names_resolve_to_mst(self):
+        assert resolve_scheme("theorem3").problem == DEFAULT_PROBLEM
+        assert resolve_baseline("ghs").problem == DEFAULT_PROBLEM
+
+    def test_qualified_names_resolve_directly(self):
+        assert resolve_scheme("leader/flag").name == "leader-flag"
+        assert resolve_scheme("stverify/flag").name == "st-flag"
+        assert resolve_baseline("wakeup/flood").name == "flood"
+
+    def test_problem_parameter_resolves_bare_names(self):
+        assert resolve_scheme("flag", problem="leader").name == "leader-flag"
+        assert resolve_scheme("flag", problem="stverify").name == "st-flag"
+
+    def test_qualifier_conflicting_with_problem_raises(self):
+        with pytest.raises(ValueError, match="qualified for problem 'leader'"):
+            resolve_scheme("leader/flag", problem="stverify")
+
+    def test_unknown_target_error_lists_qualified_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_target("scheme", "nonsense")
+        message = str(excinfo.value)
+        assert "leader/flag" in message and "mst/theorem3" in message
+
+    def test_split_target(self):
+        assert split_target("leader/flag") == ("leader", "flag")
+        assert split_target("theorem3") == (None, "theorem3")
+
+
+# ------------------------------------------------------------------ #
+# the smoke matrix: everything runs, every verifier passes
+# ------------------------------------------------------------------ #
+
+
+@pytest.fixture(scope="module")
+def random_instance():
+    return random_connected_graph(24, extra_edge_prob=0.15, seed=3)
+
+
+@pytest.fixture(scope="module")
+def structured_instance():
+    return cycle_graph(17, seed=1)
+
+
+class TestSmokeMatrix:
+    @pytest.mark.parametrize("problem_name,bare", SCHEME_MATRIX)
+    def test_scheme_on_random_graph(self, random_instance, problem_name, bare):
+        scheme = resolve_scheme(f"{problem_name}/{bare}")
+        report = run_scheme(scheme, random_instance, root=2)
+        assert report.correct, report.check.reason
+        assert report.problem == problem_name
+        assert report.as_row()["problem"] == problem_name
+
+    @pytest.mark.parametrize("problem_name,bare", SCHEME_MATRIX)
+    def test_scheme_on_structured_family(self, structured_instance, problem_name, bare):
+        scheme = resolve_scheme(f"{problem_name}/{bare}")
+        report = run_scheme(scheme, structured_instance, root=0)
+        assert report.correct, report.check.reason
+
+    @pytest.mark.parametrize("problem_name,bare", BASELINE_MATRIX)
+    def test_baseline_on_random_graph(self, random_instance, problem_name, bare):
+        baseline = resolve_baseline(f"{problem_name}/{bare}")
+        report = run_baseline(baseline, random_instance)
+        assert report.correct, report.check.reason
+        assert report.problem == problem_name
+        assert report.as_row()["problem"] == problem_name
+
+    @pytest.mark.parametrize("problem_name,bare", BASELINE_MATRIX)
+    def test_baseline_on_structured_family(self, structured_instance, problem_name, bare):
+        baseline = resolve_baseline(f"{problem_name}/{bare}")
+        report = run_baseline(baseline, structured_instance)
+        assert report.correct, report.check.reason
+
+    def test_scheme_respects_its_round_bound(self, random_instance):
+        n = random_instance.n
+        for problem_name, bare in SCHEME_MATRIX:
+            scheme = resolve_scheme(f"{problem_name}/{bare}")
+            bound = scheme.round_bound(n)
+            if bound is None:
+                continue
+            report = run_scheme(scheme, random_instance, root=2)
+            assert report.rounds <= bound, f"{problem_name}/{bare}"
+
+    def test_mst_engine_and_analytic_rows_identical(self, random_instance):
+        for _, bare in [p for p in SCHEME_MATRIX if p[0] == "mst"]:
+            scheme_name = f"mst/{bare}"
+            engine = run_scheme(resolve_scheme(scheme_name), random_instance, root=2)
+            analytic = run_scheme(
+                resolve_scheme(scheme_name), random_instance, root=2, backend="analytic"
+            )
+            assert analytic.as_row() == engine.as_row(), scheme_name
+
+
+# ------------------------------------------------------------------ #
+# problem-specific behaviour worth pinning
+# ------------------------------------------------------------------ #
+
+
+class TestProblemContracts:
+    def test_leader_flag_uses_one_bit_and_zero_rounds(self, random_instance):
+        report = run_scheme(resolve_scheme("leader/flag"), random_instance, root=2)
+        assert report.advice.max_bits == 1
+        assert report.rounds == 0
+
+    def test_leader_verifier_rejects_two_leaders(self, random_instance):
+        problem = get_problem("leader")
+        outputs = {u: "follower" for u in range(random_instance.n)}
+        outputs[0] = outputs[1] = "leader"
+        check = problem.check_outputs(random_instance, outputs)
+        assert not check.ok
+        assert "exactly one leader" in check.reason
+
+    def test_wakeup_tree_sends_exactly_n_minus_1_messages(self, random_instance):
+        report = run_scheme(
+            resolve_scheme("wakeup/spanning-tree"), random_instance, root=2
+        )
+        assert report.correct
+        assert report.metrics.total_messages == random_instance.n - 1
+
+    def test_wakeup_flood_sends_more_than_the_tree(self, random_instance):
+        tree = run_scheme(resolve_scheme("wakeup/spanning-tree"), random_instance, root=2)
+        flood = run_baseline(resolve_baseline("wakeup/flood"), random_instance)
+        assert flood.metrics.total_messages > tree.metrics.total_messages
+
+    def test_stverify_distance_is_single_round(self, random_instance):
+        report = run_scheme(resolve_scheme("stverify/distance"), random_instance, root=2)
+        assert report.correct
+        assert report.rounds == 1
+
+    def test_stverify_flag_uses_fewer_bits_than_distance(self, random_instance):
+        flag = run_scheme(resolve_scheme("stverify/flag"), random_instance, root=2)
+        distance = run_scheme(resolve_scheme("stverify/distance"), random_instance, root=2)
+        assert flag.correct and distance.correct
+        assert flag.advice.max_bits < distance.advice.max_bits
+        assert flag.rounds > distance.rounds
+
+    def test_stverify_verifier_reports_rejections(self, random_instance):
+        problem = get_problem("stverify")
+        outputs = {u: "reject" for u in range(random_instance.n)}
+        check = problem.check_outputs(random_instance, outputs)
+        assert not check.ok
+        assert "rejected the candidate tree" in check.reason
+
+
+# ------------------------------------------------------------------ #
+# the task layer: problem is part of every cache key
+# ------------------------------------------------------------------ #
+
+
+class TestTaskKeys:
+    def _task(self, **kwargs):
+        defaults = dict(
+            kind="scheme",
+            target="theorem3",
+            graph=GraphSpec("random", 0.1),
+            n=16,
+            seed=0,
+        )
+        defaults.update(kwargs)
+        return SweepTask(**defaults)
+
+    def test_format_version_bumped_for_the_problem_axis(self):
+        assert TASK_FORMAT_VERSION == 3
+
+    def test_problem_is_in_every_key(self):
+        assert self._task().key_dict()["problem"] == DEFAULT_PROBLEM
+        leader = self._task(target="leader/flag")
+        assert leader.key_dict()["problem"] == "leader"
+
+    def test_v3_hash_differs_from_a_v2_style_key(self):
+        """The format bump invalidates every pre-problem-axis cache row."""
+        task = self._task()
+        v3_key = task.key_dict()
+        v2_key = {k: v for k, v in v3_key.items() if k != "problem"}
+        v2_key["format"] = 2
+        v2_hash = hashlib.sha256(
+            json.dumps(v2_key, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        ).hexdigest()
+        assert task.task_hash() != v2_hash
+
+    def test_qualified_target_and_explicit_problem_hash_identically(self):
+        assert (
+            self._task(target="leader/flag").task_hash()
+            == self._task(target="flag", problem="leader").task_hash()
+        )
+
+    def test_same_bare_name_hashes_per_problem(self):
+        leader = self._task(target="flag", problem="leader")
+        stverify = self._task(target="flag", problem="stverify")
+        assert leader.task_hash() != stverify.task_hash()
+
+
+# ------------------------------------------------------------------ #
+# the CLI: choices are derived from the registry, not hand-written
+# ------------------------------------------------------------------ #
+
+
+class TestCliIntegration:
+    def _action(self, parser, dest):
+        for action in parser._actions:
+            if action.dest == dest:
+                return action
+        raise AssertionError(f"no --{dest} action")
+
+    def _subparser(self, command):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if hasattr(a, "choices") and command in (a.choices or {})
+        )
+        return subparsers.choices[command]
+
+    def test_problem_choices_come_from_the_registry(self):
+        for command in ("run", "sweep", "bench"):
+            action = self._action(self._subparser(command), "problem")
+            assert list(action.choices) == problem_names(), command
+
+    def test_run_scheme_choices_cover_the_registry(self):
+        choices = set(self._action(self._subparser("run"), "scheme").choices)
+        for problem_name, bare in SCHEME_MATRIX + BASELINE_MATRIX:
+            assert bare in choices
+            assert f"{problem_name}/{bare}" in choices
+
+    def test_sweep_scheme_choices_exclude_baselines(self):
+        choices = set(self._action(self._subparser("sweep"), "scheme").choices)
+        assert "leader/flag" in choices
+        assert "leader/maxid-flood" not in choices
+
+    def test_run_resolves_bare_name_per_problem(self, capsys):
+        assert main(
+            ["run", "--problem", "leader", "--scheme", "flag", "--n", "16", "--json"]
+        ) == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["problem"] == "leader"
+        assert row["scheme"] == "leader-flag"
+        assert row["correct"] is True
+
+    def test_sweep_accepts_qualified_scheme_without_problem_flag(self, capsys):
+        """A qualified --scheme needs no --problem: the qualifier wins."""
+        code = main(
+            ["sweep", "--scheme", "leader/rank", "--sizes", "8,16", "--repeats", "1", "--json"]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all(row["problem"] == "leader" for row in rows)
+
+    def test_run_rejects_target_foreign_to_the_problem(self, capsys):
+        code = main(
+            ["run", "--problem", "wakeup", "--scheme", "theorem3", "--n", "16"]
+        )
+        assert code == 2
+        assert "has no target 'theorem3'" in capsys.readouterr().err
+
+    def test_info_json_lists_problems(self, capsys):
+        assert main(["info", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["name"] for p in payload["problems"]] == problem_names()
+        by_name = {p["name"]: p for p in payload["problems"]}
+        assert by_name["leader"]["schemes"] == ["flag", "rank"]
+        assert by_name["wakeup"]["baselines"] == ["flood"]
+
+
+# ------------------------------------------------------------------ #
+# specs and the problems report golden
+# ------------------------------------------------------------------ #
+
+
+class TestProblemSpecs:
+    def _spec_dict(self, **experiment):
+        base = {
+            "name": "x",
+            "kind": "sweep",
+            "schemes": ["flag"],
+            "graph": {"family": "random", "density": 0.1},
+            "sizes": [8],
+            "seeds": 1,
+        }
+        base.update(experiment)
+        return {"title": "t", "experiment": [base]}
+
+    def test_problem_key_parses(self):
+        spec = spec_from_dict(self._spec_dict(problem="leader"))
+        assert spec.experiments[0].problem == "leader"
+
+    def test_problem_defaults_to_mst(self):
+        spec = spec_from_dict(self._spec_dict(schemes=["theorem3"]))
+        assert spec.experiments[0].problem == DEFAULT_PROBLEM
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(ValueError, match="is not a known problem"):
+            spec_from_dict(self._spec_dict(problem="colouring"))
+
+    def test_qualified_scheme_must_match_experiment_problem(self):
+        with pytest.raises(ValueError, match="the experiment's problem is 'leader'"):
+            spec_from_dict(self._spec_dict(problem="leader", schemes=["mst/theorem3"]))
+
+    def test_scheme_unknown_to_the_problem_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            spec_from_dict(self._spec_dict(problem="leader", schemes=["theorem3"]))
+
+    def test_problems_spec_loads(self):
+        spec = load_spec(PROBLEMS_SPEC)
+        assert [e.problem for e in spec.experiments] == ["leader", "wakeup", "stverify"]
+
+    def test_problems_report_matches_golden(self, tmp_path):
+        result = generate_report(load_spec(PROBLEMS_SPEC), tmp_path)
+        assert result.all_correct
+        regenerated = {
+            p.name: p.read_bytes() for p in sorted(tmp_path.iterdir()) if p.is_file()
+        }
+        golden = {
+            p.name: p.read_bytes()
+            for p in sorted(PROBLEMS_GOLDEN.iterdir())
+            if p.is_file()
+        }
+        assert set(regenerated) == set(golden)
+        for name in sorted(golden):
+            assert regenerated[name] == golden[name], f"{name} drifted"
