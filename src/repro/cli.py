@@ -178,7 +178,10 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "execution planning: 'instance' batches tasks sharing a graph "
             "instance so the graph/trace/advice are built once per group "
-            "(default), 'none' is the historical per-task execution"
+            "(default), 'seed-stack' additionally stacks all seeds of a "
+            "sweep point through one batched generation/trace/advice pass "
+            "(byte-identical rows; unstackable points fall back to "
+            "'instance'), 'none' is the historical per-task execution"
         ),
     )
 
@@ -445,6 +448,7 @@ def _bench_one_backend(args: argparse.Namespace, backend: str) -> Dict[str, Any]
         # measured under different configurations are never comparable
         "jobs": args.jobs,
         "grouping": args.grouping,
+        "tier": getattr(args, "tier", "standard"),
         "wall_seconds": round(elapsed, 4),
         "runs_per_second": round(len(rows) / elapsed, 3) if elapsed > 0 else float("inf"),
         # rows served from --cache-dir were not simulated inside the timed
@@ -554,9 +558,80 @@ def _check_regression(payload: Dict[str, Any], baseline_path: str) -> int:
     return failures
 
 
+#: the large benchmark tier: the biggest structured instance the
+#: generators build in O(m) — hypercube dimension 17 (the ``random``
+#: family needs O(n²) candidate-edge memory and stops being feasible
+#: around n≈10⁴) — measured through the analytic backend only
+_LARGE_TIER = {"graph": "hypercube", "n": 131072, "backend": "analytic"}
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    """Collect every ``BENCH_*.json`` snapshot into one Markdown table."""
+    directory = Path(args.dir) if args.dir else _repo_root()
+    entries: List[Dict[str, Any]] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            snapshot = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        payload = snapshot.get("payload", snapshot)
+        rev = snapshot.get("rev", path.stem.removeprefix("BENCH_"))
+        for row in _bench_rows(payload):
+            if "runs_per_second" not in row:
+                continue
+            stages = row.get("stage_seconds") or {}
+            entries.append(
+                {
+                    "rev": rev,
+                    "scheme": row.get("scheme", payload.get("scheme", "?")),
+                    "graph": row.get("graph", payload.get("graph", "?")),
+                    "n": row.get("n", payload.get("n", "?")),
+                    "backend": row.get("backend", "engine"),
+                    "grouping": row.get("grouping", "none"),
+                    "tier": row.get("tier", "standard"),
+                    "runs_per_second": row["runs_per_second"],
+                    "stage_seconds": (
+                        " ".join(f"{k}={v}" for k, v in stages.items()) or "-"
+                    ),
+                }
+            )
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    if not entries:
+        print(f"no BENCH_*.json snapshots under {directory}", file=sys.stderr)
+        return 1
+    columns = [
+        "rev",
+        "scheme",
+        "graph",
+        "n",
+        "backend",
+        "grouping",
+        "tier",
+        "runs_per_second",
+        "stage_seconds",
+    ]
+    print("| " + " | ".join(columns) + " |")
+    print("|" + "|".join(" --- " for _ in columns) + "|")
+    for entry in entries:
+        print("| " + " | ".join(str(entry[column]) for column in columns) + " |")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "bench_command", None) == "history":
+        return _cmd_bench_history(args)
     if args.repeats < 1:
         raise ValueError("--repeats must be >= 1")
+    if args.tier == "large":
+        # the large tier pins the instance and backend; scheme, repeats,
+        # grouping and profiling stay selectable
+        args.graph = _LARGE_TIER["graph"]
+        args.n = _LARGE_TIER["n"]
+        args.backend = _LARGE_TIER["backend"]
+        args.profile = True
     bench_qualifier, bench_bare = split_target(args.scheme)
     bench_problem = get_problem(bench_qualifier or args.problem)
     if bench_bare in bench_problem.baselines and args.backend != "engine":
@@ -822,6 +897,33 @@ def build_parser() -> argparse.ArgumentParser:
             "advice / backend execution) of the grouped executor; with "
             "--grouping none the stages are not instrumented"
         ),
+    )
+    bench_parser.add_argument(
+        "--tier",
+        default="standard",
+        choices=["standard", "large"],
+        help=(
+            "benchmark tier: 'standard' uses --graph/--n/--backend as "
+            "given; 'large' pins the hypercube(n=131072) instance on the "
+            "analytic backend with profiling on (scheme, repeats and "
+            "grouping stay selectable)"
+        ),
+    )
+    bench_sub = bench_parser.add_subparsers(
+        dest="bench_command", required=False, metavar="{history}"
+    )
+    history_parser = bench_sub.add_parser(
+        "history",
+        help="render every BENCH_*.json snapshot as one Markdown table",
+    )
+    history_parser.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="directory holding the snapshots (default: the repo root)",
+    )
+    history_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
     )
 
     report_parser = sub.add_parser(

@@ -92,14 +92,13 @@ class AdviceAssignment:
 
     def stats(self) -> AdviceStats:
         """Maximum / total / average advice size of this assignment."""
-        assigned = self._advice
-        sizes = [
-            len(assigned[node]) if node in assigned else 0 for node in range(self.n)
-        ]
+        # unassigned nodes have size 0, so only assigned entries can
+        # contribute to any of the aggregates — no need to enumerate n
+        sizes = [len(bits) for bits in self._advice.values()]
         total = sum(sizes)
         return AdviceStats(
             n=self.n,
-            max_bits=max(sizes) if sizes else 0,
+            max_bits=max(sizes, default=0),
             total_bits=total,
             average_bits=total / self.n,
             nodes_with_advice=sum(1 for s in sizes if s > 0),

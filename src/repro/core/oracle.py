@@ -55,6 +55,26 @@ class AdvisingScheme(ABC):
     def program_factory(self) -> ProgramFactory:
         """The decoder: a factory producing one node program per node."""
 
+    @classmethod
+    def compute_advice_batch(
+        cls,
+        schemes: "list",
+        graphs: "list",
+        root: int = 0,
+        traces: "Optional[list]" = None,
+    ) -> "list":
+        """The oracle over all seeds of one stacked sweep point.
+
+        ``schemes[i]`` must be a distinct instance per graph — a scheme
+        object may hold per-instance packing state that the analytic
+        backend replays.  The default simply loops; precomputed Borůvka
+        traces are picked up through each graph's trace memo, so
+        ``traces`` is only consulted by overrides (the Theorem-3 schemes
+        run their capacity search across all seeds at once).
+        """
+        del traces
+        return [s.compute_advice(g, root=root) for s, g in zip(schemes, graphs)]
+
     # -------- declared theoretical bounds (for reporting only) --------
 
     def advice_bound_bits(self, n: int) -> Optional[float]:
@@ -193,7 +213,23 @@ def _build_report(scheme, graph, root, advice, result) -> SchemeReport:
     if not result.completed:
         check = OutputCheck(False, "the decoder did not terminate within the round limit")
     else:
-        check = get_problem(problem).check_outputs(graph, result.outputs, expected_root=root)
+        # verification is a pure function of (problem, root, outputs); the
+        # grouped executor verifies four schemes with identical outputs per
+        # instance, so memoise the check on the graph (keyed by the outputs
+        # themselves — a dict-equality probe, O(n) on hit)
+        memo = getattr(graph, "_check_memo", None)
+        if memo is None:
+            memo = {}
+            graph._check_memo = memo
+        key = (problem, root)
+        cached = memo.get(key)
+        if cached is not None and cached[0] == result.outputs:
+            check = cached[1]
+        else:
+            check = get_problem(problem).check_outputs(
+                graph, result.outputs, expected_root=root
+            )
+            memo[key] = (result.outputs, check)
     n = graph.n
     return SchemeReport(
         scheme=scheme.name,

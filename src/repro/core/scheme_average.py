@@ -33,12 +33,14 @@ the root) sees it as *down* at the choosing side or *up* at itself.
 from __future__ import annotations
 
 import math
-from itertools import chain
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.advice import AdviceAssignment
-from repro.core.bits import BitReader, BitString, BitWriter
+from repro.core.bits import BitString
 from repro.core.oracle import AdvisingScheme
+from repro.core.scheme_main import _bit_length_arr
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.mst.boruvka import boruvka_trace
 from repro.mst.rooted_tree import ROOT_OUTPUT
@@ -130,33 +132,59 @@ class AverageConstantScheme(AdvisingScheme):
         """Assign the advice (``trace`` may be passed to reuse a Borůvka run)."""
         if trace is None:
             trace = boruvka_trace(graph, root=root)
-        # per node, the (phase-ordered) list of records to encode
-        data: Dict[int, BitWriter] = {}
-        bitmap: Dict[int, List[int]] = {}
+        # flatten every (phase, selection) record into column arrays; a
+        # record is the (is_up, rank - 1) pair packed big-endian into
+        # width + 1 bits, exactly the bits the historical per-record
+        # BitWriter produced
+        rec_nodes: List["np.ndarray"] = []
+        rec_vals: List["np.ndarray"] = []
+        rec_widths: List["np.ndarray"] = []
         for phase in trace.phases:
-            for sel in phase.selections:
-                u = sel.choosing_node
-                writer = data.setdefault(u, BitWriter())
-                marks = bitmap.setdefault(u, [])
-                start = len(writer)
-                writer.write_bit(1 if sel.is_up else 0)
-                # Lemma 2: with pairwise-distinct weights the rank is < 2^i and
-                # fits in `phase.index` bits; with duplicated weights the rank
-                # can exceed that, in which case we simply widen the field (the
-                # decoder reads "the rest of the record" and never assumes a
-                # width).
-                width = max(phase.index, (sel.rank_at_choosing - 1).bit_length())
-                writer.write_uint(sel.rank_at_choosing - 1, width)
-                marks.extend([1] + [0] * (len(writer) - start - 1))
+            arr = phase.arrays
+            if arr["fragment"].size == 0:
+                continue
+            rank_m1 = arr["rank_at_choosing"] - 1
+            # Lemma 2: with pairwise-distinct weights the rank is < 2^i and
+            # fits in `phase.index` bits; with duplicated weights the rank
+            # can exceed that, in which case we simply widen the field (the
+            # decoder reads "the rest of the record" and never assumes a
+            # width).
+            widths = np.maximum(phase.index, _bit_length_arr(rank_m1))
+            rec_nodes.append(arr["choosing_node"])
+            rec_vals.append((arr["is_up"].astype(np.int64) << widths) | rank_m1)
+            rec_widths.append(widths + 1)
 
         advice = AdviceAssignment(graph.n)
-        for u, writer in data.items():
-            bits = writer.getvalue()
-            # interleave (mark, bit) pairs in one C-level pass
-            advice.set(
-                u,
-                BitString(chain.from_iterable(zip(bitmap[u], bits))),
-            )
+        if not rec_nodes:
+            return advice
+        # group records per choosing node; the stable sort keeps the
+        # phase order of each node's records
+        nodes_a = np.concatenate(rec_nodes)
+        order = np.argsort(nodes_a, kind="stable")
+        nodes_o = nodes_a[order]
+        vals_o = np.concatenate(rec_vals)[order]
+        w_o = np.concatenate(rec_widths)[order]
+
+        # big-endian record bits + the record-start bitmap, interleaved
+        # as (mark, bit) pairs in one vectorised pass
+        total = int(w_o.sum())
+        rec_starts = np.concatenate(([0], np.cumsum(w_o[:-1])))
+        within = np.arange(total, dtype=np.int64) - np.repeat(rec_starts, w_o)
+        wrep = np.repeat(w_o, w_o)
+        code = (np.repeat(vals_o, w_o) >> (wrep - 1 - within)) & 1
+        inter = np.empty(2 * total, dtype=np.int64)
+        inter[0::2] = (within == 0).astype(np.int64)
+        inter[1::2] = code
+        inter_list = inter.tolist()
+
+        rec_off = np.concatenate(([0], np.cumsum(2 * w_o))).tolist()
+        seg_bounds = np.concatenate(
+            ([0], np.flatnonzero(np.diff(nodes_o)) + 1, [nodes_o.size])
+        ).tolist()
+        for idx, u in enumerate(nodes_o[seg_bounds[:-1]].tolist()):
+            a = rec_off[seg_bounds[idx]]
+            b = rec_off[seg_bounds[idx + 1]]
+            advice.set(u, BitString._wrap(tuple(inter_list[a:b])))
         return advice
 
     def program_factory(self) -> ProgramFactory:

@@ -35,7 +35,9 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.advice import AdviceAssignment
+import numpy as np
+
+
 from repro.core.bits import BitReader, BitString, BitWriter
 from repro.core.scheme_main import (
     ShortAdviceScheme,
@@ -45,7 +47,7 @@ from repro.core.scheme_main import (
     phase_window_rounds,
 )
 from repro.graphs.weighted_graph import PortNumberedGraph
-from repro.mst.boruvka import BoruvkaTrace, boruvka_trace
+from repro.mst.boruvka import BoruvkaTrace
 from repro.mst.rooted_tree import ROOT_OUTPUT
 from repro.simulator.algorithm import ProgramFactory
 from repro.simulator.node import NodeContext
@@ -80,24 +82,20 @@ class LevelAdviceScheme(ShortAdviceScheme):
 
     # ------------------------------ oracle ------------------------------ #
 
-    def compute_advice(
-        self,
-        graph: PortNumberedGraph,
-        root: int = 0,
-        trace: Optional[BoruvkaTrace] = None,
-    ) -> AdviceAssignment:
+    def _check_instance(self, graph: PortNumberedGraph) -> None:
         if not graph.has_distinct_weights():
             raise ValueError(
                 "the level-based variant requires pairwise-distinct edge weights; "
                 "use ShortAdviceScheme for instances with duplicated weights"
             )
-        if trace is None:
-            trace = boruvka_trace(graph, root=root)
+
+    def _prepare_headers(
+        self, graph: PortNumberedGraph, trace: BoruvkaTrace, phases: int
+    ) -> None:
         # stash the per-node level bitmaps for the shared header writer
-        levels = self._node_levels(graph, trace, num_boruvka_phases(graph.n))
+        levels = self._node_levels(graph, trace, phases)
         self._levels = levels
-        self._level_bits = {u: BitString(bits) for u, bits in levels.items()}
-        return super().compute_advice(graph, root=root, trace=trace)
+        self._level_bits = {u: BitString._wrap(tuple(bits)) for u, bits in levels.items()}
 
     def _extra_header_bits(self, u: int) -> BitString:
         return self._level_bits[u]
@@ -110,22 +108,37 @@ class LevelAdviceScheme(ShortAdviceScheme):
         a_writer.write_gamma(sel.choosing_dfs_index)
         return a_writer.getvalue()
 
+    def _fragment_advice_batch(self, arrays):
+        from repro.core.scheme_main import _batch_bit_codes
+
+        return _batch_bit_codes(
+            [
+                ("bit", arrays["is_up"].astype(np.int64)),
+                ("bit", arrays["level_of_target_fragment"]),
+                ("gamma", arrays["choosing_dfs_index"]),
+            ],
+            arrays["fragment"].size,
+        )
+
     @staticmethod
     def _node_levels(
         graph: PortNumberedGraph, trace: BoruvkaTrace, phases: int
     ) -> Dict[int, List[int]]:
         """Per node, its fragment's level at each phase ``1 .. phases``."""
-        levels: Dict[int, List[int]] = {u: [] for u in range(graph.n)}
+        cols = []
         for i in range(1, phases + 1):
             if i <= len(trace.phases):
-                ftree = trace.phases[i - 1].fragment_tree
-                for u in range(graph.n):
-                    levels[u].append(ftree.level_of_node(u))
+                phase = trace.phases[i - 1]
+                depth = phase.fragment_tree.depth_array()
+                cols.append((depth % 2)[phase.partition.fragment_of_array()])
             else:
                 # the graph already merged into a single fragment: level 0
-                for u in range(graph.n):
-                    levels[u].append(0)
-        return levels
+                cols.append(np.zeros(graph.n, dtype=np.int64))
+        if cols:
+            rows = np.stack(cols, axis=1).tolist()
+        else:
+            rows = [[] for _ in range(graph.n)]
+        return {u: rows[u] for u in range(graph.n)}
 
     # ----------------------------- decoder ------------------------------ #
 

@@ -60,7 +60,7 @@ Deviations from the paper (documented in DESIGN.md):
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -136,6 +136,70 @@ def _final_field_width(degree: int) -> int:
     return max(1, int(degree).bit_length())
 
 
+def _bit_length_arr(values: "np.ndarray") -> "np.ndarray":
+    """Per-element ``int.bit_length`` for non-negative int64 values.
+
+    ``frexp`` returns the base-2 exponent, which equals the bit length
+    for every positive integer exactly representable in a float64 (all
+    values handled here are far below ``2**53``); 0 maps to 0, matching
+    ``(0).bit_length()``.
+    """
+    return np.frexp(values.astype(np.float64))[1].astype(np.int64)
+
+
+def _batch_bit_codes(
+    columns: Sequence[Tuple[str, "np.ndarray"]], count: int
+) -> Tuple[List[BitString], "np.ndarray"]:
+    """Build one :class:`BitString` per row from vectorised field columns.
+
+    ``columns`` lists the fields of the per-row record in write order;
+    each is ``("bit", values)`` (one literal bit per row) or ``("gamma",
+    values)`` (the Elias-γ code of each positive value: ``w - 1`` zeros
+    followed by the ``w``-bit big-endian binary of the value, ``w`` its
+    bit length).  Returns ``(strings, lengths)`` with exactly the bits
+    the per-row ``BitWriter.write_bit`` / ``write_gamma`` calls produce,
+    assembled with NumPy repeat/cumsum arithmetic instead of per-row
+    Python writers.
+    """
+    if count == 0:
+        return [], np.zeros(0, dtype=np.int64)
+    col_lens: List["np.ndarray"] = []
+    for kind, values in columns:
+        if kind == "bit":
+            col_lens.append(np.ones(count, dtype=np.int64))
+        else:
+            col_lens.append(2 * _bit_length_arr(values) - 1)
+    total_lens = col_lens[0].copy()
+    for extra in col_lens[1:]:
+        total_lens += extra
+    starts = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(total_lens, out=starts[1:])
+    flat = np.zeros(int(starts[-1]), dtype=np.int64)
+    col_off = starts[:-1].copy()
+    for (kind, values), lens in zip(columns, col_lens):
+        if kind == "bit":
+            flat[col_off] = values
+        else:
+            widths = (lens + 1) >> 1
+            total = int(lens.sum())
+            row_starts = np.concatenate(([0], np.cumsum(lens[:-1])))
+            within = np.arange(total, dtype=np.int64) - np.repeat(row_starts, lens)
+            wrep = np.repeat(widths, lens)
+            vrep = np.repeat(values, lens)
+            shift = np.maximum(2 * wrep - 2 - within, 0)
+            flat[np.repeat(col_off, lens) + within] = np.where(
+                within < wrep - 1, 0, (vrep >> shift) & 1
+            )
+        col_off = col_off + lens
+    bits_list = flat.tolist()
+    bounds = starts.tolist()
+    strings = [
+        BitString._wrap(tuple(bits_list[bounds[i] : bounds[i + 1]]))
+        for i in range(count)
+    ]
+    return strings, total_lens
+
+
 # ----------------------------------------------------------------------- #
 # the oracle
 # ----------------------------------------------------------------------- #
@@ -179,34 +243,196 @@ class ShortAdviceScheme(AdvisingScheme):
         trace: Optional[BoruvkaTrace] = None,
     ) -> AdviceAssignment:
         """Assign the advice (``trace`` may be passed to reuse a Borůvka run)."""
-        n = graph.n
-        phases = num_boruvka_phases(n)
+        phases = num_boruvka_phases(graph.n)
+        self._check_instance(graph)
         if trace is None:
             trace = boruvka_trace(graph, root=root)
-
+        self._prepare_headers(graph, trace, phases)
         data_bits = self._pack_with_capacity_search(graph, trace, phases)
+        return self._finish_advice(graph, root, trace, phases, data_bits)
+
+    # The oracle is split into hooks so :meth:`compute_advice_batch` can
+    # run the capacity search for a whole stacked sweep point at once
+    # while the scheme-specific pieces stay per instance:
+    #
+    # ``_check_instance``    precondition checks, before anything is built
+    # ``_prepare_headers``   per-node header state (the level variant's bitmap)
+    # ``_pack_with_capacity_search``  the expensive shared middle
+    # ``_finish_advice``     final bits + header prefixes → AdviceAssignment
+
+    def _check_instance(self, graph: PortNumberedGraph) -> None:
+        """Validate instance preconditions (the level variant overrides)."""
+
+    def _prepare_headers(
+        self, graph: PortNumberedGraph, trace: BoruvkaTrace, phases: int
+    ) -> None:
+        """Prepare per-node header state (the level variant overrides)."""
+
+    def _finish_advice(
+        self,
+        graph: PortNumberedGraph,
+        root: int,
+        trace: BoruvkaTrace,
+        phases: int,
+        data_bits: Dict[int, BitString],
+    ) -> AdviceAssignment:
+        """Final bits, flag headers and assembly of the advice strings."""
+        n = graph.n
         final_bit, collect_flag = self._assign_final_bits(graph, trace, phases)
 
-        # the four possible flag headers, shared across nodes: collect
+        # the six possible flag headers, shared across nodes: collect
         # flag, then "has final bit" flag (+ the bit itself when present)
-        header = BitString.from_uint(phases, _PHASE_FIELD_BITS)
-        zero = BitString.from_uint(0, 1)
-        one = BitString.from_uint(1, 1)
+        header = BitString.from_uint(phases, _PHASE_FIELD_BITS)._bits
+        prefixes: Dict[Tuple[bool, Optional[int]], Tuple[int, ...]] = {}
         advice = AdviceAssignment(n)
+        assigned: Dict[int, BitString] = {}
+        wrap = BitString._wrap
+        extra_header = self._extra_header_bits
+        flag_get = collect_flag.get
+        final_get = final_bit.get
         for u in range(n):
-            parts = [header, one if collect_flag.get(u, False) else zero]
-            fb = final_bit.get(u)
-            if fb is None:
-                parts.append(zero)
-            else:
-                parts.append(one)
-                parts.append(one if fb else zero)
-            extra = self._extra_header_bits(u)
+            key = (bool(flag_get(u, False)), final_get(u))
+            prefix = prefixes.get(key)
+            if prefix is None:
+                prefix = header + ((1,) if key[0] else (0,))
+                prefix += (0,) if key[1] is None else (1, 1 if key[1] else 0)
+                prefixes[key] = prefix
+            extra = extra_header(u)
             if extra is not None:
-                parts.append(extra)
-            parts.append(data_bits[u])
-            advice.set(u, BitString.concat(parts))
+                prefix = prefix + extra._bits
+            assigned[u] = wrap(prefix + data_bits[u]._bits)
+        advice._advice = assigned
         return advice
+
+    @classmethod
+    def compute_advice_batch(
+        cls,
+        schemes: Sequence["ShortAdviceScheme"],
+        graphs: Sequence[PortNumberedGraph],
+        root: int = 0,
+        traces: Optional[Sequence[BoruvkaTrace]] = None,
+    ) -> List[AdviceAssignment]:
+        """The oracle for a whole stacked sweep point at once.
+
+        ``schemes[i]`` must be a **distinct** instance per graph: each one
+        keeps the ``last_capacity``/``last_layout`` packing state that the
+        analytic backend replays for its instance.
+
+        The capacity-independent plan (fragment advice strings, flattened
+        preorders) is collected per seed as usual; the capacity search is
+        then run over the disjoint union of all still-pending seeds — one
+        prefix-sum placement pass per candidate capacity instead of one
+        per ``(seed, capacity)`` pair.  Placement arithmetic is local to a
+        segment and segments never span seeds, so a seed that overflows a
+        candidate cannot perturb the seeds that fit: each seed adopts
+        exactly the capacity (and the byte-identical layout) its solo
+        :meth:`compute_advice` run would have chosen.
+        """
+        if traces is None:
+            traces = [boruvka_trace(g, root=root) for g in graphs]
+        if not (len(schemes) == len(graphs) == len(traces)):
+            raise ValueError("schemes, graphs and traces must align")
+        if not graphs:
+            return []
+        n = graphs[0].n
+        phases = num_boruvka_phases(n)
+        plans: List[List[Dict[str, Any]]] = []
+        for scheme, g, tr in zip(schemes, graphs, traces):
+            if g.n != n:
+                raise ValueError("seed stacking requires instances of one size")
+            scheme._check_instance(g)
+            scheme._prepare_headers(g, tr, phases)
+            plans.append(scheme._collect_advice_plan(tr, phases))
+
+        data_bits: List[Optional[Dict[int, BitString]]] = [None] * len(graphs)
+        pending = list(range(len(graphs)))
+        for cap in schemes[0]._capacity_candidates:
+            placements, failed = cls._place_plan_stacked(plans, pending, n, cap)
+            for s in pending:
+                if s in failed:
+                    continue
+                schemes[s].last_capacity = cap
+                data_bits[s] = schemes[s]._materialize_plan(
+                    plans[s], placements[s], n
+                )
+            pending = sorted(failed)
+            if not pending:
+                break
+        if pending:  # pragma: no cover - the largest cap always fits
+            raise CapacityError("no candidate capacity could hold the fragment advice")
+        return [
+            scheme._finish_advice(g, root, tr, phases, bits)
+            for scheme, g, tr, bits in zip(schemes, graphs, traces, data_bits)
+        ]
+
+    @staticmethod
+    def _place_plan_stacked(
+        plans: List[List[Dict[str, Any]]],
+        pending: List[int],
+        n: int,
+        cap: int,
+    ) -> Tuple[Dict[int, List[Tuple["np.ndarray", "np.ndarray"]]], set]:
+        """:meth:`_place_plan` over the disjoint union of ``pending`` seeds.
+
+        Unlike the solo placement this never returns early: every phase of
+        every seed is placed, per-segment overflows are recorded, and a
+        seed fails iff one of **its** segments overflowed in any phase.
+        The ``used`` array is node-local (seed ``j`` occupies the slice
+        ``[j*n, (j+1)*n)``) and the fill arithmetic only ever differences
+        the cumulative free capacity within one segment, so an overflowing
+        seed's garbage placement stays confined to its own slice.
+        """
+        num = len(pending)
+        used = np.zeros(num * n, dtype=np.int64)
+        placements: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {
+            s: [] for s in pending
+        }
+        failed: set = set()
+        depth = max((len(plans[s]) for s in pending), default=0)
+        empty = np.empty(0, dtype=np.int64)
+        for k in range(depth):
+            contrib = [(j, s) for j, s in enumerate(pending) if len(plans[s]) > k]
+            nodes_parts, alens_parts, segid_parts, segstart_parts = [], [], [], []
+            pos_bounds = [0]
+            seg_bounds = [0]
+            seg_off = 0
+            pos_off = 0
+            for j, s in contrib:
+                phase = plans[s][k]
+                nodes_parts.append(phase["nodes"] + j * n)
+                alens_parts.append(phase["a_lens"])
+                segid_parts.append(phase["seg_id"] + seg_off)
+                segstart_parts.append(phase["seg_starts"][1:] + pos_off)
+                seg_off += phase["a_lens"].size
+                pos_off += phase["nodes"].size
+                pos_bounds.append(pos_off)
+                seg_bounds.append(seg_off)
+            if pos_off == 0:
+                for j, s in contrib:
+                    placements[s].append((empty, empty))
+                continue
+            all_nodes = np.concatenate(nodes_parts)
+            a_lens = np.concatenate(alens_parts)
+            seg_id = np.concatenate(segid_parts)
+            seg_starts = np.concatenate(([0], np.concatenate(segstart_parts)))
+            free_cum = np.concatenate(([0], np.cumsum(cap - used[all_nodes])))
+            filled = np.minimum(
+                free_cum[1:] - free_cum[seg_starts[:-1]][seg_id],
+                a_lens[seg_id],
+            )
+            over = filled[seg_starts[1:] - 1] < a_lens  # per-segment overflow
+            if np.any(over):
+                over_segs = np.flatnonzero(over)
+                for (j, s), lo, hi in zip(contrib, seg_bounds, seg_bounds[1:]):
+                    if np.any((over_segs >= lo) & (over_segs < hi)):
+                        failed.add(s)
+            prev = np.concatenate(([0], filled[:-1]))
+            prev[seg_starts[:-1]] = 0
+            takes = filled - prev
+            used[all_nodes] += takes
+            for (j, s), lo, hi in zip(contrib, pos_bounds, pos_bounds[1:]):
+                placements[s].append((takes[lo:hi], filled[lo:hi]))
+        return placements, failed
 
     def _extra_header_bits(self, u: int) -> Optional[BitString]:
         """Scheme-specific header fields (the level variant adds its bitmap)."""
@@ -226,6 +452,24 @@ class ShortAdviceScheme(AdvisingScheme):
         a_writer.write_gamma(sel.rank_at_choosing)
         a_writer.write_gamma(sel.choosing_dfs_index)
         return a_writer.getvalue()
+
+    def _fragment_advice_batch(
+        self, arrays: Dict[str, "np.ndarray"]
+    ) -> Tuple[List[BitString], "np.ndarray"]:
+        """All ``A(F)`` strings of one phase at once (column view).
+
+        Must produce exactly the per-selection bits of
+        :meth:`_fragment_advice`; the level variant overrides both in
+        lockstep.
+        """
+        return _batch_bit_codes(
+            [
+                ("bit", arrays["is_up"].astype(np.int64)),
+                ("gamma", arrays["rank_at_choosing"]),
+                ("gamma", arrays["choosing_dfs_index"]),
+            ],
+            arrays["fragment"].size,
+        )
 
     def _pack_with_capacity_search(
         self,
@@ -265,16 +509,12 @@ class ShortAdviceScheme(AdvisingScheme):
         plan: List[Dict[str, Any]] = []
         for phase in trace.phases[:phases]:
             nodes, starts = phase.partition.preorder_arrays()
-            selections = phase.selections
-            advice_strings = [self._fragment_advice(sel) for sel in selections]
-            if selections:
-                frags = np.fromiter(
-                    (sel.fragment for sel in selections),
-                    dtype=np.int64,
-                    count=len(selections),
-                )
+            num_sel = phase.arrays["fragment"].size
+            advice_strings, a_lens = self._fragment_advice_batch(phase.arrays)
+            if num_sel:
+                frags = phase.arrays["fragment"]
                 lens = starts[frags + 1] - starts[frags]
-                seg_starts = np.zeros(len(selections) + 1, dtype=np.int64)
+                seg_starts = np.zeros(num_sel + 1, dtype=np.int64)
                 np.cumsum(lens, out=seg_starts[1:])
                 total = int(seg_starts[-1])
                 # concatenation of the fragment preorder slices, built as
@@ -285,7 +525,7 @@ class ShortAdviceScheme(AdvisingScheme):
                     + np.repeat(starts[frags], lens)
                 )
                 all_nodes = nodes[flat]
-                seg_id = np.repeat(np.arange(len(selections), dtype=np.int64), lens)
+                seg_id = np.repeat(np.arange(num_sel, dtype=np.int64), lens)
             else:
                 all_nodes = np.empty(0, dtype=np.int64)
                 seg_id = np.empty(0, dtype=np.int64)
@@ -294,11 +534,7 @@ class ShortAdviceScheme(AdvisingScheme):
                 {
                     "index": phase.index,
                     "advice": advice_strings,
-                    "a_lens": np.fromiter(
-                        (len(a) for a in advice_strings),
-                        dtype=np.int64,
-                        count=len(advice_strings),
-                    ),
+                    "a_lens": a_lens,
                     "nodes": all_nodes,
                     "seg_id": seg_id,
                     "seg_starts": seg_starts,
@@ -356,7 +592,10 @@ class ShortAdviceScheme(AdvisingScheme):
         concatenated in DFS order, always start with the current phase's
         ``A(F)``.
         """
-        writers = [BitWriter() for _ in range(n)]
+        # raw bit buffers instead of BitWriters: the chunks are already
+        # normalised 0/1 tuples, so slicing ``_bits`` directly skips one
+        # BitString wrap and one per-bit normalisation pass per chunk
+        buffers: List[List[int]] = [[] for _ in range(n)]
         layout: List[Dict[int, int]] = []
         for phase, (takes, filled) in zip(plan, placement):
             phase_layout: Dict[int, int] = {}
@@ -367,11 +606,11 @@ class ShortAdviceScheme(AdvisingScheme):
             chunk_his = filled[chunk_positions].tolist()
             chunk_takes = takes[chunk_positions].tolist()
             for u, seg, hi, take in zip(chunk_nodes, chunk_segs, chunk_his, chunk_takes):
-                writers[u].write_bits(advice_strings[seg][hi - take : hi])
+                buffers[u].extend(advice_strings[seg]._bits[hi - take : hi])
                 phase_layout[u] = phase_layout.get(u, 0) + take
             layout.append(phase_layout)
         self.last_layout = layout
-        return {u: writers[u].getvalue() for u in range(n)}
+        return {u: BitString._wrap(tuple(buffers[u])) for u in range(n)}
 
     def _pack_phase_advice(
         self,
@@ -403,29 +642,49 @@ class ShortAdviceScheme(AdvisingScheme):
         """
         partition = trace.partition_before_phase(phases + 1)
         tree = trace.tree
-        final_bit: Dict[int, int] = {}
-        collect_flag: Dict[int, bool] = {}
-        for f in range(partition.num_fragments):
-            r_f = partition.root_of(f)
-            degree = graph.degree(r_f)
-            if degree == 0:
-                continue  # single isolated node: it outputs ROOT with no advice
-            width = _final_field_width(degree)
-            if tree.parent_edge[r_f] < 0:
-                value = 0  # the global root
-            else:
-                value = graph.rank_of_port(r_f, tree.parent_port[r_f])
-            bits = BitString.from_uint(value, width)
-            preorder = partition.dfs_preorder(f)
-            if len(preorder) < width:  # pragma: no cover - excluded by Lemma 1
-                raise CapacityError(
-                    f"fragment of size {len(preorder)} cannot hold {width} final bits"
-                )
-            for idx in range(width):
-                final_bit[preorder[idx]] = bits[idx]
-            for u in partition.members[f]:
-                if partition.depth_in_fragment(u) <= width - 1:
-                    collect_flag[u] = True
+        nodes, starts = partition.preorder_arrays()
+        counts = starts[1:] - starts[:-1]
+        frag_roots = nodes[starts[:-1]]  # r_F per fragment
+        degrees = graph._degrees[frag_roots]
+        # isolated fragment roots output ROOT with no advice; bit width
+        # max(1, bit_length(degree)) covers the values 0 .. degree
+        keep = degrees > 0
+        width = np.maximum(1, _bit_length_arr(degrees))
+        parent_edge = np.asarray(tree.parent_edge, dtype=np.int64)[frag_roots]
+        parent_port = np.asarray(tree.parent_port, dtype=np.int64)[frag_roots]
+        slot_rank = graph._slot_orders()[0]
+        value = np.zeros(frag_roots.size, dtype=np.int64)  # 0 = the global root
+        has_parent = parent_edge >= 0
+        if np.any(has_parent):
+            hp_roots = frag_roots[has_parent]
+            value[has_parent] = (
+                slot_rank[graph._offsets[hp_roots] + parent_port[has_parent]] + 1
+            )
+        if np.any(keep & (counts < width)):  # pragma: no cover - excluded by Lemma 1
+            f = int(np.flatnonzero(keep & (counts < width))[0])
+            raise CapacityError(
+                f"fragment of size {int(counts[f])} cannot hold "
+                f"{int(width[f])} final bits"
+            )
+
+        # one big-endian bit of each kept fragment's value per leading
+        # preorder node, all fragments at once
+        wk = width[keep]
+        vk = np.repeat(value[keep], wk)
+        wrep = np.repeat(wk, wk)
+        total = int(wk.sum())
+        row_starts = np.concatenate(([0], np.cumsum(wk[:-1]))) if wk.size else wk
+        within = np.arange(total, dtype=np.int64) - np.repeat(row_starts, wk)
+        fb_nodes = nodes[np.repeat(starts[:-1][keep], wk) + within]
+        fb_bits = (vk >> (wrep - 1 - within)) & 1
+        final_bit: Dict[int, int] = dict(zip(fb_nodes.tolist(), fb_bits.tolist()))
+
+        # collection-region flag: depth within the fragment < field width
+        frag_ids = np.repeat(np.arange(counts.size), counts)
+        tree_depth = np.asarray(tree.depth, dtype=np.int64)
+        depth_in_frag = tree_depth[nodes] - np.repeat(tree_depth[frag_roots], counts)
+        mask = keep[frag_ids] & (depth_in_frag <= np.repeat(width, counts) - 1)
+        collect_flag: Dict[int, bool] = dict.fromkeys(nodes[mask].tolist(), True)
         return final_bit, collect_flag
 
     # ----------------------------- decoder ------------------------------ #

@@ -83,19 +83,33 @@ class TrivialRankScheme(AdvisingScheme):
         if graph.m:
             slot_rank = graph._slot_orders()[0]
             parent_port = np.asarray(tree.parent_port, dtype=np.int64)
-            ranks0 = slot_rank[
+            ranks = slot_rank[
                 graph._offsets[:-1] + np.where(parent_port >= 0, parent_port, 0)
-            ].tolist()
+            ]
         else:
-            ranks0 = [0] * graph.n  # edgeless graph: only the root exists
-        widths = [(int(d) - 1).bit_length() for d in graph._degrees.tolist()]
-        root_flag = BitString.from_uint(1, 1)
-        zero = BitString.from_uint(0, 1)
-        for u in range(graph.n):
-            if u == root:
-                advice.set(u, root_flag)
-            else:
-                advice.set(u, zero + BitString.from_uint(ranks0[u], widths[u]))
+            ranks = np.zeros(graph.n, dtype=np.int64)  # edgeless: only the root
+        # per non-root node the advice is the root flag 0 followed by the
+        # rank in ⌈log₂ deg⌉ bits; all strings are filled in one flat
+        # big-endian expansion instead of a from_uint call per node
+        from repro.core.scheme_main import _bit_length_arr
+
+        widths = _bit_length_arr(np.maximum(graph._degrees - 1, 0))
+        lens = widths + 1
+        starts = np.concatenate(([0], np.cumsum(lens[:-1])))
+        total = int(starts[-1]) + int(lens[-1])
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, lens)
+        wrep = np.repeat(widths, lens)
+        vrep = np.repeat(ranks, lens)
+        flat = np.where(
+            within == 0, 0, (vrep >> np.maximum(wrep - within, 0)) & 1
+        ).tolist()
+        starts_l = starts.tolist()
+        ends_l = (starts + lens).tolist()
+        advice._advice = {
+            u: BitString._wrap(tuple(flat[starts_l[u] : ends_l[u]]))
+            for u in range(graph.n)
+        }
+        advice._advice[root] = BitString.from_uint(1, 1)
         return advice
 
     def program_factory(self) -> ProgramFactory:

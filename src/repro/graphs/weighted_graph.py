@@ -310,9 +310,15 @@ class PortNumberedGraph:
         lo = np.minimum(edge_u, edge_v)
         hi = np.maximum(edge_u, edge_v)
         keys = lo * (n + 1) + hi
-        order = np.argsort(keys, kind="stable")
-        dup_positions = np.flatnonzero(keys[order][1:] == keys[order][:-1]) + 1
-        bad_dup = order[dup_positions] if dup_positions.size else dup_positions
+        # a plain value sort answers "any duplicate at all?"; the argsort
+        # (twice the cost) is only needed to name the offending edge
+        sorted_keys = np.sort(keys)
+        if sorted_keys.size > 1 and bool(np.any(sorted_keys[1:] == sorted_keys[:-1])):
+            order = np.argsort(keys, kind="stable")
+            dup_positions = np.flatnonzero(keys[order][1:] == keys[order][:-1]) + 1
+            bad_dup = order[dup_positions]
+        else:
+            bad_dup = np.empty(0, dtype=np.int64)
 
         candidates = []  # (edge id, per-edge check priority, raiser)
         if bad_loop.size:
@@ -457,26 +463,10 @@ class PortNumberedGraph:
         """
         cached = getattr(self, "_slot_order_cache", None)
         if cached is None:
-            two_m = 2 * self.m
             node_of_slot = np.repeat(np.arange(self.n), self._degrees)
-            ports = np.arange(two_m, dtype=np.int64) - self._offsets[node_of_slot]
-            order = np.lexsort((ports, self._adj_weight, node_of_slot))
-            rank = np.empty(two_m, dtype=np.int64)
-            rank[order] = np.arange(two_m) - self._offsets[node_of_slot[order]]
-            # first rank of each (node, weight) run -> the x component
-            sorted_nodes = node_of_slot[order]
-            sorted_w = self._adj_weight[order]
-            new_group = np.ones(two_m, dtype=bool)
-            if two_m > 1:
-                new_group[1:] = (sorted_nodes[1:] != sorted_nodes[:-1]) | (
-                    sorted_w[1:] != sorted_w[:-1]
-                )
-            sorted_rank = np.arange(two_m) - self._offsets[sorted_nodes]
-            group_ids = np.cumsum(new_group) - 1
-            group_first = sorted_rank[new_group][group_ids]
-            x_minus_1 = np.empty(two_m, dtype=np.int64)
-            x_minus_1[order] = group_first
-            cached = (rank, x_minus_1, rank - x_minus_1)
+            cached = _slot_order_kernel(
+                node_of_slot, self._adj_weight, self._offsets[:-1], self.n
+            )
             self._slot_order_cache = cached
         return cached
 
@@ -597,20 +587,23 @@ class PortNumberedGraph:
         if self._connected_cache is None:
             if self.n == 1:
                 self._connected_cache = True
+            elif self.m == 0:
+                self._connected_cache = False
             else:
-                neighbors, _ = self.adjacency_tables()
-                seen = [False] * self.n
-                stack = [0]
-                seen[0] = True
-                count = 1
-                while stack:
-                    u = stack.pop()
-                    for v in neighbors[u]:
-                        if not seen[v]:
-                            seen[v] = True
-                            count += 1
-                            stack.append(v)
-                self._connected_cache = count == self.n
+                # hooking + shortcutting over the edge arrays: each round
+                # every endpoint adopts the smaller endpoint label, then
+                # labels chase their own pointers, so components collapse
+                # to their minimum node id in O(log n) vectorised rounds
+                labels = np.arange(self.n, dtype=np.int64)
+                while True:
+                    nxt = labels.copy()
+                    np.minimum.at(nxt, self.edge_u, labels[self.edge_v])
+                    np.minimum.at(nxt, self.edge_v, labels[self.edge_u])
+                    nxt = nxt[nxt]
+                    if np.array_equal(nxt, labels):
+                        break
+                    labels = nxt
+                self._connected_cache = bool((labels == 0).all())
         return self._connected_cache
 
     def validate(self) -> None:
@@ -698,3 +691,53 @@ class PortNumberedGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PortNumberedGraph(n={self.n}, m={self.m})"
+
+
+def _slot_order_kernel(
+    node_of_slot: np.ndarray,
+    w: np.ndarray,
+    first_slot: np.ndarray,
+    num_nodes: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The ``(rank, x - 1, y - 1)`` computation behind ``_slot_orders``.
+
+    ``first_slot[u]`` is the position of node ``u``'s first adjacency
+    slot.  Shared by the per-instance path and the seed-stacked batch:
+    the outputs depend only on the within-node ``(weight, port)`` order
+    and the ``(node, weight)`` group boundaries, both of which are
+    unchanged when many instances are concatenated with disjoint node
+    ids — so the batch results slice back per instance bit for bit.
+
+    The sort is stable, and within a node the slots are already in port
+    order, so ``(weight, node)`` keys alone give the full ``(node,
+    weight, port)`` order; with integral non-negative weights (every
+    built-in weight mode) the two keys collapse into one int64 key,
+    whose stable argsort is a radix pass — same order, a fraction of
+    the lexsort time.
+    """
+    total = node_of_slot.size
+    w_int = w.astype(np.int64)
+    span = 0
+    if total and np.array_equal(w_int, w) and int(w_int.min()) >= 0:
+        span = int(w_int.max()) + 1
+    if span and span < (2**62) // max(num_nodes, 1):
+        order = (node_of_slot * span + w_int).argsort(kind="stable")
+    else:
+        order = np.lexsort((w, node_of_slot))
+    sorted_nodes = node_of_slot[order]
+    sorted_rank = np.arange(total) - first_slot[sorted_nodes]
+    rank = np.empty(total, dtype=np.int64)
+    rank[order] = sorted_rank
+    # first rank of each (node, weight) run -> the x component
+    sorted_w = w[order]
+    new_group = np.ones(total, dtype=bool)
+    if total > 1:
+        new_group[1:] = (sorted_nodes[1:] != sorted_nodes[:-1]) | (
+            sorted_w[1:] != sorted_w[:-1]
+        )
+    group_ids = np.cumsum(new_group) - 1
+    group_first = sorted_rank[new_group][group_ids]
+    x_minus_1 = np.empty(total, dtype=np.int64)
+    x_minus_1[order] = group_first
+    return rank, x_minus_1, rank - x_minus_1
+

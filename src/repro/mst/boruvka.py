@@ -43,6 +43,7 @@ __all__ = [
     "BoruvkaTrace",
     "boruvka_mst",
     "boruvka_trace",
+    "boruvka_trace_stacked",
 ]
 
 
@@ -71,17 +72,92 @@ class FragmentSelection:
     choosing_dfs_index: int
 
 
-@dataclass(frozen=True)
 class BoruvkaPhase:
-    """Everything that happened at one phase of the construction."""
+    """Everything that happened at one phase of the construction.
 
-    index: int
-    partition: FragmentPartition
-    fragment_tree: FragmentTree
-    active: Tuple[int, ...]
-    selections: Tuple[FragmentSelection, ...]
-    #: de-duplicated edge ids selected at this phase
-    selected_edge_ids: Tuple[int, ...]
+    The per-selection data is stored as one NumPy column per
+    :class:`FragmentSelection` field (``arrays``); the tuple of
+    :class:`FragmentSelection` records is materialised lazily on first
+    access to :attr:`selections` — the hot consumers (the packers and
+    the analytic backend) read the columns directly.
+    """
+
+    __slots__ = (
+        "index",
+        "partition",
+        "fragment_tree",
+        "active",
+        "selected_edge_ids",
+        "arrays",
+        "_selections",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        partition: FragmentPartition,
+        fragment_tree: FragmentTree,
+        active: Tuple[int, ...],
+        selected_edge_ids: Tuple[int, ...],
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+        selections: Optional[Tuple[FragmentSelection, ...]] = None,
+    ):
+        self.index = index
+        self.partition = partition
+        self.fragment_tree = fragment_tree
+        self.active = active
+        #: de-duplicated edge ids selected at this phase
+        self.selected_edge_ids = selected_edge_ids
+        #: per-selection columns, ordered by fragment index (see
+        #: :data:`SELECTION_COLUMNS`)
+        if arrays is None:
+            arrays = _selection_arrays(selections or ())
+        self.arrays = arrays
+        self._selections = selections
+
+    @property
+    def selections(self) -> Tuple[FragmentSelection, ...]:
+        """Per-fragment selection records (lazy view of :attr:`arrays`)."""
+        if self._selections is None:
+            a = self.arrays
+            fields = zip(
+                a["fragment"].tolist(),
+                a["fragment_size"].tolist(),
+                a["choosing_node"].tolist(),
+                a["selected_edge"].tolist(),
+                a["port_at_choosing"].tolist(),
+                a["weight"].tolist(),
+                a["rank_at_choosing"].tolist(),
+                a["index_x"].tolist(),
+                a["index_y"].tolist(),
+                a["is_up"].tolist(),
+                a["target_node"].tolist(),
+                a["target_fragment"].tolist(),
+                a["level_of_fragment"].tolist(),
+                a["level_of_target_fragment"].tolist(),
+                a["choosing_dfs_index"].tolist(),
+            )
+            self._selections = tuple(
+                FragmentSelection(
+                    phase=self.index,
+                    fragment=f,
+                    fragment_size=size,
+                    choosing_node=node,
+                    selected_edge=eid,
+                    port_at_choosing=p,
+                    weight=w,
+                    rank_at_choosing=rank,
+                    index_pair=(x, y),
+                    is_up=up,
+                    target_node=tgt,
+                    target_fragment=tf,
+                    level_of_fragment=lf,
+                    level_of_target_fragment=lt,
+                    choosing_dfs_index=dfs,
+                )
+                for f, size, node, eid, p, w, rank, x, y, up, tgt, tf, lf, lt, dfs in fields
+            )
+        return self._selections
 
     def selection_for_fragment(self, f: int) -> Optional[FragmentSelection]:
         """The selection made by fragment ``f`` at this phase, if any."""
@@ -89,6 +165,47 @@ class BoruvkaPhase:
             if sel.fragment == f:
                 return sel
         return None
+
+
+def _selection_arrays(
+    selections: Sequence[FragmentSelection],
+) -> Dict[str, np.ndarray]:
+    """Column view of explicit selection records (slow path, small inputs)."""
+    return {
+        "fragment": np.asarray([s.fragment for s in selections], dtype=np.int64),
+        "fragment_size": np.asarray(
+            [s.fragment_size for s in selections], dtype=np.int64
+        ),
+        "choosing_node": np.asarray(
+            [s.choosing_node for s in selections], dtype=np.int64
+        ),
+        "selected_edge": np.asarray(
+            [s.selected_edge for s in selections], dtype=np.int64
+        ),
+        "port_at_choosing": np.asarray(
+            [s.port_at_choosing for s in selections], dtype=np.int64
+        ),
+        "weight": np.asarray([s.weight for s in selections], dtype=np.float64),
+        "rank_at_choosing": np.asarray(
+            [s.rank_at_choosing for s in selections], dtype=np.int64
+        ),
+        "index_x": np.asarray([s.index_pair[0] for s in selections], dtype=np.int64),
+        "index_y": np.asarray([s.index_pair[1] for s in selections], dtype=np.int64),
+        "is_up": np.asarray([s.is_up for s in selections], dtype=bool),
+        "target_node": np.asarray([s.target_node for s in selections], dtype=np.int64),
+        "target_fragment": np.asarray(
+            [s.target_fragment for s in selections], dtype=np.int64
+        ),
+        "level_of_fragment": np.asarray(
+            [s.level_of_fragment for s in selections], dtype=np.int64
+        ),
+        "level_of_target_fragment": np.asarray(
+            [s.level_of_target_fragment for s in selections], dtype=np.int64
+        ),
+        "choosing_dfs_index": np.asarray(
+            [s.choosing_dfs_index for s in selections], dtype=np.int64
+        ),
+    }
 
 
 @dataclass
@@ -148,14 +265,20 @@ class BoruvkaTrace:
 
 
 def _minimum_outgoing_edges(
-    graph: PortNumberedGraph,
+    num_nodes: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
     reps: np.ndarray,
     sorted_u: np.ndarray,
     sorted_v: np.ndarray,
     order: np.ndarray,
+    ru: Optional[np.ndarray] = None,
+    rv: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per fragment, its first outgoing edge in the canonical order.
 
+    Works on raw endpoint arrays so the same kernel serves one instance
+    and the seed-stacked disjoint union of a whole sweep point.
     ``sorted_u`` / ``sorted_v`` are the edge endpoints arranged in the
     canonical ``(weight, edge_id)`` order (``order`` maps a canonical
     position back to the edge id).  A fragment's minimum outgoing edge is
@@ -168,16 +291,22 @@ def _minimum_outgoing_edges(
     Returns ``(fragments, edge_ids, choosing_nodes)``: for every
     fragment representative with at least one outgoing edge, the
     selected edge id and the endpoint inside the fragment.
+
+    ``ru`` / ``rv`` may carry the endpoint representatives if the caller
+    already gathered them (the stacked loop does, for its crossing-edge
+    filter) — the kernel then skips its own two gathers.
     """
-    ru = reps[sorted_u]
-    rv = reps[sorted_v]
+    if ru is None:
+        ru = reps[sorted_u]
+    if rv is None:
+        rv = reps[sorted_v]
     inter = np.flatnonzero(ru != rv)
     if inter.size == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, empty
     sentinel = order.size
-    first_u = np.full(graph.n, sentinel, dtype=np.int64)
-    first_v = np.full(graph.n, sentinel, dtype=np.int64)
+    first_u = np.full(num_nodes, sentinel, dtype=np.int64)
+    first_v = np.full(num_nodes, sentinel, dtype=np.int64)
     rev = inter[::-1]
     first_u[ru[rev]] = rev
     first_v[rv[rev]] = rev
@@ -185,7 +314,7 @@ def _minimum_outgoing_edges(
     frags = np.flatnonzero(best < sentinel)
     win_pos = best[frags]
     eids = order[win_pos]
-    nodes = np.where(first_u[frags] == win_pos, graph.edge_u[eids], graph.edge_v[eids])
+    nodes = np.where(first_u[frags] == win_pos, edge_u[eids], edge_v[eids])
     return frags, eids, nodes
 
 
@@ -212,7 +341,7 @@ def boruvka_mst(graph: PortNumberedGraph) -> List[int]:
     sorted_v = graph.edge_v[order]
     while uf.component_count > 1:
         _, edge_ids, _ = _minimum_outgoing_edges(
-            graph, uf.roots_array(), sorted_u, sorted_v, order
+            graph.n, graph.edge_u, graph.edge_v, uf.roots_array(), sorted_u, sorted_v, order
         )
         if edge_ids.size == 0:  # pragma: no cover - cannot happen on a connected graph
             break
@@ -287,7 +416,7 @@ def boruvka_trace(
         # (arrays are ordered by fragment representative — the historical
         # ``sorted(rep -> selection)`` iteration order)
         frag_reps, edge_ids, nodes = _minimum_outgoing_edges(
-            graph, reps, sorted_u, sorted_v, order
+            graph.n, graph.edge_u, graph.edge_v, reps, sorted_u, sorted_v, order
         )
         active = sizes[frag_reps] < threshold
         sel_eids = edge_ids[active]
@@ -313,12 +442,30 @@ def boruvka_trace(
         raise RuntimeError("Borůvka produced a non-spanning edge set")
     tree = build_rooted_tree(graph, mst_edges, root=root)
 
-    # ---------- annotate phases ----------
-    # partitions are rebuilt incrementally: one union-find accumulates the
-    # selected edges phase by phase, and each phase's partition is one bulk
-    # roots_array pass instead of a fresh union-find over all earlier edges;
-    # every per-selection field (ports, ranks, index pairs, orientations,
-    # levels, DFS indices) is gathered with one vectorised pass per phase
+    phases = _annotate_phases(graph, tree, raw_phases, max_phases)
+    trace = BoruvkaTrace(graph=graph, root=root, tree=tree, phases=phases)
+    if max_phases is None:
+        graph._trace_cache[root] = trace
+    return trace
+
+
+def _annotate_phases(
+    graph: PortNumberedGraph,
+    tree: RootedSpanningTree,
+    raw_phases: List[Dict],
+    max_phases: Optional[int] = None,
+) -> List[BoruvkaPhase]:
+    """Turn raw per-phase selections into fully annotated :class:`BoruvkaPhase`\\ s.
+
+    Partitions are rebuilt incrementally: one union-find accumulates the
+    selected edges phase by phase, and each phase's partition is one bulk
+    roots_array pass instead of a fresh union-find over all earlier edges;
+    every per-selection field (ports, ranks, index pairs, orientations,
+    levels, DFS indices) is gathered with one vectorised pass per phase.
+    Shared by the single-instance tracer and the seed-stacked kernel
+    (which records raw selections for a whole sweep point in one union
+    loop and annotates each seed separately).
+    """
     phases: List[BoruvkaPhase] = []
     limit = len(raw_phases) if max_phases is None else min(max_phases, len(raw_phases))
     annotate_uf = UnionFind(graph.n)
@@ -338,63 +485,185 @@ def boruvka_trace(
         port = np.where(at_u, graph.edge_port_u[eids], graph.edge_port_v[eids])
         slot = offsets[choosing] + port
         frag = frag_of[choosing]
-        counts = np.fromiter(
-            (len(g) for g in partition.members), dtype=np.int64,
-            count=partition.num_fragments,
-        )
-        levels = np.asarray(ftree.depth, dtype=np.int64) % 2
+        counts = partition.fragment_sizes_array()
+        levels = ftree.depth_array() % 2
         target_frag = frag_of[target]
-        fields = zip(
-            frag.tolist(),
-            counts[frag].tolist(),
-            choosing.tolist(),
-            eids.tolist(),
-            port.tolist(),
-            graph.edge_w[eids].tolist(),
-            (slot_rank[slot] + 1).tolist(),
-            (slot_x[slot] + 1).tolist(),
-            (slot_y[slot] + 1).tolist(),
-            (parent_edge_arr[choosing] == eids).tolist(),
-            target.tolist(),
-            target_frag.tolist(),
-            levels[frag].tolist(),
-            levels[target_frag].tolist(),
-            (partition.preorder_positions()[choosing] + 1).tolist(),
-        )
-        selections = [
-            FragmentSelection(
-                phase=i,
-                fragment=f,
-                fragment_size=size,
-                choosing_node=node,
-                selected_edge=eid,
-                port_at_choosing=p,
-                weight=w,
-                rank_at_choosing=rank,
-                index_pair=(x, y),
-                is_up=up,
-                target_node=tgt,
-                target_fragment=tf,
-                level_of_fragment=lf,
-                level_of_target_fragment=lt,
-                choosing_dfs_index=dfs,
-            )
-            for f, size, node, eid, p, w, rank, x, y, up, tgt, tf, lf, lt, dfs in fields
-        ]
+        arrays = {
+            "fragment": frag,
+            "fragment_size": counts[frag],
+            "choosing_node": choosing,
+            "selected_edge": eids,
+            "port_at_choosing": port,
+            "weight": graph.edge_w[eids],
+            "rank_at_choosing": slot_rank[slot] + 1,
+            "index_x": slot_x[slot] + 1,
+            "index_y": slot_y[slot] + 1,
+            "is_up": parent_edge_arr[choosing] == eids,
+            "target_node": target,
+            "target_fragment": target_frag,
+            "level_of_fragment": levels[frag],
+            "level_of_target_fragment": levels[target_frag],
+            "choosing_dfs_index": partition.preorder_positions()[choosing] + 1,
+        }
         phases.append(
             BoruvkaPhase(
                 index=i,
                 partition=partition,
                 fragment_tree=ftree,
                 active=active,
-                selections=tuple(selections),
                 selected_edge_ids=tuple(raw["new_edges"]),
+                arrays=arrays,
             )
         )
-        for eid in raw["new_edges"]:
-            annotate_uf.union(int(graph.edge_u[eid]), int(graph.edge_v[eid]))
+        new_edges = raw["new_edges"]
+        union = annotate_uf.union
+        for a, b in zip(
+            graph.edge_u[new_edges].tolist(), graph.edge_v[new_edges].tolist()
+        ):
+            union(a, b)
+    return phases
 
-    trace = BoruvkaTrace(graph=graph, root=root, tree=tree, phases=phases)
-    if max_phases is None:
-        graph._trace_cache[root] = trace
-    return trace
+
+# ---------------------------------------------------------------------- #
+# the seed-stacked kernel: all seeds of one sweep point in one union loop
+# ---------------------------------------------------------------------- #
+
+
+def boruvka_trace_stacked(
+    graphs: Sequence[PortNumberedGraph],
+    root: int = 0,
+) -> List[BoruvkaTrace]:
+    """Trace every instance of one sweep point through **one** phase loop.
+
+    The instances (all of the same size ``n``) are stacked into a
+    disjoint union: node ``u`` of seed ``s`` becomes ``s*n + u`` and the
+    edge ids of seed ``s`` are offset by the edge counts of the seeds
+    before it.  One canonical ``(weight, edge_id)`` lexsort and one
+    union-find phase loop then drive every seed at once:
+
+    * within one seed, the union order restricted to its edges equals its
+      own canonical order (the edge-id offset is monotonic), and
+      fragments never span seeds, so each seed's per-phase selections are
+      exactly those of its solo :func:`boruvka_trace` run;
+    * a seed participates at global phase ``i`` while it still has more
+      than one fragment — a contiguous prefix of the global phases, so
+      its local phase numbering (and with it the ``2^i`` activity
+      thresholds) matches the solo run phase by phase, including phases
+      where every fragment of the seed is passive;
+    * selections come back ordered by union fragment representative,
+      which is seed-major: each seed's slice is contiguous.
+
+    Per seed the raw selections are annotated with the shared
+    :func:`_annotate_phases` pass, the rooted reference tree is built
+    (and memoised) as usual, the Kruskal memo is pre-seeded with the MST
+    (identical by the shared canonical order), and the finished
+    :class:`BoruvkaTrace` is installed in the instance's trace memo — so
+    every downstream consumer (oracles, the analytic backend) sees
+    exactly the objects a per-seed run would have produced.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        return []
+    n = graphs[0].n
+    for g in graphs:
+        if g.n != n:
+            raise ValueError("seed stacking requires instances of one size")
+        if not g.is_connected():
+            raise ValueError("MST is undefined on a disconnected graph")
+    if not 0 <= root < n:
+        raise ValueError("root out of range")
+
+    num_seeds = len(graphs)
+    total_nodes = num_seeds * n
+    edge_counts = np.asarray([g.m for g in graphs], dtype=np.int64)
+    e_off = np.zeros(num_seeds + 1, dtype=np.int64)
+    np.cumsum(edge_counts, out=e_off[1:])
+    edge_u_all = np.concatenate([g.edge_u + s * n for s, g in enumerate(graphs)])
+    edge_v_all = np.concatenate([g.edge_v + s * n for s, g in enumerate(graphs)])
+    # Fragments never span seeds, so the kernel below only ever compares
+    # positions of edges *within* one seed: a seed-major concatenation of
+    # the per-seed canonical (weight, edge_id) orders serves as the global
+    # order, and sixteen small sorts beat one big one.  A stable argsort
+    # ties by position, i.e. by edge id — exactly the canonical order;
+    # integral weights (every built-in weight mode) sort as int64, where
+    # the stable sort is a radix pass instead of a float mergesort.
+    order_parts = []
+    for s, g in enumerate(graphs):
+        w = g.edge_w
+        w_int = w.astype(np.int64)
+        if np.array_equal(w_int, w):
+            part = np.argsort(w_int, kind="stable")
+        else:
+            part = np.argsort(w, kind="stable")
+        order_parts.append(part + e_off[s])
+    order = np.concatenate(order_parts)
+    sorted_u = edge_u_all[order]
+    sorted_v = edge_v_all[order]
+
+    uf = UnionFind(total_nodes)
+    raw_per_seed: List[List[Dict]] = [[] for _ in range(num_seeds)]
+    selected_per_seed: List[Set[int]] = [set() for _ in range(num_seeds)]
+    phase_index = 0
+    while uf.component_count > num_seeds:
+        phase_index += 1
+        threshold = 1 << phase_index
+        reps = uf.roots_array()
+        sizes = np.bincount(reps, minlength=total_nodes)
+        # fragments still open, per seed: distinct representatives live in
+        # their seed's node block, so counting non-empty size slots per
+        # block replaces a hash-based unique pass
+        comp = np.count_nonzero(sizes.reshape(num_seeds, n), axis=1)
+        frag_reps, edge_ids, nodes = _minimum_outgoing_edges(
+            total_nodes, edge_u_all, edge_v_all, reps, sorted_u, sorted_v, order
+        )
+        active = sizes[frag_reps] < threshold
+        sel_eids = edge_ids[active]
+        sel_nodes = nodes[active]
+        seed_of = sel_nodes // n
+        bounds = np.searchsorted(seed_of, np.arange(num_seeds + 1))
+        for s in np.flatnonzero(comp > 1).tolist():
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            local_eids = sel_eids[lo:hi] - e_off[s]
+            new_edges = np.unique(local_eids).tolist()
+            raw_per_seed[s].append(
+                {
+                    "index": phase_index,
+                    "sel_eids": local_eids,
+                    "sel_nodes": sel_nodes[lo:hi] - s * n,
+                    "new_edges": new_edges,
+                }
+            )
+            selected_per_seed[s].update(new_edges)
+        uniq_eids = np.unique(sel_eids)
+        union = uf.union
+        for a, b in zip(
+            edge_u_all[uniq_eids].tolist(), edge_v_all[uniq_eids].tolist()
+        ):
+            union(a, b)
+        if phase_index > n:  # pragma: no cover - safety net
+            raise RuntimeError("Borůvka did not converge")
+
+    traces: List[BoruvkaTrace] = []
+    for s, g in enumerate(graphs):
+        mst_edges = sorted(selected_per_seed[s])
+        if len(mst_edges) != n - 1:  # pragma: no cover - internal invariant
+            raise RuntimeError("Borůvka produced a non-spanning edge set")
+        # the Borůvka MST equals the Kruskal MST under the shared canonical
+        # order; pre-seeding the memo spares the non-trace schemes a full
+        # Kruskal pass per seed
+        if getattr(g, "_kruskal_cache", None) is None:
+            g._kruskal_cache = tuple(mst_edges)
+        tree = build_rooted_tree(g, mst_edges, root=root)
+        trace = BoruvkaTrace(
+            graph=g,
+            root=root,
+            tree=tree,
+            phases=_annotate_phases(g, tree, raw_per_seed[s]),
+        )
+        memo = getattr(g, "_trace_cache", None)
+        if memo is None:
+            memo = {}
+            g._trace_cache = memo
+        memo[root] = trace
+        traces.append(trace)
+    return traces

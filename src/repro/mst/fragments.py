@@ -18,7 +18,7 @@ and the test-suite uses them to check the structural lemmas of the paper
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,7 +30,6 @@ from repro.mst.union_find import UnionFind
 __all__ = ["FragmentPartition", "FragmentTree"]
 
 
-@dataclass(frozen=True)
 class FragmentPartition:
     """A partition of the nodes into fragments, relative to a rooted MST.
 
@@ -38,17 +37,87 @@ class FragmentPartition:
     every fragment is therefore a connected subtree of the reference
     tree.  Fragment indices are assigned in increasing order of the
     smallest member node, which makes them deterministic.
+
+    The partition is backed by one NumPy fragment-index array; the
+    historical tuple views ``fragment_of`` and ``members`` are built
+    lazily on first access — the hot path (Borůvka annotation, the
+    packers, the analytic backend) only ever touches the arrays, and the
+    per-phase nested-tuple construction used to dominate trace time.
     """
 
-    tree: RootedSpanningTree
-    #: fragment index of every node
-    fragment_of: Tuple[int, ...]
-    #: members of every fragment, sorted
-    members: Tuple[Tuple[int, ...], ...]
-    #: per-instance caches (preorders and fragment roots are requested for
-    #: the same fragment by the oracle, the packer and the analytic
-    #: backend; ``compare=False`` keeps dataclass equality value-based)
-    _cache: Dict = field(default_factory=dict, repr=False, compare=False)
+    __slots__ = (
+        "tree",
+        "_frag_array",
+        "_num_fragments",
+        "_fragment_of_t",
+        "_members_t",
+        "_cache",
+    )
+
+    def __init__(
+        self,
+        tree: RootedSpanningTree,
+        fragment_of: Optional[Sequence[int]] = None,
+        members: Optional[Sequence[Sequence[int]]] = None,
+        *,
+        frag_array: Optional["np.ndarray"] = None,
+        num_fragments: Optional[int] = None,
+    ):
+        self.tree = tree
+        if frag_array is None:
+            frag_array = np.asarray(tuple(fragment_of or ()), dtype=np.int64)
+        self._frag_array = frag_array
+        if num_fragments is None:
+            num_fragments = int(frag_array.max()) + 1 if frag_array.size else 0
+        self._num_fragments = int(num_fragments)
+        self._fragment_of_t = tuple(fragment_of) if fragment_of is not None else None
+        self._members_t = (
+            tuple(tuple(m) for m in members) if members is not None else None
+        )
+        #: per-instance caches (preorders and fragment roots are requested
+        #: by the oracle, the packer and the analytic backend)
+        self._cache: Dict = {}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FragmentPartition):
+            return NotImplemented
+        return self.tree == other.tree and np.array_equal(
+            self._frag_array, other._frag_array
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tree, self.fragment_of))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FragmentPartition(num_fragments={self.num_fragments}, "
+            f"n={self._frag_array.size})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # lazy tuple views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fragment_of(self) -> Tuple[int, ...]:
+        """Fragment index of every node (lazy tuple view of the array)."""
+        if self._fragment_of_t is None:
+            self._fragment_of_t = tuple(self._frag_array.tolist())
+        return self._fragment_of_t
+
+    @property
+    def members(self) -> Tuple[Tuple[int, ...], ...]:
+        """Members of every fragment, sorted (lazy nested-tuple view)."""
+        if self._members_t is None:
+            grouped = np.argsort(self._frag_array, kind="stable").tolist()
+            bounds = np.concatenate(
+                ([0], np.cumsum(self.fragment_sizes_array()))
+            ).tolist()
+            self._members_t = tuple(
+                tuple(grouped[bounds[f] : bounds[f + 1]])
+                for f in range(self._num_fragments)
+            )
+        return self._members_t
 
     # ------------------------------------------------------------------ #
     # construction
@@ -92,22 +161,9 @@ class FragmentPartition:
         relabel = np.empty(len(uniq), dtype=np.int64)
         relabel[order] = np.arange(len(uniq))
         fragment_of = relabel[inverse]
-        # members grouped by fragment: a stable argsort keeps node order
-        # within each group, and C-level list slicing replaces the
-        # historical per-node append loop
-        grouped = np.argsort(fragment_of, kind="stable").tolist()
-        counts = np.bincount(fragment_of, minlength=len(uniq))
-        bounds = np.concatenate(([0], np.cumsum(counts))).tolist()
-        members = tuple(
-            tuple(grouped[bounds[f] : bounds[f + 1]]) for f in range(len(uniq))
+        return FragmentPartition(
+            tree=tree, frag_array=fragment_of, num_fragments=len(uniq)
         )
-        partition = FragmentPartition(
-            tree=tree,
-            fragment_of=tuple(fragment_of.tolist()),
-            members=members,
-        )
-        partition._cache["fragment_of_array"] = fragment_of
-        return partition
 
     @staticmethod
     def singletons(tree: RootedSpanningTree) -> "FragmentPartition":
@@ -121,26 +177,30 @@ class FragmentPartition:
     @property
     def num_fragments(self) -> int:
         """Number of fragments."""
-        return len(self.members)
+        return self._num_fragments
 
     def fragment_of_node(self, u: int) -> int:
         """Fragment index of node ``u``."""
-        return self.fragment_of[u]
+        return int(self._frag_array[u])
 
     def size(self, f: int) -> int:
         """Number of nodes of fragment ``f``."""
-        return len(self.members[f])
+        return int(self.fragment_sizes_array()[f])
 
     def sizes(self) -> List[int]:
         """Sizes of all fragments."""
-        return [len(m) for m in self.members]
+        return self.fragment_sizes_array().tolist()
 
     def fragment_of_array(self) -> "np.ndarray":
-        """The per-node fragment index as a NumPy array (cached)."""
-        cached = self._cache.get("fragment_of_array")
+        """The per-node fragment index as a NumPy array."""
+        return self._frag_array
+
+    def fragment_sizes_array(self) -> "np.ndarray":
+        """Per-fragment member counts as a NumPy array (cached)."""
+        cached = self._cache.get("sizes_array")
         if cached is None:
-            cached = np.asarray(self.fragment_of, dtype=np.int64)
-            self._cache["fragment_of_array"] = cached
+            cached = np.bincount(self._frag_array, minlength=self._num_fragments)
+            self._cache["sizes_array"] = cached
         return cached
 
     def preorder_arrays(self) -> Tuple["np.ndarray", "np.ndarray"]:
@@ -187,11 +247,12 @@ class FragmentPartition:
     def active_fragments(self, phase: int) -> List[int]:
         """Fragments that are *active* at ``phase`` (``|F| < 2^phase``)."""
         threshold = 1 << phase
-        return [f for f in range(self.num_fragments) if self.size(f) < threshold]
+        return np.flatnonzero(self.fragment_sizes_array() < threshold).tolist()
 
     def internal_edge_ids(self, f: int) -> List[int]:
         """MST edges with both endpoints inside fragment ``f`` (the edges of ``T_F``)."""
-        member_set = set(self.members[f])
+        nodes, starts = self.preorder_arrays()
+        member_set = set(nodes[starts[f] : starts[f + 1]].tolist())
         graph = self.tree.graph
         out = []
         for eid in self.tree.edge_ids:
@@ -203,19 +264,19 @@ class FragmentPartition:
     def parent_in_fragment(self, u: int) -> Optional[int]:
         """Parent of ``u`` inside its fragment subtree ``T_F`` (``None`` for ``r_F``)."""
         p = self.tree.parent[u]
-        if p < 0 or self.fragment_of[p] != self.fragment_of[u]:
+        if p < 0 or self._frag_array[p] != self._frag_array[u]:
             return None
         return p
 
     def children_in_fragment(self, u: int) -> List[int]:
         """Children of ``u`` inside ``T_F``, ordered by edge index at ``u``."""
-        f = self.fragment_of[u]
-        fragment_of = self.fragment_of
+        f = self._frag_array[u]
+        fragment_of = self._frag_array
         return [v for v in self.tree.children_table()[u] if fragment_of[v] == f]
 
     def depth_in_fragment(self, u: int) -> int:
         """Depth of ``u`` within its fragment subtree ``T_F``."""
-        r = self.root_of(self.fragment_of[u])
+        r = self.root_of(int(self._frag_array[u]))
         return self.tree.depth[u] - self.tree.depth[r]
 
     def dfs_preorder(self, f: int) -> List[int]:
@@ -244,49 +305,64 @@ class FragmentPartition:
 
     def fragment_diameter_bound(self, f: int) -> int:
         """Maximum depth of ``T_F`` — an upper bound used for round budgeting."""
-        return max(self.depth_in_fragment(u) for u in self.members[f])
+        nodes, starts = self.preorder_arrays()
+        seg = nodes[starts[f] : starts[f + 1]]
+        depths = np.asarray(self.tree.depth, dtype=np.int64)[seg]
+        # the first preorder node is r_F, the shallowest member
+        return int((depths - depths[0]).max())
 
     # ------------------------------------------------------------------ #
     # contraction
     # ------------------------------------------------------------------ #
 
     def fragment_tree(self) -> "FragmentTree":
-        """Contract every fragment and root the result at the root's fragment."""
+        """Contract every fragment and root the result at the root's fragment.
+
+        Computed once per partition and cached; the contracted depths are
+        derived in one vectorised pass (no per-fragment loop): the depth
+        of a fragment equals the number of fragment-crossing tree edges on
+        the MST path from the global root to ``r_F``, and every crossing
+        edge contributes +1 to exactly the whole-tree preorder interval of
+        the subtree below it, so a difference array + cumsum over preorder
+        positions yields all contracted depths at once.
+        """
+        cached = self._cache.get("fragment_tree")
+        if cached is not None:
+            return cached
         tree = self.tree
         k = self.num_fragments
         nodes, starts = self.preorder_arrays()
         frag_roots = nodes[starts[:-1]]  # r_F per fragment, in one gather
+        frag = self._frag_array
         tree_parent = np.asarray(tree.parent, dtype=np.int64)
-        tree_depth = np.asarray(tree.depth, dtype=np.int64)
         root_parents = tree_parent[frag_roots]
         has_parent = root_parents >= 0
         parent_fragment = np.full(k, -1, dtype=np.int64)
-        parent_fragment[has_parent] = self.fragment_of_array()[
-            root_parents[has_parent]
-        ]
+        parent_fragment[has_parent] = frag[root_parents[has_parent]]
         connecting_edge = np.where(
             has_parent, np.asarray(tree.parent_edge, dtype=np.int64)[frag_roots], -1
         )
 
-        # depths in the contracted tree: fragments ordered by the MST depth
-        # of their root are topologically sorted w.r.t. the contracted
-        # parent relation
-        depth = [-1] * k
-        root_fragment = self.fragment_of[tree.root]
-        depth[root_fragment] = 0
-        order = np.argsort(tree_depth[frag_roots], kind="stable").tolist()
-        parent_list = parent_fragment.tolist()
-        for f in order:
-            if f == root_fragment:
-                continue
-            depth[f] = depth[parent_list[f]] + 1
-        return FragmentTree(
-            partition=self,
-            root_fragment=root_fragment,
-            parent_fragment=tuple(parent_list),
-            connecting_edge=tuple(connecting_edge.tolist()),
-            depth=tuple(depth),
+        pre = tree.preorder_index()
+        span = tree.subtree_span()
+        crossing = np.flatnonzero(
+            (tree_parent >= 0) & (frag[np.maximum(tree_parent, 0)] != frag)
         )
+        diff = np.zeros(frag.size + 1, dtype=np.int64)
+        np.add.at(diff, pre[crossing], 1)
+        np.subtract.at(diff, span[crossing], 1)
+        depth_by_pos = np.cumsum(diff[:-1])
+        depth = depth_by_pos[pre[frag_roots]]
+        ftree = FragmentTree(
+            partition=self,
+            root_fragment=int(frag[tree.root]),
+            parent_fragment=tuple(parent_fragment.tolist()),
+            connecting_edge=tuple(connecting_edge.tolist()),
+            depth=tuple(depth.tolist()),
+        )
+        self._cache["fragment_tree"] = ftree
+        self._cache["ftree_depth_array"] = depth
+        return ftree
 
 
 @dataclass(frozen=True)
@@ -313,7 +389,15 @@ class FragmentTree:
 
     def level_of_node(self, u: int) -> int:
         """Level of the fragment containing node ``u``."""
-        return self.level(self.partition.fragment_of[u])
+        return self.level(self.partition.fragment_of_node(u))
+
+    def depth_array(self) -> "np.ndarray":
+        """Contracted depth per fragment as a NumPy array (cached)."""
+        cached = self.partition._cache.get("ftree_depth_array")
+        if cached is None:
+            cached = np.asarray(self.depth, dtype=np.int64)
+            self.partition._cache["ftree_depth_array"] = cached
+        return cached
 
     def children_fragments(self, f: int) -> List[int]:
         """Fragments whose parent is ``f``."""

@@ -80,21 +80,26 @@ class RootedSpanningTree:
         if cached is not None:
             return cached
         graph = self.graph
-        # child -> (rank of the parent edge at the parent) pairs, grouped
-        # by parent and sorted by that rank = the index_u order at u
-        edge_u = graph.edge_u.tolist()
-        port_u = graph.edge_port_u.tolist()
-        port_v = graph.edge_port_v.tolist()
-        buckets: List[List[Tuple[int, int]]] = [[] for _ in range(graph.n)]
-        for v in range(graph.n):
-            u = self.parent[v]
-            if u < 0:
-                continue
-            e = self.parent_edge[v]
-            port_at_parent = port_u[e] if edge_u[e] == u else port_v[e]
-            buckets[u].append((graph.rank_of_port(u, port_at_parent), v))
+        # rank every child's parent edge at the parent in one bulk gather
+        # over the cached slot order, then group children by (parent,
+        # rank) with a single lexsort — no per-node rank_of_port calls
+        parent = np.asarray(self.parent, dtype=np.int64)
+        children = np.flatnonzero(parent >= 0)
+        if children.size == 0:
+            table = tuple(() for _ in range(graph.n))
+            object.__setattr__(self, "_children_table", table)
+            return table
+        parents = parent[children]
+        eids = np.asarray(self.parent_edge, dtype=np.int64)[children]
+        at_u = graph.edge_u[eids] == parents
+        port_at_parent = np.where(at_u, graph.edge_port_u[eids], graph.edge_port_v[eids])
+        rank = graph._slot_orders()[0][graph._offsets[parents] + port_at_parent]
+        order = np.lexsort((children, rank, parents))
+        kids = children[order].tolist()
+        counts = np.bincount(parents, minlength=graph.n)
+        bounds = np.concatenate(([0], np.cumsum(counts))).tolist()
         table = tuple(
-            tuple(v for _, v in sorted(bucket)) for bucket in buckets
+            tuple(kids[bounds[u] : bounds[u + 1]]) for u in range(graph.n)
         )
         object.__setattr__(self, "_children_table", table)
         return table

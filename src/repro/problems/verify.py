@@ -28,12 +28,76 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set
 
+import numpy as np
+
 from repro.core.problem import OutputCheck
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.mst.kruskal import kruskal_mst
 from repro.mst.rooted_tree import ROOT_OUTPUT
 
 __all__ = ["check_outputs", "check_spanning_outputs"]
+
+
+def _check_spanning_fast(
+    graph: PortNumberedGraph,
+    outputs: Dict[int, Any],
+    expected_root: Optional[int],
+) -> Optional[OutputCheck]:
+    """Vectorised accept path of :func:`check_spanning_outputs`.
+
+    Returns the passing :class:`OutputCheck` when the outputs form a
+    valid rooted spanning tree, ``None`` when anything is off — missing
+    or non-integer outputs, bad root count, invalid ports, cycles,
+    duplicate edges.  Rejections fall back to the Python reference path
+    so every failure message stays byte-identical; only the (hot,
+    all-correct) accept path is vectorised.
+    """
+    n = graph.n
+    if graph.m == 0:  # edgeless corner cases keep the reference path
+        return None
+    values = [outputs.get(u) for u in range(n)]
+    # floats (2.0) would silently cast below but the reference path
+    # rejects them; bool is an int subclass there, so it passes here too
+    if not all(isinstance(v, (int, np.integer)) for v in values):
+        return None
+    out_arr = np.asarray(values, dtype=np.int64)
+    roots = np.flatnonzero(out_arr == ROOT_OUTPUT)
+    if roots.size != 1:
+        return None
+    root = int(roots[0])
+    if expected_root is not None and root != expected_root:
+        return None
+    non_root = out_arr != ROOT_OUTPUT
+    ports = out_arr[non_root]
+    if ports.size and (
+        int(ports.min()) < 0 or np.any(ports >= graph._degrees[non_root])
+    ):
+        return None
+    slots = graph._offsets[:-1] + np.where(non_root, out_arr, 0)
+    parent = np.where(non_root, graph._adj_neighbor[slots], np.arange(n))
+    parent_edge = np.where(non_root, graph._adj_edge[slots], -1)
+    # pointer doubling: after ceil(log2 n) squarings every node that
+    # reaches the root has collapsed onto it; survivors are cycles
+    # (a bounded iteration count — cyclic pointer maps never reach a
+    # fixed point under squaring)
+    hops = parent
+    for _ in range(max(1, int(n).bit_length())):
+        nxt = hops[hops]
+        if np.array_equal(nxt, hops):
+            break
+        hops = nxt
+    if np.any(hops != root):
+        return None
+    tree_edges = np.unique(parent_edge[non_root])
+    if tree_edges.size != n - 1:
+        return None
+    return OutputCheck(
+        True,
+        "ok",
+        root=root,
+        tree_edge_ids=tuple(tree_edges.tolist()),
+        tree_weight=graph.total_weight(tree_edges.tolist()),
+    )
 
 
 def check_spanning_outputs(
@@ -52,6 +116,9 @@ def check_spanning_outputs(
     expected_root:
         If given, additionally require the declared root to be this node.
     """
+    fast = _check_spanning_fast(graph, outputs, expected_root)
+    if fast is not None:
+        return fast
     # -------- shape checks --------
     n = graph.n
     out_list = [outputs.get(u) for u in range(n)]

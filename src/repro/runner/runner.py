@@ -49,7 +49,15 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.runner.cache import ResultCache
 from repro.runner.manifest import RunManifest
-from repro.runner.plan import ExecutionStats, InstanceContext, TaskGroup, plan_groups
+from repro.runner.plan import (
+    ExecutionStats,
+    InstanceContext,
+    StackedContext,
+    StackedGroup,
+    TaskGroup,
+    plan_groups,
+    plan_super_groups,
+)
 from repro.runner.progress import ProgressReporter
 from repro.runner.store import DEFAULT_CACHE_BACKEND, SQLiteResultStore, open_result_store
 from repro.runner.tasks import SweepTask
@@ -57,7 +65,7 @@ from repro.runner.tasks import SweepTask
 __all__ = ["execute_task", "run_tasks", "GROUPING_MODES"]
 
 #: accepted values of ``run_tasks(..., grouping=...)``
-GROUPING_MODES = ("instance", "none")
+GROUPING_MODES = ("instance", "seed-stack", "none")
 
 
 def execute_task(task: SweepTask) -> Dict[str, Any]:
@@ -78,10 +86,12 @@ def _execute_chunk(chunk: Sequence[SweepTask]) -> List[Dict[str, Any]]:
 
 
 def _execute_group_chunk(
-    chunk: Sequence[TaskGroup],
+    chunk: Sequence[Union[TaskGroup, StackedGroup]],
 ) -> Tuple[List[Tuple[int, Dict[str, Any]]], Dict[str, float]]:
-    """Worker entry point of the grouped path: whole groups at a time.
+    """Worker entry point of the grouped paths: whole groups at a time.
 
+    ``grouping="seed-stack"`` ships whole :class:`StackedGroup`\\ s, so
+    the cross-seed sharing holds inside every worker process too.
     Returns ``(miss_index, row)`` pairs plus the worker's stage-seconds
     breakdown, so the parent can reassemble rows in task order and
     aggregate profiling data across processes.
@@ -89,9 +99,12 @@ def _execute_group_chunk(
     stats = ExecutionStats()
     rows: List[Tuple[int, Dict[str, Any]]] = []
     for group in chunk:
-        context = InstanceContext(stats=stats)
-        for index, task in zip(group.indices, group.tasks):
-            rows.append((index, context.execute(task)))
+        if isinstance(group, StackedGroup):
+            rows.extend(StackedContext(group, stats=stats).execute_all())
+        else:
+            context = InstanceContext(stats=stats)
+            for index, task in zip(group.indices, group.tasks):
+                rows.append((index, context.execute(task)))
     return rows, stats.stage_seconds
 
 
@@ -214,13 +227,21 @@ def run_tasks(
     misses = [task_list[i] for i in miss_indices]
     try:
         if misses:
-            if grouping == "instance":
+            if grouping in ("instance", "seed-stack"):
                 groups = plan_groups(misses)
+                units: Sequence[Union[TaskGroup, StackedGroup]] = groups
+                if grouping == "seed-stack":
+                    # collect same-signature seed groups into super-groups;
+                    # everything unstackable stays on the per-instance path
+                    units = plan_super_groups(groups)
                 if stats is not None:
                     stats.groups += len(groups)
                     stats.grouped_tasks += len(misses)
+                    stats.stacked_groups += sum(
+                        1 for unit in units if isinstance(unit, StackedGroup)
+                    )
                 if jobs > 1 and len(misses) > 1:
-                    chunks = _chunked(groups, max(1, math.ceil(len(groups) / (jobs * 4))))
+                    chunks = _chunked(units, max(1, math.ceil(len(units) / (jobs * 4))))
                     with _pool(jobs) as pool:
                         # ordered imap: chunks stream back as they finish, so
                         # each one is committed (and checkpointed) without
@@ -234,14 +255,18 @@ def run_tasks(
                             if stats is not None:
                                 stats.merge_stage_dict(stage_seconds)
                 else:
-                    for group in groups:
-                        context = InstanceContext(stats=stats)
-                        _commit(
-                            [
-                                (miss_indices[i], context.execute(task))
-                                for i, task in zip(group.indices, group.tasks)
-                            ]
-                        )
+                    for unit in units:
+                        if isinstance(unit, StackedGroup):
+                            rows = StackedContext(unit, stats=stats).execute_all()
+                            _commit([(miss_indices[i], row) for i, row in rows])
+                        else:
+                            context = InstanceContext(stats=stats)
+                            _commit(
+                                [
+                                    (miss_indices[i], context.execute(task))
+                                    for i, task in zip(unit.indices, unit.tasks)
+                                ]
+                            )
             elif jobs > 1 and len(misses) > 1:
                 if chunksize is None:
                     chunksize = max(1, math.ceil(len(misses) / (jobs * 4)))

@@ -1,0 +1,230 @@
+"""Tests of the seed-stacked execution tier (``grouping="seed-stack"``).
+
+The contract is byte-identity: stacking all seeds of a sweep point
+through one batched generation / trace / advice pass must produce
+exactly the rows the per-instance path produces — sharing is observable
+only as speed.  The matrix below exercises every scheme plus the
+baselines over three graph families and three stack widths.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import random_connected_graph, random_connected_graph_batch
+from repro.runner import (
+    ExecutionStats,
+    GraphSpec,
+    SweepTask,
+    plan_groups,
+    run_tasks,
+)
+from repro.runner.plan import StackedGroup, plan_super_groups
+from repro.runner.registry import build_graph
+
+SCHEMES = ("trivial", "theorem2", "theorem3", "theorem3-level")
+BASELINES = ("ghs", "full-info")
+
+
+def _point_tasks(family, num_seeds, n=16, backend="analytic", density=0.2):
+    """Every scheme and baseline of one sweep point over ``num_seeds`` seeds."""
+    tasks = [
+        SweepTask("scheme", target, GraphSpec(family, density), n, seed, backend=backend)
+        for seed in range(num_seeds)
+        for target in SCHEMES
+    ]
+    tasks += [
+        SweepTask("baseline", name, GraphSpec(family, density), n, seed)
+        for seed in range(num_seeds)
+        for name in BASELINES
+    ]
+    return tasks
+
+
+class TestSeedStackByteIdentity:
+    @pytest.mark.parametrize("family", ["random", "powerlaw", "hypercube"])
+    @pytest.mark.parametrize("num_seeds", [1, 5, 16])
+    def test_stacked_rows_equal_instance_rows(self, family, num_seeds):
+        tasks = _point_tasks(family, num_seeds)
+        stacked = run_tasks(tasks, grouping="seed-stack")
+        grouped = run_tasks(tasks, grouping="instance")
+        assert json.dumps(stacked) == json.dumps(grouped)
+
+    def test_engine_backend_rows_are_identical_too(self):
+        # the stacked tier shares traces and advice with the engine
+        # backend as well; rounds/messages must not shift by a bit
+        tasks = _point_tasks("random", 4, n=12, backend="engine")
+        stacked = run_tasks(tasks, grouping="seed-stack")
+        grouped = run_tasks(tasks, grouping="instance")
+        assert json.dumps(stacked) == json.dumps(grouped)
+
+    def test_parallel_seed_stack_is_identical(self):
+        tasks = _point_tasks("random", 6, n=12)
+        serial = run_tasks(tasks, grouping="seed-stack")
+        parallel = run_tasks(tasks, jobs=2, grouping="seed-stack")
+        assert json.dumps(serial) == json.dumps(parallel)
+
+    def test_heterogeneous_grid_mixes_stacks_and_plain_groups(self):
+        # two sizes: each size's seeds stack among themselves only
+        tasks = [
+            SweepTask("scheme", "theorem3", GraphSpec("random", 0.2), n, seed)
+            for n in (12, 20)
+            for seed in (0, 1, 2)
+        ]
+        stacked = run_tasks(tasks, grouping="seed-stack")
+        grouped = run_tasks(tasks, grouping="instance")
+        assert json.dumps(stacked) == json.dumps(grouped)
+
+
+class TestPlanSuperGroups:
+    def test_seeds_of_one_point_collapse_into_one_stack(self):
+        tasks = _point_tasks("random", 5)
+        groups = plan_groups(tasks)
+        units = plan_super_groups(groups)
+        assert len(units) == 1
+        (stack,) = units
+        assert isinstance(stack, StackedGroup)
+        assert len(stack.groups) == 5
+
+    def test_single_seed_points_pass_through_unstacked(self):
+        tasks = _point_tasks("random", 1)
+        units = plan_super_groups(plan_groups(tasks))
+        assert len(units) == 1
+        assert not isinstance(units[0], StackedGroup)
+
+    def test_mismatched_treatments_fall_back_to_instance_groups(self):
+        # seed 1 lost a treatment (e.g. to a cache hit): the two groups
+        # no longer agree on the treatment multiset and must not stack
+        tasks = [
+            SweepTask("scheme", "trivial", GraphSpec("random", 0.2), 12, 0),
+            SweepTask("scheme", "theorem3", GraphSpec("random", 0.2), 12, 0),
+            SweepTask("scheme", "trivial", GraphSpec("random", 0.2), 12, 1),
+        ]
+        units = plan_super_groups(plan_groups(tasks))
+        assert all(not isinstance(u, StackedGroup) for u in units)
+
+    def test_adhoc_factories_and_mixed_roots_never_stack(self):
+        factory = lambda n, seed: build_graph("cycle", n, seed)  # noqa: E731
+        adhoc = [
+            SweepTask("scheme", "trivial", factory, 12, seed) for seed in (0, 1)
+        ]
+        assert all(
+            not isinstance(u, StackedGroup)
+            for u in plan_super_groups(plan_groups(adhoc))
+        )
+        roots = [
+            SweepTask("scheme", "trivial", GraphSpec("random", 0.2), 12, seed, root=seed)
+            for seed in (0, 1)
+        ]
+        assert all(
+            not isinstance(u, StackedGroup)
+            for u in plan_super_groups(plan_groups(roots))
+        )
+
+    def test_non_mst_problems_keep_the_per_instance_path(self):
+        tasks = [
+            SweepTask(
+                "scheme", "leader/trivial", GraphSpec("random", 0.2), 12, seed
+            )
+            for seed in (0, 1)
+        ]
+        units = plan_super_groups(plan_groups(tasks))
+        assert all(not isinstance(u, StackedGroup) for u in units)
+
+
+class TestStackedStats:
+    def test_stats_count_stacks_and_stage_seconds(self):
+        tasks = _point_tasks("random", 4)
+        stats = ExecutionStats()
+        run_tasks(tasks, grouping="seed-stack", stats=stats)
+        assert stats.stacked_groups == 1
+        assert stats.grouped_tasks == len(tasks)
+        assert stats.cache_misses == len(tasks)
+        stages = stats.stages_dict()
+        assert set(stages) == {"graph", "trace", "advice", "execute"}
+        assert stages["execute"] > 0.0
+
+
+class TestBenchCli:
+    def test_bench_seed_stack_profile_json(self, capsys):
+        code = main(
+            [
+                "bench", "--scheme", "all", "--n", "16", "--repeats", "4",
+                "--grouping", "seed-stack", "--profile", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["grouping"] == "seed-stack"
+        assert payload["tier"] == "standard"
+        assert payload["correct"] is True
+        assert set(payload["stage_seconds"]) == {"graph", "trace", "advice", "execute"}
+
+    def test_bench_large_tier_pins_instance_and_profiles(self, capsys, monkeypatch):
+        # the real large tier is hypercube(131072); shrink it so the test
+        # exercises the pinning logic, not the wall clock
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "_LARGE_TIER", {"graph": "hypercube", "n": 16, "backend": "analytic"}
+        )
+        code = main(
+            [
+                "bench", "--tier", "large", "--scheme", "theorem3",
+                "--repeats", "2", "--grouping", "seed-stack", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tier"] == "large"
+        assert payload["graph"] == "hypercube"
+        assert payload["n"] == 16
+        assert payload["backend"] == "analytic"
+        assert "stage_seconds" in payload  # the tier forces --profile
+
+    def test_bench_history_renders_snapshots(self, tmp_path, capsys):
+        snapshot = {
+            "kind": "bench-snapshot",
+            "rev": "abc1234",
+            "payload": {
+                "scheme": "all", "graph": "random", "n": 1024,
+                "backend": "analytic", "grouping": "seed-stack",
+                "tier": "standard", "runs_per_second": 72.5,
+                "stage_seconds": {"graph": 0.2, "trace": 0.3},
+            },
+        }
+        (tmp_path / "BENCH_abc1234.json").write_text(json.dumps(snapshot))
+        code = main(["bench", "history", "--dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "abc1234" in out and "seed-stack" in out and "72.5" in out
+
+    def test_bench_history_json_and_empty_dir(self, tmp_path, capsys):
+        assert main(["bench", "history", "--dir", str(tmp_path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+        assert main(["bench", "history", "--dir", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+
+hypothesis = pytest.importorskip("hypothesis")
+given, settings, st = hypothesis.given, hypothesis.settings, hypothesis.strategies
+
+
+class TestBatchGeneratorProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(2, 48),
+        prob=st.sampled_from([0.0, 0.05, 0.3, 1.0]),
+        seeds=st.lists(st.integers(0, 1000), min_size=1, max_size=5, unique=True),
+        weight_mode=st.sampled_from(["distinct", "uniform"]),
+    )
+    def test_batch_matches_per_seed_rng_streams(self, n, prob, seeds, weight_mode):
+        batch = random_connected_graph_batch(
+            n, prob, seeds=seeds, weight_mode=weight_mode
+        )
+        for graph, seed in zip(batch, seeds):
+            solo = random_connected_graph(n, prob, seed=seed, weight_mode=weight_mode)
+            for field in ("edge_u", "edge_v", "edge_w", "edge_port_u", "edge_port_v"):
+                assert np.array_equal(getattr(graph, field), getattr(solo, field))
