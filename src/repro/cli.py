@@ -281,15 +281,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     root = args.root % graph.n
     qualifier, bare = split_target(args.scheme)
     problem = get_problem(qualifier or args.problem)
+    fault = None
+    if args.delta or args.crash_rate or args.churn:
+        from repro.simulator.adversary import FaultSpec
+
+        fault = FaultSpec(
+            delta=args.delta,
+            crash_rate=args.crash_rate,
+            recovery=args.recovery,
+            churn=args.churn,
+        )
+        if args.backend != "engine":
+            raise ValueError("adversarial execution requires --backend engine")
     if bare in problem.schemes:
         scheme = resolve_scheme(args.scheme, problem=problem.name)
-        report = run_scheme(scheme, graph, root=root, backend=args.backend)
+        report = run_scheme(
+            scheme, graph, root=root, backend=args.backend, fault=fault, fault_seed=args.seed
+        )
         row = report.as_row()
     elif bare in problem.baselines:
         if args.backend != "engine":
             raise ValueError("baselines have no analytic model; use --backend engine")
         baseline_report = run_baseline(
-            resolve_baseline(args.scheme, problem=problem.name), graph
+            resolve_baseline(args.scheme, problem=problem.name),
+            graph,
+            fault=fault,
+            fault_seed=args.seed,
         )
         row = baseline_report.as_row()
     else:
@@ -835,6 +852,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_problem_argument(run_parser)
     _add_graph_arguments(run_parser)
     _add_backend_argument(run_parser)
+    run_parser.add_argument(
+        "--delta",
+        type=int,
+        default=0,
+        help="adversarial delay bound: each message delivered within this "
+        "many extra rounds (default 0 = synchronous)",
+    )
+    run_parser.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        help="fraction of nodes crashed once during the run (max 0.25)",
+    )
+    run_parser.add_argument(
+        "--recovery",
+        type=int,
+        default=2,
+        help="rounds a crashed node stays down before restarting (default 2)",
+    )
+    run_parser.add_argument(
+        "--churn",
+        type=int,
+        default=0,
+        help="post-run edge-weight churn events with charged incremental "
+        "repair (MST only, default 0)",
+    )
 
     tradeoff_parser = sub.add_parser("tradeoff", help="measured advice/time trade-off table")
     _add_graph_arguments(tradeoff_parser)

@@ -27,6 +27,7 @@ from typing import Any, Dict, Optional
 from repro.core.advice import AdviceAssignment, AdviceStats
 from repro.core.problem import DEFAULT_PROBLEM, OutputCheck, get_problem
 from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.simulator.adversary import FaultSpec, apply_churn, run_adversary
 from repro.simulator.algorithm import ProgramFactory
 from repro.simulator.engine import run_sync
 from repro.simulator.metrics import RunMetrics
@@ -141,6 +142,8 @@ def run_scheme(
     max_rounds: Optional[int] = None,
     backend: str = "engine",
     advice: Optional[AdviceAssignment] = None,
+    fault: Optional[FaultSpec] = None,
+    fault_seed: int = 0,
 ) -> SchemeReport:
     """Run ``scheme`` end to end on ``graph`` and verify the output.
 
@@ -184,6 +187,26 @@ def run_scheme(
 
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}")
+    if fault is not None and fault.is_null:
+        fault = None  # the null fault *is* the synchronous model
+    if fault is not None:
+        if backend != "engine":
+            raise ValueError("adversarial execution requires the engine backend")
+        if fault.churn and getattr(scheme, "problem", DEFAULT_PROBLEM) != "mst":
+            raise ValueError("edge-weight churn is only defined for the MST problem")
+        if advice is None:
+            advice = scheme.compute_advice(graph, root=root)
+        result = run_adversary(
+            graph,
+            scheme.program_factory(),
+            advice=advice.as_payloads(),
+            max_rounds=max_rounds,
+            fault=fault,
+            seed=fault_seed,
+        )
+        return _build_report(
+            scheme, graph, root, advice, result, fault=fault, fault_seed=fault_seed
+        )
     if backend == "analytic":
         from repro.simulator.analytic import AnalyticUnsupported, run_scheme_analytic
 
@@ -207,7 +230,9 @@ def run_scheme(
     return _build_report(scheme, graph, root, advice, result)
 
 
-def _build_report(scheme, graph, root, advice, result) -> SchemeReport:
+def _build_report(
+    scheme, graph, root, advice, result, fault=None, fault_seed=0
+) -> SchemeReport:
     """Verify the outputs and assemble the report (shared by both backends)."""
     problem = getattr(scheme, "problem", DEFAULT_PROBLEM)
     if not result.completed:
@@ -230,6 +255,14 @@ def _build_report(scheme, graph, root, advice, result) -> SchemeReport:
                 graph, result.outputs, expected_root=root
             )
             memo[key] = (result.outputs, check)
+    if fault is not None and fault.churn and check.ok:
+        # post-run weight churn: repair the verified tree incrementally,
+        # re-verify on the churned instance, and charge the repair
+        # traffic into the metrics (the memoised check above is safe to
+        # reuse — the adversary masks faults, so the outputs equal the
+        # synchronous run's; churn returns a *fresh* check and never
+        # touches the memo)
+        check = apply_churn(graph, root, check, fault, fault_seed, result.metrics)
     n = graph.n
     return SchemeReport(
         scheme=scheme.name,

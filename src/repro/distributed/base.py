@@ -20,6 +20,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.problem import DEFAULT_PROBLEM, OutputCheck, get_problem
 from repro.graphs.weighted_graph import PortNumberedGraph
+from repro.simulator.adversary import FaultSpec, apply_churn, run_adversary
 from repro.simulator.algorithm import ProgramFactory
 from repro.simulator.engine import run_sync
 from repro.simulator.metrics import RunMetrics
@@ -101,23 +102,50 @@ def run_baseline(
     baseline: DistributedBaseline,
     graph: PortNumberedGraph,
     max_rounds: Optional[int] = None,
+    fault: Optional[FaultSpec] = None,
+    fault_seed: int = 0,
 ) -> BaselineReport:
-    """Run a no-advice baseline end to end and verify its output."""
+    """Run a no-advice baseline end to end and verify its output.
+
+    ``fault`` selects the adversarial engine (seeded delays and
+    crash/recovery; ``fault_seed`` pins the schedule).  ``max_rounds``
+    keeps bounding *logical* rounds under the adversary, so a baseline
+    with a fixed round schedule never spuriously times out merely
+    because delays stretched physical time.
+    """
+    if fault is not None and fault.is_null:
+        fault = None
+    problem = getattr(baseline, "problem", DEFAULT_PROBLEM)
+    if fault is not None and fault.churn and problem != "mst":
+        raise ValueError("edge-weight churn is only defined for the MST problem")
     if max_rounds is None:
         bound = baseline.round_bound(graph)
         if bound is not None:
             max_rounds = int(bound) + 50
-    result = run_sync(
-        graph,
-        baseline.program_factory(graph),
-        advice=None,
-        max_rounds=max_rounds,
-    )
-    problem = getattr(baseline, "problem", DEFAULT_PROBLEM)
+    if fault is None:
+        result = run_sync(
+            graph,
+            baseline.program_factory(graph),
+            advice=None,
+            max_rounds=max_rounds,
+        )
+    else:
+        result = run_adversary(
+            graph,
+            baseline.program_factory(graph),
+            advice=None,
+            max_rounds=max_rounds,
+            fault=fault,
+            seed=fault_seed,
+        )
     if not result.completed:
         check = OutputCheck(False, "the baseline did not terminate within the round limit")
     else:
         check = get_problem(problem).check_outputs(graph, result.outputs, expected_root=None)
+    if fault is not None and fault.churn and check.ok:
+        # the baseline's own root anchors the repaired tree (a baseline
+        # cannot promise which node ends up distinguished)
+        check = apply_churn(graph, check.root, check, fault, fault_seed, result.metrics)
     return BaselineReport(
         baseline=baseline.name,
         n=graph.n,

@@ -3,7 +3,7 @@
 This subpackage turns the library into a push-button reproduction:
 
 * :mod:`repro.report.spec` — TOML/JSON experiment specifications
-  (:class:`ReportSpec` and the three experiment kinds), validated at
+  (:class:`ReportSpec` and the four experiment kinds), validated at
   load time;
 * :mod:`repro.report.pipeline` — :func:`generate_report`: spec →
   :class:`~repro.runner.tasks.SweepTask` grid → cached parallel runner
@@ -23,6 +23,7 @@ from repro.report.pipeline import ReportResult, compile_tasks, generate_report
 from repro.report.spec import (
     LowerBoundExperiment,
     ReportSpec,
+    RobustnessExperiment,
     SweepExperiment,
     TradeoffExperiment,
     load_spec,
@@ -33,6 +34,7 @@ __all__ = [
     "LowerBoundExperiment",
     "ReportResult",
     "ReportSpec",
+    "RobustnessExperiment",
     "SweepExperiment",
     "TradeoffExperiment",
     "compile_tasks",

@@ -30,12 +30,14 @@ from repro.analysis.sweep import (
     resolve_actual_sizes,
 )
 from repro.report.render import (
+    ROBUSTNESS_COLUMNS,
     SWEEP_COLUMNS,
     TRADEOFF_COLUMNS,
     lowerbound_curve_rows,
     render_csv,
     render_index,
     render_lowerbound_markdown,
+    render_robustness_markdown,
     render_sweep_markdown,
     render_tradeoff_markdown,
 )
@@ -43,6 +45,7 @@ from repro.report.spec import (
     Experiment,
     LowerBoundExperiment,
     ReportSpec,
+    RobustnessExperiment,
     SweepExperiment,
     TradeoffExperiment,
 )
@@ -50,6 +53,7 @@ from repro.runner.registry import resolve_baseline, resolve_scheme
 from repro.runner.runner import run_tasks
 from repro.runner.store import DEFAULT_CACHE_BACKEND
 from repro.runner.tasks import SweepTask
+from repro.simulator.adversary import FaultSpec
 
 __all__ = ["ReportResult", "compile_tasks", "generate_report"]
 
@@ -79,6 +83,36 @@ def _experiment_tasks(experiment: Experiment, backend: str) -> List[SweepTask]:
     """
     if isinstance(experiment, LowerBoundExperiment):
         return []
+    if isinstance(experiment, RobustnessExperiment):
+        # the whole grid is pinned to the engine backend: the adversary
+        # has no analytic model, and the fault-free corner must share
+        # bytes with it (so --backend analytic cannot move an artifact)
+        return [
+            SweepTask(
+                kind=kind,
+                target=target,
+                graph=experiment.graph,
+                n=n,
+                seed=seed,
+                root=experiment.root,
+                backend="engine",
+                problem=experiment.problem,
+                fault=FaultSpec(
+                    delta=delta,
+                    crash_rate=rate,
+                    recovery=experiment.recovery,
+                    churn=experiment.churn,
+                ),
+            )
+            for kind, target in (
+                [("scheme", s) for s in experiment.schemes]
+                + [("baseline", b) for b in experiment.baselines]
+            )
+            for n in experiment.sizes
+            for delta in experiment.deltas
+            for rate in experiment.crash_rates
+            for seed in experiment.seeds
+        ]
     if isinstance(experiment, SweepExperiment):
         grid: List[Tuple[str, str, int, int]] = [
             ("scheme", target, n, seed)
@@ -163,6 +197,59 @@ def _render_sweep(
             )
         )
         offset += per_target
+    return rows, all(row["correct"] for row in rows)
+
+
+def _render_robustness(
+    experiment: RobustnessExperiment, raw: Sequence[Dict[str, Any]]
+) -> Tuple[List[Dict[str, Any]], bool]:
+    """Aggregate one robustness experiment's raw rows into grid cells.
+
+    ``raw`` arrives in grid order (targets, then sizes, then deltas,
+    then crash rates, then seeds); each cell aggregates its seeds by
+    maximum (worst case) and correctness by conjunction.  Degradation
+    factors are relative to the first ``(delta, crash_rate)`` cell of
+    the same ``(target, n)`` — the grid's fault-free corner under the
+    conventional ``0, 0.0`` leading entries.
+    """
+    actual_sizes = resolve_actual_sizes(
+        experiment.graph, experiment.sizes, experiment.seeds[0]
+    )
+    seeds = len(experiment.seeds)
+    targets = list(experiment.schemes) + list(experiment.baselines)
+    rows: List[Dict[str, Any]] = []
+    offset = 0
+    for target in targets:
+        for n in actual_sizes:
+            base_rounds: Optional[int] = None
+            base_messages: Optional[int] = None
+            for delta in experiment.deltas:
+                for rate in experiment.crash_rates:
+                    cell = raw[offset : offset + seeds]
+                    offset += seeds
+                    rounds = max(row["rounds"] for row in cell)
+                    messages = max(row["total_messages"] for row in cell)
+                    if base_rounds is None:
+                        base_rounds, base_messages = rounds, messages
+                    rows.append(
+                        {
+                            "scheme": cell[0]["scheme"],
+                            "n": n,
+                            "delta": delta,
+                            "crash_rate": rate,
+                            "rounds": rounds,
+                            # a 0-round scheme (trivial) never degrades in
+                            # rounds; render the factor as an exact 1.0
+                            "rounds_factor": round(rounds / base_rounds, 2)
+                            if base_rounds
+                            else 1.0,
+                            "total_messages": messages,
+                            "messages_factor": round(messages / base_messages, 2)
+                            if base_messages
+                            else 1.0,
+                            "correct": all(row["correct"] for row in cell),
+                        }
+                    )
     return rows, all(row["correct"] for row in rows)
 
 
@@ -262,6 +349,18 @@ def generate_report(
             _write(
                 f"{experiment.name}.csv",
                 render_csv(aggregated, SWEEP_COLUMNS),
+                experiment.name,
+            )
+        elif isinstance(experiment, RobustnessExperiment):
+            aggregated, correct = _render_robustness(experiment, rows)
+            _write(
+                f"{experiment.name}.md",
+                render_robustness_markdown(experiment, aggregated),
+                experiment.name,
+            )
+            _write(
+                f"{experiment.name}.csv",
+                render_csv(aggregated, ROBUSTNESS_COLUMNS),
                 experiment.name,
             )
         elif isinstance(experiment, TradeoffExperiment):

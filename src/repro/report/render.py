@@ -19,16 +19,19 @@ from repro.core.problem import DEFAULT_PROBLEM, get_problem
 from repro.report.spec import (
     LowerBoundExperiment,
     ReportSpec,
+    RobustnessExperiment,
     SweepExperiment,
     TradeoffExperiment,
 )
 
 __all__ = [
+    "ROBUSTNESS_COLUMNS",
     "SWEEP_COLUMNS",
     "TRADEOFF_COLUMNS",
     "render_csv",
     "render_index",
     "render_lowerbound_markdown",
+    "render_robustness_markdown",
     "render_sweep_markdown",
     "render_tradeoff_markdown",
 ]
@@ -47,6 +50,20 @@ SWEEP_COLUMNS = (
     "correct",
     "advice_bound",
     "round_bound",
+)
+
+#: columns of a robustness artifact (one row per grid cell, aggregated
+#: over seeds; factors are relative to the grid's fault-free corner)
+ROBUSTNESS_COLUMNS = (
+    "scheme",
+    "n",
+    "delta",
+    "crash_rate",
+    "rounds",
+    "rounds_factor",
+    "total_messages",
+    "messages_factor",
+    "correct",
 )
 
 #: columns of a trade-off artifact (raw single-instance rows)
@@ -189,6 +206,107 @@ def render_tradeoff_markdown(
     return "\n".join(parts)
 
 
+def _degradation_pivot(
+    rows: Sequence[Mapping[str, Any]],
+    n: int,
+    fixed_key: str,
+    fixed_value: Any,
+    axis_key: str,
+    value_key: str,
+) -> List[Dict[str, Any]]:
+    """Pivot robustness rows at size ``n``: one row per scheme, one
+    column per value of ``axis_key``, holding ``value_key``."""
+    axis_values: List[Any] = []
+    schemes: List[str] = []
+    values: Dict[str, Dict[Any, Any]] = {}
+    for row in rows:
+        if row["n"] != n or row[fixed_key] != fixed_value:
+            continue
+        scheme, axis = row["scheme"], row[axis_key]
+        if scheme not in values:
+            values[scheme] = {}
+            schemes.append(scheme)
+        if axis not in axis_values:
+            axis_values.append(axis)
+        values[scheme][axis] = row[value_key]
+    return [
+        {
+            "scheme": scheme,
+            **{f"{axis_key}={axis}": values[scheme].get(axis) for axis in axis_values},
+        }
+        for scheme in schemes
+    ]
+
+
+def render_robustness_markdown(
+    experiment: RobustnessExperiment, rows: Sequence[Mapping[str, Any]]
+) -> str:
+    """The robustness artifact: the fault grid plus degradation pivots.
+
+    The main table carries one row per ``(target, n, delta, crash_rate)``
+    cell; ``rounds_factor`` / ``messages_factor`` are relative to the
+    grid's first ``(delta, crash_rate)`` cell of the same target and
+    size, so with the conventional fault-free corner they read "times
+    the synchronous cost".  The pivots put the two degradation axes side
+    by side at the largest size: rounds degrade with the delay bound
+    (every message may wait up to ``delta`` extra rounds), messages
+    degrade with the crash rate (dropped messages are retransmitted, and
+    every attempt is charged to the wire).
+    """
+    graph = experiment.graph
+    density = f", density {graph.density:g}" if graph.family == "random" else ""
+    largest_n = max(row["n"] for row in rows)
+    base_delta, base_rate = experiment.deltas[0], experiment.crash_rates[0]
+    churn_sentence = (
+        f" Each run additionally suffers {experiment.churn} post-run "
+        "edge-weight churn event(s) whose incremental repair is charged "
+        "and re-verified."
+        if experiment.churn
+        else ""
+    )
+    parts = [
+        f"# Robustness: {experiment.name}",
+        "",
+        f"Targets {', '.join(experiment.schemes + experiment.baselines)} on the "
+        f"`{graph.family}` family{density}; {len(experiment.seeds)} seed(s) "
+        "per grid cell, aggregated by maximum (correctness by conjunction). "
+        "The adversary delays every message by up to `delta` rounds and "
+        f"crashes `floor(crash_rate * n)` nodes once each for "
+        f"{experiment.recovery} round(s) (in-flight messages are dropped and "
+        "retransmitted; every attempt is charged). Every output still "
+        "passes the problem's verifier — degradation shows up as cost, "
+        f"not as failure.{churn_sentence} Factors are relative to the "
+        f"`(delta={base_delta}, crash_rate={base_rate:g})` corner.",
+        "",
+        format_markdown_table(list(rows), columns=list(ROBUSTNESS_COLUMNS)),
+        "",
+        f"## Rounds degradation vs delay bound (n = {largest_n}, "
+        f"crash_rate = {base_rate:g})",
+        "",
+        format_markdown_table(
+            _degradation_pivot(
+                rows, largest_n, "crash_rate", base_rate, "delta", "rounds_factor"
+            )
+        ),
+        "",
+        f"## Message degradation vs crash rate (n = {largest_n}, "
+        f"delta = {experiment.deltas[-1]})",
+        "",
+        format_markdown_table(
+            _degradation_pivot(
+                rows,
+                largest_n,
+                "delta",
+                experiment.deltas[-1],
+                "crash_rate",
+                "messages_factor",
+            )
+        ),
+        "",
+    ]
+    return "\n".join(parts)
+
+
 def render_lowerbound_markdown(
     experiment: LowerBoundExperiment,
     summary: Mapping[str, Any],
@@ -298,6 +416,15 @@ def render_index(
             detail = (
                 f"trade-off table on one `{experiment.graph.family}` instance "
                 f"(n = {experiment.n})"
+            )
+            if experiment.problem != DEFAULT_PROBLEM:
+                detail = f"`{experiment.problem}` {detail}"
+        elif isinstance(experiment, RobustnessExperiment):
+            detail = (
+                f"robustness grid of {', '.join(experiment.schemes + experiment.baselines)} "
+                f"over n = {', '.join(map(str, experiment.sizes))} under "
+                f"delta = {', '.join(map(str, experiment.deltas))} and "
+                f"crash_rate = {', '.join(f'{r:g}' for r in experiment.crash_rates)}"
             )
             if experiment.problem != DEFAULT_PROBLEM:
                 detail = f"`{experiment.problem}` {detail}"

@@ -21,6 +21,11 @@ Three experiment kinds cover the paper's results:
 ``lowerbound``
     The Theorem-1 fooling-family experiment and pigeonhole table — pure
     computation, no simulator tasks.
+``robustness``
+    A fault grid: every target at every size under every ``(delay
+    bound, crash rate)`` pair of the grid, rendered as degradation
+    curves relative to the grid's fault-free corner.  Always executed
+    on the engine backend (the adversary has no analytic model).
 
 Example (TOML)::
 
@@ -70,6 +75,7 @@ from repro.runner.tasks import GraphSpec
 __all__ = [
     "LowerBoundExperiment",
     "ReportSpec",
+    "RobustnessExperiment",
     "SweepExperiment",
     "TradeoffExperiment",
     "experiment_artifact_names",
@@ -223,7 +229,34 @@ class LowerBoundExperiment:
     kind: str = field(default="lowerbound", init=False)
 
 
-Experiment = Union[SweepExperiment, TradeoffExperiment, LowerBoundExperiment]
+@dataclass(frozen=True)
+class RobustnessExperiment:
+    """Degradation curves of a set of targets under an adversary grid.
+
+    One task per ``(target, size, delta, crash_rate, seed)``; the
+    ``(deltas[0], crash_rates[0])`` corner of the grid anchors the
+    degradation factors, and specs conventionally keep it at
+    ``(0, 0.0)`` so the factors read "times the fault-free cost".
+    """
+
+    name: str
+    schemes: Tuple[str, ...]
+    baselines: Tuple[str, ...]
+    graph: GraphSpec
+    sizes: Tuple[int, ...]
+    seeds: Tuple[int, ...]
+    deltas: Tuple[int, ...] = (0, 1, 3)
+    crash_rates: Tuple[float, ...] = (0.0, 0.125, 0.25)
+    recovery: int = 2
+    churn: int = 0
+    root: int = 0
+    problem: str = DEFAULT_PROBLEM
+    kind: str = field(default="robustness", init=False)
+
+
+Experiment = Union[
+    SweepExperiment, TradeoffExperiment, LowerBoundExperiment, RobustnessExperiment
+]
 
 
 def experiment_artifact_names(experiment: Experiment) -> Tuple[str, ...]:
@@ -305,6 +338,69 @@ def _parse_experiment(table: Any, index: int) -> Experiment:
             root=_parse_int(table.get("root", 0), f"{where}.root"),
             problem=problem,
         )
+    if kind == "robustness":
+        from repro.simulator.adversary import MAX_CRASH_RATE
+
+        _check_keys(
+            table,
+            (
+                "name", "kind", "problem", "schemes", "baselines", "graph",
+                "sizes", "seeds", "root", "deltas", "crash_rates", "recovery", "churn",
+            ),
+            where,
+        )
+        problem = _parse_problem(table, where)
+        schemes, baselines = _parse_targets(table, where, problem)
+        sizes = tuple(table.get("sizes", ()))
+        _require(
+            len(sizes) > 0
+            and all(
+                isinstance(n, int) and not isinstance(n, bool) and n >= 1 for n in sizes
+            ),
+            f"{where}.sizes must be a non-empty list of positive ints",
+        )
+        deltas = tuple(table.get("deltas", (0, 1, 3)))
+        _require(
+            len(deltas) > 0
+            and all(
+                isinstance(d, int) and not isinstance(d, bool) and d >= 0 for d in deltas
+            ),
+            f"{where}.deltas must be a non-empty list of non-negative ints",
+        )
+        crash_rates = tuple(table.get("crash_rates", (0.0, 0.125, 0.25)))
+        _require(
+            len(crash_rates) > 0
+            and all(
+                isinstance(r, (int, float))
+                and not isinstance(r, bool)
+                and 0.0 <= float(r) <= MAX_CRASH_RATE
+                for r in crash_rates
+            ),
+            f"{where}.crash_rates must be a non-empty list of fractions in "
+            f"[0, {MAX_CRASH_RATE}]",
+        )
+        recovery = _parse_int(table.get("recovery", 2), f"{where}.recovery")
+        _require(recovery >= 1, f"{where}.recovery must be >= 1")
+        churn = _parse_int(table.get("churn", 0), f"{where}.churn")
+        _require(churn >= 0, f"{where}.churn must be >= 0")
+        _require(
+            churn == 0 or problem == "mst",
+            f"{where}.churn is only defined for the MST problem",
+        )
+        return RobustnessExperiment(
+            name=name,
+            schemes=schemes,
+            baselines=baselines,
+            graph=_parse_graph(table.get("graph", {"family": "random"}), where),
+            sizes=sizes,
+            seeds=_parse_seeds(table.get("seeds", 3), where),
+            deltas=deltas,
+            crash_rates=tuple(float(r) for r in crash_rates),
+            recovery=recovery,
+            churn=churn,
+            root=_parse_int(table.get("root", 0), f"{where}.root"),
+            problem=problem,
+        )
     if kind == "lowerbound":
         _check_keys(table, ("name", "kind", "h", "i", "max_budget_bits", "h_curve"), where)
         h = _parse_int(table.get("h", 12), f"{where}.h")
@@ -321,7 +417,8 @@ def _parse_experiment(table: Any, index: int) -> Experiment:
             name=name, h=h, i=i, max_budget_bits=max_budget, h_curve=h_curve
         )
     raise ValueError(
-        f"invalid report spec: {where}.kind {kind!r} is not one of sweep, tradeoff, lowerbound"
+        f"invalid report spec: {where}.kind {kind!r} is not one of "
+        "sweep, tradeoff, lowerbound, robustness"
     )
 
 

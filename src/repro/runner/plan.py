@@ -184,7 +184,21 @@ def _stack_signature(group: TaskGroup) -> Optional[Hashable]:
             return None
     family, density, n, _seed = group.key
     treatments = tuple(
-        sorted((t.kind, t.problem, t.target, t.backend) for t in group.tasks)
+        sorted(
+            # the fault key must be a sortable tuple: one instance group
+            # holds the same target under many faults (a robustness grid),
+            # and mixing None with dataclasses would break the sort
+            (
+                t.kind,
+                t.problem,
+                t.target,
+                t.backend,
+                ()
+                if t.fault is None
+                else (t.fault.delta, t.fault.crash_rate, t.fault.recovery, t.fault.churn),
+            )
+            for t in group.tasks
+        )
     )
     return (family, density, n, roots.pop(), treatments)
 
@@ -310,6 +324,8 @@ class InstanceContext:
                 root=task.root % graph.n,
                 backend=task.backend,
                 advice=advice,
+                fault=task.fault,
+                fault_seed=task.seed,
             )
             self._timed("execute", start)
             return {
@@ -329,7 +345,7 @@ class InstanceContext:
             }
         baseline = resolve_baseline(task.target, problem=task.problem)
         start = time.perf_counter()
-        report = run_baseline(baseline, graph)
+        report = run_baseline(baseline, graph, fault=task.fault, fault_seed=task.seed)
         self._timed("execute", start)
         return {
             "kind": "baseline",

@@ -30,15 +30,17 @@ from repro.core.problem import DEFAULT_PROBLEM, split_target
 from repro.distributed.base import DistributedMSTBaseline
 from repro.graphs.weighted_graph import PortNumberedGraph
 from repro.runner.registry import build_graph
+from repro.simulator.adversary import FaultSpec
 from repro.simulator.backends import BACKENDS
 
 __all__ = ["GraphSpec", "SweepTask", "TASK_FORMAT_VERSION", "backend_version"]
 
 #: bump when the result-row or hashing format changes; stored inside the
 #: hash input so stale cache entries can never be mistaken for fresh ones
-#: (3: the key and the result rows grew the problem axis;
+#: (4: the key grew the fault axis (adversarial execution);
+#:  3: the key and the result rows grew the problem axis;
 #:  2: the key grew the execution backend and its semantic version)
-TASK_FORMAT_VERSION = 3
+TASK_FORMAT_VERSION = 4
 
 
 def backend_version(backend: str) -> int:
@@ -164,6 +166,13 @@ class SweepTask:
     >>> from dataclasses import replace
     >>> replace(task, backend="analytic").task_hash() == engine_key
     False
+    >>> from repro.simulator.adversary import FaultSpec
+    >>> replace(task, fault=FaultSpec(delta=2)).task_hash() == engine_key
+    False
+    >>> replace(task, fault=FaultSpec()).fault is None  # null fault normalised
+    True
+    >>> replace(task, fault=FaultSpec()).task_hash() == engine_key
+    True
     >>> qualified = SweepTask("scheme", "leader/flag", GraphSpec(), 16, 0)
     >>> qualified.problem, qualified.target  # qualifier normalised away
     ('leader', 'flag')
@@ -195,6 +204,10 @@ class SweepTask:
     #: the problem the target solves; bare string targets resolve against
     #: it, instance targets override it with their own declaration
     problem: str = DEFAULT_PROBLEM
+    #: adversarial execution model (``None`` = the synchronous engine);
+    #: a *null* spec is normalised to ``None`` so the zero point of a
+    #: robustness grid hashes — and caches — like a fault-free task
+    fault: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("scheme", "baseline"):
@@ -219,6 +232,13 @@ class SweepTask:
             )
         if self.kind == "baseline" and self.backend != "engine":
             raise ValueError("baselines have no analytic model; use backend='engine'")
+        if self.fault is not None and self.fault.is_null:
+            object.__setattr__(self, "fault", None)
+        if self.fault is not None:
+            if self.backend != "engine":
+                raise ValueError("adversarial execution requires backend='engine'")
+            if self.fault.churn and self.problem != "mst":
+                raise ValueError("edge-weight churn is only defined for the MST problem")
 
     @property
     def cacheable(self) -> bool:
@@ -244,6 +264,10 @@ class SweepTask:
             # version invalidates exactly its own cached rows
             "backend": self.backend,
             "backend_version": backend_version(self.backend),
+            # the fault axis; ``None`` for every fault-free task (including
+            # normalised null specs), so historical workloads keep one key
+            # per backend and ADVERSARY_VERSION bumps touch only faulty rows
+            "fault": self.fault.key_dict() if self.fault is not None else None,
         }
 
     def task_hash(self) -> Optional[str]:

@@ -254,8 +254,8 @@ class TestTaskKeys:
         defaults.update(kwargs)
         return SweepTask(**defaults)
 
-    def test_format_version_bumped_for_the_problem_axis(self):
-        assert TASK_FORMAT_VERSION == 3
+    def test_format_version_bumped_for_the_fault_axis(self):
+        assert TASK_FORMAT_VERSION == 4
 
     def test_problem_is_in_every_key(self):
         assert self._task().key_dict()["problem"] == DEFAULT_PROBLEM

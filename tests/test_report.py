@@ -16,6 +16,7 @@ from repro.cli import main
 from repro.report import (
     LowerBoundExperiment,
     ReportSpec,
+    RobustnessExperiment,
     SweepExperiment,
     TradeoffExperiment,
     compile_tasks,
@@ -28,7 +29,9 @@ from repro.runner.tasks import GraphSpec
 REPO = Path(__file__).resolve().parent.parent
 SMOKE_SPEC = REPO / "specs" / "smoke.toml"
 PAPER_SPEC = REPO / "specs" / "paper.toml"
+ROBUSTNESS_SPEC = REPO / "specs" / "robustness_smoke.toml"
 GOLDEN = REPO / "tests" / "golden" / "report_smoke"
+ROBUSTNESS_GOLDEN = REPO / "tests" / "golden" / "robustness_report"
 
 
 # ------------------------------------------------------------------ #
@@ -305,6 +308,107 @@ class TestGoldenReport:
         manifests = list((cache / "manifests").glob("run-*.json"))
         assert len(manifests) == 1
         assert json.loads(manifests[0].read_text())["finished"] is True
+
+
+# ------------------------------------------------------------------ #
+# the robustness kind: spec validation and the degradation golden
+# ------------------------------------------------------------------ #
+
+
+class TestRobustnessSpec:
+    def test_robustness_smoke_spec_loads(self):
+        spec = load_spec(ROBUSTNESS_SPEC)
+        assert [e.kind for e in spec.experiments] == ["robustness"]
+        exp = spec.experiments[0]
+        assert isinstance(exp, RobustnessExperiment)
+        assert exp.deltas == (0, 1, 3)
+        assert exp.crash_rates == (0.0, 0.125, 0.25)
+        assert exp.sizes == (64, 256)
+
+    def test_grid_covers_every_fault_cell_on_the_engine_backend(self):
+        spec = load_spec(ROBUSTNESS_SPEC)
+        exp = spec.experiments[0]
+        (_, tasks), = compile_tasks(spec)
+        targets = len(exp.schemes) + len(exp.baselines)
+        grid = len(exp.sizes) * len(exp.deltas) * len(exp.crash_rates) * len(exp.seeds)
+        assert len(tasks) == targets * grid
+        # faults only exist on the engine backend, so the compiler pins it
+        assert all(t.backend == "engine" for t in tasks)
+        cells = {
+            (t.target, t.n, t.fault.delta if t.fault else 0,
+             t.fault.crash_rate if t.fault else 0.0)
+            for t in tasks
+        }
+        assert len(cells) == len(tasks)
+        # the null corner normalises to a fault-free task: cache hits are
+        # shared with plain sweeps of the same scheme
+        assert any(t.fault is None for t in tasks)
+
+    @pytest.mark.parametrize(
+        "mutation,needle",
+        [
+            ({"deltas": []}, "deltas"),
+            ({"deltas": [-1]}, "deltas"),
+            ({"deltas": [True]}, "deltas"),
+            ({"crash_rates": []}, "crash_rates"),
+            ({"crash_rates": [0.5]}, "crash_rates"),
+            ({"recovery": 0}, "recovery"),
+            ({"churn": -1}, "churn"),
+            ({"problem": "leader", "schemes": ["flag"], "churn": 1}, "MST"),
+        ],
+    )
+    def test_invalid_robustness_fields_rejected(self, mutation, needle):
+        experiment = {
+            "name": "r",
+            "kind": "robustness",
+            "schemes": ["trivial"],
+            "sizes": [8],
+            "seeds": 1,
+        }
+        experiment.update(mutation)
+        with pytest.raises(ValueError, match=needle):
+            spec_from_dict({"title": "t", "experiment": [experiment]})
+
+
+class TestRobustnessGolden:
+    """The degradation report is a pure function of its spec.
+
+    These are the pytest half of the CI golden diff: the committed
+    artifacts under ``tests/golden/robustness_report/`` pin the exact
+    bytes, and serial / parallel / warm-cache regenerations must all
+    reproduce them.
+    """
+
+    @pytest.fixture(scope="class")
+    def robustness_spec(self):
+        return load_spec(ROBUSTNESS_SPEC)
+
+    def test_golden_directory_is_complete(self):
+        names = set(_artifact_map(ROBUSTNESS_GOLDEN))
+        assert names == {"index.md", "mst_degradation.md", "mst_degradation.csv"}
+
+    @pytest.mark.parametrize(
+        "variant,kwargs",
+        [("serial", {}), ("parallel", {"jobs": 2})],
+    )
+    def test_regenerated_report_matches_golden(
+        self, robustness_spec, tmp_path, variant, kwargs
+    ):
+        result = generate_report(robustness_spec, tmp_path / variant, **kwargs)
+        assert result.all_correct
+        regenerated = _artifact_map(tmp_path / variant)
+        golden = _artifact_map(ROBUSTNESS_GOLDEN)
+        assert set(regenerated) == set(golden)
+        for name in sorted(golden):
+            assert regenerated[name] == golden[name], f"{variant}: {name} drifted"
+
+    def test_cold_vs_warm_cache_identical(self, robustness_spec, tmp_path):
+        cache = tmp_path / "cache"
+        cold = generate_report(robustness_spec, tmp_path / "cold", cache_dir=str(cache))
+        warm = generate_report(robustness_spec, tmp_path / "warm", cache_dir=str(cache))
+        assert cold.all_correct and warm.all_correct
+        assert _artifact_map(tmp_path / "cold") == _artifact_map(ROBUSTNESS_GOLDEN)
+        assert _artifact_map(tmp_path / "warm") == _artifact_map(ROBUSTNESS_GOLDEN)
 
 
 # ------------------------------------------------------------------ #

@@ -308,3 +308,151 @@ class TestEngine:
         result = run_sync(g, lambda ctx: HaltEarly())
         assert result.outputs[0] == "early"
         assert result.outputs[1] == ("late", ())
+
+
+class TestIdleSchedulingEdgeCases:
+    """The idle fast-forward's corner cases, pinned directly.
+
+    These paths were previously exercised only through golden reports
+    (the GHS baseline is the heaviest idle_until user); here each edge
+    is hit with a purpose-built two-node program.
+    """
+
+    def test_idle_until_a_past_round_is_a_no_op(self):
+        # a hint for a round that already passed must not skip anything:
+        # the node keeps being invoked every round
+        invocations = []
+
+        class StaleHint(NodeProgram):
+            def init(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                invocations.append((ctx.node_id, ctx.round))
+                ctx.idle_until(max(ctx.round - 3, 0))  # always in the past
+                if ctx.round == 4:
+                    ctx.halt(ctx.round)
+
+        result = run_sync(path_graph(2, seed=0), lambda ctx: StaleHint())
+        assert result.completed
+        assert [r for node, r in invocations if node == 0] == [1, 2, 3, 4]
+        assert result.metrics.rounds == 4
+
+    def test_idle_hint_in_init_is_not_honoured(self):
+        # the engine samples the wake hint after on_round invocations
+        # only; a hint set during init does not survive into round 1
+        # (programs with fixed schedules set their first hint in round 1,
+        # exactly as the GHS baseline does)
+        rounds_seen = []
+
+        class HintInInit(NodeProgram):
+            def init(self, ctx):
+                ctx.idle_until(10)
+
+            def on_round(self, ctx, inbox):
+                rounds_seen.append(ctx.round)
+                ctx.halt(ctx.round)
+
+        result = run_sync(path_graph(2, seed=0), lambda ctx: HintInInit())
+        assert result.completed
+        assert rounds_seen == [1, 1]  # both nodes invoked immediately
+
+    def test_idle_skip_charges_exactly_the_skipped_rounds(self):
+        class SleepThenHalt(NodeProgram):
+            def init(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1:
+                    ctx.idle_until(10)
+                else:
+                    assert ctx.round == 10  # never invoked during the skip
+                    ctx.halt(ctx.round)
+
+        result = run_sync(path_graph(2, seed=0), lambda ctx: SleepThenHalt())
+        assert result.completed
+        assert result.outputs == {0: 10, 1: 10}
+        m = result.metrics
+        assert m.rounds == 10
+        assert m.total_messages == 0
+        # the skipped rounds appear as explicit zero-message entries
+        assert m.messages_per_round == [0] * 10
+
+    def test_idle_across_the_final_flush(self):
+        # one node sends and halts immediately; the other sleeps past the
+        # flush round.  The flush must charge the undelivered bits in wire
+        # round 1 and the sleeper must still wake at its hinted round.
+        class SendOrSleep(NodeProgram):
+            def init(self, ctx):
+                if ctx.node_id == 0:
+                    for p in ctx.ports():
+                        ctx.send(p, 7)
+                    ctx.halt("sender")
+                else:
+                    ctx.idle_until(5)
+
+            def on_round(self, ctx, inbox):
+                if inbox:
+                    # the in-flight message wakes the sleeper in round 1,
+                    # before its hinted round
+                    ctx.halt(("woken", ctx.round))
+                else:  # pragma: no cover - the wake-on-message path wins
+                    ctx.halt(("timer", ctx.round))
+
+        result = run_sync(path_graph(2, seed=0), lambda ctx: SendOrSleep())
+        assert result.completed
+        assert result.outputs[1] == ("woken", 1)
+        assert result.metrics.undelivered_messages == 0
+
+    def test_idle_rounds_and_undelivered_messages_compose(self):
+        # idle skip first, then a flush with undelivered bits: both
+        # record_idle_rounds and record_undelivered must land in the
+        # metrics of the same run
+        class LateSender(NodeProgram):
+            def init(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1:
+                    ctx.idle_until(4)
+                    return
+                # both nodes wake in round 4, send, and halt: the messages
+                # are in flight with nobody left to read them
+                for p in ctx.ports():
+                    ctx.send(p, 9)
+                ctx.halt(ctx.round)
+
+        result = run_sync(path_graph(2, seed=0), lambda ctx: LateSender())
+        assert result.completed
+        m = result.metrics
+        # round 1 computes the hint, rounds 2-3 idle, round 4 computes,
+        # round 5 is the flush
+        assert m.rounds == 5
+        assert m.messages_per_round == [0, 0, 0, 0, 2]
+        assert m.total_messages == 2
+        assert m.undelivered_messages == 2
+
+    def test_adversary_engine_idle_fast_forward_matches_sync(self):
+        # the adversary advances its logical and physical clocks together
+        # through an idle skip; at the null fault the skip is identical
+        from repro.simulator.adversary import AdversaryEngine
+
+        class SleepPingHalt(NodeProgram):
+            def init(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                if ctx.round == 1:
+                    ctx.idle_until(6)
+                elif ctx.round == 6:
+                    for p in ctx.ports():
+                        ctx.send(p, ctx.node_id)
+                    ctx.idle_until(8)
+                else:
+                    ctx.halt(sorted(inbox.values()))
+
+        g = cycle_graph(4, seed=1)
+        sync = SyncEngine(g, lambda ctx: SleepPingHalt()).run()
+        null = AdversaryEngine(g, lambda ctx: SleepPingHalt()).run()
+        assert null == sync
+        assert sync.metrics.rounds == 7
