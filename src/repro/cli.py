@@ -32,6 +32,15 @@ The CLI exposes the library's main workflows without writing any Python:
     hash can reference), ``migrate`` (import a JSON cache directory).
 ``lowerbound``
     The Theorem-1 fooling-family experiment and pigeonhole table.
+``serve``
+    The fault-tolerant sweep service: an HTTP daemon that accepts spec
+    submissions, deduplicates identical workloads by content hash, and
+    executes them through a durable lease queue (``--queue-dir``)
+    drained by crash-safe workers.  SIGTERM drains gracefully.
+``worker``
+    Attach one extra worker process to a queue directory (``repro
+    serve`` spawns its own; this adds capacity from other shells or
+    machines sharing the filesystem).
 
 Every command is deterministic given ``--seed``; ``sweep --jobs N``
 produces byte-identical output to the serial path, and so do
@@ -812,6 +821,47 @@ def _cmd_lowerbound(args: argparse.Namespace) -> int:
     return 0 if experiment.premises_hold else 1
 
 
+def _retry_policy_from_args(args: argparse.Namespace) -> Any:
+    from repro.service.retry import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=args.max_attempts,
+        backoff_base=args.backoff_base,
+        backoff_cap=args.backoff_cap,
+        task_timeout=args.task_timeout,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import serve
+
+    return serve(
+        Path(args.queue_dir),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        policy=_retry_policy_from_args(args),
+        lease_ttl=args.lease_ttl,
+        poll_interval=args.poll_interval,
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.worker import run_worker
+
+    processed = run_worker(
+        Path(args.queue_dir),
+        policy=_retry_policy_from_args(args),
+        lease_ttl=args.lease_ttl,
+        poll_interval=args.poll_interval,
+        max_items=args.max_items,
+        idle_exit=args.idle_exit,
+        install_signal_handlers=True,
+    )
+    print(f"worker: processed {processed} item(s)", file=sys.stderr)
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
@@ -1034,6 +1084,96 @@ def build_parser() -> argparse.ArgumentParser:
     lb_parser.add_argument("--i", type=int, default=4, help="spine position of the target node")
     lb_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
+    def _add_service_arguments(service_parser: argparse.ArgumentParser) -> None:
+        service_parser.add_argument(
+            "--queue-dir",
+            required=True,
+            metavar="DIR",
+            help="service state directory: lease queue, result store, manifests, artifacts",
+        )
+        service_parser.add_argument(
+            "--lease-ttl",
+            type=float,
+            default=30.0,
+            help="seconds a lease lives between heartbeats before the item is re-leased",
+        )
+        service_parser.add_argument(
+            "--poll-interval",
+            type=float,
+            default=0.5,
+            help="seconds an idle worker (or waiting job) sleeps between queue polls",
+        )
+        service_parser.add_argument(
+            "--max-attempts",
+            type=int,
+            default=3,
+            help="executions an item gets before quarantine (crashes count)",
+        )
+        service_parser.add_argument(
+            "--backoff-base",
+            type=float,
+            default=0.25,
+            help="base seconds of the seeded exponential backoff between retries",
+        )
+        service_parser.add_argument(
+            "--backoff-cap",
+            type=float,
+            default=30.0,
+            help="ceiling seconds of the retry backoff",
+        )
+        service_parser.add_argument(
+            "--task-timeout",
+            type=float,
+            default=120.0,
+            help="wall-clock seconds granted per task before its worker kills the execution",
+        )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="fault-tolerant sweep service over a durable lease queue",
+        description=(
+            "Run the HTTP daemon: POST a TOML/JSON spec to /jobs and workers "
+            "execute it through a crash-safe lease queue. Identical submissions "
+            "collapse onto one content-addressed job; artifacts are "
+            "byte-identical to a local run. SIGTERM drains gracefully and "
+            "running jobs resume on restart."
+        ),
+    )
+    _add_service_arguments(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 picks a free one)"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes to spawn"
+    )
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="attach one worker process to a service queue directory",
+        description=(
+            "Lease task groups from --queue-dir, execute each in a killable "
+            "subprocess with heartbeats and a wall-clock timeout, and commit "
+            "results to the shared store. SIGTERM finishes the in-flight item "
+            "and exits."
+        ),
+    )
+    _add_service_arguments(worker_parser)
+    worker_parser.add_argument(
+        "--max-items",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after processing N items (default: run until signalled)",
+    )
+    worker_parser.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long without leasable work (default: keep polling)",
+    )
+
     return parser
 
 
@@ -1046,6 +1186,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "store": _cmd_store,
     "lowerbound": _cmd_lowerbound,
+    "serve": _cmd_serve,
+    "worker": _cmd_worker,
 }
 
 

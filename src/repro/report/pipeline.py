@@ -296,6 +296,7 @@ def generate_report(
     cache_backend: str = DEFAULT_CACHE_BACKEND,
     resume: bool = False,
     progress: bool = False,
+    executor: Optional[Any] = None,
 ) -> ReportResult:
     """Execute every experiment of ``spec`` and write its artifacts.
 
@@ -310,6 +311,10 @@ def generate_report(
     stderr.  The grouped executor pays off here in particular: a spec
     grid names the same ``(family, n, seed)`` instance once per scheme
     and per baseline, and grouping builds it exactly once overall.
+    ``executor`` swaps the execution backend wholesale (the sweep
+    service passes a :class:`~repro.service.queue.QueueExecutor` so
+    workers do the running) — planning, caching and rendering are
+    untouched, which is why service artifacts stay byte-identical.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -325,6 +330,7 @@ def generate_report(
         resume=resume,
         progress=progress,
         progress_label="report",
+        executor=executor,
     )
 
     result = ReportResult(spec=spec, out_dir=out, tasks_run=len(flat))

@@ -80,6 +80,7 @@ __all__ = [
     "TradeoffExperiment",
     "experiment_artifact_names",
     "load_spec",
+    "parse_spec_text",
     "spec_from_dict",
 ]
 
@@ -493,7 +494,28 @@ def load_spec(path: Union[str, Path]) -> ReportSpec:
         raw = path.read_bytes()
     except OSError as exc:
         raise ValueError(f"cannot read spec {path}: {exc}") from exc
-    if path.suffix == ".toml":
+    if path.suffix not in (".toml", ".json"):
+        raise ValueError(f"spec {path} must be a .toml or .json file")
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ValueError(f"cannot parse spec {path}: {exc}") from exc
+    return parse_spec_text(
+        text, fmt=path.suffix[1:], source=path.name, where=f"spec {path}"
+    )
+
+
+def parse_spec_text(
+    text: str, fmt: str, source: str = "", where: str = "spec"
+) -> ReportSpec:
+    """Parse and validate a spec document from text (``toml`` or ``json``).
+
+    The parsing half of :func:`load_spec`, split out so callers holding a
+    document that never touched the filesystem — the ``repro serve`` HTTP
+    daemon receives specs as request bodies — validate through exactly
+    the same path as files.  ``where`` names the document in errors.
+    """
+    if fmt == "toml":
         try:
             import tomllib
         except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
@@ -505,14 +527,14 @@ def load_spec(path: Union[str, Path]) -> ReportSpec:
                     "package; use a .json spec instead"
                 ) from None
         try:
-            data = tomllib.loads(raw.decode("utf-8"))
-        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
-            raise ValueError(f"cannot parse TOML spec {path}: {exc}") from exc
-    elif path.suffix == ".json":
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ValueError(f"cannot parse TOML {where}: {exc}") from exc
+    elif fmt == "json":
         try:
-            data = json.loads(raw.decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise ValueError(f"cannot parse JSON spec {path}: {exc}") from exc
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"cannot parse JSON {where}: {exc}") from exc
     else:
-        raise ValueError(f"spec {path} must be a .toml or .json file")
-    return spec_from_dict(data, source=path.name)
+        raise ValueError(f"{where} must be toml or json, got {fmt!r}")
+    return spec_from_dict(data, source=source)

@@ -33,11 +33,27 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Iterable, List, Optional, Set
+from typing import Any, Iterable, List, Optional, Set
 
-__all__ = ["MANIFEST_VERSION", "RunManifest", "run_id_for"]
+__all__ = ["MANIFEST_VERSION", "RunManifest", "atomic_write_json", "run_id_for"]
 
 MANIFEST_VERSION = 1
+
+
+def atomic_write_json(path: Path, payload: Any) -> None:
+    """Atomically (re)write one JSON checkpoint file.
+
+    Temp file + ``os.replace`` in the target directory: a reader can
+    observe the old checkpoint or the new one, never a torn write.  This
+    is the single checkpoint discipline of the runner *and* the sweep
+    service — run manifests, queue job records and service artifacts
+    metadata all go through here, so "how job state reaches disk" has
+    exactly one implementation to audit.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    os.replace(tmp, path)
 
 
 def run_id_for(keys: Iterable[Optional[str]]) -> str:
@@ -112,14 +128,13 @@ class RunManifest:
 
     def checkpoint(self) -> None:
         """Atomically rewrite the ledger (temp file + ``os.replace``)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "version": MANIFEST_VERSION,
-            "run_id": self.run_id,
-            "total": self.total,
-            "finished": self.finished,
-            "completed": sorted(self.completed),
-        }
-        tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
-        os.replace(tmp, self.path)
+        atomic_write_json(
+            self.path,
+            {
+                "version": MANIFEST_VERSION,
+                "run_id": self.run_id,
+                "total": self.total,
+                "finished": self.finished,
+                "completed": sorted(self.completed),
+            },
+        )

@@ -44,8 +44,11 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.runner.cache import ResultCache
 from repro.runner.manifest import RunManifest
@@ -62,7 +65,7 @@ from repro.runner.progress import ProgressReporter
 from repro.runner.store import DEFAULT_CACHE_BACKEND, SQLiteResultStore, open_result_store
 from repro.runner.tasks import SweepTask
 
-__all__ = ["execute_task", "run_tasks", "GROUPING_MODES"]
+__all__ = ["LocalExecutor", "execute_task", "run_tasks", "GROUPING_MODES"]
 
 #: accepted values of ``run_tasks(..., grouping=...)``
 GROUPING_MODES = ("instance", "seed-stack", "none")
@@ -108,19 +111,183 @@ def _execute_group_chunk(
     return rows, stats.stage_seconds
 
 
-def _pool(jobs: int):
+def _fork_context():
     # fork shares the parent's sys.path (the repo may be run straight
     # from a checkout, without installation); fall back to the platform
     # default where fork does not exist
     try:
-        ctx = multiprocessing.get_context("fork")
+        return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
-        ctx = multiprocessing.get_context()
-    return ctx.Pool(processes=jobs)
+        return multiprocessing.get_context()
 
 
 def _chunked(items: Sequence[Any], size: int) -> List[List[Any]]:
     return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+class LocalExecutor:
+    """The default miss executor: in-process, or a local process pool.
+
+    ``run_tasks`` plans the cache misses and hands the resulting units to
+    an *executor*; this one runs them here (``jobs=1``) or fans chunks of
+    them over worker processes.  The sweep service plugs in a
+    :class:`repro.service.queue.QueueExecutor` instead, which routes the
+    same units through a durable lease queue — planning, caching and
+    byte-identity live in ``run_tasks`` and are shared by construction.
+
+    The pool survives worker death: a SIGKILLed or OOM-killed worker used
+    to strand ``Pool.imap`` forever — now the broken pool is detected,
+    every chunk whose result was lost is requeued **once** on a fresh
+    pool (with a warning on stderr), and a chunk lost twice raises
+    instead of looping (it is killing its workers, which deserves a
+    poison-task error, not an infinite respawn).
+    """
+
+    #: how often one chunk may take a worker down before it is treated as
+    #: poison (the satellite contract: requeue the lost group once)
+    MAX_CHUNK_REQUEUES = 1
+
+    def __init__(self, jobs: int = 1, chunksize: Optional[int] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.chunksize = chunksize
+
+    # ------------------------------------------------------------------ #
+    # the executor contract (run_units / run_task_list)
+    # ------------------------------------------------------------------ #
+
+    def run_units(
+        self,
+        units: Sequence[Union[TaskGroup, StackedGroup]],
+        commit: Callable[[List[Tuple[int, Dict[str, Any]]]], None],
+        stats: Optional[ExecutionStats] = None,
+    ) -> None:
+        """Execute planned groups; ``commit`` receives ``(miss_index, row)``
+        batches in deterministic (plan) order."""
+        if self.jobs > 1 and len(units) > 1:
+            chunks = _chunked(units, max(1, math.ceil(len(units) / (self.jobs * 4))))
+
+            def _deliver(_, result: Tuple[List[Tuple[int, Dict[str, Any]]], Dict[str, float]]) -> None:
+                chunk_rows, stage_seconds = result
+                commit(list(chunk_rows))
+                if stats is not None:
+                    stats.merge_stage_dict(stage_seconds)
+
+            self._run_chunks(_execute_group_chunk, chunks, _deliver)
+            return
+        for unit in units:
+            if isinstance(unit, StackedGroup):
+                commit(StackedContext(unit, stats=stats).execute_all())
+            else:
+                context = InstanceContext(stats=stats)
+                commit(
+                    [
+                        (index, context.execute(task))
+                        for index, task in zip(unit.indices, unit.tasks)
+                    ]
+                )
+
+    def run_task_list(
+        self,
+        tasks: Sequence[SweepTask],
+        commit: Callable[[List[Tuple[int, Dict[str, Any]]]], None],
+    ) -> None:
+        """Execute ungrouped tasks; ``commit`` receives ``(position, row)``
+        batches in task order (the historical ``grouping="none"`` path)."""
+        if self.jobs > 1 and len(tasks) > 1:
+            chunksize = self.chunksize
+            if chunksize is None:
+                chunksize = max(1, math.ceil(len(tasks) / (self.jobs * 4)))
+            chunks = _chunked(tasks, chunksize)
+            offsets = [0]
+            for chunk in chunks:
+                offsets.append(offsets[-1] + len(chunk))
+
+            def _deliver(index: int, chunk_rows: List[Dict[str, Any]]) -> None:
+                commit(
+                    [(offsets[index] + i, row) for i, row in enumerate(chunk_rows)]
+                )
+
+            self._run_chunks(_execute_chunk, chunks, _deliver)
+            return
+        for position, task in enumerate(tasks):
+            commit([(position, execute_task(task))])
+
+    # ------------------------------------------------------------------ #
+    # pool plumbing with dead-worker recovery
+    # ------------------------------------------------------------------ #
+
+    def _run_chunks(
+        self,
+        fn: Callable[[Any], Any],
+        chunks: Sequence[Any],
+        deliver: Callable[[int, Any], None],
+    ) -> None:
+        """Run ``fn`` over every chunk on a process pool, delivering results
+        in submission order as they stream back.
+
+        A dead worker breaks the whole :class:`ProcessPoolExecutor`;
+        completed futures keep their results, so only the chunks whose
+        results were actually lost are resubmitted (each at most
+        :data:`MAX_CHUNK_REQUEUES` times) on a fresh pool.  Delivery order
+        is unaffected: chunk *i* is always delivered after chunk *i - 1*,
+        exactly like the ordered ``imap`` this replaces, so the cache /
+        checkpoint write sequence stays deterministic.
+        """
+        results: Dict[int, Any] = {}
+        requeues: Dict[int, int] = {}
+        next_to_deliver = 0
+        while next_to_deliver < len(chunks):
+            to_run = [
+                i for i in range(next_to_deliver, len(chunks)) if i not in results
+            ]
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, max(1, len(to_run))),
+                mp_context=_fork_context(),
+            )
+            broken = False
+            try:
+                futures = {i: pool.submit(fn, chunks[i]) for i in to_run}
+                for i in range(next_to_deliver, len(chunks)):
+                    if i not in results:
+                        try:
+                            results[i] = futures[i].result()
+                        except BrokenProcessPool:
+                            broken = True
+                            break
+                    deliver(i, results.pop(i))
+                    next_to_deliver = i + 1
+                if not broken:
+                    return
+                # the pool died under us: harvest every future that did
+                # complete (their results are intact), then requeue the rest
+                for j, future in futures.items():
+                    if j in results or j < next_to_deliver or not future.done():
+                        continue
+                    try:
+                        results[j] = future.result()
+                    except BrokenProcessPool:
+                        pass
+                lost = [
+                    j for j in to_run if j >= next_to_deliver and j not in results
+                ]
+                for j in lost:
+                    requeues[j] = requeues.get(j, 0) + 1
+                    if requeues[j] > self.MAX_CHUNK_REQUEUES:
+                        raise RuntimeError(
+                            f"worker process died twice executing the same task "
+                            f"group (chunk {j + 1}/{len(chunks)}); giving up on a "
+                            "workload that keeps killing its workers"
+                        )
+                print(
+                    f"warning: a worker process died (killed or crashed); "
+                    f"requeued {len(lost)} lost task group chunk(s) on a fresh "
+                    "pool",
+                    file=sys.stderr,
+                )
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_tasks(
@@ -134,6 +301,7 @@ def run_tasks(
     resume: bool = False,
     progress: bool = False,
     progress_label: str = "tasks",
+    executor: Optional[Any] = None,
 ) -> List[Dict[str, Any]]:
     """Execute every task and return their rows **in task order**.
 
@@ -149,10 +317,19 @@ def run_tasks(
     reports done/total + ETA on stderr.  ``stats`` may be an
     :class:`~repro.runner.plan.ExecutionStats` to be filled with cache
     counters and the per-stage timing breakdown.
+
+    ``executor`` plugs in how planned misses actually run: by default a
+    :class:`LocalExecutor` built from ``jobs``/``chunksize``; the sweep
+    service passes a ``QueueExecutor`` that routes the identical units
+    through its durable lease queue.  Planning, cache lookups,
+    checkpointing and row order are identical either way — which is what
+    keeps serial, ``--jobs N`` and service execution byte-identical.
     """
     task_list = list(tasks)
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if executor is None:
+        executor = LocalExecutor(jobs=jobs, chunksize=chunksize)
     if grouping not in GROUPING_MODES:
         raise ValueError(
             f"grouping must be one of {', '.join(GROUPING_MODES)}, got {grouping!r}"
@@ -225,6 +402,11 @@ def run_tasks(
             reporter.add_executed(len(batch))
 
     misses = [task_list[i] for i in miss_indices]
+
+    def _commit_miss_rows(pairs: List[Tuple[int, Dict[str, Any]]]) -> None:
+        # executors speak miss-list positions; translate to task indices
+        _commit([(miss_indices[i], row) for i, row in pairs])
+
     try:
         if misses:
             if grouping in ("instance", "seed-stack"):
@@ -240,50 +422,9 @@ def run_tasks(
                     stats.stacked_groups += sum(
                         1 for unit in units if isinstance(unit, StackedGroup)
                     )
-                if jobs > 1 and len(misses) > 1:
-                    chunks = _chunked(units, max(1, math.ceil(len(units) / (jobs * 4))))
-                    with _pool(jobs) as pool:
-                        # ordered imap: chunks stream back as they finish, so
-                        # each one is committed (and checkpointed) without
-                        # waiting for the whole sweep
-                        for chunk_rows, stage_seconds in pool.imap(
-                            _execute_group_chunk, chunks
-                        ):
-                            _commit(
-                                [(miss_indices[i], row) for i, row in chunk_rows]
-                            )
-                            if stats is not None:
-                                stats.merge_stage_dict(stage_seconds)
-                else:
-                    for unit in units:
-                        if isinstance(unit, StackedGroup):
-                            rows = StackedContext(unit, stats=stats).execute_all()
-                            _commit([(miss_indices[i], row) for i, row in rows])
-                        else:
-                            context = InstanceContext(stats=stats)
-                            _commit(
-                                [
-                                    (miss_indices[i], context.execute(task))
-                                    for i, task in zip(unit.indices, unit.tasks)
-                                ]
-                            )
-            elif jobs > 1 and len(misses) > 1:
-                if chunksize is None:
-                    chunksize = max(1, math.ceil(len(misses) / (jobs * 4)))
-                chunks = _chunked(misses, chunksize)
-                offset = 0
-                with _pool(jobs) as pool:
-                    for chunk_rows in pool.imap(_execute_chunk, chunks):
-                        _commit(
-                            [
-                                (miss_indices[offset + i], row)
-                                for i, row in enumerate(chunk_rows)
-                            ]
-                        )
-                        offset += len(chunk_rows)
+                executor.run_units(units, _commit_miss_rows, stats=stats)
             else:
-                for i, task in enumerate(misses):
-                    _commit([(miss_indices[i], execute_task(task))])
+                executor.run_task_list(misses, _commit_miss_rows)
     finally:
         if reporter is not None:
             reporter.close()

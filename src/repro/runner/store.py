@@ -40,9 +40,11 @@ of SQLite files:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import sqlite3
+import time
 import zlib
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
@@ -51,7 +53,9 @@ from repro.runner.cache import CACHE_VERSION, ResultCache
 
 __all__ = [
     "CACHE_BACKENDS",
+    "DEFAULT_BUSY_TIMEOUT_MS",
     "DEFAULT_CACHE_BACKEND",
+    "DEFAULT_LOCK_RETRIES",
     "DEFAULT_SHARDS",
     "STORE_SCHEMA_VERSION",
     "SQLiteResultStore",
@@ -76,7 +80,45 @@ CACHE_BACKENDS = ("json", "sqlite")
 #: the backend used when a plain directory path is given
 DEFAULT_CACHE_BACKEND = "sqlite"
 
+#: how long one SQLite call waits on another writer before raising
+#: ``database is locked`` — set explicitly with ``PRAGMA busy_timeout``
+#: (the ``connect(timeout=...)`` handler alone is invisible to
+#: introspection and silently reset by some pragmas)
+DEFAULT_BUSY_TIMEOUT_MS = 30_000
+
+#: bounded retries a write gets after ``database is locked`` surfaces
+#: *despite* the busy timeout (WAL checkpoint starvation under many
+#: long-lived writers); each retry sleeps a seeded exponential backoff,
+#: then the error is real and raises
+DEFAULT_LOCK_RETRIES = 5
+
+#: first lock-retry delay in seconds (doubles per attempt, capped)
+_LOCK_BACKOFF_BASE = 0.05
+_LOCK_BACKOFF_CAP = 2.0
+
 ResultStore = Union[ResultCache, "SQLiteResultStore"]
+
+
+def _is_locked(exc: sqlite3.Error) -> bool:
+    """Whether an error is SQLite's transient lock/busy condition."""
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    message = str(exc)
+    return "database is locked" in message or "database table is locked" in message
+
+
+def _lock_backoff_delay(token: str, attempt: int) -> float:
+    """The seeded backoff before lock-retry ``attempt`` (0-based).
+
+    Exponential with a deterministic jitter derived from ``token`` (the
+    shard identity plus the writer's pid), so concurrent writers that
+    collided once fan out over different moments instead of stampeding
+    the shard again in lockstep — without drawing from any global RNG.
+    """
+    base = min(_LOCK_BACKOFF_CAP, _LOCK_BACKOFF_BASE * (2**attempt))
+    digest = hashlib.sha256(f"{token}:{attempt}".encode("utf-8")).digest()
+    jitter = int.from_bytes(digest[:4], "big") / 2**32  # [0, 1)
+    return base * (0.5 + jitter)
 
 
 def open_result_store(
@@ -105,9 +147,20 @@ def open_result_store(
 class SQLiteResultStore:
     """N SQLite shard files implementing the ``ResultCache`` contract."""
 
-    def __init__(self, directory: Union[str, Path], shards: int = DEFAULT_SHARDS) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        shards: int = DEFAULT_SHARDS,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+        lock_retries: int = DEFAULT_LOCK_RETRIES,
+    ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        #: lock-contention posture: how long a call blocks inside SQLite
+        #: before ``database is locked``, and how many seeded-backoff
+        #: retries a write gets on top (tests shrink both)
+        self.busy_timeout_ms = busy_timeout_ms
+        self.lock_retries = lock_retries
         self.directory = Path(directory)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -198,10 +251,15 @@ class SQLiteResultStore:
 
     def _connect(self, index: int) -> sqlite3.Connection:
         conn = sqlite3.connect(
-            self.path_for_shard(index), timeout=30.0, isolation_level=None
+            self.path_for_shard(index),
+            timeout=self.busy_timeout_ms / 1000.0,
+            isolation_level=None,
         )
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
+        # explicit busy handler: connect(timeout=...) sets the same thing,
+        # but the pragma survives later pragma churn and is inspectable
+        conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout_ms)}")
         conn.execute("CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
         row = conn.execute("SELECT value FROM meta WHERE key='schema_version'").fetchone()
         if row is not None and row[0] != str(STORE_SCHEMA_VERSION):
@@ -353,8 +411,14 @@ class SQLiteResultStore:
             or "not a database" in message
         )
 
+    #: sleeping primitive of the lock-retry loop (tests stub it to count
+    #: backoffs without waiting them out)
+    _sleep = staticmethod(time.sleep)
+
     def _upsert_shard(self, index: int, rows: List[Tuple[str, str, str]]) -> None:
-        for attempt in (0, 1):
+        lock_attempts = 0
+        recovered = False
+        while True:
             try:
                 conn = self._conn(index)
                 conn.execute("BEGIN IMMEDIATE")
@@ -372,12 +436,23 @@ class SQLiteResultStore:
                     raise
                 return
             except sqlite3.Error as exc:
-                # a corrupt shard file is rebuilt once and the write
-                # retried; anything else (locked, disk full, a bug) is a
+                # three tiers: a transient lock gets bounded seeded-backoff
+                # retries (long-lived service writers must not surface it
+                # as a failure); a corrupt shard file is rebuilt once and
+                # the write retried; anything else (disk full, a bug) is a
                 # real error worth surfacing — never grounds for deleting
                 # committed rows
-                if attempt or not self._is_corruption(exc):
+                if _is_locked(exc) and lock_attempts < self.lock_retries:
+                    self._sleep(
+                        _lock_backoff_delay(
+                            f"{self.directory}:{index}:{os.getpid()}", lock_attempts
+                        )
+                    )
+                    lock_attempts += 1
+                    continue
+                if recovered or not self._is_corruption(exc):
                     raise
+                recovered = True
                 self._recover_shard(index)
 
     # ------------------------------------------------------------------ #

@@ -33,7 +33,14 @@ from repro.runner.registry import build_graph
 from repro.simulator.adversary import FaultSpec
 from repro.simulator.backends import BACKENDS
 
-__all__ = ["GraphSpec", "SweepTask", "TASK_FORMAT_VERSION", "backend_version"]
+__all__ = [
+    "GraphSpec",
+    "SweepTask",
+    "TASK_FORMAT_VERSION",
+    "backend_version",
+    "task_from_wire",
+    "task_to_wire",
+]
 
 #: bump when the result-row or hashing format changes; stored inside the
 #: hash input so stale cache entries can never be mistaken for fresh ones
@@ -281,3 +288,69 @@ class SweepTask:
     def build_graph(self) -> PortNumberedGraph:
         """Materialise this task's graph instance."""
         return self.graph(self.n, self.seed)
+
+
+def task_to_wire(task: SweepTask) -> Dict[str, Any]:
+    """A JSON-able description of one *cacheable* task.
+
+    The sweep service ships task groups through its lease queue as plain
+    JSON, so only tasks with a declarative identity — registry-name
+    target plus :class:`GraphSpec` graph — can travel; ad-hoc scheme
+    instances and factory closures have no wire form (they cannot be
+    cached either, for the same reason).
+
+    >>> task = SweepTask("scheme", "theorem3", GraphSpec("random", 0.1), 16, 0)
+    >>> task_from_wire(task_to_wire(task)) == task
+    True
+    """
+    if not task.cacheable:
+        raise ValueError(
+            "only cacheable tasks (registry-name target + GraphSpec graph) "
+            "have a wire form"
+        )
+    return {
+        "kind": task.kind,
+        "problem": task.problem,
+        "target": task.target,
+        "family": task.graph.family,
+        "density": task.graph.density,
+        "n": task.n,
+        "seed": task.seed,
+        "root": task.root,
+        "backend": task.backend,
+        "fault": (
+            {
+                "delta": task.fault.delta,
+                "crash_rate": task.fault.crash_rate,
+                "recovery": task.fault.recovery,
+                "churn": task.fault.churn,
+            }
+            if task.fault is not None
+            else None
+        ),
+    }
+
+
+def task_from_wire(payload: Dict[str, Any]) -> SweepTask:
+    """Rebuild a :class:`SweepTask` from its :func:`task_to_wire` form.
+
+    Validation is the constructors' own — a malformed payload raises the
+    same :class:`ValueError`/:class:`TypeError` a direct construction
+    would, which is what lets the sweep service treat undecodable queue
+    items as failed (and eventually quarantined) work instead of crashing
+    the worker.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"wire task must be a dict, got {type(payload).__name__}")
+    fault = payload.get("fault")
+    return SweepTask(
+        kind=payload["kind"],
+        target=payload["target"],
+        graph=GraphSpec(payload["family"], payload["density"]),
+        n=payload["n"],
+        seed=payload["seed"],
+        root=payload.get("root", 0),
+        backend=payload.get("backend", "engine"),
+        problem=payload.get("problem", DEFAULT_PROBLEM),
+        fault=FaultSpec(**fault) if fault is not None else None,
+    )

@@ -1,0 +1,650 @@
+"""Durable lease queue of task groups, and the executor that drains it.
+
+One SQLite database (``queue.sqlite``, WAL, same directory as the result
+store's shards) holds everything the service needs to survive crashes:
+
+``jobs``
+    one row per submitted sweep, keyed by the content-addressed job id
+    (:func:`repro.runner.manifest.run_id_for` over the sweep's ordered
+    task hashes — identical submissions collapse onto one row);
+``items``
+    one row per *task group* (the planner's shared-instance unit),
+    keyed by a dedup hash of the group's sorted task hashes — two jobs
+    overlapping on a group enqueue it once;
+``job_items``
+    which items each job is waiting on;
+``quarantine``
+    poison items pulled out of rotation after exhausting their attempts,
+    with the error that condemned them.
+
+The delivery contract is **at least once**: a lease is a TTL claim, not
+a lock.  A worker that crashes or hangs simply stops heartbeating, its
+lease expires, and the next ``lease()`` call hands the item to someone
+else.  Running a task group twice is safe because results are committed
+to the content-addressed store keyed by task hash — the second execution
+writes byte-identical rows.  Attempts are counted at lease time, so
+crash-looping items (workers die before they can even report a failure)
+still hit the quarantine bound.
+
+:class:`QueueExecutor` adapts all of this to the runner's pluggable
+executor seam: ``run_tasks(..., executor=QueueExecutor(...))`` plans and
+commits exactly as the in-process path does, but the groups are executed
+by whatever ``repro worker`` processes are attached to the queue
+directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.runner.plan import TaskGroup
+from repro.runner.store import DEFAULT_BUSY_TIMEOUT_MS, SQLiteResultStore
+from repro.runner.tasks import task_to_wire
+
+__all__ = [
+    "DrainRequested",
+    "LeaseQueue",
+    "LeasedItem",
+    "QueueExecutor",
+    "QuarantinedTasksError",
+    "WIRE_VERSION",
+    "group_dedup_key",
+    "group_payload",
+]
+
+#: version stamp inside item payloads, bumped with the wire format
+WIRE_VERSION = 1
+
+#: SQL parameter ceiling is 999 in older SQLites; stay well under it
+_IN_CHUNK = 400
+
+QUEUE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id   TEXT PRIMARY KEY,
+    spec     TEXT NOT NULL,
+    state    TEXT NOT NULL,
+    error    TEXT,
+    created  REAL NOT NULL,
+    updated  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS items (
+    dedup_key     TEXT PRIMARY KEY,
+    payload       TEXT NOT NULL,
+    state         TEXT NOT NULL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    owner         TEXT,
+    lease_expires REAL,
+    not_before    REAL NOT NULL DEFAULT 0,
+    error         TEXT,
+    created       REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS job_items (
+    job_id    TEXT NOT NULL,
+    dedup_key TEXT NOT NULL,
+    PRIMARY KEY (job_id, dedup_key)
+);
+CREATE TABLE IF NOT EXISTS quarantine (
+    dedup_key      TEXT PRIMARY KEY,
+    payload        TEXT NOT NULL,
+    attempts       INTEGER NOT NULL,
+    error          TEXT,
+    quarantined_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_items_state ON items(state, not_before);
+"""
+
+
+class QuarantinedTasksError(RuntimeError):
+    """A job cannot finish: some of its items were quarantined.
+
+    Raised by :meth:`QueueExecutor.run_units` only after every item that
+    *can* complete has completed and been committed — one poison group
+    fails the job without discarding the rest of its work (the store and
+    manifest keep it; a resubmission after ``requeue_quarantined`` picks
+    up where it left off).
+    """
+
+    def __init__(self, keys: Sequence[str], errors: Dict[str, str]) -> None:
+        self.keys = list(keys)
+        self.errors = dict(errors)
+        detail = "; ".join(
+            f"{key[:12]}: {errors.get(key) or 'no error recorded'}" for key in self.keys
+        )
+        super().__init__(
+            f"{len(self.keys)} task group(s) quarantined after exhausting retries "
+            f"({detail}); inspect with LeaseQueue.quarantined() and requeue with "
+            f"requeue_quarantined() once the cause is fixed"
+        )
+
+
+class DrainRequested(RuntimeError):
+    """The service is shutting down; the job stays resumable, not failed."""
+
+
+@dataclass(frozen=True)
+class LeasedItem:
+    """One leased queue item: the group payload plus lease bookkeeping."""
+
+    dedup_key: str
+    payload: Dict[str, Any]
+    #: execution attempts consumed *including* this lease (1-based)
+    attempts: int
+
+
+def group_dedup_key(hashes: Sequence[str]) -> str:
+    """Content identity of a task group: sha256 over its sorted task hashes.
+
+    Sorted, so the key survives planner-side reorderings of the same
+    work; distinct from the run id, which is order-sensitive because it
+    identifies a *workload*, not a unit of it.
+    """
+    blob = json.dumps(sorted(hashes), separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def group_payload(group: TaskGroup, hashes: Sequence[str]) -> Dict[str, Any]:
+    """The wire payload a worker needs to execute ``group`` standalone."""
+    return {
+        "version": WIRE_VERSION,
+        "hashes": list(hashes),
+        "tasks": [task_to_wire(task) for task in group.tasks],
+    }
+
+
+class LeaseQueue:
+    """TTL-lease work queue over one SQLite file in the queue directory.
+
+    Connections are per-thread and per-process (the daemon's HTTP
+    handler threads, its job threads and forked workers all open their
+    own), with ``busy_timeout`` standing guard the same way it does for
+    the result store.  An injectable ``clock`` keeps lease-expiry tests
+    deterministic.
+    """
+
+    ITEM_PENDING = "pending"
+    ITEM_LEASED = "leased"
+    ITEM_DONE = "done"
+    ITEM_QUARANTINED = "quarantined"
+
+    JOB_RUNNING = "running"
+    JOB_DONE = "done"
+    JOB_FAILED = "failed"
+
+    def __init__(
+        self,
+        directory: Path,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / "queue.sqlite"
+        self.busy_timeout_ms = int(busy_timeout_ms)
+        self.clock = clock
+        self._local = threading.local()
+        # create the schema eagerly so concurrent first-touch is settled
+        # by SQLite's own locking rather than racing CREATEs later
+        with self._txn():
+            pass
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and getattr(self._local, "pid", None) == os.getpid():
+            return conn
+        # fresh connection after a fork or on first use in this thread
+        conn = sqlite3.connect(
+            str(self.path),
+            timeout=self.busy_timeout_ms / 1000.0,
+            isolation_level=None,  # explicit BEGIN IMMEDIATE below
+        )
+        conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.executescript(QUEUE_SCHEMA)
+        self._local.conn = conn
+        self._local.pid = os.getpid()
+        return conn
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    class _Txn:
+        def __init__(self, conn: sqlite3.Connection) -> None:
+            self.conn = conn
+
+        def __enter__(self) -> sqlite3.Connection:
+            self.conn.execute("BEGIN IMMEDIATE")
+            return self.conn
+
+        def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+            if exc_type is None:
+                self.conn.execute("COMMIT")
+            else:
+                self.conn.execute("ROLLBACK")
+
+    def _txn(self) -> "LeaseQueue._Txn":
+        return LeaseQueue._Txn(self._conn())
+
+    # ------------------------------------------------------------------
+    # jobs
+
+    def submit_job(self, job_id: str, spec_document: Dict[str, Any]) -> bool:
+        """Record a job; ``False`` when the job id already exists (dedup)."""
+        now = self.clock()
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO jobs (job_id, spec, state, created, updated)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (job_id, json.dumps(spec_document), self.JOB_RUNNING, now, now),
+            )
+            return cursor.rowcount == 1
+
+    def job_record(self, job_id: str) -> Optional[Dict[str, Any]]:
+        row = (
+            self._conn()
+            .execute(
+                "SELECT job_id, spec, state, error, created, updated FROM jobs"
+                " WHERE job_id = ?",
+                (job_id,),
+            )
+            .fetchone()
+        )
+        if row is None:
+            return None
+        return {
+            "job_id": row[0],
+            "spec": json.loads(row[1]),
+            "state": row[2],
+            "error": row[3],
+            "created": row[4],
+            "updated": row[5],
+        }
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        rows = self._conn().execute(
+            "SELECT job_id, state, error, created, updated FROM jobs ORDER BY created"
+        )
+        return [
+            {
+                "job_id": job_id,
+                "state": state,
+                "error": error,
+                "created": created,
+                "updated": updated,
+            }
+            for job_id, state, error, created, updated in rows
+        ]
+
+    def set_job_state(self, job_id: str, state: str, error: Optional[str] = None) -> None:
+        with self._txn() as conn:
+            conn.execute(
+                "UPDATE jobs SET state = ?, error = ?, updated = ? WHERE job_id = ?",
+                (state, error, self.clock(), job_id),
+            )
+
+    def job_progress(self, job_id: str) -> Dict[str, int]:
+        """Item-state counts for one job — the progress endpoint's source."""
+        rows = self._conn().execute(
+            "SELECT items.state, COUNT(*) FROM job_items"
+            " JOIN items ON items.dedup_key = job_items.dedup_key"
+            " WHERE job_items.job_id = ? GROUP BY items.state",
+            (job_id,),
+        )
+        counts = {
+            self.ITEM_PENDING: 0,
+            self.ITEM_LEASED: 0,
+            self.ITEM_DONE: 0,
+            self.ITEM_QUARANTINED: 0,
+        }
+        for state, count in rows:
+            counts[state] = count
+        counts["total"] = sum(counts.values())
+        return counts
+
+    # ------------------------------------------------------------------
+    # items
+
+    def enqueue(self, job_id: str, entries: Iterable[Tuple[str, Dict[str, Any]]]) -> int:
+        """Attach ``(dedup_key, payload)`` items to a job; returns new items.
+
+        ``INSERT OR IGNORE`` on the content key is the dedup: an item
+        already pending, leased or done from another job (or an earlier
+        attempt of this one) is linked, not re-executed.  A key sitting
+        in quarantine stays quarantined — resubmitting a poison task is
+        an explicit ``requeue_quarantined`` call, never a side effect.
+        """
+        now = self.clock()
+        new = 0
+        with self._txn() as conn:
+            for dedup_key, payload in entries:
+                cursor = conn.execute(
+                    "INSERT OR IGNORE INTO items (dedup_key, payload, state, created)"
+                    " VALUES (?, ?, ?, ?)",
+                    (dedup_key, json.dumps(payload), self.ITEM_PENDING, now),
+                )
+                new += cursor.rowcount
+                conn.execute(
+                    "INSERT OR IGNORE INTO job_items (job_id, dedup_key) VALUES (?, ?)",
+                    (job_id, dedup_key),
+                )
+        return new
+
+    def lease(self, owner: str, ttl: float, max_attempts: int) -> Optional[LeasedItem]:
+        """Claim the oldest runnable item for ``ttl`` seconds, or ``None``.
+
+        Runnable means pending with its backoff elapsed, *or* leased
+        with an expired lease (the previous owner is presumed dead).
+        Claiming counts an attempt; a candidate that has already burned
+        ``max_attempts`` leases is quarantined here instead of handed
+        out — that is how crash-looping items exit rotation even though
+        no worker survives long enough to report their failure.
+        """
+        while True:
+            now = self.clock()
+            with self._txn() as conn:
+                row = conn.execute(
+                    "SELECT dedup_key, payload, attempts, error FROM items"
+                    " WHERE (state = ? AND not_before <= ?)"
+                    "    OR (state = ? AND lease_expires <= ?)"
+                    " ORDER BY created, dedup_key LIMIT 1",
+                    (self.ITEM_PENDING, now, self.ITEM_LEASED, now),
+                ).fetchone()
+                if row is None:
+                    return None
+                dedup_key, payload_text, attempts, last_error = row
+                if attempts >= max_attempts:
+                    error = (
+                        last_error
+                        or f"lease expired {attempts} time(s); worker crashed or hung"
+                    )
+                    self._quarantine(conn, dedup_key, payload_text, attempts, error)
+                    continue  # next candidate, same loop
+                conn.execute(
+                    "UPDATE items SET state = ?, owner = ?, lease_expires = ?,"
+                    " attempts = attempts + 1 WHERE dedup_key = ?",
+                    (self.ITEM_LEASED, owner, now + ttl, dedup_key),
+                )
+                return LeasedItem(
+                    dedup_key=dedup_key,
+                    payload=json.loads(payload_text),
+                    attempts=attempts + 1,
+                )
+
+    def heartbeat(self, dedup_key: str, owner: str, ttl: float) -> bool:
+        """Extend a live lease; ``False`` means the lease was lost."""
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE items SET lease_expires = ? WHERE dedup_key = ?"
+                " AND owner = ? AND state = ?",
+                (self.clock() + ttl, dedup_key, owner, self.ITEM_LEASED),
+            )
+            return cursor.rowcount == 1
+
+    def complete(self, dedup_key: str, owner: str) -> bool:
+        """Mark a leased item done (results are already in the store)."""
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE items SET state = ?, owner = NULL, lease_expires = NULL,"
+                " error = NULL WHERE dedup_key = ? AND owner = ? AND state = ?",
+                (self.ITEM_DONE, dedup_key, owner, self.ITEM_LEASED),
+            )
+            return cursor.rowcount == 1
+
+    def fail(
+        self, dedup_key: str, owner: str, error: str, policy: Any
+    ) -> Optional[str]:
+        """Report a failed execution; returns the item's new state.
+
+        Under ``policy.max_attempts`` the item goes back to pending with
+        a seeded-backoff ``not_before``; at the bound it is quarantined.
+        A stale owner (lease already expired and re-claimed) changes
+        nothing and gets ``None``.
+        """
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT payload, attempts FROM items WHERE dedup_key = ?"
+                " AND owner = ? AND state = ?",
+                (dedup_key, owner, self.ITEM_LEASED),
+            ).fetchone()
+            if row is None:
+                return None
+            payload_text, attempts = row
+            if attempts >= policy.max_attempts:
+                self._quarantine(conn, dedup_key, payload_text, attempts, error)
+                return self.ITEM_QUARANTINED
+            delay = policy.backoff_delay(dedup_key, attempts)
+            conn.execute(
+                "UPDATE items SET state = ?, owner = NULL, lease_expires = NULL,"
+                " not_before = ?, error = ? WHERE dedup_key = ?",
+                (self.ITEM_PENDING, self.clock() + delay, error, dedup_key),
+            )
+            return self.ITEM_PENDING
+
+    def _quarantine(
+        self,
+        conn: sqlite3.Connection,
+        dedup_key: str,
+        payload_text: str,
+        attempts: int,
+        error: str,
+    ) -> None:
+        conn.execute(
+            "UPDATE items SET state = ?, owner = NULL, lease_expires = NULL,"
+            " error = ? WHERE dedup_key = ?",
+            (self.ITEM_QUARANTINED, error, dedup_key),
+        )
+        conn.execute(
+            "INSERT OR REPLACE INTO quarantine"
+            " (dedup_key, payload, attempts, error, quarantined_at)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (dedup_key, payload_text, attempts, error, self.clock()),
+        )
+
+    def item_states(self, keys: Sequence[str]) -> Dict[str, Tuple[str, Optional[str]]]:
+        """``{dedup_key: (state, error)}`` for the given keys, chunked."""
+        states: Dict[str, Tuple[str, Optional[str]]] = {}
+        conn = self._conn()
+        for start in range(0, len(keys), _IN_CHUNK):
+            chunk = list(keys[start : start + _IN_CHUNK])
+            marks = ",".join("?" * len(chunk))
+            rows = conn.execute(
+                f"SELECT dedup_key, state, error FROM items WHERE dedup_key IN ({marks})",
+                chunk,
+            )
+            for dedup_key, state, error in rows:
+                states[dedup_key] = (state, error)
+        return states
+
+    def quarantined(self) -> List[Dict[str, Any]]:
+        rows = self._conn().execute(
+            "SELECT dedup_key, attempts, error, quarantined_at FROM quarantine"
+            " ORDER BY quarantined_at"
+        )
+        return [
+            {
+                "dedup_key": dedup_key,
+                "attempts": attempts,
+                "error": error,
+                "quarantined_at": quarantined_at,
+            }
+            for dedup_key, attempts, error, quarantined_at in rows
+        ]
+
+    def requeue_quarantined(self, keys: Optional[Sequence[str]] = None) -> int:
+        """Put quarantined items back in rotation with a fresh attempt budget."""
+        with self._txn() as conn:
+            if keys is None:
+                keys = [
+                    row[0] for row in conn.execute("SELECT dedup_key FROM quarantine")
+                ]
+            requeued = 0
+            for dedup_key in keys:
+                cursor = conn.execute(
+                    "UPDATE items SET state = ?, attempts = 0, owner = NULL,"
+                    " lease_expires = NULL, not_before = 0, error = NULL"
+                    " WHERE dedup_key = ? AND state = ?",
+                    (self.ITEM_PENDING, dedup_key, self.ITEM_QUARANTINED),
+                )
+                requeued += cursor.rowcount
+                conn.execute("DELETE FROM quarantine WHERE dedup_key = ?", (dedup_key,))
+            return requeued
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue-wide counters for ``/healthz`` and operator eyes."""
+        items = {
+            state: count
+            for state, count in self._conn().execute(
+                "SELECT state, COUNT(*) FROM items GROUP BY state"
+            )
+        }
+        jobs = {
+            state: count
+            for state, count in self._conn().execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            )
+        }
+        return {"items": items, "jobs": jobs}
+
+
+class QueueExecutor:
+    """Runner executor that ships task groups through a :class:`LeaseQueue`.
+
+    Drop-in for :class:`repro.runner.runner.LocalExecutor` on the
+    grouped path: ``run_units`` serialises each :class:`TaskGroup`,
+    enqueues it under its content key, then polls the queue and the
+    shared result store, committing each group's rows the moment its
+    item completes.  Commit order is completion order — the rows
+    themselves are deterministic and the report layer sorts, so
+    artifacts stay byte-identical to serial execution.
+
+    Quarantined items do not block the rest of the job: the executor
+    keeps draining until only quarantined work remains, then raises
+    :class:`QuarantinedTasksError`.  A set ``stop_event`` raises
+    :class:`DrainRequested` instead, leaving the job resumable.
+    """
+
+    def __init__(
+        self,
+        queue: LeaseQueue,
+        job_id: str,
+        poll_interval: float = 0.2,
+        stop_event: Optional[threading.Event] = None,
+        store: Optional[SQLiteResultStore] = None,
+    ) -> None:
+        self.queue = queue
+        self.job_id = job_id
+        self.poll_interval = poll_interval
+        self.stop_event = stop_event
+        #: opened lazily so the executor can be built on one thread and
+        #: run on another (sqlite connections are thread-affine)
+        self._store = store
+
+    def _result_store(self) -> SQLiteResultStore:
+        if self._store is None:
+            self._store = SQLiteResultStore(self.queue.directory)
+        return self._store
+
+    def run_units(
+        self,
+        units: Sequence[Any],
+        commit: Callable[[List[Tuple[int, Dict[str, Any]]]], None],
+        stats: Optional[Any] = None,
+    ) -> None:
+        # stats stage timing happens inside the workers and is not wired
+        # back over the queue; run_tasks already counts groups and hits
+        del stats
+        # per dedup key, every planner group waiting on it — each keeps
+        # its own (indices, hashes) pairing so commit targets stay
+        # aligned even if two groups order the same tasks differently
+        pending: Dict[str, List[Tuple[Tuple[int, ...], List[str]]]] = {}
+        entries: List[Tuple[str, Dict[str, Any]]] = []
+        for unit in units:
+            if not isinstance(unit, TaskGroup):
+                raise ValueError(
+                    "service execution requires grouping='instance'; seed-stacked "
+                    "super-groups are an in-process optimisation and do not ship "
+                    "over the queue"
+                )
+            hashes = [task.task_hash() for task in unit.tasks]
+            if any(task_hash is None for task_hash in hashes):
+                raise ValueError(
+                    "service execution requires cacheable tasks; a task built from "
+                    "an ad-hoc graph factory has no content hash to dedup or "
+                    "checkpoint by"
+                )
+            dedup_key = group_dedup_key(hashes)
+            entries.append((dedup_key, group_payload(unit, hashes)))
+            pending.setdefault(dedup_key, []).append((unit.indices, hashes))
+        self.queue.enqueue(self.job_id, entries)
+
+        store = self._result_store()
+        quarantined_errors: Dict[str, str] = {}
+        while pending:
+            if self.stop_event is not None and self.stop_event.is_set():
+                raise DrainRequested(
+                    f"service draining with {len(pending)} task group(s) outstanding; "
+                    f"job {self.job_id} resumes on restart"
+                )
+            states = self.queue.item_states(list(pending))
+            for dedup_key, (state, error) in states.items():
+                if dedup_key not in pending:
+                    continue
+                if state == LeaseQueue.ITEM_DONE:
+                    waiters = pending.pop(dedup_key)
+                    batch: List[Tuple[int, Dict[str, Any]]] = []
+                    for indices, hashes in waiters:
+                        rows = self._rows_for(store, hashes)
+                        batch.extend(zip(indices, rows))
+                    commit(batch)
+                elif state == LeaseQueue.ITEM_QUARANTINED:
+                    pending.pop(dedup_key)
+                    quarantined_errors[dedup_key] = error or ""
+            if pending:
+                time.sleep(self.poll_interval)
+        if quarantined_errors:
+            raise QuarantinedTasksError(
+                sorted(quarantined_errors), quarantined_errors
+            )
+
+    def run_task_list(
+        self,
+        tasks: Sequence[Any],
+        commit: Callable[[List[Tuple[int, Dict[str, Any]]]], None],
+    ) -> None:
+        # ungrouped tasks become singleton groups: same queue, same dedup
+        units = [
+            TaskGroup(key=None, indices=(index,), tasks=(task,))
+            for index, task in enumerate(tasks)
+        ]
+        self.run_units(units, commit)
+
+    @staticmethod
+    def _rows_for(store: SQLiteResultStore, hashes: List[str]) -> List[Dict[str, Any]]:
+        rows: List[Dict[str, Any]] = []
+        for task_hash in hashes:
+            row = store.get(task_hash)
+            if row is None:
+                # complete() only ever follows the worker's put_many, so
+                # a done item without rows means the store was tampered
+                # with (or GC'd mid-job) — fail loudly, don't fabricate
+                raise RuntimeError(
+                    f"queue item completed but result {task_hash[:12]} is missing "
+                    f"from the store; was the queue directory garbage-collected "
+                    f"mid-job?"
+                )
+            rows.append(row)
+        return rows

@@ -1,0 +1,82 @@
+"""Retry policy: bounded attempts, seeded backoff, wall-clock timeouts.
+
+A queue item (one task group) gets at most :attr:`RetryPolicy.max_attempts`
+executions before it is quarantined — whether the attempts died as crashed
+workers (the lease expired and the item was re-leased) or as explicit
+failures reported by a live worker.  Between explicit failures the item
+is held back by an exponential backoff with *seeded* jitter: the delay is
+derived from a sha256 of the item key and attempt number, not from a
+global RNG, so retry schedules are reproducible run-to-run and never
+perturb simulation seeding.
+
+Timeouts are wall-clock and proportional to the work: an item holding
+``k`` tasks gets ``task_timeout * k`` seconds before its worker kills the
+executing subprocess and reports a failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "seeded_jitter"]
+
+
+def seeded_jitter(token: str) -> float:
+    """A deterministic stand-in for ``random.random()`` in [0.5, 1.0).
+
+    sha256-derived from ``token`` — the same discipline as the result
+    store's lock backoff — so two processes retrying the *same* item
+    still spread out (their tokens differ by attempt/owner) while the
+    schedule as a whole stays reproducible.
+    """
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return 0.5 + int.from_bytes(digest[:4], "big") / 2**33
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the service treats a task group that keeps going wrong.
+
+    ``max_attempts``
+        executions (leases) an item may consume before quarantine;
+    ``backoff_base`` / ``backoff_cap``
+        exponential backoff envelope (seconds) between explicit failures;
+    ``task_timeout``
+        wall-clock seconds granted *per task* in an item before the
+        worker kills the execution subprocess.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_cap: float = 30.0
+    task_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"need 0 < backoff_base <= backoff_cap, got "
+                f"base={self.backoff_base} cap={self.backoff_cap}"
+            )
+        if self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {self.task_timeout}")
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Seconds to hold back ``key`` after its ``attempt``-th failure (1-based).
+
+        >>> policy = RetryPolicy(backoff_base=1.0, backoff_cap=8.0)
+        >>> d1 = policy.backoff_delay("item", 1)
+        >>> d3 = policy.backoff_delay("item", 3)
+        >>> 0.5 <= d1 < 1.0 and 2.0 <= d3 < 8.0
+        True
+        >>> d1 == policy.backoff_delay("item", 1)  # deterministic
+        True
+        """
+        envelope = min(self.backoff_cap, self.backoff_base * (2 ** max(0, attempt - 1)))
+        return envelope * seeded_jitter(f"{key}:{attempt}")
+
+    def item_timeout(self, task_count: int) -> float:
+        """Wall-clock budget for one queue item holding ``task_count`` tasks."""
+        return self.task_timeout * max(1, task_count)

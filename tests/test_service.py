@@ -1,0 +1,529 @@
+"""Tests of the fault-tolerant sweep service (`repro.service`).
+
+Three layers, in rising order of violence:
+
+* unit tests of the retry policy and the lease queue's state machine
+  (TTL expiry, heartbeats, dedup, backoff, quarantine) — all with an
+  injected clock, no sleeping;
+* worker tests: poison payloads quarantine instead of wedging, hung
+  executions hit the wall-clock timeout, drained items survive;
+* the chaos test: a 12-task sweep over two real worker processes, one
+  of which is SIGKILLed mid-lease.  The job must complete, no item may
+  exceed its attempt budget, and the artifacts must be byte-identical
+  to a serial ``generate_report`` — the whole point of the service.
+
+The ``--jobs N`` dead-worker regression test lives here too: it is the
+same failure mode (a worker dying mid-task) on the in-process pool path.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.report.pipeline import generate_report
+from repro.report.spec import parse_spec_text
+from repro.runner.plan import InstanceContext, StackedGroup, TaskGroup, plan_groups
+from repro.runner.runner import run_tasks
+from repro.runner.store import SQLiteResultStore
+from repro.runner.tasks import GraphSpec, SweepTask, task_from_wire, task_to_wire
+from repro.service.daemon import SweepService
+from repro.service.queue import (
+    LeaseQueue,
+    QuarantinedTasksError,
+    QueueExecutor,
+    group_dedup_key,
+    group_payload,
+)
+from repro.service.retry import RetryPolicy
+from repro.service.worker import TEST_DELAY_ENV, run_worker
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: 3 schemes x 2 sizes x 2 seeds = 12 tasks in 4 instance groups — the
+#: chaos grid: big enough that both workers hold leases, small enough
+#: to finish fast
+CHAOS_SPEC = """
+title = "chaos"
+
+[[experiment]]
+name = "curves"
+kind = "sweep"
+schemes = ["trivial", "theorem2", "theorem3"]
+sizes = [8, 16]
+seeds = 2
+"""
+
+
+def make_task(seed: int = 0, n: int = 8, target: str = "trivial") -> SweepTask:
+    return SweepTask(
+        kind="scheme", target=target, graph=GraphSpec("random", 0.3), n=n, seed=seed
+    )
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ------------------------------------------------------------------ #
+# retry policy
+# ------------------------------------------------------------------ #
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=4.0)
+        delays = [policy.backoff_delay("key", attempt) for attempt in (1, 2, 3, 9)]
+        assert delays == [policy.backoff_delay("key", a) for a in (1, 2, 3, 9)]
+        assert 0.5 <= delays[0] < 1.0
+        assert 1.0 <= delays[1] < 2.0
+        assert all(delay < 4.0 for delay in delays)
+        # different keys spread out
+        assert policy.backoff_delay("other", 1) != delays[0]
+
+    def test_item_timeout_scales_with_task_count(self):
+        policy = RetryPolicy(task_timeout=10.0)
+        assert policy.item_timeout(3) == 30.0
+        assert policy.item_timeout(0) == 10.0  # never a zero budget
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=1.0, backoff_cap=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(task_timeout=0)
+
+
+# ------------------------------------------------------------------ #
+# task wire format
+# ------------------------------------------------------------------ #
+
+
+class TestWireFormat:
+    def test_roundtrip_preserves_hash(self):
+        task = make_task(seed=3, n=16, target="theorem3")
+        rebuilt = task_from_wire(task_to_wire(task))
+        assert rebuilt == task
+        assert rebuilt.task_hash() == task.task_hash()
+
+    def test_uncacheable_task_is_rejected(self):
+        task = SweepTask(
+            kind="scheme",
+            target="trivial",
+            graph=lambda n, seed: None,  # ad-hoc factory: no content hash
+            n=8,
+            seed=0,
+        )
+        with pytest.raises(ValueError):
+            task_to_wire(task)
+
+    def test_malformed_wire_payload_raises(self):
+        wire = task_to_wire(make_task())
+        wire["kind"] = "nonsense"
+        with pytest.raises(ValueError):
+            task_from_wire(wire)
+
+
+# ------------------------------------------------------------------ #
+# lease queue state machine (injected clock, no sleeping)
+# ------------------------------------------------------------------ #
+
+
+class TestLeaseQueue:
+    def payload(self, seed: int) -> tuple:
+        [group] = plan_groups([make_task(seed=seed)])
+        hashes = [task.task_hash() for task in group.tasks]
+        return group_dedup_key(hashes), group_payload(group, hashes)
+
+    def test_enqueue_dedups_by_content(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        key, payload = self.payload(0)
+        assert queue.enqueue("job-a", [(key, payload)]) == 1
+        # same item again, other job: linked, not duplicated
+        assert queue.enqueue("job-b", [(key, payload)]) == 0
+        assert queue.job_progress("job-a")["total"] == 1
+        assert queue.job_progress("job-b")["total"] == 1
+
+    def test_lease_expiry_requeues_to_another_owner(self, tmp_path):
+        clock = FakeClock()
+        queue = LeaseQueue(tmp_path, clock=clock)
+        key, payload = self.payload(0)
+        queue.enqueue("job", [(key, payload)])
+        item = queue.lease("worker-a", ttl=10.0, max_attempts=3)
+        assert item.dedup_key == key and item.attempts == 1
+        # still leased: nobody else can claim it
+        assert queue.lease("worker-b", ttl=10.0, max_attempts=3) is None
+        # heartbeat extends the lease
+        clock.now += 8.0
+        assert queue.heartbeat(key, "worker-a", ttl=10.0)
+        clock.now += 8.0
+        assert queue.lease("worker-b", ttl=10.0, max_attempts=3) is None
+        # owner goes silent: the lease expires and worker-b takes over
+        clock.now += 11.0
+        item2 = queue.lease("worker-b", ttl=10.0, max_attempts=3)
+        assert item2 is not None and item2.attempts == 2
+        # the stale owner's completion is ignored, the live one's counts
+        assert not queue.complete(key, "worker-a")
+        assert queue.complete(key, "worker-b")
+        assert queue.item_states([key])[key][0] == LeaseQueue.ITEM_DONE
+
+    def test_crash_looping_item_is_quarantined_at_lease_time(self, tmp_path):
+        clock = FakeClock()
+        queue = LeaseQueue(tmp_path, clock=clock)
+        key, payload = self.payload(0)
+        queue.enqueue("job", [(key, payload)])
+        for _ in range(2):  # two leases, both owners die silently
+            assert queue.lease("doomed", ttl=1.0, max_attempts=2) is not None
+            clock.now += 2.0
+        # attempt budget burned: the next lease call quarantines instead
+        assert queue.lease("survivor", ttl=1.0, max_attempts=2) is None
+        assert queue.item_states([key])[key][0] == LeaseQueue.ITEM_QUARANTINED
+        [row] = queue.quarantined()
+        assert row["dedup_key"] == key and row["attempts"] == 2
+
+    def test_fail_backs_off_then_quarantines(self, tmp_path):
+        clock = FakeClock()
+        queue = LeaseQueue(tmp_path, clock=clock)
+        policy = RetryPolicy(max_attempts=2, backoff_base=5.0, backoff_cap=5.0)
+        key, payload = self.payload(0)
+        queue.enqueue("job", [(key, payload)])
+        queue.lease("w", ttl=10.0, max_attempts=policy.max_attempts)
+        assert queue.fail(key, "w", "boom", policy) == LeaseQueue.ITEM_PENDING
+        # backoff holds the item out of rotation until not_before passes
+        assert queue.lease("w", ttl=10.0, max_attempts=policy.max_attempts) is None
+        clock.now += 6.0
+        item = queue.lease("w", ttl=10.0, max_attempts=policy.max_attempts)
+        assert item.attempts == 2
+        assert queue.fail(key, "w", "boom again", policy) == LeaseQueue.ITEM_QUARANTINED
+        state, error = queue.item_states([key])[key]
+        assert state == LeaseQueue.ITEM_QUARANTINED and "boom again" in error
+        # explicit requeue puts it back with a fresh budget
+        assert queue.requeue_quarantined() == 1
+        assert queue.lease("w", ttl=10.0, max_attempts=policy.max_attempts).attempts == 1
+
+    def test_job_records_dedup_and_track_state(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        assert queue.submit_job("job-1", {"text": "t"})
+        assert not queue.submit_job("job-1", {"text": "t"})
+        queue.set_job_state("job-1", LeaseQueue.JOB_DONE)
+        assert queue.job_record("job-1")["state"] == LeaseQueue.JOB_DONE
+        assert queue.job_record("missing") is None
+        assert [job["job_id"] for job in queue.list_jobs()] == ["job-1"]
+
+
+# ------------------------------------------------------------------ #
+# queue executor
+# ------------------------------------------------------------------ #
+
+
+class TestQueueExecutor:
+    def test_rejects_stacked_groups_and_uncacheable_tasks(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        executor = QueueExecutor(queue, "job")
+        [group] = plan_groups([make_task()])
+        stacked = StackedGroup(key=("x",), groups=(group,))
+        with pytest.raises(ValueError, match="seed-stacked"):
+            executor.run_units([stacked], lambda batch: None)
+        uncacheable = SweepTask(
+            kind="scheme", target="trivial", graph=lambda n, seed: None, n=8, seed=0
+        )
+        bad = TaskGroup(key=None, indices=(0,), tasks=(uncacheable,))
+        with pytest.raises(ValueError, match="cacheable"):
+            executor.run_units([bad], lambda batch: None)
+
+    def test_commits_done_items_and_raises_on_quarantine(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        store = SQLiteResultStore(tmp_path)
+        good = plan_groups([make_task(seed=0)])[0]
+        poison = plan_groups([make_task(seed=1)])[0]
+        executor = QueueExecutor(queue, "job", poll_interval=0.01, store=store)
+
+        def drain() -> None:
+            # stand-in for a worker: execute the good group for real,
+            # quarantine the poison one.  Like a real worker it opens
+            # its own store — SQLite connections are thread-affine
+            worker_store = SQLiteResultStore(tmp_path)
+            deadline = time.monotonic() + 30.0
+            served = 0
+            while served < 2 and time.monotonic() < deadline:
+                item = queue.lease("fake-worker", ttl=30.0, max_attempts=1)
+                if item is None:
+                    time.sleep(0.01)
+                    continue
+                good_key = group_dedup_key([t.task_hash() for t in good.tasks])
+                if item.dedup_key == good_key:
+                    context = InstanceContext()
+                    worker_store.put_many(
+                        [
+                            (h, t.key_dict(), context.execute(t))
+                            for h, t in zip(item.payload["hashes"], good.tasks)
+                        ]
+                    )
+                    queue.complete(item.dedup_key, "fake-worker")
+                else:
+                    queue.fail(
+                        item.dedup_key,
+                        "fake-worker",
+                        "synthetic poison",
+                        RetryPolicy(max_attempts=1),
+                    )
+                served += 1
+
+        committed = []
+        thread = threading.Thread(target=drain, daemon=True)
+        thread.start()
+        with pytest.raises(QuarantinedTasksError, match="synthetic poison"):
+            executor.run_units(
+                [good, TaskGroup(key=poison.key, indices=(10,), tasks=poison.tasks)],
+                committed.extend,
+            )
+        thread.join(timeout=30)
+        # the good group was committed at its planner positions before
+        # the quarantine surfaced — poison does not discard finished work
+        assert sorted(index for index, _ in committed) == list(good.indices)
+        assert all(row["correct"] for _, row in committed)
+
+
+# ------------------------------------------------------------------ #
+# worker behaviour
+# ------------------------------------------------------------------ #
+
+
+def enqueue_group(queue: LeaseQueue, job_id: str, tasks) -> str:
+    [group] = plan_groups(list(tasks))
+    hashes = [task.task_hash() for task in group.tasks]
+    key = group_dedup_key(hashes)
+    queue.enqueue(job_id, [(key, group_payload(group, hashes))])
+    return key
+
+
+class TestWorker:
+    def test_worker_executes_and_commits(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        key = enqueue_group(queue, "job", [make_task(seed=0), make_task(seed=0, target="theorem3")])
+        processed = run_worker(tmp_path, max_items=1, poll_interval=0.05)
+        assert processed == 1
+        assert queue.item_states([key])[key][0] == LeaseQueue.ITEM_DONE
+        store = SQLiteResultStore(tmp_path)
+        row = store.get(make_task(seed=0).task_hash())
+        assert row is not None and row["correct"]
+
+    def test_poison_payload_is_quarantined_not_retried_forever(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        key = enqueue_group(queue, "job", [make_task()])
+        # corrupt the stored payload: the worker child will fail to decode
+        with queue._txn() as conn:
+            conn.execute(
+                "UPDATE items SET payload = ? WHERE dedup_key = ?",
+                (json.dumps({"version": 1, "hashes": [], "tasks": [{"kind": "junk"}]}), key),
+            )
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.01, backoff_cap=0.02)
+        processed = run_worker(
+            tmp_path, policy=policy, max_items=2, poll_interval=0.02
+        )
+        assert processed == 2
+        state, error = queue.item_states([key])[key]
+        assert state == LeaseQueue.ITEM_QUARANTINED
+        assert "exited with code 1" in error
+
+    def test_hung_execution_hits_wall_clock_timeout(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TEST_DELAY_ENV, "60")
+        queue = LeaseQueue(tmp_path)
+        key = enqueue_group(queue, "job", [make_task()])
+        policy = RetryPolicy(max_attempts=1, task_timeout=0.3)
+        start = time.monotonic()
+        run_worker(tmp_path, policy=policy, max_items=1, poll_interval=0.02)
+        assert time.monotonic() - start < 30.0  # killed, not joined for 60s
+        state, error = queue.item_states([key])[key]
+        assert state == LeaseQueue.ITEM_QUARANTINED
+        assert "timed out" in error
+
+
+# ------------------------------------------------------------------ #
+# dead pool worker on the in-process --jobs path
+# ------------------------------------------------------------------ #
+
+
+class TestDeadPoolWorker:
+    def test_jobs_pool_survives_a_killed_worker(self, tmp_path, monkeypatch, capfd):
+        tasks = [make_task(seed=seed, target=target) for seed in range(4) for target in ("trivial", "theorem3")]
+        reference = run_tasks(tasks)
+
+        flag = tmp_path / "killed-once"
+        original = InstanceContext.execute
+
+        def kill_once(self, task):
+            # first pool worker to get here nukes itself mid-chunk, once
+            if not flag.exists():
+                try:
+                    flag.touch(exist_ok=False)
+                except FileExistsError:
+                    pass
+                else:
+                    os.kill(os.getpid(), signal.SIGKILL)
+            return original(self, task)
+
+        monkeypatch.setattr(InstanceContext, "execute", kill_once)
+        rows = run_tasks(tasks, jobs=2)
+        assert flag.exists()  # the kill really happened
+        assert rows == reference
+        assert "worker process died" in capfd.readouterr().err
+
+    def test_chunk_lost_twice_raises_instead_of_spinning(self, tmp_path, monkeypatch):
+        tasks = [make_task(seed=seed) for seed in range(2)]
+
+        def always_kill(self, task):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        monkeypatch.setattr(InstanceContext, "execute", always_kill)
+        with pytest.raises(RuntimeError, match="died twice"):
+            run_tasks(tasks, jobs=2)
+
+
+# ------------------------------------------------------------------ #
+# the chaos test: SIGKILL a real worker mid-sweep
+# ------------------------------------------------------------------ #
+
+
+def spawn_test_worker(queue_dir: Path, lease_ttl: float, delay: float) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env[TEST_DELAY_ENV] = str(delay)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--queue-dir",
+            str(queue_dir),
+            "--lease-ttl",
+            str(lease_ttl),
+            "--poll-interval",
+            "0.1",
+            "--max-attempts",
+            "3",
+            "--backoff-base",
+            "0.05",
+            "--backoff-cap",
+            "0.2",
+        ],
+        env=env,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestChaos:
+    def test_sigkilled_worker_mid_sweep_job_still_byte_identical(self, tmp_path):
+        spec = parse_spec_text(CHAOS_SPEC, fmt="toml", source="chaos.toml")
+        serial_dir = tmp_path / "serial"
+        generate_report(spec, serial_dir)
+
+        queue_dir = tmp_path / "svc"
+        lease_ttl = 2.0
+        service = SweepService(queue_dir, lease_ttl=lease_ttl, poll_interval=0.1)
+        job_id, created = service.submit_text(CHAOS_SPEC, "toml", name="chaos.toml")
+        assert created
+
+        workers = [spawn_test_worker(queue_dir, lease_ttl, delay=0.5) for _ in range(2)]
+        victim, survivor = workers
+        try:
+            # wait until the victim provably holds a lease, then SIGKILL it
+            victim_owner_suffix = f":{victim.pid}"
+            deadline = time.monotonic() + 60.0
+            held = False
+            while time.monotonic() < deadline:
+                owners = [
+                    owner
+                    for (owner,) in service.queue._conn().execute(
+                        "SELECT owner FROM items WHERE state = 'leased'"
+                    )
+                ]
+                if any(owner.endswith(victim_owner_suffix) for owner in owners):
+                    held = True
+                    break
+                time.sleep(0.05)
+            assert held, "victim worker never leased an item"
+            victim.kill()
+            victim.wait()
+
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                record = service.queue.job_record(job_id)
+                if record["state"] != LeaseQueue.JOB_RUNNING:
+                    break
+                time.sleep(0.25)
+            assert record["state"] == LeaseQueue.JOB_DONE, record["error"]
+        finally:
+            for proc in workers:
+                proc.kill()
+                proc.wait()
+
+        # nothing ran more than its attempt budget
+        attempts = [
+            count
+            for (count,) in service.queue._conn().execute("SELECT attempts FROM items")
+        ]
+        assert attempts and all(1 <= count <= 3 for count in attempts)
+
+        # byte-identity: the chaos-ridden service run == the serial run
+        service_dir = service.artifacts_dir(job_id)
+        serial_files = sorted(path.name for path in serial_dir.iterdir())
+        service_files = sorted(path.name for path in service_dir.iterdir())
+        assert service_files == serial_files
+        for name in serial_files:
+            assert (service_dir / name).read_bytes() == (serial_dir / name).read_bytes(), name
+
+
+# ------------------------------------------------------------------ #
+# daemon-level behaviour (in process, no HTTP)
+# ------------------------------------------------------------------ #
+
+
+class TestSweepServiceDrainAndResume:
+    def test_drain_parks_job_and_restart_resumes_it(self, tmp_path):
+        queue_dir = tmp_path / "svc"
+        service = SweepService(queue_dir, lease_ttl=5.0, poll_interval=0.05)
+        job_id, _ = service.submit_text(CHAOS_SPEC, "toml", name="chaos.toml")
+        # drain immediately: no worker ever attached, nothing executed
+        service.drain(timeout=30.0)
+        assert service.queue.job_record(job_id)["state"] == LeaseQueue.JOB_RUNNING
+
+        # "restart": a fresh service over the same directory resumes the
+        # parked job, and an in-process worker drains the queue
+        service2 = SweepService(queue_dir, lease_ttl=5.0, poll_interval=0.05)
+        assert service2.resume_running_jobs() == [job_id]
+        worker = threading.Thread(
+            target=run_worker,
+            kwargs=dict(queue_dir=queue_dir, idle_exit=5.0, poll_interval=0.05),
+            daemon=True,
+        )
+        worker.start()
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            record = service2.queue.job_record(job_id)
+            if record["state"] != LeaseQueue.JOB_RUNNING:
+                break
+            time.sleep(0.25)
+        assert record["state"] == LeaseQueue.JOB_DONE, record["error"]
+        worker.join(timeout=30)
+        assert (service2.artifacts_dir(job_id) / "index.md").is_file()
+
+    def test_identical_submissions_collapse(self, tmp_path):
+        service = SweepService(tmp_path / "svc")
+        job_a, created_a = service.submit_text(CHAOS_SPEC, "toml")
+        job_b, created_b = service.submit_text(CHAOS_SPEC, "toml")
+        assert job_a == job_b
+        assert created_a and not created_b
+        assert len(service.queue.list_jobs()) == 1

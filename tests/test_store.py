@@ -175,13 +175,17 @@ class TestCorruptShardRecovery:
         assert reopened.get(keys[0]) is None
 
     def test_transient_errors_never_delete_the_shard(self, tmp_path):
-        """'database is locked' / disk-full must surface, not destroy rows."""
-        store = SQLiteResultStore(tmp_path)
+        """Lock contention retries behind bounded seeded backoff, then
+        surfaces; other transient errors surface at once — and neither
+        ever destroys committed rows."""
+        store = SQLiteResultStore(tmp_path, lock_retries=2)
         key = "ab" * 32
         store.put(key, {}, _row(0))
         index = store.shard_for(key)
         store._drop_conn(index)
         attempts = []
+        delays = []
+        store._sleep = delays.append
 
         def locked(_index):
             attempts.append(_index)
@@ -190,7 +194,21 @@ class TestCorruptShardRecovery:
         store._conn = locked
         with pytest.raises(sqlite3.OperationalError):
             store.put(key, {}, _row(1))
-        assert attempts == [index]  # no silent retry loop either
+        # bounded: the initial try plus lock_retries retries, each behind
+        # a deterministic positive backoff — then the error is real
+        assert attempts == [index] * 3
+        assert len(delays) == 2 and all(delay > 0 for delay in delays)
+        # a disk-full style error is not lock contention: no retry at all
+        attempts.clear()
+
+        def disk_error(_index):
+            attempts.append(_index)
+            raise sqlite3.OperationalError("disk I/O error")
+
+        store._conn = disk_error
+        with pytest.raises(sqlite3.OperationalError):
+            store.put(key, {}, _row(1))
+        assert attempts == [index]
         # the shard file survived untouched, with its committed row
         fresh = SQLiteResultStore(tmp_path)
         assert fresh.get(key) == _row(0)
