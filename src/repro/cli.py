@@ -29,14 +29,19 @@ The CLI exposes the library's main workflows without writing any Python:
 ``store``
     Maintain the SQLite result store behind ``--cache-dir``:
     ``stats`` (rows/bytes per shard), ``gc`` (drop rows no current task
-    hash can reference), ``migrate`` (import a JSON cache directory).
+    hash can reference; with ``--queue-dir`` also prune terminal service
+    jobs past ``--job-ttl`` and their orphaned artifacts, keeping the
+    ``--keep-last`` newest), ``migrate`` (import a JSON cache directory).
 ``lowerbound``
     The Theorem-1 fooling-family experiment and pigeonhole table.
 ``serve``
     The fault-tolerant sweep service: an HTTP daemon that accepts spec
     submissions, deduplicates identical workloads by content hash, and
     executes them through a durable lease queue (``--queue-dir``)
-    drained by crash-safe workers.  SIGTERM drains gracefully.
+    drained by crash-safe workers.  SIGTERM drains gracefully.  The
+    daemon exports Prometheus metrics at ``/metrics``; ``serve events``
+    tails the structured event log and ``serve submit`` POSTs a spec
+    file (``--priority high`` for the urgent lane).
 ``worker``
     Attach one extra worker process to a queue directory (``repro
     serve`` spawns its own; this adds capacity from other shells or
@@ -591,11 +596,15 @@ def _check_regression(payload: Dict[str, Any], baseline_path: str) -> int:
 _LARGE_TIER = {"graph": "hypercube", "n": 131072, "backend": "analytic"}
 
 
-def _cmd_bench_history(args: argparse.Namespace) -> int:
-    """Collect every ``BENCH_*.json`` snapshot into one Markdown table."""
-    directory = Path(args.dir) if args.dir else _repo_root()
+def bench_history_entries(directory: Path) -> List[Dict[str, Any]]:
+    """Flatten every ``BENCH_*.json`` snapshot under ``directory`` to rows.
+
+    Shared by ``repro bench history`` and ``scripts/update_bench_history.py``
+    (which commits the rendered table as ``docs/bench-history.md``), so the
+    CLI view and the docs page can never disagree on a row.
+    """
     entries: List[Dict[str, Any]] = []
-    for path in sorted(directory.glob("BENCH_*.json")):
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
         try:
             snapshot = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
@@ -622,27 +631,44 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
                     ),
                 }
             )
+    return entries
+
+
+#: column order of the bench-history Markdown table
+BENCH_HISTORY_COLUMNS = (
+    "rev",
+    "scheme",
+    "graph",
+    "n",
+    "backend",
+    "grouping",
+    "tier",
+    "runs_per_second",
+    "stage_seconds",
+)
+
+
+def bench_history_markdown(entries: Sequence[Dict[str, Any]]) -> str:
+    """Render bench-history rows as a GitHub-flavoured Markdown table."""
+    columns = BENCH_HISTORY_COLUMNS
+    lines = ["| " + " | ".join(columns) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in columns) + "|")
+    for entry in entries:
+        lines.append("| " + " | ".join(str(entry[column]) for column in columns) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    """Collect every ``BENCH_*.json`` snapshot into one Markdown table."""
+    directory = Path(args.dir) if args.dir else _repo_root()
+    entries = bench_history_entries(directory)
     if args.json:
         print(json.dumps(entries, indent=2))
         return 0
     if not entries:
         print(f"no BENCH_*.json snapshots under {directory}", file=sys.stderr)
         return 1
-    columns = [
-        "rev",
-        "scheme",
-        "graph",
-        "n",
-        "backend",
-        "grouping",
-        "tier",
-        "runs_per_second",
-        "stage_seconds",
-    ]
-    print("| " + " | ".join(columns) + " |")
-    print("|" + "|".join(" --- " for _ in columns) + "|")
-    for entry in entries:
-        print("| " + " | ".join(str(entry[column]) for column in columns) + " |")
+    print(bench_history_markdown(entries), end="")
     return 0
 
 
@@ -743,13 +769,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_store(args: argparse.Namespace) -> int:
     """Maintenance of the sharded SQLite result store (stats/gc/migrate)."""
     directory = Path(args.cache_dir)
-    if args.store_command in ("stats", "gc") and not any(directory.glob("shard-*.sqlite")):
+    queue_dir = getattr(args, "queue_dir", None)
+    has_shards = any(directory.glob("shard-*.sqlite"))
+    if args.store_command == "stats" and not has_shards:
         # read/maintenance commands must not conjure an empty store out of
         # a typo'd path and then happily report zero rows
         raise ValueError(f"no result store at {directory} (no shard-*.sqlite files)")
-    store = SQLiteResultStore(args.cache_dir)
+    if args.store_command == "gc" and not has_shards and not queue_dir:
+        raise ValueError(f"no result store at {directory} (no shard-*.sqlite files)")
     if args.store_command == "stats":
-        payload: Dict[str, Any] = store.stats()
+        payload: Dict[str, Any] = SQLiteResultStore(args.cache_dir).stats()
         if args.json:
             print(json.dumps(payload, indent=2))
         else:
@@ -761,7 +790,26 @@ def _cmd_store(args: argparse.Namespace) -> int:
             print(format_table(payload["per_shard"]))
         return 0
     if args.store_command == "gc":
-        payload = store.gc(vacuum=not args.no_vacuum)
+        # queue retention first: pruning terminal jobs can orphan result
+        # rows, and the shard gc that follows is what reclaims their bytes
+        queue_payload: Optional[Dict[str, Any]] = None
+        if queue_dir:
+            from repro.service.queue import LeaseQueue
+
+            queue_payload = LeaseQueue(Path(queue_dir)).gc(
+                job_ttl=args.job_ttl, keep_last=args.keep_last
+            )
+        if has_shards:
+            payload = SQLiteResultStore(args.cache_dir).gc(vacuum=not args.no_vacuum)
+        else:
+            payload = {"removed": 0, "kept": 0}
+        if queue_payload is not None:
+            payload["queue"] = {
+                "jobs_removed": len(queue_payload["jobs"]),
+                "items_removed": len(queue_payload["items"]),
+                "quarantine_removed": queue_payload["quarantine"],
+                "jobs": queue_payload["jobs"],
+            }
         if args.json:
             print(json.dumps(payload, indent=2))
         else:
@@ -769,7 +817,14 @@ def _cmd_store(args: argparse.Namespace) -> int:
                 f"gc: removed {payload['removed']} stale row(s), "
                 f"kept {payload['kept']}"
             )
+            if queue_payload is not None:
+                print(
+                    f"queue gc: removed {len(queue_payload['jobs'])} job(s), "
+                    f"{len(queue_payload['items'])} orphaned item(s), "
+                    f"{queue_payload['quarantine']} quarantine row(s)"
+                )
         return 0
+    store = SQLiteResultStore(args.cache_dir)
     # migrate
     payload = store.migrate_json_cache(args.from_json)
     if args.json:
@@ -832,9 +887,69 @@ def _retry_policy_from_args(args: argparse.Namespace) -> Any:
     )
 
 
+def _cmd_serve_events(args: argparse.Namespace) -> int:
+    """Tail the service event log (``repro serve events``)."""
+    from repro.service.events import follow_events, read_events
+
+    path = Path(args.queue_dir) / "events.jsonl"
+    kinds = args.kind or None
+    if args.follow:
+        stream = follow_events(path, since=args.since, kinds=kinds)
+    else:
+        if not path.is_file():
+            print(f"no event log at {path}", file=sys.stderr)
+            return 1
+        stream = read_events(path, since=args.since, kinds=kinds)
+    try:
+        for event in stream:
+            print(json.dumps(event, separators=(",", ":")), flush=True)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_serve_submit(args: argparse.Namespace) -> int:
+    """Submit a spec file to a running daemon (``repro serve submit``)."""
+    from urllib.error import HTTPError, URLError
+    from urllib.parse import urlencode
+    from urllib.request import Request, urlopen
+
+    spec_path = Path(args.spec)
+    text = spec_path.read_text(encoding="utf-8")
+    fmt = "json" if spec_path.suffix == ".json" else "toml"
+    query = {"name": args.name or spec_path.name, "priority": args.priority}
+    url = f"{args.url.rstrip('/')}/jobs?{urlencode(query)}"
+    request = Request(
+        url,
+        data=text.encode("utf-8"),
+        headers={
+            "Content-Type": "application/json" if fmt == "json" else "application/toml"
+        },
+        method="POST",
+    )
+    try:
+        with urlopen(request, timeout=args.timeout) as response:
+            body = json.loads(response.read().decode("utf-8"))
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        print(f"error: HTTP {exc.code} from {url}: {detail}", file=sys.stderr)
+        return 1
+    except (URLError, OSError) as exc:
+        print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(body, indent=2))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if getattr(args, "serve_command", None) == "events":
+        return _cmd_serve_events(args)
+    if getattr(args, "serve_command", None) == "submit":
+        return _cmd_serve_submit(args)
     from repro.service.daemon import serve
 
+    if not args.queue_dir:
+        raise ValueError("repro serve requires --queue-dir")
     return serve(
         Path(args.queue_dir),
         host=args.host,
@@ -1062,6 +1177,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the VACUUM after deleting (faster, files keep their size)",
     )
+    store_gc.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "also prune the service queue in DIR: terminal jobs past "
+            "--job-ttl (their artifacts and manifest included) and orphaned "
+            "terminal items; pending and leased work is never touched"
+        ),
+    )
+    store_gc.add_argument(
+        "--job-ttl",
+        type=float,
+        default=7 * 24 * 3600.0,
+        metavar="SECONDS",
+        help="age after which a done/failed job is reclaimable (default 7 days)",
+    )
+    store_gc.add_argument(
+        "--keep-last",
+        type=int,
+        default=3,
+        metavar="N",
+        help="always keep the N most recently updated terminal jobs (default 3)",
+    )
     store_migrate = store_sub.add_parser(
         "migrate", help="import an existing JSON cache directory"
     )
@@ -1084,10 +1223,16 @@ def build_parser() -> argparse.ArgumentParser:
     lb_parser.add_argument("--i", type=int, default=4, help="spine position of the target node")
     lb_parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
-    def _add_service_arguments(service_parser: argparse.ArgumentParser) -> None:
+    def _add_service_arguments(
+        service_parser: argparse.ArgumentParser, require_queue_dir: bool = True
+    ) -> None:
+        # the serve parser hosts subcommands (events/submit) that take no
+        # queue directory, so its --queue-dir cannot be argparse-required;
+        # _cmd_serve validates it when actually serving
         service_parser.add_argument(
             "--queue-dir",
-            required=True,
+            required=require_queue_dir,
+            default=None,
             metavar="DIR",
             help="service state directory: lease queue, result store, manifests, artifacts",
         )
@@ -1139,13 +1284,75 @@ def build_parser() -> argparse.ArgumentParser:
             "running jobs resume on restart."
         ),
     )
-    _add_service_arguments(serve_parser)
+    _add_service_arguments(serve_parser, require_queue_dir=False)
     serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
     serve_parser.add_argument(
         "--port", type=int, default=8765, help="bind port (0 picks a free one)"
     )
     serve_parser.add_argument(
         "--workers", type=int, default=2, help="worker processes to spawn"
+    )
+    serve_sub = serve_parser.add_subparsers(
+        dest="serve_command", required=False, metavar="{events,submit}"
+    )
+    events_parser = serve_sub.add_parser(
+        "events",
+        help="print the structured event log (events.jsonl) as JSON lines",
+    )
+    events_parser.add_argument(
+        "--queue-dir",
+        required=True,
+        metavar="DIR",
+        help="service state directory holding events.jsonl",
+    )
+    events_parser.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        metavar="TS",
+        help="only events with a unix timestamp >= TS",
+    )
+    events_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep the log open and stream events as they are appended",
+    )
+    events_parser.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        metavar="KIND",
+        help="restrict to this event kind (repeatable, e.g. --kind lease)",
+    )
+    submit_parser = serve_sub.add_parser(
+        "submit",
+        help="POST a spec file to a running repro serve daemon",
+    )
+    submit_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="base URL of the daemon (default http://127.0.0.1:8765)",
+    )
+    submit_parser.add_argument(
+        "--spec", required=True, metavar="FILE", help="spec file to submit"
+    )
+    submit_parser.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help="submission name for regeneration hints (default: the file name)",
+    )
+    submit_parser.add_argument(
+        "--priority",
+        default="normal",
+        choices=["normal", "high"],
+        help="scheduling lane: high leases before normal (default normal)",
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="HTTP timeout in seconds (default 30)",
     )
 
     worker_parser = sub.add_parser(

@@ -12,8 +12,9 @@ therefore collapse onto one job — and one execution — for free.
 
 HTTP surface (JSON in/out unless noted)::
 
-    POST /jobs                      spec body (TOML, or JSON by
-                                    Content-Type) -> {"job_id", "created"}
+    POST /jobs[?priority=high]      spec body (TOML, or JSON by
+                                    Content-Type) -> {"job_id", "created"};
+                                    ``priority`` picks the scheduling lane
     GET  /jobs                      all job records
     GET  /jobs/<id>                 state + item-progress counts (+
                                     artifact names once done)
@@ -21,6 +22,8 @@ HTTP surface (JSON in/out unless noted)::
                                     job reaches a terminal state
     GET  /jobs/<id>/artifacts/<f>   one artifact file
     GET  /healthz                   queue-wide counters
+    GET  /metrics                   Prometheus text exposition (see
+                                    repro.service.metrics)
 
 Shutdown is a drain, not an abort: SIGTERM stops the HTTP server, sets
 the service stop event (job threads park their jobs in ``running`` with
@@ -48,7 +51,10 @@ from repro.report.pipeline import compile_tasks, generate_report
 from repro.report.spec import ReportSpec, parse_spec_text
 from repro.runner.manifest import run_id_for
 from repro.runner.progress import ProgressReporter
+from repro.service import metrics as service_metrics
 from repro.service.queue import (
+    PRIORITIES,
+    PRIORITY_NORMAL,
     DrainRequested,
     LeaseQueue,
     QuarantinedTasksError,
@@ -113,7 +119,11 @@ class SweepService:
         return run_id_for(keys), spec
 
     def submit_text(
-        self, text: str, fmt: str, name: Optional[str] = None
+        self,
+        text: str,
+        fmt: str,
+        name: Optional[str] = None,
+        priority: str = PRIORITY_NORMAL,
     ) -> Tuple[str, bool]:
         """Submit a spec document; returns ``(job_id, created)``.
 
@@ -124,7 +134,7 @@ class SweepService:
         """
         job_id, _ = self.compile_job(text, fmt, name=name)
         created = self.queue.submit_job(
-            job_id, {"format": fmt, "text": text, "name": name}
+            job_id, {"format": fmt, "text": text, "name": name}, priority=priority
         )
         self._ensure_thread(job_id)
         return job_id, created
@@ -137,6 +147,7 @@ class SweepService:
             if record["state"] == LeaseQueue.JOB_RUNNING
         ]
         for job_id in resumed:
+            self.queue.events.append("job-resume", job=job_id)
             self._ensure_thread(job_id)
         return resumed
 
@@ -150,7 +161,7 @@ class SweepService:
                 return
             thread = threading.Thread(
                 target=self._run_job,
-                args=(job_id, record["spec"]),
+                args=(job_id, record["spec"], record["priority"]),
                 name=f"job-{job_id[:8]}",
                 daemon=True,
             )
@@ -160,7 +171,12 @@ class SweepService:
     # ------------------------------------------------------------------
     # the job thread
 
-    def _run_job(self, job_id: str, document: Mapping[str, Any]) -> None:
+    def _run_job(
+        self,
+        job_id: str,
+        document: Mapping[str, Any],
+        priority: str = PRIORITY_NORMAL,
+    ) -> None:
         try:
             source = document.get("name") or f"submitted.{document['format']}"
             spec = parse_spec_text(
@@ -179,6 +195,7 @@ class SweepService:
                     job_id,
                     poll_interval=self.poll_interval,
                     stop_event=self.stop_event,
+                    priority=priority,
                 ),
             )
         except DrainRequested:
@@ -219,9 +236,11 @@ class SweepService:
     def drain(self, timeout: float = 30.0) -> None:
         """Stop event + bounded join of the job threads."""
         self.stop_event.set()
-        deadline = time.monotonic() + timeout
         with self._lock:
             threads = list(self._threads.values())
+        outstanding = sum(1 for thread in threads if thread.is_alive())
+        self.queue.events.append("drain", outstanding=outstanding)
+        deadline = time.monotonic() + timeout
         for thread in threads:
             thread.join(timeout=max(0.1, deadline - time.monotonic()))
 
@@ -257,11 +276,21 @@ class _Handler(BaseHTTPRequestHandler):
         content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
         fmt = "json" if content_type == "application/json" else "toml"
         # ?name=smoke.toml names the submission like the spec file a local
-        # run would read, for byte-identical regeneration hints
-        name = (parse_qs(url.query).get("name") or [None])[0]
+        # run would read, for byte-identical regeneration hints;
+        # ?priority=high puts the job in the urgent scheduling lane
+        query = parse_qs(url.query)
+        name = (query.get("name") or [None])[0]
+        priority = (query.get("priority") or [PRIORITY_NORMAL])[0]
+        if priority not in PRIORITIES:
+            self._send_json(
+                400, {"error": f"priority must be one of {list(PRIORITIES)}: {priority}"}
+            )
+            return
         try:
             text = self.rfile.read(length).decode("utf-8")
-            job_id, created = self.service.submit_text(text, fmt, name=name)
+            job_id, created = self.service.submit_text(
+                text, fmt, name=name, priority=priority
+            )
         except (ValueError, UnicodeDecodeError) as exc:
             self._send_json(400, {"error": str(exc)})
             return
@@ -274,6 +303,13 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [part for part in urlsplit(self.path).path.split("/") if part]
         if parts == ["healthz"]:
             self._send_json(200, {"ok": True, **self.service.queue.stats()})
+        elif parts == ["metrics"]:
+            body = service_metrics.render_metrics(self.service.queue).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         elif parts == ["jobs"]:
             self._send_json(200, {"jobs": self.service.queue.list_jobs()})
         elif len(parts) == 2 and parts[0] == "jobs":

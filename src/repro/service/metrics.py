@@ -1,0 +1,264 @@
+"""Service metrics: a SQLite-backed registry rendered as Prometheus text.
+
+The daemon and every worker are separate processes, so an in-memory
+counter would only ever see one process's slice of the story.  Instead
+the registry lives *inside* ``queue.sqlite``: two extra tables
+(``counters`` and ``workers``, created by the queue schema) that the
+queue bumps **in the same transaction as the transition they count** —
+a counter can never disagree with the state change it describes, and a
+SIGKILL between the two is impossible by construction.
+
+Three metric families come out of ``GET /metrics`` (rendered by
+:func:`render_metrics`, Prometheus text exposition format 0.0.4,
+stdlib-only):
+
+* **gauges** computed live from the queue tables at scrape time — queue
+  depth by ``(state, priority)``, job counts by state, lease ages,
+  per-running-job progress ratios, and worker liveness from the
+  ``workers`` heartbeat table;
+* **counters** read from the ``counters`` table — leases, expired-lease
+  takeovers, heartbeats, completes, failures, requeues, quarantines,
+  job submissions/outcomes, gc reclaims;
+* one **histogram** — ``repro_item_seconds``, the wall-clock execution
+  time of completed/failed items, observed by workers at report time.
+
+Everything here takes a :class:`~repro.service.queue.LeaseQueue` (or a
+raw connection for the low-level helpers); nothing imports the queue
+module, so ``queue.py`` can import the counter names without a cycle.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "ITEM_SECONDS_BUCKETS",
+    "WORKER_LIVENESS_WINDOW",
+    "bump",
+    "observe_item_seconds",
+    "counter_value",
+    "render_metrics",
+]
+
+#: upper bounds (seconds) of the item execution-time histogram buckets;
+#: +Inf is implicit.  Spans sub-100ms smoke groups to the 300s tail a
+#: pathological instance build can reach before the worker's SIGKILL.
+ITEM_SECONDS_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+#: seconds since last heartbeat under which a worker counts as live in
+#: ``repro_workers_live`` (3 x the default worker heartbeat interval,
+#: with slack for a busy box)
+WORKER_LIVENESS_WINDOW = 60.0
+
+#: counter metric name -> HELP text; the exposition order
+COUNTER_HELP = {
+    "repro_queue_items_enqueued_total": "New items inserted into the queue (dedup links not counted).",
+    "repro_queue_leases_total": "Successful lease claims; equals total execution attempts.",
+    "repro_queue_lease_expired_total": "Leases taken over after their previous owner's TTL expired.",
+    "repro_queue_heartbeats_total": "Lease extensions accepted from live owners.",
+    "repro_queue_completes_total": "Items reported done (results already committed to the store).",
+    "repro_queue_failures_total": "Failures reported by live workers (crash-looped leases excluded).",
+    "repro_queue_requeues_total": "Failed items returned to pending with backoff.",
+    "repro_queue_quarantines_total": "Items pulled from rotation after exhausting their attempts.",
+    "repro_queue_quarantine_requeues_total": "Quarantined items explicitly returned to rotation.",
+    "repro_jobs_submitted_total": "New job records created (duplicate submissions not counted).",
+    "repro_jobs_done_total": "Jobs that reached the done state.",
+    "repro_jobs_failed_total": "Jobs that reached the failed state.",
+    "repro_gc_jobs_removed_total": "Terminal jobs pruned by queue retention.",
+    "repro_gc_items_removed_total": "Orphaned terminal items pruned by queue retention.",
+}
+
+#: the histogram's storage keys in the counters table
+_HIST_NAME = "repro_item_seconds"
+_HIST_SUM = f"{_HIST_NAME}_sum"
+_HIST_COUNT = f"{_HIST_NAME}_count"
+
+
+def _bucket_key(le: float) -> str:
+    return f"{_HIST_NAME}_bucket:{le:g}"
+
+
+def bump(conn: sqlite3.Connection, name: str, amount: float = 1.0) -> None:
+    """Add ``amount`` to counter ``name`` inside the caller's transaction."""
+    conn.execute(
+        "INSERT INTO counters (name, value) VALUES (?, ?)"
+        " ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
+        (name, amount),
+    )
+
+
+def set_counter(conn: sqlite3.Connection, name: str, value: float) -> None:
+    """Set counter ``name`` to ``value`` (used for internal lane state)."""
+    conn.execute(
+        "INSERT INTO counters (name, value) VALUES (?, ?)"
+        " ON CONFLICT(name) DO UPDATE SET value = excluded.value",
+        (name, value),
+    )
+
+
+def counter_value(conn: sqlite3.Connection, name: str) -> float:
+    """Current value of counter ``name`` (0.0 when never bumped)."""
+    row = conn.execute("SELECT value FROM counters WHERE name = ?", (name,)).fetchone()
+    return float(row[0]) if row is not None else 0.0
+
+
+def observe_item_seconds(conn: sqlite3.Connection, seconds: float) -> None:
+    """Record one item execution duration into the histogram.
+
+    Buckets are stored *non-cumulative* (one row per bucket, bumped
+    once) and cumulated at render time, so an observation is two row
+    upserts plus the sum/count pair — cheap enough to ride in the
+    complete/fail transaction.
+    """
+    for le in ITEM_SECONDS_BUCKETS:
+        if seconds <= le:
+            bump(conn, _bucket_key(le))
+            break
+    else:
+        bump(conn, _bucket_key(float("inf")))
+    bump(conn, _HIST_SUM, seconds)
+    bump(conn, _HIST_COUNT)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample formatting: integers without a trailing ``.0``.
+
+    >>> _format_value(3.0), _format_value(0.25)
+    ('3', '0.25')
+    """
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(counters: Dict[str, float]) -> List[str]:
+    """The cumulated ``repro_item_seconds`` exposition block."""
+    lines = [
+        f"# HELP {_HIST_NAME} Wall-clock seconds per executed queue item.",
+        f"# TYPE {_HIST_NAME} histogram",
+    ]
+    running = 0.0
+    for le in ITEM_SECONDS_BUCKETS:
+        running += counters.get(_bucket_key(le), 0.0)
+        lines.append(f'{_HIST_NAME}_bucket{{le="{le:g}"}} {_format_value(running)}')
+    running += counters.get(_bucket_key(float("inf")), 0.0)
+    lines.append(f'{_HIST_NAME}_bucket{{le="+Inf"}} {_format_value(running)}')
+    lines.append(f"{_HIST_SUM} {_format_value(counters.get(_HIST_SUM, 0.0))}")
+    lines.append(f"{_HIST_COUNT} {_format_value(counters.get(_HIST_COUNT, 0.0))}")
+    return lines
+
+
+def render_metrics(queue: Any, now: Optional[float] = None) -> str:
+    """Render the full ``/metrics`` page for one queue directory.
+
+    ``queue`` is a :class:`~repro.service.queue.LeaseQueue`; gauges are
+    computed from its tables at call time, counters and the histogram
+    read back from the ``counters`` table.  ``now`` defaults to the
+    queue's clock so lease/worker ages are testable with a fake clock.
+    """
+    conn = queue._conn()  # same-package access: the registry IS queue state
+    if now is None:
+        now = queue.clock()
+    lines: List[str] = []
+
+    # --- queue depth by (state, priority), zero-filled so scrapes are stable
+    depth: Dict[Tuple[str, str], int] = {}
+    for state, priority, count in conn.execute(
+        "SELECT state, priority, COUNT(*) FROM items GROUP BY state, priority"
+    ):
+        depth[(state, priority)] = count
+    lines.append("# HELP repro_queue_items Queue items by state and priority lane.")
+    lines.append("# TYPE repro_queue_items gauge")
+    for state in ("pending", "leased", "done", "quarantined"):
+        for priority in ("high", "normal"):
+            value = depth.get((state, priority), 0)
+            lines.append(
+                f'repro_queue_items{{state="{state}",priority="{priority}"}} {value}'
+            )
+
+    # --- jobs by state
+    jobs: Dict[str, int] = dict(
+        conn.execute("SELECT state, COUNT(*) FROM jobs GROUP BY state")
+    )
+    lines.append("# HELP repro_queue_jobs Job records by state.")
+    lines.append("# TYPE repro_queue_jobs gauge")
+    for state in ("running", "done", "failed"):
+        lines.append(f'repro_queue_jobs{{state="{state}"}} {jobs.get(state, 0)}')
+
+    # --- lease ages (how long current owners have been holding)
+    ages = [
+        now - leased_at
+        for (leased_at,) in conn.execute(
+            "SELECT leased_at FROM items WHERE state = 'leased' AND leased_at IS NOT NULL"
+        )
+    ]
+    lines.append(
+        "# HELP repro_queue_oldest_lease_age_seconds"
+        " Age of the oldest currently-held lease (0 when none are held)."
+    )
+    lines.append("# TYPE repro_queue_oldest_lease_age_seconds gauge")
+    lines.append(
+        f"repro_queue_oldest_lease_age_seconds {_format_value(max(ages) if ages else 0.0)}"
+    )
+
+    # --- per-running-job progress ratio (done items / total items)
+    lines.append(
+        "# HELP repro_job_progress_ratio Completed fraction of each running job's items."
+    )
+    lines.append("# TYPE repro_job_progress_ratio gauge")
+    for job_id, total, done in conn.execute(
+        "SELECT job_items.job_id, COUNT(*),"
+        " SUM(CASE WHEN items.state = 'done' THEN 1 ELSE 0 END)"
+        " FROM job_items JOIN items ON items.dedup_key = job_items.dedup_key"
+        " JOIN jobs ON jobs.job_id = job_items.job_id"
+        " WHERE jobs.state = 'running'"
+        " GROUP BY job_items.job_id ORDER BY job_items.job_id"
+    ):
+        ratio = (done or 0) / total if total else 0.0
+        lines.append(f'repro_job_progress_ratio{{job="{job_id}"}} {_format_value(ratio)}')
+
+    # --- worker liveness from the heartbeat table
+    workers = list(
+        conn.execute("SELECT owner, last_seen, items_done FROM workers ORDER BY owner")
+    )
+    live = sum(1 for _, last_seen, _ in workers if now - last_seen <= WORKER_LIVENESS_WINDOW)
+    lines.append(
+        "# HELP repro_workers_live Workers heartbeating within the liveness window"
+        f" ({_format_value(WORKER_LIVENESS_WINDOW)}s)."
+    )
+    lines.append("# TYPE repro_workers_live gauge")
+    lines.append(f"repro_workers_live {live}")
+    lines.append(
+        "# HELP repro_worker_last_seen_age_seconds Seconds since each known worker"
+        " last touched the queue."
+    )
+    lines.append("# TYPE repro_worker_last_seen_age_seconds gauge")
+    for owner, last_seen, _ in workers:
+        lines.append(
+            f'repro_worker_last_seen_age_seconds{{owner="{owner}"}}'
+            f" {_format_value(max(0.0, now - last_seen))}"
+        )
+    lines.append(
+        "# HELP repro_worker_items_processed_total Items each worker completed or failed."
+    )
+    lines.append("# TYPE repro_worker_items_processed_total counter")
+    for owner, _, items_done in workers:
+        lines.append(
+            f'repro_worker_items_processed_total{{owner="{owner}"}}'
+            f" {_format_value(items_done)}"
+        )
+
+    # --- monotonic counters (zero-filled so absence is indistinguishable
+    #     from zero, the way Prometheus clients expect)
+    counters = {
+        name: float(value)
+        for name, value in conn.execute("SELECT name, value FROM counters")
+    }
+    for name, help_text in COUNTER_HELP.items():
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(counters.get(name, 0.0))}")
+
+    lines.extend(_histogram_lines(counters))
+    return "\n".join(lines) + "\n"

@@ -15,7 +15,12 @@ store's shards) holds everything the service needs to survive crashes:
     which items each job is waiting on;
 ``quarantine``
     poison items pulled out of rotation after exhausting their attempts,
-    with the error that condemned them.
+    with the error that condemned them;
+``counters`` / ``workers``
+    the observability registry: monotonic service counters and the
+    per-worker heartbeat table, bumped **in the same transaction** as
+    the transition they describe and rendered by
+    :func:`repro.service.metrics.render_metrics` behind ``GET /metrics``.
 
 The delivery contract is **at least once**: a lease is a TTL claim, not
 a lock.  A worker that crashes or hangs simply stops heartbeating, its
@@ -25,6 +30,20 @@ to the content-addressed store keyed by task hash — the second execution
 writes byte-identical rows.  Attempts are counted at lease time, so
 crash-looping items (workers die before they can even report a failure)
 still hit the quarantine bound.
+
+Scheduling is **two-lane**: every job (and therefore every item) carries
+a ``high`` or ``normal`` priority, and :meth:`LeaseQueue.lease` serves
+the high lane first — except that after :data:`NORMAL_LANE_CREDIT`
+consecutive high-lane leases one normal item is served, so a flood of
+high-priority submissions can delay the normal lane by at most a bounded
+factor but can never starve it.  The credit counter lives in the
+``counters`` table, so the guarantee holds across any number of worker
+processes sharing the queue.
+
+Every transition is also appended to ``events.jsonl`` next to the
+database (:mod:`repro.service.events`): the SQLite tables are the
+scheduler's truth, the event log is the history they overwrite —
+post-mortems replay the log, dashboards scrape the tables.
 
 :class:`QueueExecutor` adapts all of this to the runner's pluggable
 executor seam: ``run_tasks(..., executor=QueueExecutor(...))`` plans and
@@ -38,6 +57,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import sqlite3
 import threading
 import time
@@ -48,11 +68,17 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.runner.plan import TaskGroup
 from repro.runner.store import DEFAULT_BUSY_TIMEOUT_MS, SQLiteResultStore
 from repro.runner.tasks import task_to_wire
+from repro.service import metrics as service_metrics
+from repro.service.events import EventLog
 
 __all__ = [
     "DrainRequested",
     "LeaseQueue",
     "LeasedItem",
+    "NORMAL_LANE_CREDIT",
+    "PRIORITIES",
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
     "QueueExecutor",
     "QuarantinedTasksError",
     "WIRE_VERSION",
@@ -66,6 +92,19 @@ WIRE_VERSION = 1
 #: SQL parameter ceiling is 999 in older SQLites; stay well under it
 _IN_CHUNK = 400
 
+#: the two scheduling lanes; jobs default to normal
+PRIORITY_HIGH = "high"
+PRIORITY_NORMAL = "normal"
+PRIORITIES = (PRIORITY_HIGH, PRIORITY_NORMAL)
+
+#: consecutive high-lane leases after which one waiting normal item is
+#: served regardless — the starvation bound: with both lanes non-empty,
+#: the normal lane gets at least 1 lease in every NORMAL_LANE_CREDIT + 1
+NORMAL_LANE_CREDIT = 4
+
+#: counters-table key of the cross-process high-lane streak counter
+_LANE_STREAK = "lane_high_streak"
+
 QUEUE_SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
     job_id   TEXT PRIMARY KEY,
@@ -73,7 +112,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     state    TEXT NOT NULL,
     error    TEXT,
     created  REAL NOT NULL,
-    updated  REAL NOT NULL
+    updated  REAL NOT NULL,
+    priority TEXT NOT NULL DEFAULT 'normal'
 );
 CREATE TABLE IF NOT EXISTS items (
     dedup_key     TEXT PRIMARY KEY,
@@ -84,7 +124,9 @@ CREATE TABLE IF NOT EXISTS items (
     lease_expires REAL,
     not_before    REAL NOT NULL DEFAULT 0,
     error         TEXT,
-    created       REAL NOT NULL
+    created       REAL NOT NULL,
+    priority      TEXT NOT NULL DEFAULT 'normal',
+    leased_at     REAL
 );
 CREATE TABLE IF NOT EXISTS job_items (
     job_id    TEXT NOT NULL,
@@ -98,8 +140,27 @@ CREATE TABLE IF NOT EXISTS quarantine (
     error          TEXT,
     quarantined_at REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS counters (
+    name  TEXT PRIMARY KEY,
+    value REAL NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS workers (
+    owner      TEXT PRIMARY KEY,
+    first_seen REAL NOT NULL,
+    last_seen  REAL NOT NULL,
+    items_done INTEGER NOT NULL DEFAULT 0
+);
 CREATE INDEX IF NOT EXISTS idx_items_state ON items(state, not_before);
+CREATE INDEX IF NOT EXISTS idx_items_lane ON items(priority, state, not_before);
 """
+
+#: columns added after the PR 9 schema shipped; applied with ALTER TABLE
+#: on existing databases (new databases get them from QUEUE_SCHEMA)
+_MIGRATIONS = (
+    ("jobs", "priority", "TEXT NOT NULL DEFAULT 'normal'"),
+    ("items", "priority", "TEXT NOT NULL DEFAULT 'normal'"),
+    ("items", "leased_at", "REAL"),
+)
 
 
 class QuarantinedTasksError(RuntimeError):
@@ -189,6 +250,7 @@ class LeaseQueue:
         self.path = self.directory / "queue.sqlite"
         self.busy_timeout_ms = int(busy_timeout_ms)
         self.clock = clock
+        self.events = EventLog(self.directory / "events.jsonl", clock=clock)
         self._local = threading.local()
         # create the schema eagerly so concurrent first-touch is settled
         # by SQLite's own locking rather than racing CREATEs later
@@ -212,6 +274,11 @@ class LeaseQueue:
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         conn.executescript(QUEUE_SCHEMA)
+        for table, column, ddl in _MIGRATIONS:
+            try:
+                conn.execute(f"ALTER TABLE {table} ADD COLUMN {column} {ddl}")
+            except sqlite3.OperationalError:
+                pass  # column already present (new schema or prior migration)
         self._local.conn = conn
         self._local.pid = os.getpid()
         return conn
@@ -242,23 +309,36 @@ class LeaseQueue:
     # ------------------------------------------------------------------
     # jobs
 
-    def submit_job(self, job_id: str, spec_document: Dict[str, Any]) -> bool:
+    def submit_job(
+        self,
+        job_id: str,
+        spec_document: Dict[str, Any],
+        priority: str = PRIORITY_NORMAL,
+    ) -> bool:
         """Record a job; ``False`` when the job id already exists (dedup)."""
+        if priority not in PRIORITIES:
+            raise ValueError(f"priority must be one of {PRIORITIES}, got {priority!r}")
         now = self.clock()
         with self._txn() as conn:
             cursor = conn.execute(
-                "INSERT OR IGNORE INTO jobs (job_id, spec, state, created, updated)"
-                " VALUES (?, ?, ?, ?, ?)",
-                (job_id, json.dumps(spec_document), self.JOB_RUNNING, now, now),
+                "INSERT OR IGNORE INTO jobs"
+                " (job_id, spec, state, created, updated, priority)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (job_id, json.dumps(spec_document), self.JOB_RUNNING, now, now, priority),
             )
-            return cursor.rowcount == 1
+            created = cursor.rowcount == 1
+            if created:
+                service_metrics.bump(conn, "repro_jobs_submitted_total")
+        if created:
+            self.events.append("job-submit", job=job_id, priority=priority)
+        return created
 
     def job_record(self, job_id: str) -> Optional[Dict[str, Any]]:
         row = (
             self._conn()
             .execute(
-                "SELECT job_id, spec, state, error, created, updated FROM jobs"
-                " WHERE job_id = ?",
+                "SELECT job_id, spec, state, error, created, updated, priority"
+                " FROM jobs WHERE job_id = ?",
                 (job_id,),
             )
             .fetchone()
@@ -272,11 +352,13 @@ class LeaseQueue:
             "error": row[3],
             "created": row[4],
             "updated": row[5],
+            "priority": row[6],
         }
 
     def list_jobs(self) -> List[Dict[str, Any]]:
         rows = self._conn().execute(
-            "SELECT job_id, state, error, created, updated FROM jobs ORDER BY created"
+            "SELECT job_id, state, error, created, updated, priority FROM jobs"
+            " ORDER BY created"
         )
         return [
             {
@@ -285,8 +367,9 @@ class LeaseQueue:
                 "error": error,
                 "created": created,
                 "updated": updated,
+                "priority": priority,
             }
-            for job_id, state, error, created, updated in rows
+            for job_id, state, error, created, updated, priority in rows
         ]
 
     def set_job_state(self, job_id: str, state: str, error: Optional[str] = None) -> None:
@@ -295,6 +378,11 @@ class LeaseQueue:
                 "UPDATE jobs SET state = ?, error = ?, updated = ? WHERE job_id = ?",
                 (state, error, self.clock(), job_id),
             )
+            if state == self.JOB_DONE:
+                service_metrics.bump(conn, "repro_jobs_done_total")
+            elif state == self.JOB_FAILED:
+                service_metrics.bump(conn, "repro_jobs_failed_total")
+        self.events.append("job-state", job=job_id, state=state, error=error)
 
     def job_progress(self, job_id: str) -> Dict[str, int]:
         """Item-state counts for one job — the progress endpoint's source."""
@@ -318,7 +406,12 @@ class LeaseQueue:
     # ------------------------------------------------------------------
     # items
 
-    def enqueue(self, job_id: str, entries: Iterable[Tuple[str, Dict[str, Any]]]) -> int:
+    def enqueue(
+        self,
+        job_id: str,
+        entries: Iterable[Tuple[str, Dict[str, Any]]],
+        priority: str = PRIORITY_NORMAL,
+    ) -> int:
         """Attach ``(dedup_key, payload)`` items to a job; returns new items.
 
         ``INSERT OR IGNORE`` on the content key is the dedup: an item
@@ -326,21 +419,41 @@ class LeaseQueue:
         attempt of this one) is linked, not re-executed.  A key sitting
         in quarantine stays quarantined — resubmitting a poison task is
         an explicit ``requeue_quarantined`` call, never a side effect.
+
+        A high-priority enqueue *upgrades* a shared pending item to the
+        high lane (a normal enqueue never downgrades one): the urgent
+        submitter's latency wins, and the normal job it overlaps with
+        simply benefits.
         """
+        if priority not in PRIORITIES:
+            raise ValueError(f"priority must be one of {PRIORITIES}, got {priority!r}")
         now = self.clock()
         new = 0
+        new_keys: List[str] = []
         with self._txn() as conn:
             for dedup_key, payload in entries:
                 cursor = conn.execute(
-                    "INSERT OR IGNORE INTO items (dedup_key, payload, state, created)"
-                    " VALUES (?, ?, ?, ?)",
-                    (dedup_key, json.dumps(payload), self.ITEM_PENDING, now),
+                    "INSERT OR IGNORE INTO items"
+                    " (dedup_key, payload, state, created, priority)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (dedup_key, json.dumps(payload), self.ITEM_PENDING, now, priority),
                 )
-                new += cursor.rowcount
+                if cursor.rowcount:
+                    new += 1
+                    new_keys.append(dedup_key)
+                    service_metrics.bump(conn, "repro_queue_items_enqueued_total")
+                elif priority == PRIORITY_HIGH:
+                    conn.execute(
+                        "UPDATE items SET priority = ? WHERE dedup_key = ?"
+                        " AND priority != ?",
+                        (PRIORITY_HIGH, dedup_key, PRIORITY_HIGH),
+                    )
                 conn.execute(
                     "INSERT OR IGNORE INTO job_items (job_id, dedup_key) VALUES (?, ?)",
                     (job_id, dedup_key),
                 )
+        for dedup_key in new_keys:
+            self.events.append("enqueue", key=dedup_key, job=job_id, priority=priority)
         return new
 
     def lease(self, owner: str, ttl: float, max_attempts: int) -> Optional[LeasedItem]:
@@ -352,60 +465,137 @@ class LeaseQueue:
         ``max_attempts`` leases is quarantined here instead of handed
         out — that is how crash-looping items exit rotation even though
         no worker survives long enough to report their failure.
+
+        Lane order is high-first, except that after
+        :data:`NORMAL_LANE_CREDIT` consecutive high-lane leases the
+        normal lane is tried first once.  The streak counter is a row in
+        the ``counters`` table, read and written inside the lease
+        transaction, so the bound holds across worker processes.
         """
         while True:
             now = self.clock()
+            events: List[Tuple[str, Dict[str, Any]]] = []
             with self._txn() as conn:
-                row = conn.execute(
-                    "SELECT dedup_key, payload, attempts, error FROM items"
-                    " WHERE (state = ? AND not_before <= ?)"
-                    "    OR (state = ? AND lease_expires <= ?)"
-                    " ORDER BY created, dedup_key LIMIT 1",
-                    (self.ITEM_PENDING, now, self.ITEM_LEASED, now),
-                ).fetchone()
+                streak = service_metrics.counter_value(conn, _LANE_STREAK)
+                lanes = [PRIORITY_HIGH, PRIORITY_NORMAL]
+                if streak >= NORMAL_LANE_CREDIT:
+                    lanes.reverse()
+                row = None
+                for lane in lanes:
+                    row = conn.execute(
+                        "SELECT dedup_key, payload, attempts, error, state, priority"
+                        " FROM items WHERE priority = ? AND"
+                        " ((state = ? AND not_before <= ?)"
+                        "    OR (state = ? AND lease_expires <= ?))"
+                        " ORDER BY created, dedup_key LIMIT 1",
+                        (lane, self.ITEM_PENDING, now, self.ITEM_LEASED, now),
+                    ).fetchone()
+                    if row is not None:
+                        break
                 if row is None:
                     return None
-                dedup_key, payload_text, attempts, last_error = row
+                dedup_key, payload_text, attempts, last_error, state, priority = row
                 if attempts >= max_attempts:
                     error = (
                         last_error
                         or f"lease expired {attempts} time(s); worker crashed or hung"
                     )
                     self._quarantine(conn, dedup_key, payload_text, attempts, error)
-                    continue  # next candidate, same loop
-                conn.execute(
-                    "UPDATE items SET state = ?, owner = ?, lease_expires = ?,"
-                    " attempts = attempts + 1 WHERE dedup_key = ?",
-                    (self.ITEM_LEASED, owner, now + ttl, dedup_key),
-                )
-                return LeasedItem(
-                    dedup_key=dedup_key,
-                    payload=json.loads(payload_text),
-                    attempts=attempts + 1,
-                )
+                    events.append(
+                        ("quarantine", {"key": dedup_key, "attempts": attempts, "error": error})
+                    )
+                else:
+                    expired = state == self.ITEM_LEASED
+                    conn.execute(
+                        "UPDATE items SET state = ?, owner = ?, lease_expires = ?,"
+                        " leased_at = ?, attempts = attempts + 1 WHERE dedup_key = ?",
+                        (self.ITEM_LEASED, owner, now + ttl, now, dedup_key),
+                    )
+                    service_metrics.bump(conn, "repro_queue_leases_total")
+                    if expired:
+                        service_metrics.bump(conn, "repro_queue_lease_expired_total")
+                    service_metrics.set_counter(
+                        conn,
+                        _LANE_STREAK,
+                        streak + 1 if priority == PRIORITY_HIGH else 0,
+                    )
+                    self._worker_seen(conn, owner, now)
+                    events.append(
+                        (
+                            "lease",
+                            {
+                                "key": dedup_key,
+                                "owner": owner,
+                                "attempts": attempts + 1,
+                                "priority": priority,
+                                "expired": True if expired else None,
+                            },
+                        )
+                    )
+                    leased = LeasedItem(
+                        dedup_key=dedup_key,
+                        payload=json.loads(payload_text),
+                        attempts=attempts + 1,
+                    )
+            for kind, fields in events:
+                self.events.append(kind, **fields)
+            if events and events[-1][0] == "lease":
+                return leased
+            # quarantined a crash-looping candidate: next candidate, new txn
 
     def heartbeat(self, dedup_key: str, owner: str, ttl: float) -> bool:
         """Extend a live lease; ``False`` means the lease was lost."""
+        now = self.clock()
+        expires = now + ttl
         with self._txn() as conn:
             cursor = conn.execute(
                 "UPDATE items SET lease_expires = ? WHERE dedup_key = ?"
                 " AND owner = ? AND state = ?",
-                (self.clock() + ttl, dedup_key, owner, self.ITEM_LEASED),
+                (expires, dedup_key, owner, self.ITEM_LEASED),
             )
-            return cursor.rowcount == 1
+            alive = cursor.rowcount == 1
+            if alive:
+                service_metrics.bump(conn, "repro_queue_heartbeats_total")
+                self._worker_seen(conn, owner, now)
+        if alive:
+            self.events.append(
+                "heartbeat", key=dedup_key, owner=owner, expires=round(expires, 6)
+            )
+        return alive
 
-    def complete(self, dedup_key: str, owner: str) -> bool:
+    def complete(
+        self, dedup_key: str, owner: str, duration: Optional[float] = None
+    ) -> bool:
         """Mark a leased item done (results are already in the store)."""
+        now = self.clock()
         with self._txn() as conn:
             cursor = conn.execute(
                 "UPDATE items SET state = ?, owner = NULL, lease_expires = NULL,"
                 " error = NULL WHERE dedup_key = ? AND owner = ? AND state = ?",
                 (self.ITEM_DONE, dedup_key, owner, self.ITEM_LEASED),
             )
-            return cursor.rowcount == 1
+            done = cursor.rowcount == 1
+            if done:
+                service_metrics.bump(conn, "repro_queue_completes_total")
+                if duration is not None:
+                    service_metrics.observe_item_seconds(conn, duration)
+                self._worker_seen(conn, owner, now, done_delta=1)
+        if done:
+            self.events.append(
+                "complete",
+                key=dedup_key,
+                owner=owner,
+                seconds=round(duration, 6) if duration is not None else None,
+            )
+        return done
 
     def fail(
-        self, dedup_key: str, owner: str, error: str, policy: Any
+        self,
+        dedup_key: str,
+        owner: str,
+        error: str,
+        policy: Any,
+        duration: Optional[float] = None,
     ) -> Optional[str]:
         """Report a failed execution; returns the item's new state.
 
@@ -414,6 +604,8 @@ class LeaseQueue:
         A stale owner (lease already expired and re-claimed) changes
         nothing and gets ``None``.
         """
+        now = self.clock()
+        events: List[Tuple[str, Dict[str, Any]]] = []
         with self._txn() as conn:
             row = conn.execute(
                 "SELECT payload, attempts FROM items WHERE dedup_key = ?"
@@ -421,18 +613,46 @@ class LeaseQueue:
                 (dedup_key, owner, self.ITEM_LEASED),
             ).fetchone()
             if row is None:
-                return None
-            payload_text, attempts = row
-            if attempts >= policy.max_attempts:
-                self._quarantine(conn, dedup_key, payload_text, attempts, error)
-                return self.ITEM_QUARANTINED
-            delay = policy.backoff_delay(dedup_key, attempts)
-            conn.execute(
-                "UPDATE items SET state = ?, owner = NULL, lease_expires = NULL,"
-                " not_before = ?, error = ? WHERE dedup_key = ?",
-                (self.ITEM_PENDING, self.clock() + delay, error, dedup_key),
-            )
-            return self.ITEM_PENDING
+                new_state = None
+            else:
+                payload_text, attempts = row
+                service_metrics.bump(conn, "repro_queue_failures_total")
+                if duration is not None:
+                    service_metrics.observe_item_seconds(conn, duration)
+                self._worker_seen(conn, owner, now, done_delta=1)
+                events.append(
+                    (
+                        "fail",
+                        {
+                            "key": dedup_key,
+                            "owner": owner,
+                            "error": error,
+                            "seconds": round(duration, 6) if duration is not None else None,
+                        },
+                    )
+                )
+                if attempts >= policy.max_attempts:
+                    self._quarantine(conn, dedup_key, payload_text, attempts, error)
+                    events.append(
+                        ("quarantine", {"key": dedup_key, "attempts": attempts, "error": error})
+                    )
+                    new_state = self.ITEM_QUARANTINED
+                else:
+                    delay = policy.backoff_delay(dedup_key, attempts)
+                    not_before = now + delay
+                    conn.execute(
+                        "UPDATE items SET state = ?, owner = NULL, lease_expires = NULL,"
+                        " not_before = ?, error = ? WHERE dedup_key = ?",
+                        (self.ITEM_PENDING, not_before, error, dedup_key),
+                    )
+                    service_metrics.bump(conn, "repro_queue_requeues_total")
+                    events.append(
+                        ("requeue", {"key": dedup_key, "not_before": round(not_before, 6)})
+                    )
+                    new_state = self.ITEM_PENDING
+        for kind, fields in events:
+            self.events.append(kind, **fields)
+        return new_state
 
     def _quarantine(
         self,
@@ -453,6 +673,28 @@ class LeaseQueue:
             " VALUES (?, ?, ?, ?, ?)",
             (dedup_key, payload_text, attempts, error, self.clock()),
         )
+        service_metrics.bump(conn, "repro_queue_quarantines_total")
+
+    def _worker_seen(
+        self,
+        conn: sqlite3.Connection,
+        owner: str,
+        now: float,
+        done_delta: int = 0,
+    ) -> None:
+        """Upsert the ``workers`` heartbeat row inside the caller's txn."""
+        conn.execute(
+            "INSERT INTO workers (owner, first_seen, last_seen, items_done)"
+            " VALUES (?, ?, ?, ?)"
+            " ON CONFLICT(owner) DO UPDATE SET last_seen = excluded.last_seen,"
+            " items_done = items_done + excluded.items_done",
+            (owner, now, now, done_delta),
+        )
+
+    def worker_seen(self, owner: str, done_delta: int = 0) -> None:
+        """Record a sign of life from ``owner`` (liveness gauge source)."""
+        with self._txn() as conn:
+            self._worker_seen(conn, owner, self.clock(), done_delta=done_delta)
 
     def item_states(self, keys: Sequence[str]) -> Dict[str, Tuple[str, Optional[str]]]:
         """``{dedup_key: (state, error)}`` for the given keys, chunked."""
@@ -486,12 +728,12 @@ class LeaseQueue:
 
     def requeue_quarantined(self, keys: Optional[Sequence[str]] = None) -> int:
         """Put quarantined items back in rotation with a fresh attempt budget."""
+        requeued_keys: List[str] = []
         with self._txn() as conn:
             if keys is None:
                 keys = [
                     row[0] for row in conn.execute("SELECT dedup_key FROM quarantine")
                 ]
-            requeued = 0
             for dedup_key in keys:
                 cursor = conn.execute(
                     "UPDATE items SET state = ?, attempts = 0, owner = NULL,"
@@ -499,9 +741,13 @@ class LeaseQueue:
                     " WHERE dedup_key = ? AND state = ?",
                     (self.ITEM_PENDING, dedup_key, self.ITEM_QUARANTINED),
                 )
-                requeued += cursor.rowcount
+                if cursor.rowcount:
+                    requeued_keys.append(dedup_key)
+                    service_metrics.bump(conn, "repro_queue_quarantine_requeues_total")
                 conn.execute("DELETE FROM quarantine WHERE dedup_key = ?", (dedup_key,))
-            return requeued
+        for dedup_key in requeued_keys:
+            self.events.append("quarantine-requeue", key=dedup_key)
+        return len(requeued_keys)
 
     def stats(self) -> Dict[str, Any]:
         """Queue-wide counters for ``/healthz`` and operator eyes."""
@@ -518,6 +764,105 @@ class LeaseQueue:
             )
         }
         return {"items": items, "jobs": jobs}
+
+    # ------------------------------------------------------------------
+    # retention
+
+    def gc(
+        self,
+        job_ttl: float = 7 * 24 * 3600.0,
+        keep_last: int = 3,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Prune terminal jobs older than ``job_ttl`` and their orphans.
+
+        Retention never touches live state: only ``done``/``failed``
+        jobs are candidates, the ``keep_last`` most recently updated
+        terminal jobs are always kept regardless of age, and an item is
+        removed only when it is itself terminal (``done`` or
+        ``quarantined``) *and* no surviving job still references it —
+        pending and leased items are untouchable by construction.  A
+        pruned job's artifacts directory and run manifest go with it.
+
+        Returns ``{"jobs": [...], "items": [...], "quarantine": N}``.
+        """
+        if now is None:
+            now = self.clock()
+        cutoff = now - job_ttl
+        with self._txn() as conn:
+            terminal = [
+                row[0]
+                for row in conn.execute(
+                    "SELECT job_id FROM jobs WHERE state IN (?, ?)"
+                    " ORDER BY updated DESC, job_id",
+                    (self.JOB_DONE, self.JOB_FAILED),
+                )
+            ]
+            candidates = terminal[max(0, int(keep_last)):]
+            removed_jobs: List[str] = []
+            for start in range(0, len(candidates), _IN_CHUNK):
+                chunk = candidates[start : start + _IN_CHUNK]
+                marks = ",".join("?" * len(chunk))
+                removed_jobs.extend(
+                    row[0]
+                    for row in conn.execute(
+                        f"SELECT job_id FROM jobs WHERE job_id IN ({marks})"
+                        " AND updated <= ?",
+                        (*chunk, cutoff),
+                    )
+                )
+            for start in range(0, len(removed_jobs), _IN_CHUNK):
+                chunk = removed_jobs[start : start + _IN_CHUNK]
+                marks = ",".join("?" * len(chunk))
+                conn.execute(f"DELETE FROM jobs WHERE job_id IN ({marks})", chunk)
+                conn.execute(f"DELETE FROM job_items WHERE job_id IN ({marks})", chunk)
+            # terminal items nothing references any more (items shared
+            # with a surviving job keep their row — and their cache hit)
+            removed_items = [
+                row[0]
+                for row in conn.execute(
+                    "SELECT dedup_key FROM items WHERE state IN (?, ?)"
+                    " AND NOT EXISTS (SELECT 1 FROM job_items"
+                    "                 WHERE job_items.dedup_key = items.dedup_key)",
+                    (self.ITEM_DONE, self.ITEM_QUARANTINED),
+                )
+            ]
+            for start in range(0, len(removed_items), _IN_CHUNK):
+                chunk = removed_items[start : start + _IN_CHUNK]
+                marks = ",".join("?" * len(chunk))
+                conn.execute(f"DELETE FROM items WHERE dedup_key IN ({marks})", chunk)
+            cursor = conn.execute(
+                "DELETE FROM quarantine WHERE NOT EXISTS"
+                " (SELECT 1 FROM items WHERE items.dedup_key = quarantine.dedup_key)"
+            )
+            removed_quarantine = cursor.rowcount
+            if removed_jobs:
+                service_metrics.bump(
+                    conn, "repro_gc_jobs_removed_total", len(removed_jobs)
+                )
+            if removed_items:
+                service_metrics.bump(
+                    conn, "repro_gc_items_removed_total", len(removed_items)
+                )
+        for job_id in removed_jobs:
+            shutil.rmtree(self.directory / "artifacts" / job_id, ignore_errors=True)
+            manifest = self.directory / "manifests" / f"run-{job_id}.json"
+            try:
+                manifest.unlink()
+            except FileNotFoundError:
+                pass
+        if removed_jobs or removed_items or removed_quarantine:
+            self.events.append(
+                "gc",
+                jobs=sorted(removed_jobs),
+                items=sorted(removed_items),
+                quarantine=removed_quarantine,
+            )
+        return {
+            "jobs": sorted(removed_jobs),
+            "items": sorted(removed_items),
+            "quarantine": removed_quarantine,
+        }
 
 
 class QueueExecutor:
@@ -544,11 +889,13 @@ class QueueExecutor:
         poll_interval: float = 0.2,
         stop_event: Optional[threading.Event] = None,
         store: Optional[SQLiteResultStore] = None,
+        priority: str = PRIORITY_NORMAL,
     ) -> None:
         self.queue = queue
         self.job_id = job_id
         self.poll_interval = poll_interval
         self.stop_event = stop_event
+        self.priority = priority
         #: opened lazily so the executor can be built on one thread and
         #: run on another (sqlite connections are thread-affine)
         self._store = store
@@ -589,7 +936,7 @@ class QueueExecutor:
             dedup_key = group_dedup_key(hashes)
             entries.append((dedup_key, group_payload(unit, hashes)))
             pending.setdefault(dedup_key, []).append((unit.indices, hashes))
-        self.queue.enqueue(self.job_id, entries)
+        self.queue.enqueue(self.job_id, entries, priority=self.priority)
 
         store = self._result_store()
         quarantined_errors: Dict[str, str] = {}

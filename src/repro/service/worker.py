@@ -155,6 +155,7 @@ def run_worker(
     policy = policy or RetryPolicy()
     queue = LeaseQueue(Path(queue_dir))
     owner = default_owner()
+    queue.worker_seen(owner)  # visible in /metrics even before first lease
     heartbeat = heartbeat_interval or max(0.1, lease_ttl / 3.0)
     stop = {"requested": False}
     if install_signal_handlers:
@@ -186,11 +187,13 @@ def run_worker(
             time.sleep(poll_interval)
             continue
         idle_since = None
+        started = time.monotonic()
         error = _execute_item(queue, item, owner, policy, lease_ttl, heartbeat)
+        duration = time.monotonic() - started
         if error is None:
-            queue.complete(item.dedup_key, owner)
+            queue.complete(item.dedup_key, owner, duration=duration)
         else:
-            state = queue.fail(item.dedup_key, owner, error, policy)
+            state = queue.fail(item.dedup_key, owner, error, policy, duration=duration)
             print(
                 f"worker {owner}: item {item.dedup_key[:12]} attempt "
                 f"{item.attempts}/{policy.max_attempts} failed -> "

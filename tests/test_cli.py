@@ -341,3 +341,113 @@ class TestStoreCommand:
         assert main(["store", command, "--cache-dir", str(missing)]) == 2
         assert "no result store" in capsys.readouterr().err
         assert not missing.exists()
+
+    def test_gc_with_queue_dir_prunes_terminal_jobs(self, tmp_path, capsys):
+        from repro.service.queue import LeaseQueue
+
+        queue_dir = tmp_path / "svc"
+        queue = LeaseQueue(queue_dir)
+        queue.submit_job("stale", {"t": 1})
+        queue.set_job_state("stale", LeaseQueue.JOB_DONE)
+        queue.submit_job("live", {"t": 2})
+        capsys.readouterr()
+        # no shard store needed when a queue directory is given
+        argv = [
+            "store", "gc", "--cache-dir", str(tmp_path / "no-store"),
+            "--queue-dir", str(queue_dir),
+            "--job-ttl", "0", "--keep-last", "0", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queue"]["jobs_removed"] == 1
+        assert payload["queue"]["jobs"] == ["stale"]
+        assert queue.job_record("stale") is None
+        assert queue.job_record("live")["state"] == LeaseQueue.JOB_RUNNING
+
+
+class TestServeCli:
+    def _seed_queue(self, tmp_path):
+        from repro.service.queue import LeaseQueue
+
+        queue_dir = tmp_path / "svc"
+        queue = LeaseQueue(queue_dir)
+        queue.submit_job("job", {"t": 1})
+        queue.enqueue("job", [("k1", {"i": 1}), ("k2", {"i": 2})])
+        return queue_dir
+
+    def test_serve_without_queue_dir_errors(self, capsys):
+        assert main(["serve"]) == 2
+        assert "requires --queue-dir" in capsys.readouterr().err
+
+    def test_serve_events_prints_the_log(self, tmp_path, capsys):
+        queue_dir = self._seed_queue(tmp_path)
+        assert main(["serve", "events", "--queue-dir", str(queue_dir)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [event["kind"] for event in events] == [
+            "job-submit", "enqueue", "enqueue",
+        ]
+
+    def test_serve_events_kind_filter(self, tmp_path, capsys):
+        queue_dir = self._seed_queue(tmp_path)
+        argv = ["serve", "events", "--queue-dir", str(queue_dir), "--kind", "enqueue"]
+        assert main(argv) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["kind"] == "enqueue" for line in lines)
+
+    def test_serve_events_missing_log(self, tmp_path, capsys):
+        argv = ["serve", "events", "--queue-dir", str(tmp_path / "empty")]
+        assert main(argv) == 1
+        assert "no event log" in capsys.readouterr().err
+
+    def test_serve_submit_unreachable_daemon(self, tmp_path, capsys):
+        spec = tmp_path / "spec.toml"
+        spec.write_text("[report]\ntitle = 'x'\n", encoding="utf-8")
+        argv = [
+            "serve", "submit", "--url", "http://127.0.0.1:9",
+            "--spec", str(spec), "--timeout", "0.5",
+        ]
+        assert main(argv) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestBenchHistoryHelpers:
+    def test_markdown_renders_one_row_per_entry(self, tmp_path):
+        from repro.cli import bench_history_entries, bench_history_markdown
+
+        snapshot = {
+            "kind": "bench-snapshot",
+            "rev": "abc1234",
+            "payload": {
+                "results": [
+                    {
+                        "scheme": "theorem3", "graph": "random", "n": 256,
+                        "backend": "analytic", "grouping": "none",
+                        "tier": "standard", "runs_per_second": 123.456,
+                    }
+                ]
+            },
+        }
+        (tmp_path / "BENCH_abc1234.json").write_text(
+            json.dumps(snapshot), encoding="utf-8"
+        )
+        entries = bench_history_entries(tmp_path)
+        assert len(entries) == 1
+        page = bench_history_markdown(entries)
+        assert "abc1234" in page and "theorem3" in page
+        assert page.count("\n| ") >= 1 or page.startswith("| ")
+
+    def test_committed_history_page_is_fresh(self):
+        """The CI freshness gate, exercised in-process."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        result = subprocess.run(
+            [sys.executable, str(repo / "scripts" / "update_bench_history.py"), "--check"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr

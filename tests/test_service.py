@@ -1,16 +1,23 @@
 """Tests of the fault-tolerant sweep service (`repro.service`).
 
-Three layers, in rising order of violence:
+Four layers, in rising order of violence:
 
 * unit tests of the retry policy and the lease queue's state machine
   (TTL expiry, heartbeats, dedup, backoff, quarantine) — all with an
   injected clock, no sleeping;
+* the observability layer: the /metrics registry must agree with the
+  queue tables it counts, the event log must replay to the same
+  terminal state, the priority lanes must never starve the normal lane
+  (a hypothesis bounded-wait property), and queue gc must never touch
+  live or leased work;
 * worker tests: poison payloads quarantine instead of wedging, hung
   executions hit the wall-clock timeout, drained items survive;
 * the chaos test: a 12-task sweep over two real worker processes, one
   of which is SIGKILLed mid-lease.  The job must complete, no item may
-  exceed its attempt budget, and the artifacts must be byte-identical
-  to a serial ``generate_report`` — the whole point of the service.
+  exceed its attempt budget, the artifacts must be byte-identical to a
+  serial ``generate_report``, and both the metrics scrape and the event
+  log replay must agree with the final queue state — the whole point of
+  the service.
 
 The ``--jobs N`` dead-worker regression test lives here too: it is the
 same failure mode (a worker dying mid-task) on the in-process pool path.
@@ -21,6 +28,7 @@ import os
 import signal
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -33,8 +41,13 @@ from repro.runner.plan import InstanceContext, StackedGroup, TaskGroup, plan_gro
 from repro.runner.runner import run_tasks
 from repro.runner.store import SQLiteResultStore
 from repro.runner.tasks import GraphSpec, SweepTask, task_from_wire, task_to_wire
+from repro.service import metrics as service_metrics
 from repro.service.daemon import SweepService
+from repro.service.events import follow_events, read_events, replay
 from repro.service.queue import (
+    NORMAL_LANE_CREDIT,
+    PRIORITY_HIGH,
+    PRIORITY_NORMAL,
     LeaseQueue,
     QuarantinedTasksError,
     QueueExecutor,
@@ -220,6 +233,320 @@ class TestLeaseQueue:
         assert queue.job_record("job-1")["state"] == LeaseQueue.JOB_DONE
         assert queue.job_record("missing") is None
         assert [job["job_id"] for job in queue.list_jobs()] == ["job-1"]
+
+
+# ------------------------------------------------------------------ #
+# observability: metrics registry, event log, priority lanes, gc
+# ------------------------------------------------------------------ #
+
+
+def metric_value(text: str, name: str, labels: str = "") -> float:
+    """One sample out of a rendered /metrics page."""
+    needle = f"{name}{{{labels}}} " if labels else f"{name} "
+    for line in text.splitlines():
+        if line.startswith(needle):
+            return float(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"metric {name}{{{labels}}} not in:\n{text}")
+
+
+def synthetic_entries(count: int, start: int = 0):
+    """Cheap (dedup_key, payload) pairs; no task compilation needed."""
+    return [(f"item-{index:04d}", {"i": index}) for index in range(start, start + count)]
+
+
+class TestMetrics:
+    def test_counters_and_gauges_track_transitions(self, tmp_path):
+        clock = FakeClock()
+        queue = LeaseQueue(tmp_path, clock=clock)
+        policy = RetryPolicy(max_attempts=2, backoff_base=1.0, backoff_cap=1.0)
+        queue.submit_job("job", {"t": 1})
+        queue.enqueue("job", synthetic_entries(3))
+        # enqueueing the same items again is a dedup link, not a count
+        queue.enqueue("job-b", synthetic_entries(3))
+
+        item = queue.lease("w1", ttl=10.0, max_attempts=policy.max_attempts)
+        queue.complete(item.dedup_key, "w1", duration=0.2)
+        item = queue.lease("w1", ttl=10.0, max_attempts=policy.max_attempts)
+        queue.heartbeat(item.dedup_key, "w1", ttl=10.0)
+        queue.fail(item.dedup_key, "w1", "boom", policy, duration=2.0)
+        # third item: lease it, let the lease expire
+        item = queue.lease("w1", ttl=10.0, max_attempts=policy.max_attempts)
+        clock.now += 11.0
+        # oldest runnable first: w2 re-leases the requeued second item
+        # (attempt budget now burned) and its fail quarantines it ...
+        retried = queue.lease("w2", ttl=10.0, max_attempts=policy.max_attempts)
+        assert retried is not None and retried.attempts == 2
+        queue.fail(retried.dedup_key, "w2", "poison", policy)
+        # ... then takes over the third item's expired lease
+        takeover = queue.lease("w2", ttl=10.0, max_attempts=policy.max_attempts)
+        assert takeover.dedup_key == item.dedup_key and takeover.attempts == 2
+
+        text = service_metrics.render_metrics(queue)
+        assert metric_value(text, "repro_queue_items_enqueued_total") == 3
+        assert metric_value(text, "repro_queue_leases_total") == 5
+        assert metric_value(text, "repro_queue_lease_expired_total") == 1
+        assert metric_value(text, "repro_queue_heartbeats_total") == 1
+        assert metric_value(text, "repro_queue_completes_total") == 1
+        assert metric_value(text, "repro_queue_failures_total") == 2
+        assert metric_value(text, "repro_queue_requeues_total") == 1
+        assert metric_value(text, "repro_queue_quarantines_total") == 1
+        assert metric_value(text, "repro_jobs_submitted_total") == 1
+        # histogram: two observations (0.2s and 2.0s)
+        assert metric_value(text, "repro_item_seconds_count") == 2
+        assert metric_value(text, "repro_item_seconds_sum") == pytest.approx(2.2)
+        assert metric_value(text, "repro_item_seconds_bucket", 'le="0.25"') == 1
+        assert metric_value(text, "repro_item_seconds_bucket", 'le="+Inf"') == 2
+        # gauges agree with the tables
+        stats = queue.stats()
+        for state in ("pending", "done", "quarantined"):
+            both_lanes = sum(
+                metric_value(text, "repro_queue_items", f'state="{state}",priority="{lane}"')
+                for lane in ("high", "normal")
+            )
+            assert both_lanes == stats["items"].get(state, 0)
+        # both workers heartbeated recently
+        assert metric_value(text, "repro_workers_live") == 2
+        assert metric_value(text, "repro_worker_items_processed_total", 'owner="w1"') == 2
+
+    def test_scrape_is_consistent_with_queue_state(self, tmp_path):
+        clock = FakeClock()
+        queue = LeaseQueue(tmp_path, clock=clock)
+        queue.submit_job("job", {"t": 1})
+        queue.enqueue("job", synthetic_entries(5))
+        held = queue.lease("w", ttl=100.0, max_attempts=3)
+        clock.now += 7.0
+        text = service_metrics.render_metrics(queue)
+        assert metric_value(text, "repro_queue_items", 'state="leased",priority="normal"') == 1
+        assert metric_value(text, "repro_queue_items", 'state="pending",priority="normal"') == 4
+        assert metric_value(text, "repro_queue_oldest_lease_age_seconds") == 7
+        assert metric_value(text, "repro_queue_jobs", 'state="running"') == 1
+        # progress ratio: 0 done of 5
+        assert metric_value(text, "repro_job_progress_ratio", 'job="job"') == 0
+        queue.complete(held.dedup_key, "w")
+        text = service_metrics.render_metrics(queue)
+        assert metric_value(text, "repro_job_progress_ratio", 'job="job"') == pytest.approx(0.2)
+        assert metric_value(text, "repro_queue_oldest_lease_age_seconds") == 0
+
+
+class TestEventLog:
+    def test_transitions_append_and_replay_to_terminal_state(self, tmp_path):
+        clock = FakeClock()
+        queue = LeaseQueue(tmp_path, clock=clock)
+        policy = RetryPolicy(max_attempts=2, backoff_base=1.0, backoff_cap=1.0)
+        queue.submit_job("job", {"t": 1}, priority=PRIORITY_HIGH)
+        queue.enqueue("job", synthetic_entries(2), priority=PRIORITY_HIGH)
+        first = queue.lease("w", ttl=10.0, max_attempts=2)
+        queue.complete(first.dedup_key, "w", duration=0.1)
+        second = queue.lease("w", ttl=10.0, max_attempts=2)
+        queue.fail(second.dedup_key, "w", "boom", policy)
+        clock.now += 2.0
+        again = queue.lease("w", ttl=10.0, max_attempts=2)
+        queue.fail(again.dedup_key, "w", "boom again", policy)
+        queue.set_job_state("job", LeaseQueue.JOB_FAILED, error="quarantined")
+
+        events = list(read_events(tmp_path / "events.jsonl"))
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "job-submit" and kinds.count("enqueue") == 2
+        assert "requeue" in kinds and "quarantine" in kinds
+        # timestamps are non-decreasing in file order
+        stamps = [event["ts"] for event in events]
+        assert stamps == sorted(stamps)
+
+        final = replay(events)
+        states = queue.item_states([key for key, _ in synthetic_entries(2)])
+        for key, (state, _) in states.items():
+            assert final["items"][key]["state"] == state
+        assert final["jobs"]["job"]["state"] == LeaseQueue.JOB_FAILED
+        assert final["jobs"]["job"]["priority"] == PRIORITY_HIGH
+
+    def test_torn_lines_are_skipped_and_filters_apply(self, tmp_path):
+        clock = FakeClock()
+        queue = LeaseQueue(tmp_path, clock=clock)
+        queue.submit_job("job", {"t": 1})
+        clock.now = 2000.0
+        queue.enqueue("job", synthetic_entries(1))
+        log_path = tmp_path / "events.jsonl"
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write('{"ts": 3000.0, "kind": "lea')  # torn mid-append
+        assert [e["kind"] for e in read_events(log_path)] == ["job-submit", "enqueue"]
+        assert [e["kind"] for e in read_events(log_path, since=1500.0)] == ["enqueue"]
+        assert [e["kind"] for e in read_events(log_path, kinds=["enqueue"])] == ["enqueue"]
+
+    def test_follow_events_streams_appended_lines(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        queue.submit_job("job", {"t": 1})
+        seen = []
+        done = threading.Event()
+
+        def tail() -> None:
+            for event in follow_events(
+                tmp_path / "events.jsonl",
+                poll_interval=0.01,
+                stop=lambda: done.is_set() and len(seen) >= 2,
+            ):
+                seen.append(event["kind"])
+            # generator returns via stop()
+
+        thread = threading.Thread(target=tail, daemon=True)
+        thread.start()
+        queue.enqueue("job", synthetic_entries(1))
+        deadline = time.monotonic() + 10.0
+        while len(seen) < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        done.set()
+        thread.join(timeout=10.0)
+        assert seen[:2] == ["job-submit", "enqueue"]
+
+
+class TestPriorityLanes:
+    def test_high_job_submitted_behind_big_normal_job_leases_first(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        queue.submit_job("big", {"t": 1})
+        queue.enqueue("big", synthetic_entries(12))
+        queue.submit_job("urgent", {"t": 2}, priority=PRIORITY_HIGH)
+        queue.enqueue(
+            "urgent", synthetic_entries(2, start=100), priority=PRIORITY_HIGH
+        )
+        first = queue.lease("w", ttl=10.0, max_attempts=3)
+        second = queue.lease("w", ttl=10.0, max_attempts=3)
+        assert {first.dedup_key, second.dedup_key} == {"item-0100", "item-0101"}
+
+    def test_high_enqueue_upgrades_shared_pending_item(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        queue.enqueue("normal-job", synthetic_entries(1))
+        queue.enqueue("high-job", synthetic_entries(1), priority=PRIORITY_HIGH)
+        row = queue._conn().execute(
+            "SELECT priority FROM items WHERE dedup_key = 'item-0000'"
+        ).fetchone()
+        assert row[0] == PRIORITY_HIGH
+
+    def test_normal_lane_is_never_starved(self, tmp_path):
+        # a continuous flood of high work: the normal lane must still get
+        # one lease in every NORMAL_LANE_CREDIT + 1
+        queue = LeaseQueue(tmp_path)
+        queue.enqueue("n", synthetic_entries(4))
+        queue.enqueue("h", synthetic_entries(60, start=1000), priority=PRIORITY_HIGH)
+        lanes = []
+        for _ in range(5 * (NORMAL_LANE_CREDIT + 1)):
+            item = queue.lease("w", ttl=60.0, max_attempts=99)
+            lanes.append("h" if item.dedup_key.startswith("item-1") else "n")
+        assert lanes.count("n") == 4  # every normal item got through
+        # and each was served within one credit window of the previous
+        normal_positions = [i for i, lane in enumerate(lanes) if lane == "n"]
+        assert normal_positions[0] <= NORMAL_LANE_CREDIT
+        for before, after in zip(normal_positions, normal_positions[1:]):
+            assert after - before <= NORMAL_LANE_CREDIT + 1
+
+    def test_bounded_wait_property(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            n_high=st.integers(min_value=0, max_value=20),
+            n_normal=st.integers(min_value=1, max_value=20),
+        )
+        def check(n_high: int, n_normal: int) -> None:
+            with tempfile.TemporaryDirectory() as tmp:
+                queue = LeaseQueue(Path(tmp))
+                queue.enqueue("n", synthetic_entries(n_normal))
+                queue.enqueue(
+                    "h", synthetic_entries(n_high, start=1000), priority=PRIORITY_HIGH
+                )
+                lanes = []
+                while (item := queue.lease("w", ttl=60.0, max_attempts=99)) is not None:
+                    lanes.append("h" if item.dedup_key.startswith("item-1") else "n")
+                assert len(lanes) == n_high + n_normal
+                # bounded wait: while normal work was pending, no run of
+                # consecutive high leases ever exceeded the credit
+                normal_left = n_normal
+                streak = 0
+                for lane in lanes:
+                    if lane == "n":
+                        normal_left -= 1
+                        streak = 0
+                    else:
+                        streak += 1
+                        if normal_left > 0:
+                            assert streak <= NORMAL_LANE_CREDIT
+
+        check()
+
+
+class TestQueueGC:
+    def seeded_queue(self, tmp_path, clock):
+        queue = LeaseQueue(tmp_path, clock=clock)
+        queue.submit_job("old-done", {"t": 1})
+        queue.enqueue("old-done", synthetic_entries(2))
+        for _ in range(2):
+            item = queue.lease("w", ttl=10.0, max_attempts=3)
+            queue.complete(item.dedup_key, "w")
+        queue.set_job_state("old-done", LeaseQueue.JOB_DONE)
+        return queue
+
+    def test_gc_reclaims_terminal_jobs_artifacts_and_orphans(self, tmp_path):
+        clock = FakeClock()
+        queue = self.seeded_queue(tmp_path, clock)
+        artifacts = tmp_path / "artifacts" / "old-done"
+        artifacts.mkdir(parents=True)
+        (artifacts / "index.md").write_text("report", encoding="utf-8")
+        manifests = tmp_path / "manifests"
+        manifests.mkdir()
+        (manifests / "run-old-done.json").write_text("{}", encoding="utf-8")
+
+        clock.now += 100_000.0
+        result = queue.gc(job_ttl=3600.0, keep_last=0)
+        assert result["jobs"] == ["old-done"]
+        assert sorted(result["items"]) == ["item-0000", "item-0001"]
+        assert queue.job_record("old-done") is None
+        assert queue.item_states(["item-0000", "item-0001"]) == {}
+        assert not artifacts.exists()
+        assert not (manifests / "run-old-done.json").exists()
+        text = service_metrics.render_metrics(queue)
+        assert metric_value(text, "repro_gc_jobs_removed_total") == 1
+        assert metric_value(text, "repro_gc_items_removed_total") == 2
+
+    def test_gc_never_touches_live_leased_or_recent_work(self, tmp_path):
+        clock = FakeClock()
+        queue = self.seeded_queue(tmp_path, clock)
+        # a running job holding pending + leased items, sharing one done
+        # item with the terminal job
+        queue.submit_job("live", {"t": 2})
+        queue.enqueue("live", synthetic_entries(3))  # item-0000/0001 shared, done
+        queue.enqueue("live", synthetic_entries(2, start=10))
+        leased = queue.lease("w", ttl=10_000.0, max_attempts=3)
+
+        clock.now += 100_000.0
+        result = queue.gc(job_ttl=3600.0, keep_last=0)
+        # the terminal job goes; every item the live job references stays
+        assert result["jobs"] == ["old-done"] and result["items"] == []
+        states = queue.item_states(
+            [key for key, _ in synthetic_entries(3)]
+            + [key for key, _ in synthetic_entries(2, start=10)]
+        )
+        assert len(states) == 5
+        assert states[leased.dedup_key][0] == LeaseQueue.ITEM_LEASED
+        assert queue.job_record("live")["state"] == LeaseQueue.JOB_RUNNING
+
+    def test_keep_last_and_ttl_are_both_safety_nets(self, tmp_path):
+        clock = FakeClock()
+        queue = LeaseQueue(tmp_path, clock=clock)
+        for index in range(4):
+            clock.now = 1000.0 + index  # distinct updated stamps
+            queue.submit_job(f"job-{index}", {"i": index})
+            queue.set_job_state(f"job-{index}", LeaseQueue.JOB_DONE)
+        clock.now = 2000.0
+        queue.submit_job("young", {"i": 9})
+        queue.set_job_state("young", LeaseQueue.JOB_DONE)
+
+        clock.now = 5000.0
+        # ttl protects 'young'; keep_last protects the 2 newest of the rest
+        result = queue.gc(job_ttl=3600.0, keep_last=3)
+        assert result["jobs"] == ["job-0", "job-1"]
+        survivors = {record["job_id"] for record in queue.list_jobs()}
+        assert survivors == {"job-2", "job-3", "young"}
+        # quarantine rows whose item is gone are dropped too
+        assert queue.gc(job_ttl=0.0, keep_last=0)["jobs"] == ["job-2", "job-3", "young"]
 
 
 # ------------------------------------------------------------------ #
@@ -484,6 +811,36 @@ class TestChaos:
         assert service_files == serial_files
         for name in serial_files:
             assert (service_dir / name).read_bytes() == (serial_dir / name).read_bytes(), name
+
+        # the metrics scrape agrees with the final queue state
+        text = service_metrics.render_metrics(service.queue)
+        stats = service.queue.stats()
+        done_items = stats["items"].get(LeaseQueue.ITEM_DONE, 0)
+        assert done_items == sum(
+            metric_value(text, "repro_queue_items", f'state="done",priority="{lane}"')
+            for lane in ("high", "normal")
+        )
+        assert metric_value(text, "repro_queue_jobs", 'state="done"') == 1
+        assert metric_value(text, "repro_queue_completes_total") == done_items
+        assert metric_value(text, "repro_queue_leases_total") == sum(attempts)
+        # the SIGKILL showed up as at least one expired-lease takeover
+        assert metric_value(text, "repro_queue_lease_expired_total") >= 1
+        assert metric_value(text, "repro_item_seconds_count") >= done_items
+
+        # the event log replays to the same terminal state (an append may
+        # be lost at the SIGKILL instant; replay folds what landed, and
+        # every completion is reported by a surviving worker afterwards)
+        final = replay(read_events(queue_dir / "events.jsonl"))
+        assert final["jobs"][job_id]["state"] == LeaseQueue.JOB_DONE
+        states = {
+            key: state
+            for key, (state, _) in service.queue.item_states(
+                list(final["items"])
+            ).items()
+        }
+        assert len(final["items"]) == len(attempts)
+        for key, folded in final["items"].items():
+            assert folded["state"] == states[key] == LeaseQueue.ITEM_DONE
 
 
 # ------------------------------------------------------------------ #
